@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the paper
+(see DESIGN.md §4).  Each benchmark:
+
+* runs the corresponding experiment runner once (via pytest-benchmark's
+  pedantic mode so the wall-clock cost of regenerating the result is recorded),
+* prints the reproduced rows next to the paper's numbers,
+* asserts the qualitative shape the paper reports (who wins, how trends move).
+
+The scale preset defaults to ``tiny`` and can be overridden with the
+``REPRO_BENCH_SCALE`` environment variable (``tiny`` / ``small`` / ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+
+def bench_scale():
+    """Scale preset used by the training-backed benchmarks."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "tiny"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Execute an experiment runner exactly once under pytest-benchmark."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    return result

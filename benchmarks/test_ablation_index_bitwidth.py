@@ -1,0 +1,16 @@
+"""Ablation benchmark: weight-index storage bitwidth vs. compression ratio (Eq. 4)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablations
+
+
+def test_ablation_index_bitwidth(benchmark):
+    result = run_experiment(benchmark, ablations.run_index_bitwidth)
+    bits = result.column("index bits")
+    ratios = dict(zip(bits, result.column("compression ratio")))
+
+    # log2(S) = 6-bit indices maximise compression; byte and half-word indices
+    # trade compression for cheaper accesses (the paper's implementation note).
+    assert ratios[6] > ratios[8] > ratios[16]
+    assert ratios[8] > 5.0  # ResNet-10 with 8-bit indices (paper: 6.51)

@@ -1,0 +1,14 @@
+"""Ablation benchmark: input-oriented vs. weight-oriented LUT ordering (paper §4.2)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablations
+
+
+def test_ablation_lut_layout(benchmark):
+    result = run_experiment(benchmark, ablations.run_lut_layout)
+    speedups = result.column("speedup")
+    # The input-oriented (cacheable) layout never loses against the
+    # weight-oriented layout, which is why the paper deploys it.
+    assert all(s >= 1.0 for s in speedups)
+    assert max(s for s in speedups) > 1.1

@@ -1,0 +1,19 @@
+"""Ablation benchmark: precomputation vs. memoization (paper §4.3 / appendix)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablations
+
+
+def test_ablation_memoization(benchmark):
+    result = run_experiment(benchmark, ablations.run_memoization)
+    filters = result.column("filters")
+    pre = dict(zip(filters, result.column("precompute speedup")))
+    memo = dict(zip(filters, result.column("memoization speedup")))
+
+    # The paper picked precomputation: it should match or beat memoization for
+    # layers wider than the pool, and both should beat no reuse there.
+    for f in filters:
+        if f > 64:
+            assert pre[f] > 1.0 and memo[f] > 1.0
+            assert pre[f] >= memo[f]

@@ -1,0 +1,26 @@
+"""Benchmark for Figure 4: z-dimension pools vs. xy-kernel pools (±coefficients)."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure4
+
+
+def test_figure4_pool_variants(benchmark, scale):
+    result = run_experiment(benchmark, figure4.run, scale=scale, seed=0)
+    accuracy = {row[0]: row[2] for row in result.rows}
+
+    # Projection-only accuracy on a small synthetic test set fluctuates by a
+    # few points; compare with a tolerance wide enough to be seed-robust while
+    # still catching order inversions.
+    tolerance = 5.0
+
+    # Paper shape 1: for the z-dimension pools, bigger pools never hurt.
+    assert accuracy["z_128_g8"] >= accuracy["z_32_g8"] - tolerance
+
+    # Paper shape 2: scaling coefficients help the xy-kernel pools.
+    for pool in (16, 32, 64):
+        assert accuracy[f"xy_{pool}_coeff"] >= accuracy[f"xy_{pool}"] - tolerance
+
+    # Paper shape 3: the z-dimension pool at 64 entries is at least competitive
+    # with the plain xy pool of the same size, without storing coefficients.
+    assert accuracy["z_64_g8"] >= accuracy["xy_64"] - tolerance

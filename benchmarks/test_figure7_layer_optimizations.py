@@ -1,0 +1,22 @@
+"""Benchmark for Figure 7: LUT caching and precomputation speedups per layer width."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure7
+
+
+def test_figure7_layer_optimizations(benchmark):
+    result = run_experiment(benchmark, figure7.run)
+    filters = result.column("filters")
+    caching = dict(zip(filters, result.column("caching speedup")))
+    precompute = dict(zip(filters, result.column("precompute+caching speedup")))
+
+    # Paper shapes: caching always helps and helps more with more filters;
+    # precomputation only adds on top once filters exceed the pool size (64),
+    # reaching well above 2x at 192 filters (paper: 2.45x).
+    assert all(speedup >= 1.0 for speedup in caching.values())
+    assert caching[192] > caching[128] > caching[32]
+    assert precompute[32] == caching[32]
+    assert precompute[64] == caching[64]
+    assert precompute[128] > caching[128]
+    assert precompute[192] > 2.0

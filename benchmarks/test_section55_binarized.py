@@ -1,0 +1,17 @@
+"""Benchmark for §5.5: weight pools vs. binarized networks (TinyConv / CIFAR-10)."""
+
+from conftest import run_experiment
+
+from repro.experiments import section55
+
+
+def test_section55_binarized(benchmark, scale):
+    result = run_experiment(benchmark, section55.run, scale=scale, seed=0)
+    accuracy = {row[0].split(" (")[0]: row[1] for row in result.rows}
+    storage = {row[0].split(" (")[0]: row[2] for row in result.rows}
+
+    # Paper shape: at comparable (heavily reduced) storage, the weight-pool
+    # network retains clearly more accuracy than the binarized one.
+    assert accuracy["weight pool"] > accuracy["binarized"]
+    assert storage["weight pool"] < storage["original"]
+    assert storage["binarized"] < storage["original"]

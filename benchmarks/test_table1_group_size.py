@@ -1,0 +1,19 @@
+"""Benchmark for Table 1: accuracy vs. z-dimension group size (ResNet-14 / CIFAR-10)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table1
+
+
+def test_table1_group_size(benchmark, scale):
+    result = run_experiment(benchmark, table1.run, scale=scale, seed=0)
+
+    accuracy = dict(zip(result.column("group size"), result.column("accuracy (%)")))
+    # Paper shape: group size 8 stays close to the original accuracy while 16
+    # degrades markedly more; 4 compresses less but should not be worse than 16.
+    assert accuracy[8] >= accuracy[16]
+    assert accuracy[4] >= accuracy[16]
+    drop_8 = accuracy["original"] - accuracy[8]
+    drop_16 = accuracy["original"] - accuracy[16]
+    assert drop_8 <= drop_16
+    assert drop_8 <= 15.0  # group 8 keeps most of the accuracy at every scale

@@ -1,0 +1,27 @@
+"""Benchmark for Table 3: compression ratio and LUT overhead of the paper's networks."""
+
+from conftest import run_experiment
+
+from repro.experiments import table3
+
+
+def test_table3_compression(benchmark):
+    result = run_experiment(benchmark, table3.run)
+    ratios = dict(zip(result.column("network"), result.column("CR")))
+    overheads = dict(zip(result.column("network"), result.column("LUT overhead (%)")))
+    params = dict(zip(result.column("network"), result.column("total params")))
+
+    # Paper shape: compression ratio grows with network size and approaches the
+    # 8x bound for ResNet-14; the LUT overhead is only limiting for small nets.
+    assert params["ResNet-s"] < params["ResNet-10"] < params["ResNet-14"]
+    assert ratios["TinyConv"] < ratios["ResNet-10"] < ratios["ResNet-14"]
+    assert ratios["ResNet-14"] > 6.5
+    assert ratios["ResNet-14"] < 8.0
+    # Small networks are LUT- and uncompressed-layer-dominated; the LUT share
+    # shrinks as the network grows (paper: 29.7% for ResNet-s -> 4.3% for
+    # ResNet-14).  TinyConv is excluded from the ordering because our 100-class
+    # Quickdraw head dominates its storage (see the runner's note).
+    assert overheads["ResNet-s"] > overheads["ResNet-10"] > overheads["ResNet-14"]
+    assert overheads["ResNet-14"] < 10.0
+    assert ratios["TinyConv"] < 3.0
+    assert ratios["MobileNet-v2"] > 4.0  # only pointwise layers compressed

@@ -1,0 +1,29 @@
+"""Benchmark for Table 4: accuracy vs. weight-pool size (32 / 64 / 128)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table4
+
+# The tiny benchmark preset runs three of the paper's five network-dataset
+# combinations; pass networks=None to table4.run for the full set.
+BENCH_NETWORKS = (
+    ("resnet_s", "cifar10"),
+    ("resnet10", "cifar10"),
+    ("tinyconv", "quickdraw"),
+)
+
+
+def test_table4_pool_size(benchmark, scale):
+    result = run_experiment(
+        benchmark, table4.run, scale=scale, seed=0, networks=BENCH_NETWORKS
+    )
+
+    for row in result.rows:
+        network, original = row[0], row[2]
+        pool32, pool64, pool128 = row[3], row[4], row[5]
+        # Paper shape: pool 64 is sufficient — its accuracy stays within a
+        # modest gap of the uncompressed network, and growing the pool from 32
+        # to 128 never hurts materially.
+        assert pool64 >= original - 20.0, f"{network}: pool 64 collapsed"
+        assert pool128 >= pool32 - 5.0, f"{network}: larger pool should not be worse"
+        assert pool64 >= pool32 - 5.0, f"{network}: pool 64 should match or beat pool 32"

@@ -1,0 +1,26 @@
+"""Benchmark for Table 5: accuracy vs. lookup-table bitwidth (8-bit activations)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table5
+
+# Two representative network-dataset pairs keep the tiny-scale benchmark fast;
+# pass networks=None to table5.run for all five combinations.
+BENCH_NETWORKS = (
+    ("resnet_s", "cifar10"),
+    ("tinyconv", "quickdraw"),
+)
+
+
+def test_table5_lut_bitwidth(benchmark, scale):
+    result = run_experiment(
+        benchmark, table5.run, scale=scale, seed=0, networks=BENCH_NETWORKS
+    )
+    for row in result.rows:
+        network = row[0]
+        no_lut, lut16, lut8, lut4 = row[2], row[3], row[4], row[5]
+        # Paper shape: 16- and 8-bit LUTs are essentially lossless against the
+        # no-LUT reference; 4-bit costs a little more.
+        assert abs(lut16 - no_lut) <= 5.0, f"{network}: 16-bit LUT should be lossless"
+        assert abs(lut8 - no_lut) <= 5.0, f"{network}: 8-bit LUT should be near-lossless"
+        assert lut4 <= lut8 + 2.0, f"{network}: 4-bit LUT should not beat 8-bit"

@@ -1,0 +1,32 @@
+"""Benchmark for Table 6: accuracy vs. activation bitwidth + minimum bitwidth."""
+
+from conftest import run_experiment
+
+from repro.experiments import table6
+
+BENCH_NETWORKS = (
+    ("resnet_s", "cifar10"),
+    ("tinyconv", "quickdraw"),
+)
+
+
+def test_table6_activation_bitwidth(benchmark, scale):
+    result = run_experiment(
+        benchmark,
+        table6.run,
+        scale=scale,
+        seed=0,
+        networks=BENCH_NETWORKS,
+        activation_bitwidths=(8, 6, 5, 4, 3),
+    )
+    headers = list(result.headers)
+    for row in result.rows:
+        network = row[0]
+        acc = dict(zip(headers, row))
+        # Paper shape: 8-bit activations track the float pool closely; accuracy
+        # degrades as bits shrink and the worst case is the lowest bitwidth.
+        assert acc["8-bit (%)"] >= acc["float pool (%)"] - 10.0, network
+        assert acc["3-bit (%)"] <= acc["8-bit (%)"] + 2.0, network
+        assert min(acc["8-bit (%)"], acc["6-bit (%)"]) >= acc["3-bit (%)"] - 2.0, network
+        # A minimum bitwidth is found and sits in the paper's 3-8 range.
+        assert acc["min bitwidth (<1% drop)"] is None or 3 <= acc["min bitwidth (<1% drop)"] <= 8

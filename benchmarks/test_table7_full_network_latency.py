@@ -1,0 +1,44 @@
+"""Benchmark for Table 7: full-network latency on MC-large and MC-small."""
+
+from conftest import run_experiment
+
+from repro.experiments import table7
+
+
+def test_table7_full_network_latency(benchmark):
+    result = run_experiment(benchmark, table7.run)
+    large = {row[1]: row for row in result.rows if row[0] == "MC-large"}
+    small = {row[1]: row for row in result.rows if row[0] == "MC-small"}
+    headers = list(result.headers)
+    cmsis = headers.index("CMSIS (s)")
+    p64_8 = headers.index("64-8 (s)")
+    p64_min = headers.index("64-min (s)")
+    p32_8 = headers.index("32-8 (s)")
+
+    # Paper shape 1: ResNet-14 and MobileNet-v2 do not fit MC-large flash under
+    # CMSIS but do with weight pools.
+    for name in ("ResNet-14", "MobileNet-v2"):
+        assert large[name][cmsis] is None
+        assert large[name][p64_8] is not None
+
+    # Paper shape 2: for networks that fit, the weight-pool deployment at the
+    # minimum bitwidth is clearly faster than CMSIS, and speedups grow with
+    # network size (ResNet-10 > TinyConv).
+    def speedup(row, column):
+        return row[cmsis] / row[column]
+
+    assert speedup(large["ResNet-10"], p64_min) > 2.0
+    assert speedup(large["ResNet-10"], p64_min) > speedup(large["TinyConv"], p64_min)
+    assert speedup(large["ResNet-10"], p64_8) > 1.2
+
+    # Paper shape 3: the smaller pool (32) is never slower than pool 64.
+    for row in large.values():
+        if row[p64_8] is not None and row[p32_8] is not None:
+            assert row[p32_8] <= row[p64_8] + 1e-9
+
+    # Paper shape 4: MC-small only carries TinyConv and ResNet-s, and is slower
+    # than MC-large for the same network.
+    assert set(small) == {"TinyConv", "ResNet-s"}
+    for name, row in small.items():
+        if row[p64_8] is not None and large[name][p64_8] is not None:
+            assert row[p64_8] > large[name][p64_8]

@@ -1,0 +1,83 @@
+"""Arbitrary-precision trade-off: accuracy vs. latency as activations shrink.
+
+The defining property of the bit-serial weight-pool implementation is that the
+activation bitwidth is a *runtime* knob: fewer bits means proportionally fewer
+bit-serial iterations (paper §3.3, Figure 8, Table 6).  This example sweeps
+the activation bitwidth of a compressed network and prints the
+accuracy/latency frontier a deployer would use to pick an operating point.
+
+Run with:  python examples/arbitrary_precision_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import evaluate_accuracy
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    EngineConfig,
+    compress_model,
+    finetune_compressed_model,
+)
+from repro.datasets import SyntheticCIFAR10, make_classification_split
+from repro.mcu import MC_LARGE, BitSerialKernelConfig, estimate_weight_pool_network
+from repro.models import create_model
+from repro.nn import DataLoader, SGD, TrainConfig, Trainer
+from repro.utils.tabulate import format_table
+
+
+def main(seed: int = 0) -> None:
+    train_ds, test_ds = make_classification_split(
+        SyntheticCIFAR10, train_per_class=30, test_per_class=20, seed=seed, noise_std=0.5
+    )
+    train_loader = DataLoader(train_ds, batch_size=32, shuffle=True, rng=seed)
+    test_loader = DataLoader(test_ds, batch_size=32)
+    input_shape = train_ds.input_shape
+
+    print("Training and compressing a reduced ResNet-10 ...")
+    model = create_model("resnet10_tiny", num_classes=10, in_channels=3, rng=seed)
+    Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9)).fit(
+        train_loader, TrainConfig(epochs=3)
+    )
+    float_acc = evaluate_accuracy(model, test_loader)
+
+    result = compress_model(
+        model, input_shape, pool_size=64, policy=CompressionPolicy(group_size=8), seed=seed
+    )
+    finetune_compressed_model(result.model, train_loader, epochs=2, lr=0.01)
+    pool_acc = evaluate_accuracy(result.model, test_loader)
+    print(f"float accuracy {float_acc:.1%}; weight-pool accuracy {pool_acc:.1%}")
+
+    engine = BitSerialInferenceEngine(
+        result.model,
+        result.pool,
+        EngineConfig(activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2),
+    )
+    engine.calibrate(train_loader)
+
+    rows = []
+    for bits in (8, 7, 6, 5, 4, 3, 2):
+        engine.set_activation_bitwidth(bits)
+        accuracy = engine.evaluate(test_loader)
+        latency = estimate_weight_pool_network(
+            result.model,
+            input_shape,
+            MC_LARGE,
+            BitSerialKernelConfig(pool_size=64, activation_bitwidth=bits),
+        ).latency_seconds
+        drop = (pool_acc - accuracy) * 100
+        rows.append([bits, f"{accuracy:.1%}", f"{drop:+.1f} pp", f"{latency * 1000:.0f} ms"])
+
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["activation bits", "accuracy", "drop vs. float pool", "MC-large latency"],
+            title="Runtime/accuracy trade-off from truncating the bit-serial execution",
+        )
+    )
+    print("\nPick the smallest bitwidth whose drop is acceptable (<1 pp in the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Deployment study: fit a ResNet onto memory-starved microcontrollers.
+
+The paper's motivation (§1) is that networks like ResNet and MobileNet do not
+fit on microcontroller flash without compression.  This example reproduces
+that deployment decision end-to-end for the paper's ResNet family:
+
+* report the flash/SRAM the CMSIS int8 baseline would need on MC-large
+  (1 MB flash) and MC-small (128 kB flash),
+* report the same for the weight-pool deployment (pool 64, 8-bit indices,
+  8-bit LUT),
+* show which networks fit which device, and the estimated latency for those
+  that do — i.e. a per-device deployment plan.
+
+Run with:  python examples/deploy_resnet_mcu.py
+"""
+
+from __future__ import annotations
+
+from repro.mcu import (
+    MC_LARGE,
+    MC_SMALL,
+    BitSerialKernelConfig,
+    estimate_cmsis_network,
+    estimate_weight_pool_network,
+)
+from repro.models import create_model
+from repro.utils.tabulate import format_table
+from repro.utils.units import human_bytes
+
+NETWORKS = (
+    ("TinyConv", "tinyconv", 100, 1),
+    ("ResNet-s", "resnet_s", 10, 3),
+    ("ResNet-10", "resnet10", 10, 3),
+    ("ResNet-14", "resnet14", 10, 3),
+    ("MobileNet-v2", "mobilenetv2", 100, 3),
+)
+
+
+def main() -> None:
+    for device in (MC_LARGE, MC_SMALL):
+        rows = []
+        for name, registry_name, classes, channels in NETWORKS:
+            model = create_model(registry_name, num_classes=classes, in_channels=channels, rng=0)
+            input_shape = (channels, 32, 32)
+            cmsis = estimate_cmsis_network(model, input_shape, device, name)
+            pool = estimate_weight_pool_network(
+                model, input_shape, device, BitSerialKernelConfig(pool_size=64), network_name=name
+            )
+            pool_min = estimate_weight_pool_network(
+                model,
+                input_shape,
+                device,
+                BitSerialKernelConfig(pool_size=64, activation_bitwidth=4),
+                network_name=name,
+            )
+            rows.append(
+                [
+                    name,
+                    human_bytes(cmsis.flash_bytes_needed),
+                    "yes" if cmsis.fits_flash else "no",
+                    None if not cmsis.fits_flash else round(cmsis.latency_seconds, 2),
+                    human_bytes(pool.flash_bytes_needed),
+                    "yes" if pool.fits_flash else "no",
+                    None if not pool.fits_flash else round(pool.latency_seconds, 2),
+                    None if not pool_min.fits_flash else round(pool_min.latency_seconds, 2),
+                ]
+            )
+        title = (
+            f"{device.name} ({device.part}): flash {human_bytes(device.flash_bytes)}, "
+            f"SRAM {human_bytes(device.sram_bytes)}, {device.freq_mhz:.0f} MHz"
+        )
+        print(
+            format_table(
+                rows,
+                headers=[
+                    "network",
+                    "int8 flash",
+                    "int8 fits?",
+                    "int8 latency (s)",
+                    "pool flash",
+                    "pool fits?",
+                    "pool latency (s)",
+                    "pool 4-bit latency (s)",
+                ],
+                title=title,
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The offline environment used for the reproduction has no `wheel` package, so
+PEP 660 editable installs (which call ``bdist_wheel``) fail.  Keeping a
+classic ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) perform a legacy editable
+install.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

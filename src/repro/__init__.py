@@ -1,0 +1,25 @@
+"""Bit-serial Weight Pools — MLSys 2022 reproduction.
+
+This package implements the full framework described in "Bit-serial Weight
+Pools: Compression and Arbitrary Precision Execution of Neural Networks on
+Resource Constrained Processors" (Li & Gupta, MLSys 2022):
+
+* :mod:`repro.nn` — a from-scratch NumPy deep-learning substrate used for
+  training, fine-tuning and functional inference.
+* :mod:`repro.datasets` — synthetic stand-ins for CIFAR-10 and Quickdraw-100.
+* :mod:`repro.models` — the paper's model zoo (TinyConv, ResNet-s/10/14,
+  MobileNet-v2) plus scaled-down variants.
+* :mod:`repro.quantization` — uniform quantizers and range calibration.
+* :mod:`repro.core` — the paper's primary contribution: weight-pool
+  compression and the bit-serial lookup-table execution engine.
+* :mod:`repro.mcu` — a Cortex-M3 cycle-cost simulator standing in for the
+  STM32 Nucleo boards used in the paper's runtime evaluation.
+* :mod:`repro.baselines` — CMSIS-NN-style int8 baseline and binarized
+  networks.
+* :mod:`repro.analysis` / :mod:`repro.experiments` — evaluation utilities and
+  one runner per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

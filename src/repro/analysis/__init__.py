@@ -1,0 +1,13 @@
+"""Evaluation utilities: accuracy, BN recalibration, bitwidth search."""
+
+from repro.analysis.accuracy import evaluate_accuracy, accuracy_drop
+from repro.analysis.batchnorm import recalibrate_batchnorm
+from repro.analysis.bitwidth_search import find_min_activation_bitwidth, BitwidthSearchResult
+
+__all__ = [
+    "evaluate_accuracy",
+    "accuracy_drop",
+    "recalibrate_batchnorm",
+    "find_min_activation_bitwidth",
+    "BitwidthSearchResult",
+]

@@ -1,0 +1,30 @@
+"""Accuracy evaluation helpers."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.nn import DataLoader, Module
+from repro.nn.data.dataset import Dataset
+from repro.nn.training.trainer import evaluate_model
+
+
+def evaluate_accuracy(
+    model: Module,
+    data: Union[DataLoader, Dataset],
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy of ``model`` on a dataset or loader (eval mode)."""
+    loader = data if isinstance(data, DataLoader) else DataLoader(data, batch_size=batch_size)
+    return evaluate_model(model, loader)
+
+
+def accuracy_drop(reference: float, value: float) -> float:
+    """Accuracy drop in percentage points (positive = worse than the reference).
+
+    Both arguments are accuracies expressed as fractions in [0, 1].
+    """
+    for name, acc in (("reference", reference), ("value", value)):
+        if not 0.0 <= acc <= 1.0:
+            raise ValueError(f"{name} accuracy must be a fraction in [0, 1], got {acc}")
+    return (reference - value) * 100.0

@@ -1,0 +1,58 @@
+"""Batch-norm statistics recalibration.
+
+Replacing a trained network's weights with their weight-pool reconstruction
+shifts every convolution's output distribution, so the BatchNorm running
+statistics recorded during pretraining no longer match.  Fine-tuning fixes
+this implicitly (training mode refreshes the running statistics); for
+projection-only evaluations (e.g. the Figure 4 comparison, or a quick look at
+a pool before committing to fine-tuning) the statistics must be refreshed
+explicitly.  This is standard practice for any post-training weight
+transformation and does not touch the weights themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import BatchNorm2d, DataLoader, Module
+
+
+def recalibrate_batchnorm(
+    model: Module,
+    loader: DataLoader,
+    num_batches: int = 4,
+    reset: bool = True,
+) -> int:
+    """Refresh BatchNorm running statistics by streaming a few batches.
+
+    Only the running mean/variance buffers are updated; no parameter receives
+    a gradient.  Returns the number of BatchNorm layers refreshed.  The model
+    is left in eval mode.
+    """
+    bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bn_layers:
+        model.eval()
+        return 0
+    if num_batches < 1:
+        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+
+    original_momentum = [bn.momentum for bn in bn_layers]
+    if reset:
+        for bn in bn_layers:
+            bn.set_buffer("running_mean", np.zeros(bn.num_features))
+            bn.set_buffer("running_var", np.ones(bn.num_features))
+
+    model.train()
+    try:
+        for batch_index, (inputs, _) in enumerate(loader):
+            if batch_index >= num_batches:
+                break
+            # Cumulative averaging over the calibration batches.
+            for bn in bn_layers:
+                bn.momentum = 1.0 / (batch_index + 1)
+            model(inputs)
+    finally:
+        for bn, momentum in zip(bn_layers, original_momentum):
+            bn.momentum = momentum
+        model.eval()
+    return len(bn_layers)

@@ -1,0 +1,61 @@
+"""Minimum activation bitwidth search (Table 6's last column).
+
+The paper reports, per network, the minimum activation bitwidth whose accuracy
+drop against the floating-point weight-pool network stays below 1 %.  This
+module walks bitwidths from high to low on a calibrated
+:class:`~repro.core.engine.BitSerialInferenceEngine` and returns the smallest
+bitwidth that still satisfies the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.core.engine import BitSerialInferenceEngine
+from repro.nn import DataLoader
+
+
+@dataclass
+class BitwidthSearchResult:
+    """Outcome of the minimum-bitwidth search."""
+
+    reference_accuracy: float
+    max_drop: float
+    accuracies: Dict[int, float] = field(default_factory=dict)
+    min_bitwidth: Optional[int] = None
+
+    def drop(self, bitwidth: int) -> float:
+        """Accuracy drop (fraction) at a given bitwidth."""
+        return self.reference_accuracy - self.accuracies[bitwidth]
+
+
+def find_min_activation_bitwidth(
+    engine: BitSerialInferenceEngine,
+    loader: DataLoader,
+    reference_accuracy: float,
+    max_drop: float = 0.01,
+    bitwidths: Iterable[int] = range(8, 0, -1),
+) -> BitwidthSearchResult:
+    """Find the smallest activation bitwidth with accuracy drop below ``max_drop``.
+
+    Bitwidths are evaluated from largest to smallest; the search records every
+    evaluated accuracy and stops at the first bitwidth that violates the
+    constraint (accuracy is monotone enough in practice that continuing would
+    only waste work — exactly the protocol behind Table 6).
+    """
+    bitwidths = sorted(set(int(b) for b in bitwidths), reverse=True)
+    if not bitwidths:
+        raise ValueError("bitwidths must be a non-empty iterable")
+    if not 0.0 <= max_drop < 1.0:
+        raise ValueError(f"max_drop must be a fraction in [0, 1), got {max_drop}")
+    result = BitwidthSearchResult(reference_accuracy=reference_accuracy, max_drop=max_drop)
+    for bitwidth in bitwidths:
+        engine.set_activation_bitwidth(bitwidth)
+        accuracy = engine.evaluate(loader)
+        result.accuracies[bitwidth] = accuracy
+        if reference_accuracy - accuracy <= max_drop:
+            result.min_bitwidth = bitwidth
+        else:
+            break
+    return result

@@ -1,0 +1,29 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.cmsis` — a CMSIS-NN-style 8-bit (q7) inference
+  pipeline: per-tensor symmetric weight quantization plus per-layer activation
+  quantization.  Its runtime cost model lives in :mod:`repro.mcu.kernels.cmsis`.
+* :mod:`repro.baselines.bnn` — binarized networks (weights and activations
+  constrained to ±1, trained with a straight-through estimator), used for the
+  §5.5 accuracy comparison.
+"""
+
+from repro.baselines.cmsis import Int8Conv2d, Int8Linear, quantize_model_int8
+from repro.baselines.bnn import (
+    BinaryActivation,
+    BinaryConv2d,
+    BinaryLinear,
+    binarize_model,
+    binary_network_storage_bits,
+)
+
+__all__ = [
+    "Int8Conv2d",
+    "Int8Linear",
+    "quantize_model_int8",
+    "BinaryActivation",
+    "BinaryConv2d",
+    "BinaryLinear",
+    "binarize_model",
+    "binary_network_storage_bits",
+]

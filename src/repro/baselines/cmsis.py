@@ -1,0 +1,139 @@
+"""CMSIS-NN-style int8 (q7) inference simulation.
+
+The paper's runtime baseline is ARM's CMSIS-NN library executing 8-bit
+networks.  For accuracy purposes this module provides the equivalent
+*functional* pipeline: each convolution / fully-connected layer quantizes its
+weights per-tensor (symmetric, 8-bit) and its input activations per-layer
+(affine, 8-bit, calibrated on sample data), then computes in the quantized
+domain.  The corresponding cycle-cost model lives in
+:mod:`repro.mcu.kernels.cmsis`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tracing import trace_model
+from repro.nn import Conv2d, DataLoader, Linear, Module
+from repro.nn import functional as F
+from repro.quantization.activation import ActivationQuantizer
+from repro.quantization.calibration import CalibrationMethod
+from repro.quantization.quantizer import fake_quantize
+from repro.quantization.weights import quantize_weight_tensor
+from repro.quantization.quantizer import dequantize
+
+
+class Int8Conv2d(Conv2d):
+    """Convolution executing with fake-quantized int8 weights and activations."""
+
+    def __init__(self, conv: Conv2d, activation_bitwidth: int = 8,
+                 calibration: CalibrationMethod = CalibrationMethod.MINMAX):
+        super().__init__(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            groups=conv.groups,
+            bias=conv.bias is not None,
+        )
+        self.weight.copy_(conv.weight.data)
+        if conv.bias is not None:
+            self.bias.copy_(conv.bias.data)
+        q_weight, params = quantize_weight_tensor(conv.weight.data, bitwidth=8)
+        self._quantized_weight = dequantize(q_weight, params)
+        self.input_quantizer = ActivationQuantizer(
+            bitwidth=activation_bitwidth, method=calibration
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.last_input_shape = x.shape
+        x_q = self.input_quantizer(x)
+        bias = self.bias.data if self.bias is not None else None
+        out, _ = F.conv2d_forward(
+            x_q, self._quantized_weight, bias, self.stride, self.padding, self.groups
+        )
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("the int8 baseline is an inference-only pipeline")
+
+
+class Int8Linear(Linear):
+    """Fully-connected layer executing with fake-quantized int8 weights/activations."""
+
+    def __init__(self, linear: Linear, activation_bitwidth: int = 8,
+                 calibration: CalibrationMethod = CalibrationMethod.MINMAX):
+        super().__init__(linear.in_features, linear.out_features, bias=linear.bias is not None)
+        self.weight.copy_(linear.weight.data)
+        if linear.bias is not None:
+            self.bias.copy_(linear.bias.data)
+        q_weight, params = quantize_weight_tensor(linear.weight.data, bitwidth=8)
+        self._quantized_weight = dequantize(q_weight, params)
+        self.input_quantizer = ActivationQuantizer(
+            bitwidth=activation_bitwidth, method=calibration
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.last_input_shape = x.shape
+        x_q = self.input_quantizer(x)
+        out = x_q @ self._quantized_weight.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("the int8 baseline is an inference-only pipeline")
+
+
+def quantize_model_int8(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    calibration_loader: DataLoader,
+    calibration_batches: int = 4,
+    activation_bitwidth: int = 8,
+    calibration: CalibrationMethod = CalibrationMethod.MINMAX,
+    inplace: bool = False,
+) -> Module:
+    """Convert a float model into the CMSIS-style int8 simulation.
+
+    Every convolution and fully-connected layer is replaced by its int8
+    counterpart; activation ranges are then calibrated on a few batches and
+    frozen.  Returns the quantized model (a deep copy unless ``inplace``).
+    """
+    if not inplace:
+        model = copy.deepcopy(model)
+    traces = trace_model(model, input_shape)
+    for trace in traces:
+        module = trace.module
+        if isinstance(module, (Int8Conv2d, Int8Linear)):
+            continue
+        if trace.kind == "conv" and isinstance(module, Conv2d):
+            replacement: Module = Int8Conv2d(module, activation_bitwidth, calibration)
+        elif trace.kind == "linear" and isinstance(module, Linear):
+            replacement = Int8Linear(module, activation_bitwidth, calibration)
+        else:  # pragma: no cover - defensive
+            continue
+        _replace_child(model, trace.name, replacement)
+
+    # Calibration pass: observers record ranges, layers compute in float.
+    model.eval()
+    for batch_index, (inputs, _) in enumerate(calibration_loader):
+        if batch_index >= calibration_batches:
+            break
+        model(inputs)
+    for module in model.modules():
+        if isinstance(module, (Int8Conv2d, Int8Linear)):
+            module.input_quantizer.freeze()
+    return model
+
+
+def _replace_child(model: Module, qualified_name: str, new_module: Module) -> None:
+    parts = qualified_name.split(".")
+    parent = model
+    for part in parts[:-1]:
+        parent = parent._modules[part]
+    setattr(parent, parts[-1], new_module)

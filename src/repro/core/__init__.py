@@ -1,0 +1,97 @@
+"""Weight pools and bit-serial lookup-table execution (the paper's contribution).
+
+Public API overview
+-------------------
+Compression (paper §3):
+
+* :func:`repro.core.compress.compress_model` — replace eligible layers of a
+  trained model with weight-pool layers sharing one :class:`WeightPool`.
+* :class:`repro.core.weight_pool.WeightPool` — the shared pool of 1×N weight
+  vectors, built by :func:`repro.core.weight_pool.build_weight_pool`.
+* :func:`repro.core.finetune.finetune_compressed_model` — index-reassignment
+  fine-tuning (forward reassigns, backward updates latent weights).
+
+Bit-serial LUT execution (paper §3.1–3.3):
+
+* :func:`repro.core.lut.build_lut` — dot-product lookup table between every
+  1-bit activation vector and every pool vector.
+* :func:`repro.core.bitserial.bitserial_conv2d` — functional bit-serial
+  convolution driven entirely by LUT lookups.
+* :class:`repro.core.engine.BitSerialInferenceEngine` — calibrates activation
+  ranges and runs whole networks at arbitrary activation/LUT bitwidths.
+
+Storage accounting (paper Eq. 3–4, Table 3):
+
+* :mod:`repro.core.storage`.
+"""
+
+from repro.core.clustering import KMeansResult, kmeans
+from repro.core.grouping import (
+    extract_xy_vectors,
+    extract_z_vectors,
+    reconstruct_from_xy_indices,
+    reconstruct_from_z_indices,
+    pad_channels_to_group,
+)
+from repro.core.weight_pool import WeightPool, build_weight_pool
+from repro.core.policy import CompressionPolicy
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.compress import CompressionResult, compress_model, apply_xy_pool_to_model
+from repro.core.finetune import finetune_compressed_model, freeze_assignments
+from repro.core.lut import LookupTable, build_lut
+from repro.core.bitserial import (
+    bit_decompose,
+    bitserial_conv2d,
+    bitserial_dot,
+    bitserial_linear,
+)
+from repro.core.engine import BitSerialInferenceEngine, EngineConfig
+from repro.core.storage import (
+    StorageReport,
+    analyze_model_storage,
+    lut_storage_bits,
+    theoretical_compression_ratio,
+)
+from repro.core.export import (
+    DeploymentPackage,
+    build_deployment_package,
+    emit_c_header,
+)
+from repro.core.tracing import LayerTrace, trace_model
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "extract_z_vectors",
+    "extract_xy_vectors",
+    "reconstruct_from_z_indices",
+    "reconstruct_from_xy_indices",
+    "pad_channels_to_group",
+    "WeightPool",
+    "build_weight_pool",
+    "CompressionPolicy",
+    "WeightPoolConv2d",
+    "WeightPoolLinear",
+    "compress_model",
+    "apply_xy_pool_to_model",
+    "CompressionResult",
+    "finetune_compressed_model",
+    "freeze_assignments",
+    "LookupTable",
+    "build_lut",
+    "bit_decompose",
+    "bitserial_dot",
+    "bitserial_conv2d",
+    "bitserial_linear",
+    "BitSerialInferenceEngine",
+    "EngineConfig",
+    "StorageReport",
+    "analyze_model_storage",
+    "lut_storage_bits",
+    "theoretical_compression_ratio",
+    "DeploymentPackage",
+    "build_deployment_package",
+    "emit_c_header",
+    "LayerTrace",
+    "trace_model",
+]

@@ -1,0 +1,280 @@
+"""Bit-serial LUT execution of weight-pool layers (functional, exact simulation).
+
+These functions compute convolutions and matrix products exactly the way the
+paper's microcontroller kernel does (Algorithm 1): activations are quantized
+to unsigned integers, decomposed bit-by-bit, and every 8-element partial dot
+product is obtained by *looking up* the dot product of a 1-bit activation
+vector with a pool vector, then shift-accumulated over bit positions (Eq. 1–2,
+Figure 5).
+
+With a full-precision LUT the result is bit-exact with an ordinary convolution
+using the reconstructed pool weights on the integer activations — the central
+correctness invariant of the implementation (verified by property tests).
+With a quantized LUT, every table entry carries its quantization error, which
+is what Table 5 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.lut import LookupTable
+from repro.nn.functional import conv_output_size, im2col
+
+
+# ---------------------------------------------------------------------------
+# Bit decomposition
+# ---------------------------------------------------------------------------
+def bit_decompose(values: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Decompose unsigned integers into bits along a new trailing axis (LSB first).
+
+    Mirrors Eq. 2: ``a = sum_j 2^j a[j]``.  Output shape is
+    ``values.shape + (bitwidth,)`` with entries in {0, 1}.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if bitwidth < 1:
+        raise ValueError(f"bitwidth must be >= 1, got {bitwidth}")
+    if values.size and values.min() < 0:
+        raise ValueError("bit_decompose expects non-negative (unsigned) integers")
+    if values.size and values.max() >= (1 << bitwidth):
+        raise ValueError(
+            f"activation value {int(values.max())} does not fit in {bitwidth} bits"
+        )
+    return ((values[..., None] >> np.arange(bitwidth)) & 1).astype(np.int64)
+
+
+def bit_vector_values(groups: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Encode each group of activations into per-bit-position LUT addresses.
+
+    ``groups`` has shape ``(..., g)`` of unsigned integers.  The result has
+    shape ``(..., bitwidth)``; entry ``[..., j]`` is the integer whose bit ``i``
+    is bit ``j`` of activation ``i`` in the group — i.e. the address of the
+    1-bit activation vector for bit position ``j`` (a row of the decomposed
+    matrix in Figure 5b).
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    if groups.size and groups.min() < 0:
+        raise ValueError("bit_vector_values expects non-negative (unsigned) integers")
+    if groups.size and groups.max() >= (1 << bitwidth):
+        raise ValueError(
+            f"activation value {int(groups.max())} does not fit in {bitwidth} bits"
+        )
+    g = groups.shape[-1]
+    position_weights = (1 << np.arange(g)).astype(np.int64)  # position within the group
+    out = np.empty(groups.shape[:-1] + (bitwidth,), dtype=np.int64)
+    # One pass per bit position keeps the peak memory at the size of the output
+    # rather than materialising the full (..., g, bitwidth) bit tensor.
+    for j in range(bitwidth):
+        out[..., j] = (((groups >> j) & 1) * position_weights).sum(axis=-1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Single dot product (reference-style, used in tests and small kernels)
+# ---------------------------------------------------------------------------
+def bitserial_dot(
+    q_activations: np.ndarray,
+    pool_index: int,
+    lut: LookupTable,
+    act_bitwidth: int,
+    active_bits: Optional[int] = None,
+) -> float:
+    """Bit-serial dot product of one activation group with one pool vector.
+
+    ``active_bits`` truncates execution after the most significant
+    ``active_bits`` bit positions — the paper's runtime/accuracy knob
+    ("reducing activation bitwidth now just amounts to truncating the temporal
+    bit-serial execution earlier").
+    """
+    q_activations = np.asarray(q_activations, dtype=np.int64)
+    if q_activations.ndim != 1 or q_activations.shape[0] != lut.group_size:
+        raise ValueError(
+            f"expected a length-{lut.group_size} activation group, got {q_activations.shape}"
+        )
+    addresses = bit_vector_values(q_activations[None, :], act_bitwidth)[0]
+    active = act_bitwidth if active_bits is None else active_bits
+    if not 1 <= active <= act_bitwidth:
+        raise ValueError(f"active_bits must be in [1, {act_bitwidth}], got {active}")
+    total = 0.0
+    # MSB first, truncating the least significant bits when active < bitwidth.
+    for j in range(act_bitwidth - 1, act_bitwidth - 1 - active, -1):
+        total += float(lut.lookup(addresses[j], pool_index)) * (1 << j)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+def _grouped_addresses(
+    q_x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    group_size: int,
+    act_bitwidth: int,
+    pad_value: int,
+) -> np.ndarray:
+    """im2col + channel grouping + bit decomposition.
+
+    Returns LUT addresses of shape ``(N, C/g, KH, KW, P, M)`` where ``P`` is the
+    number of output positions and ``M`` the activation bitwidth.
+    """
+    n, c, h, w = q_x.shape
+    kh, kw = kernel
+    if c % group_size:
+        raise ValueError(
+            f"channel count {c} must be a multiple of the group size {group_size} "
+            "(pad activation channels with the zero-point first)"
+        )
+    if padding:
+        q_x = np.pad(
+            q_x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+    cols = im2col(q_x, kernel, stride, padding=0)  # (N, C*KH*KW, P)
+    p = cols.shape[-1]
+    cols = cols.reshape(n, c, kh, kw, p)
+    groups = c // group_size
+    cols = cols.reshape(n, groups, group_size, kh, kw, p)
+    # Move the group dimension last for bit_vector_values.
+    cols = cols.transpose(0, 1, 3, 4, 5, 2)  # (N, groups, KH, KW, P, g)
+    return bit_vector_values(cols, act_bitwidth)  # (N, groups, KH, KW, P, M)
+
+
+def bitserial_conv2d(
+    q_x: np.ndarray,
+    indices: np.ndarray,
+    lut: LookupTable,
+    stride: int = 1,
+    padding: int = 0,
+    act_bitwidth: int = 8,
+    active_bits: Optional[int] = None,
+    pad_value: int = 0,
+) -> np.ndarray:
+    """Bit-serial LUT convolution over unsigned integer activations.
+
+    Parameters
+    ----------
+    q_x:
+        ``(N, C, H, W)`` unsigned integer activations (quantized levels).
+    indices:
+        ``(F, C/g, KH, KW)`` pool indices of the weight-pool layer.
+    lut:
+        Shared lookup table (full precision or quantized).
+    act_bitwidth:
+        Bitwidth of the quantized activations (number of bit-serial iterations).
+    active_bits:
+        If given, only the most significant ``active_bits`` positions are
+        processed (early termination).
+    pad_value:
+        Value used for spatial zero padding — pass the activation zero point so
+        padded positions contribute zero in the dequantized domain.
+
+    Returns
+    -------
+    ``(N, F, OH, OW)`` array containing ``sum_taps q * w`` in the
+    "integer activation × real pool weight" domain.  The caller applies the
+    activation scale / zero-point correction and bias.
+    """
+    q_x = np.asarray(q_x, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if q_x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) activations, got {q_x.shape}")
+    if indices.ndim != 4:
+        raise ValueError(f"expected (F, C/g, KH, KW) indices, got {indices.shape}")
+    f, groups, kh, kw = indices.shape
+    n, c, h, w = q_x.shape
+    if groups * lut.group_size != c:
+        raise ValueError(
+            f"indices expect {groups * lut.group_size} channels, activations have {c}"
+        )
+    active = act_bitwidth if active_bits is None else active_bits
+    if not 1 <= active <= act_bitwidth:
+        raise ValueError(f"active_bits must be in [1, {act_bitwidth}], got {active}")
+
+    addresses = _grouped_addresses(
+        q_x, (kh, kw), stride, padding, lut.group_size, act_bitwidth, pad_value
+    )  # (N, groups, KH, KW, P, M)
+    p = addresses.shape[4]
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    # Bit positions processed, most significant first.
+    bit_positions = list(range(act_bitwidth - 1, act_bitwidth - 1 - active, -1))
+    bit_weights = [float(1 << j) for j in bit_positions]
+
+    out = np.zeros((n, p, f), dtype=np.float64)
+    table = lut.values  # (2^g, S)
+    pool_size = table.shape[1]
+    # Loop over group positions (channel group × kernel offset); every inner
+    # operation is a vectorised gather/accumulate over batch and position.
+    # Mirroring the MCU kernel's own optimisation (§4.3), the per-pool-vector
+    # partials are only materialised when the layer has more filters than pool
+    # entries; otherwise the lookups go directly through the filter indices.
+    for cg in range(groups):
+        for i in range(kh):
+            for j in range(kw):
+                addr = addresses[:, cg, i, j]  # (N, P, M), LSB-first bit axis
+                filter_indices = indices[:, cg, i, j]  # (F,)
+                if f <= pool_size:
+                    # Direct lookups: gather only the columns this layer uses.
+                    sub_table = table[:, filter_indices]  # (2^g, F)
+                    partial = np.zeros((n, p, f), dtype=np.float64)
+                    for bit, weight in zip(bit_positions, bit_weights):
+                        partial += weight * sub_table[addr[..., bit]]
+                    out += partial
+                else:
+                    # Precomputation: partials for every pool vector, then gather.
+                    partial = np.zeros((n, p, pool_size), dtype=np.float64)
+                    for bit, weight in zip(bit_positions, bit_weights):
+                        partial += weight * table[addr[..., bit]]
+                    out += partial[:, :, filter_indices]
+
+    return out.transpose(0, 2, 1).reshape(n, f, oh, ow)
+
+
+def bitserial_linear(
+    q_x: np.ndarray,
+    indices: np.ndarray,
+    lut: LookupTable,
+    act_bitwidth: int = 8,
+    active_bits: Optional[int] = None,
+) -> np.ndarray:
+    """Bit-serial LUT matrix product for fully-connected weight-pool layers.
+
+    ``q_x`` is ``(N, in_features)`` unsigned integers; ``indices`` is
+    ``(out_features, in_features / g)``.  Returns ``sum q * w`` of shape
+    ``(N, out_features)``.
+    """
+    q_x = np.asarray(q_x, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if q_x.ndim != 2 or indices.ndim != 2:
+        raise ValueError("bitserial_linear expects 2D activations and 2D indices")
+    n, in_features = q_x.shape
+    out_features, groups = indices.shape
+    if groups * lut.group_size != in_features:
+        raise ValueError(
+            f"indices expect {groups * lut.group_size} inputs, activations have {in_features}"
+        )
+    active = act_bitwidth if active_bits is None else active_bits
+    if not 1 <= active <= act_bitwidth:
+        raise ValueError(f"active_bits must be in [1, {act_bitwidth}], got {active}")
+
+    grouped = q_x.reshape(n, groups, lut.group_size)
+    addresses = bit_vector_values(grouped, act_bitwidth)  # (N, groups, M)
+    bit_positions = list(range(act_bitwidth - 1, act_bitwidth - 1 - active, -1))
+    bit_weights = [float(1 << j) for j in bit_positions]
+
+    out = np.zeros((n, out_features), dtype=np.float64)
+    table = lut.values
+    for cg in range(groups):
+        addr = addresses[:, cg]  # (N, M), LSB-first bit axis
+        partial = np.zeros((n, table.shape[1]), dtype=np.float64)
+        for bit, weight in zip(bit_positions, bit_weights):
+            partial += weight * table[addr[:, bit]]
+        out += partial[:, indices[:, cg]]
+    return out

@@ -1,0 +1,141 @@
+"""K-means clustering with cosine or Euclidean distance.
+
+The paper clusters weight vectors with K-means using a *cosine* distance
+metric "to avoid scaling dependence" (§3).  With the cosine metric, vectors
+are assigned to the centroid with the highest cosine similarity; centroids are
+updated as the mean of their assigned (un-normalised) member vectors so that
+pool entries keep a meaningful magnitude — they directly become the network's
+weights (z-dimension pools use no scaling coefficients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class KMeansResult:
+    """Clustering output: centroids, assignments, and the final inertia."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iter: int
+    metric: str
+
+
+def _normalize_rows(x: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+def _cosine_distance_matrix(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise cosine distances ``1 - cos(x_i, c_j)`` (clipped at 0 for float safety)."""
+    return np.maximum(1.0 - _normalize_rows(x) @ _normalize_rows(centroids).T, 0.0)
+
+
+def _euclidean_distance_matrix(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances."""
+    x_sq = (x**2).sum(axis=1, keepdims=True)
+    c_sq = (centroids**2).sum(axis=1)
+    return np.maximum(x_sq + c_sq - 2.0 * x @ centroids.T, 0.0)
+
+
+def _distance_matrix(x: np.ndarray, centroids: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "cosine":
+        return _cosine_distance_matrix(x, centroids)
+    if metric == "euclidean":
+        return _euclidean_distance_matrix(x, centroids)
+    raise ValueError(f"unknown metric '{metric}' (expected 'cosine' or 'euclidean')")
+
+
+def _kmeans_plusplus_init(
+    x: np.ndarray, k: int, metric: str, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding using the chosen metric."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = x[first]
+    closest = np.maximum(_distance_matrix(x, centroids[:1], metric)[:, 0], 0.0)
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with existing centroids; fall back to random picks.
+            centroids[i] = x[int(rng.integers(n))]
+            continue
+        probabilities = closest / total
+        probabilities = probabilities / probabilities.sum()
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[i] = x[choice]
+        new_dist = np.maximum(_distance_matrix(x, centroids[i : i + 1], metric)[:, 0], 0.0)
+        closest = np.minimum(closest, new_dist)
+    return centroids
+
+
+def kmeans(
+    vectors: np.ndarray,
+    num_clusters: int,
+    metric: str = "cosine",
+    max_iter: int = 50,
+    tol: float = 1e-6,
+    seed: SeedLike = 0,
+) -> KMeansResult:
+    """Cluster ``vectors`` (shape ``(N, D)``) into ``num_clusters`` groups.
+
+    Empty clusters are re-seeded with the points farthest from their assigned
+    centroid so the requested pool size is always honoured.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected (N, D) vectors, got shape {vectors.shape}")
+    n = vectors.shape[0]
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if n < num_clusters:
+        raise ValueError(
+            f"cannot form {num_clusters} clusters from {n} vectors; "
+            "reduce the pool size or provide more weight vectors"
+        )
+    rng = new_rng(seed)
+    centroids = _kmeans_plusplus_init(vectors, num_clusters, metric, rng)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        distances = _distance_matrix(vectors, centroids, metric)
+        new_assignments = distances.argmin(axis=1)
+        point_distances = distances[np.arange(n), new_assignments]
+
+        new_centroids = centroids.copy()
+        for cluster in range(num_clusters):
+            members = vectors[new_assignments == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster with the worst-fit point.
+                worst = int(point_distances.argmax())
+                new_centroids[cluster] = vectors[worst]
+                point_distances[worst] = 0.0
+
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        converged = np.array_equal(new_assignments, assignments) or shift < tol
+        assignments = new_assignments
+        if converged and n_iter > 1:
+            break
+
+    distances = _distance_matrix(vectors, centroids, metric)
+    assignments = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), assignments].sum())
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=inertia,
+        n_iter=n_iter,
+        metric=metric,
+    )

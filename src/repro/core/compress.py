@@ -1,0 +1,208 @@
+"""Model compression pipelines: z-dimension weight pools and the xy baseline."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.clustering import kmeans
+from repro.core.grouping import (
+    extract_xy_vectors,
+    least_squares_coefficients,
+    reconstruct_from_xy_indices,
+)
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.policy import CompressionPolicy
+from repro.core.tracing import LayerTrace, trace_model
+from repro.core.weight_pool import WeightPool, build_weight_pool
+from repro.nn import Conv2d, Linear, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of :func:`compress_model`."""
+
+    model: Module
+    pool: WeightPool
+    policy: CompressionPolicy
+    compressed_layers: List[str] = field(default_factory=list)
+    skipped_layers: List[str] = field(default_factory=list)
+
+    @property
+    def num_compressed_layers(self) -> int:
+        return len(self.compressed_layers)
+
+    def weight_pool_modules(self) -> Dict[str, Module]:
+        """Name → weight-pool layer mapping for the compressed model."""
+        return {
+            name: module
+            for name, module in self.model.named_modules()
+            if isinstance(module, (WeightPoolConv2d, WeightPoolLinear))
+        }
+
+
+def _replace_child(model: Module, qualified_name: str, new_module: Module) -> None:
+    """Replace the module at ``qualified_name`` (dot-separated) with ``new_module``."""
+    parts = qualified_name.split(".")
+    parent = model
+    for part in parts[:-1]:
+        parent = parent._modules[part]
+    setattr(parent, parts[-1], new_module)
+
+
+def compress_model(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    pool: Optional[WeightPool] = None,
+    pool_size: int = 64,
+    policy: Optional[CompressionPolicy] = None,
+    metric: str = "cosine",
+    seed: SeedLike = 0,
+    inplace: bool = False,
+) -> CompressionResult:
+    """Convert a pretrained model into a weight-pool model.
+
+    Follows the paper's flow (Figure 2): build the shared pool by clustering
+    the pretrained z-dimension weight vectors (unless an existing ``pool`` is
+    supplied), then replace every policy-eligible convolution / linear layer
+    with a weight-pool layer whose indices point into that pool.
+
+    The returned model still holds the original weights as latent fine-tuning
+    state; its forward pass uses the reconstructed (pool) weights.
+    """
+    policy = policy or CompressionPolicy()
+    if not inplace:
+        model = copy.deepcopy(model)
+    if pool is None:
+        pool = build_weight_pool(
+            model,
+            input_shape,
+            pool_size=pool_size,
+            policy=policy,
+            metric=metric,
+            seed=seed,
+        )
+    elif pool.group_size != policy.group_size:
+        raise ValueError(
+            f"pool group size {pool.group_size} does not match policy group size "
+            f"{policy.group_size}"
+        )
+
+    traces = trace_model(model, input_shape)
+    compressed, skipped = [], []
+    for trace in traces:
+        module = trace.module
+        if isinstance(module, (WeightPoolConv2d, WeightPoolLinear)):
+            # Already compressed (idempotent compression).
+            compressed.append(trace.name)
+            continue
+        if not policy.eligible(trace):
+            skipped.append(trace.name)
+            continue
+        if isinstance(module, Conv2d) and trace.kind == "conv":
+            replacement = WeightPoolConv2d.from_conv(
+                module, pool, pad_channels=policy.pad_channels
+            )
+        elif isinstance(module, Linear):
+            replacement = WeightPoolLinear.from_linear(module, pool)
+        else:  # pragma: no cover - defensive
+            skipped.append(trace.name)
+            continue
+        _replace_child(model, trace.name, replacement)
+        compressed.append(trace.name)
+
+    return CompressionResult(
+        model=model,
+        pool=pool,
+        policy=policy,
+        compressed_layers=compressed,
+        skipped_layers=skipped,
+    )
+
+
+@dataclass
+class XYCompressionResult:
+    """Outcome of :func:`apply_xy_pool_to_model` (the Figure 4 baseline)."""
+
+    model: Module
+    pool_vectors: np.ndarray
+    with_coefficients: bool
+    compressed_layers: List[str] = field(default_factory=list)
+
+
+def apply_xy_pool_to_model(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    pool_size: int = 64,
+    with_coefficients: bool = False,
+    kernel_size: int = 3,
+    policy: Optional[CompressionPolicy] = None,
+    metric: str = "cosine",
+    seed: SeedLike = 0,
+    inplace: bool = False,
+) -> XYCompressionResult:
+    """Project conv weights onto a shared pool of 2D kernels (Son et al. style).
+
+    This is the xy-dimension baseline of Figure 4: every ``kernel_size`` ×
+    ``kernel_size`` kernel is replaced by its nearest pool kernel, optionally
+    scaled by a per-kernel least-squares coefficient.  Weights are modified in
+    place (projection), without introducing new layer types — the baseline is
+    only used for accuracy comparison.
+    """
+    policy = policy or CompressionPolicy()
+    if not inplace:
+        model = copy.deepcopy(model)
+    traces = trace_model(model, input_shape)
+    eligible = [
+        t
+        for t in traces
+        if t.kind == "conv"
+        and t.kernel_size == kernel_size
+        and not (t.is_first and not policy.compress_first_layer)
+        and not t.is_depthwise
+    ]
+    if not eligible:
+        raise ValueError(
+            f"no {kernel_size}x{kernel_size} convolution layers eligible for xy pooling"
+        )
+
+    all_kernels = np.concatenate(
+        [extract_xy_vectors(t.module.weight.data) for t in eligible], axis=0
+    )
+    rng = new_rng(seed)
+    max_cluster_vectors = 20000
+    if len(all_kernels) > max_cluster_vectors:
+        subset = rng.choice(len(all_kernels), size=max_cluster_vectors, replace=False)
+        cluster_input = all_kernels[subset]
+    else:
+        cluster_input = all_kernels
+    result = kmeans(cluster_input, pool_size, metric=metric, seed=rng)
+    pool_vectors = result.centroids
+
+    pool = WeightPool(vectors=pool_vectors, metric=metric)
+    compressed = []
+    for trace in eligible:
+        weight = trace.module.weight.data
+        kernels = extract_xy_vectors(weight)
+        indices = pool.assign(kernels)
+        coeffs = (
+            least_squares_coefficients(kernels, pool_vectors, indices)
+            if with_coefficients
+            else None
+        )
+        new_weight = reconstruct_from_xy_indices(
+            indices, pool_vectors, weight.shape, coefficients=coeffs
+        )
+        trace.module.weight.copy_(new_weight)
+        compressed.append(trace.name)
+
+    return XYCompressionResult(
+        model=model,
+        pool_vectors=pool_vectors,
+        with_coefficients=with_coefficients,
+        compressed_layers=compressed,
+    )

@@ -1,0 +1,265 @@
+"""Whole-network bit-serial inference engine.
+
+The engine reproduces what the paper's deployment flow does on the host and
+the microcontroller:
+
+1. **Calibration** — run a few batches through the compressed model in float
+   mode while observing the input of every weight-pool layer.
+2. **Freezing** — derive per-layer activation quantization parameters at the
+   requested activation bitwidth (iterative range search by default, §5.3.3).
+3. **Bit-serial execution** — install a runtime on every weight-pool layer
+   that quantizes its input, runs the LUT-based bit-serial kernel
+   (:mod:`repro.core.bitserial`), corrects for the activation zero point using
+   the LUT's all-ones entry, and rescales back to the real domain.  The rest
+   of the network (batch norm, activations, pooling, classifier) runs in
+   float, matching the paper's PyTorch accuracy simulation.
+
+The engine supports three execution modes:
+
+* ``use_lut=True`` (default) — full bit-serial LUT simulation (optionally with
+  a quantized LUT, Table 5).
+* ``use_lut=False`` — "No-LUT" mode: activations are fake-quantized and the
+  reconstructed pool weights are used directly (the Table 5 reference column).
+* ``float`` (no engine installed) — plain weight-pool accuracy (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.bitserial import bitserial_conv2d, bitserial_linear
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.lut import LookupTable, build_lut
+from repro.core.weight_pool import WeightPool
+from repro.nn import DataLoader, Module
+from repro.nn.training.trainer import evaluate_model
+from repro.quantization.activation import ActivationQuantizer
+from repro.quantization.calibration import CalibrationMethod
+from repro.quantization.quantizer import QuantParams, fake_quantize, quantize
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of the bit-serial inference engine."""
+
+    activation_bitwidth: int = 8
+    lut_bitwidth: Optional[int] = 8
+    use_lut: bool = True
+    calibration_method: CalibrationMethod = CalibrationMethod.ITERATIVE
+    calibration_batches: int = 4
+    active_bits: Optional[int] = None  # early termination (MSB-first truncation)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.activation_bitwidth <= 8:
+            raise ValueError(
+                f"activation_bitwidth must be in [1, 8], got {self.activation_bitwidth}"
+            )
+        if self.lut_bitwidth is not None and not 2 <= self.lut_bitwidth <= 16:
+            raise ValueError(f"lut_bitwidth must be in [2, 16], got {self.lut_bitwidth}")
+        if self.active_bits is not None and not 1 <= self.active_bits <= self.activation_bitwidth:
+            raise ValueError("active_bits must be in [1, activation_bitwidth]")
+
+
+class _CalibrationRuntime:
+    """Runtime that records layer inputs and falls back to the float forward."""
+
+    def __init__(self, quantizers: Dict[int, ActivationQuantizer]):
+        self.quantizers = quantizers
+
+    def run(self, layer, x: np.ndarray) -> np.ndarray:
+        self.quantizers[id(layer)](x)  # observe
+        return _float_forward(layer, x)
+
+
+class _BitSerialRuntime:
+    """Runtime that executes a weight-pool layer with the bit-serial LUT kernel."""
+
+    def __init__(self, engine: "BitSerialInferenceEngine"):
+        self.engine = engine
+
+    def run(self, layer, x: np.ndarray) -> np.ndarray:
+        config = self.engine.config
+        params = self.engine.activation_params[id(layer)]
+        lut = self.engine.lut
+
+        if not config.use_lut:
+            # "No-LUT" reference: fake-quantized activations, float pool weights.
+            return _float_forward(layer, fake_quantize(x, params))
+
+        q_x = quantize(x, params)
+        zero_point = params.zero_point
+        if isinstance(layer, WeightPoolConv2d):
+            q_x = _pad_channels(q_x, layer, zero_point)
+            raw = bitserial_conv2d(
+                q_x,
+                layer.indices,
+                lut,
+                stride=layer.stride,
+                padding=layer.padding,
+                act_bitwidth=config.activation_bitwidth,
+                active_bits=config.active_bits,
+                pad_value=zero_point,
+            )
+            taps_per_filter = layer.indices.shape[1] * layer.indices.shape[2] * layer.indices.shape[3]
+            # Zero-point correction: dot(a, w) = scale * (dot(q, w) - z * sum(w)).
+            w_sums = lut.pool_vector_sums()[layer.indices].reshape(layer.indices.shape[0], -1).sum(axis=1)
+            out = params.scale * (raw - zero_point * w_sums.reshape(1, -1, 1, 1))
+            if layer.bias is not None:
+                out = out + layer.bias.data.reshape(1, -1, 1, 1)
+            del taps_per_filter
+            return out
+        if isinstance(layer, WeightPoolLinear):
+            raw = bitserial_linear(
+                q_x,
+                layer.indices,
+                lut,
+                act_bitwidth=config.activation_bitwidth,
+                active_bits=config.active_bits,
+            )
+            w_sums = lut.pool_vector_sums()[layer.indices].sum(axis=1)
+            out = params.scale * (raw - zero_point * w_sums.reshape(1, -1))
+            if layer.bias is not None:
+                out = out + layer.bias.data
+            return out
+        raise TypeError(f"unsupported weight-pool layer type {type(layer).__name__}")
+
+
+def _float_forward(layer, x: np.ndarray) -> np.ndarray:
+    """Run the layer's ordinary pool-weight forward without re-entering the runtime."""
+    runtime = layer.runtime
+    layer.runtime = None
+    try:
+        return layer.forward(x)
+    finally:
+        layer.runtime = runtime
+
+
+def _pad_channels(q_x: np.ndarray, layer: WeightPoolConv2d, zero_point: int) -> np.ndarray:
+    """Pad activation channels with the zero point when the layer pads its weights."""
+    group_size = layer.pool.group_size
+    channels = q_x.shape[1]
+    expected = layer.indices.shape[1] * group_size
+    if channels == expected:
+        return q_x
+    pad = expected - channels
+    if pad < 0:
+        raise ValueError("activation has more channels than the layer expects")
+    return np.pad(
+        q_x,
+        ((0, 0), (0, pad), (0, 0), (0, 0)),
+        mode="constant",
+        constant_values=zero_point,
+    )
+
+
+class BitSerialInferenceEngine:
+    """Calibrates and executes a compressed model with the bit-serial LUT kernel."""
+
+    def __init__(
+        self,
+        model: Module,
+        pool: WeightPool,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.model = model
+        self.pool = pool
+        self.config = config or EngineConfig()
+        self.layers = [
+            module
+            for module in model.modules()
+            if isinstance(module, (WeightPoolConv2d, WeightPoolLinear))
+        ]
+        if not self.layers:
+            raise ValueError("model contains no weight-pool layers; compress it first")
+        self.quantizers: Dict[int, ActivationQuantizer] = {}
+        self.activation_params: Dict[int, QuantParams] = {}
+        self.lut: Optional[LookupTable] = None
+        self._calibrated = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def calibrate(self, loader: DataLoader, batches: Optional[int] = None) -> None:
+        """Observe weight-pool layer inputs over a few batches of data."""
+        batches = batches if batches is not None else self.config.calibration_batches
+        self.quantizers = {
+            id(layer): ActivationQuantizer(
+                bitwidth=self.config.activation_bitwidth,
+                method=self.config.calibration_method,
+            )
+            for layer in self.layers
+        }
+        runtime = _CalibrationRuntime(self.quantizers)
+        self.model.eval()
+        self._install(runtime)
+        try:
+            for batch_index, (inputs, _) in enumerate(loader):
+                if batch_index >= batches:
+                    break
+                self.model(inputs)
+        finally:
+            self._uninstall()
+        self._freeze_quantizers()
+        self._build_lut()
+        self._calibrated = True
+
+    def _freeze_quantizers(self) -> None:
+        self.activation_params = {}
+        for layer in self.layers:
+            quantizer = self.quantizers[id(layer)]
+            params = quantizer.freeze(self.config.activation_bitwidth)
+            self.activation_params[id(layer)] = params
+
+    def _build_lut(self) -> None:
+        lut = build_lut(self.pool)
+        if self.config.lut_bitwidth is not None:
+            lut = lut.quantize(self.config.lut_bitwidth)
+        self.lut = lut
+
+    def set_activation_bitwidth(self, bitwidth: int) -> None:
+        """Re-freeze activation quantizers at a new bitwidth (no re-calibration needed)."""
+        if not self.quantizers:
+            raise RuntimeError("calibrate() must be called before changing the bitwidth")
+        self.config = replace(self.config, activation_bitwidth=bitwidth, active_bits=None)
+        for layer in self.layers:
+            self.activation_params[id(layer)] = self.quantizers[id(layer)].set_bitwidth(bitwidth)
+
+    def set_lut_bitwidth(self, bitwidth: Optional[int]) -> None:
+        """Change the LUT storage bitwidth and rebuild the table."""
+        self.config = replace(self.config, lut_bitwidth=bitwidth)
+        self._build_lut()
+
+    # -- execution ---------------------------------------------------------------
+    def _install(self, runtime) -> None:
+        for layer in self.layers:
+            layer.runtime = runtime
+
+    def _uninstall(self) -> None:
+        for layer in self.layers:
+            layer.runtime = None
+
+    def __enter__(self) -> "BitSerialInferenceEngine":
+        if not self._calibrated:
+            raise RuntimeError("calibrate() must be called before entering the engine")
+        self.model.eval()
+        self._install(_BitSerialRuntime(self))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._uninstall()
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Run one batch through the model in bit-serial mode."""
+        with self:
+            return self.model(inputs)
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Top-1 accuracy of the bit-serial execution over a loader."""
+        with self:
+            return evaluate_model(self.model, loader)
+
+    def evaluate_float(self, loader: DataLoader) -> float:
+        """Accuracy of the plain (float) weight-pool model, for comparison."""
+        self._uninstall()
+        return evaluate_model(self.model, loader)

@@ -1,0 +1,307 @@
+"""Deployment artifact export.
+
+The paper's flow (Figure 1) ends with the host sending three things to the
+microcontroller's flash: the dot-product lookup table, the per-layer weight
+index streams, and the precision information.  This module builds that
+deployable artifact from a compressed model:
+
+* :class:`DeploymentPackage` — an in-memory description of everything the MCU
+  stores (LUT bytes, packed index streams, uncompressed-layer weights, per-
+  layer metadata, activation quantization parameters);
+* :func:`build_deployment_package` — assemble the package from a compressed
+  model (optionally with a calibrated
+  :class:`~repro.core.engine.BitSerialInferenceEngine` for the activation
+  parameters);
+* ``save`` / ``load`` — persist the package as a ``.npz`` archive;
+* :func:`emit_c_header` — render the package as a C header (const arrays),
+  which is how the artifact would actually be baked into MCU firmware.
+
+The package size reported here is what the MCU cost model's flash-fit check
+uses conceptually (indices + LUT + uncompressed layers), so the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.engine import BitSerialInferenceEngine
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.lut import LookupTable, build_lut
+from repro.core.tracing import trace_model
+from repro.core.weight_pool import WeightPool
+from repro.nn import Module
+from repro.quantization.weights import quantize_weight_tensor
+from repro.utils.bits import pack_sub_byte, required_bits, unpack_sub_byte
+
+
+@dataclass
+class LayerArtifact:
+    """What the MCU stores for one layer."""
+
+    name: str
+    kind: str  # "conv" or "linear"
+    compressed: bool
+    shape: Tuple[int, ...]
+    stride: int = 1
+    padding: int = 0
+    # Compressed layers: packed pool indices (+ their unpacked count / bitwidth).
+    packed_indices: Optional[np.ndarray] = None
+    num_indices: int = 0
+    index_bitwidth: int = 8
+    index_shape: Tuple[int, ...] = ()
+    # Uncompressed layers: 8-bit quantized weights and their scale.
+    q_weight: Optional[np.ndarray] = None
+    weight_scale: float = 1.0
+    bias: Optional[np.ndarray] = None
+    activation_scale: Optional[float] = None
+    activation_zero_point: Optional[int] = None
+
+    @property
+    def storage_bytes(self) -> float:
+        """Flash bytes this layer contributes to the deployment image."""
+        total = 0.0
+        if self.packed_indices is not None:
+            total += self.packed_indices.size
+        if self.q_weight is not None:
+            total += self.q_weight.size
+        if self.bias is not None:
+            total += self.bias.size  # 8-bit biases
+        return total
+
+    def unpack_indices(self) -> np.ndarray:
+        """Recover the index tensor from the packed byte stream."""
+        if self.packed_indices is None:
+            raise ValueError(f"layer '{self.name}' has no packed indices")
+        flat = unpack_sub_byte(self.packed_indices, self.index_bitwidth, self.num_indices)
+        return flat.reshape(self.index_shape)
+
+
+@dataclass
+class DeploymentPackage:
+    """Everything the microcontroller needs to run the compressed network."""
+
+    network: str
+    group_size: int
+    pool_size: int
+    lut_bitwidth: int
+    activation_bitwidth: int
+    lut_integer: np.ndarray  # (2^g, S) integer entries
+    lut_scale: float
+    layers: List[LayerArtifact] = field(default_factory=list)
+
+    # -- sizes ----------------------------------------------------------------
+    @property
+    def lut_bytes(self) -> float:
+        return self.lut_integer.size * self.lut_bitwidth / 8.0
+
+    @property
+    def flash_bytes(self) -> float:
+        """Total flash image size: LUT + every layer's storage."""
+        return self.lut_bytes + sum(layer.storage_bytes for layer in self.layers)
+
+    @property
+    def compressed_layers(self) -> List[LayerArtifact]:
+        return [layer for layer in self.layers if layer.compressed]
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the package as a ``.npz`` archive."""
+        path = Path(path)
+        arrays: Dict[str, np.ndarray] = {
+            "__meta__": np.array(
+                [self.group_size, self.pool_size, self.lut_bitwidth, self.activation_bitwidth]
+            ),
+            "__network__": np.array(self.network),
+            "__lut__": self.lut_integer,
+            "__lut_scale__": np.array(self.lut_scale),
+            "__layer_names__": np.array([layer.name for layer in self.layers]),
+        }
+        for i, layer in enumerate(self.layers):
+            prefix = f"layer{i}"
+            arrays[f"{prefix}_info"] = np.array(
+                [
+                    1 if layer.compressed else 0,
+                    layer.num_indices,
+                    layer.index_bitwidth,
+                    layer.stride,
+                    layer.padding,
+                ]
+            )
+            arrays[f"{prefix}_kind"] = np.array(layer.kind)
+            arrays[f"{prefix}_shape"] = np.array(layer.shape)
+            arrays[f"{prefix}_index_shape"] = np.array(layer.index_shape or (0,))
+            if layer.packed_indices is not None:
+                arrays[f"{prefix}_indices"] = layer.packed_indices
+            if layer.q_weight is not None:
+                arrays[f"{prefix}_qweight"] = layer.q_weight
+                arrays[f"{prefix}_wscale"] = np.array(layer.weight_scale)
+            if layer.bias is not None:
+                arrays[f"{prefix}_bias"] = layer.bias
+            if layer.activation_scale is not None:
+                arrays[f"{prefix}_act"] = np.array(
+                    [layer.activation_scale, float(layer.activation_zero_point)]
+                )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DeploymentPackage":
+        data = np.load(Path(path), allow_pickle=False)
+        group_size, pool_size, lut_bitwidth, act_bitwidth = (int(v) for v in data["__meta__"])
+        layer_names = [str(name) for name in data["__layer_names__"]]
+        package = cls(
+            network=str(data["__network__"]),
+            group_size=group_size,
+            pool_size=pool_size,
+            lut_bitwidth=lut_bitwidth,
+            activation_bitwidth=act_bitwidth,
+            lut_integer=data["__lut__"],
+            lut_scale=float(data["__lut_scale__"]),
+        )
+        for i, name in enumerate(layer_names):
+            prefix = f"layer{i}"
+            compressed, num_indices, index_bitwidth, stride, padding = (
+                int(v) for v in data[f"{prefix}_info"]
+            )
+            index_shape = tuple(int(v) for v in data[f"{prefix}_index_shape"])
+            layer = LayerArtifact(
+                name=name,
+                kind=str(data[f"{prefix}_kind"]),
+                compressed=bool(compressed),
+                shape=tuple(int(v) for v in data[f"{prefix}_shape"]),
+                stride=stride,
+                padding=padding,
+                num_indices=num_indices,
+                index_bitwidth=index_bitwidth,
+                index_shape=index_shape if index_shape != (0,) else (),
+            )
+            if f"{prefix}_indices" in data:
+                layer.packed_indices = data[f"{prefix}_indices"]
+            if f"{prefix}_qweight" in data:
+                layer.q_weight = data[f"{prefix}_qweight"]
+                layer.weight_scale = float(data[f"{prefix}_wscale"])
+            if f"{prefix}_bias" in data:
+                layer.bias = data[f"{prefix}_bias"]
+            if f"{prefix}_act" in data:
+                act = data[f"{prefix}_act"]
+                layer.activation_scale = float(act[0])
+                layer.activation_zero_point = int(act[1])
+            package.layers.append(layer)
+        return package
+
+
+def build_deployment_package(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    pool: WeightPool,
+    network_name: str = "network",
+    lut_bitwidth: int = 8,
+    activation_bitwidth: int = 8,
+    index_bitwidth: Optional[int] = None,
+    engine: Optional[BitSerialInferenceEngine] = None,
+) -> DeploymentPackage:
+    """Assemble the flashable artifact for a compressed model.
+
+    ``index_bitwidth`` defaults to ``log2(pool size)`` rounded up (the paper's
+    Eq. 4 minimum); pass 8 to mirror the byte-aligned implementation choice.
+    When a calibrated ``engine`` is given, each compressed layer's activation
+    quantization parameters are embedded (the "precision information" of
+    Figure 1).
+    """
+    index_bits = index_bitwidth if index_bitwidth is not None else required_bits(pool.size)
+    if not 1 <= index_bits <= 8:
+        raise ValueError(f"index_bitwidth must be in [1, 8] for sub-byte packing, got {index_bits}")
+    lut: LookupTable = build_lut(pool).quantize(lut_bitwidth)
+
+    package = DeploymentPackage(
+        network=network_name,
+        group_size=pool.group_size,
+        pool_size=pool.size,
+        lut_bitwidth=lut_bitwidth,
+        activation_bitwidth=activation_bitwidth,
+        lut_integer=lut.integer_values,
+        lut_scale=float(lut.scale),
+    )
+
+    traces = trace_model(model, input_shape)
+    for trace in traces:
+        module = trace.module
+        artifact = LayerArtifact(
+            name=trace.name,
+            kind=trace.kind,
+            compressed=isinstance(module, (WeightPoolConv2d, WeightPoolLinear)),
+            shape=trace.weight_shape,
+            stride=trace.stride,
+            padding=trace.padding,
+        )
+        if artifact.compressed:
+            indices = module.indices
+            artifact.index_bitwidth = index_bits
+            artifact.num_indices = int(indices.size)
+            artifact.index_shape = tuple(indices.shape)
+            artifact.packed_indices = pack_sub_byte(indices.ravel(), index_bits)
+            if module.bias is not None:
+                q_bias, _ = quantize_weight_tensor(module.bias.data, bitwidth=8)
+                artifact.bias = q_bias.astype(np.int8)
+            if engine is not None and id(module) in engine.activation_params:
+                params = engine.activation_params[id(module)]
+                artifact.activation_scale = params.scale
+                artifact.activation_zero_point = params.zero_point
+        else:
+            q_weight, params = quantize_weight_tensor(module.weight.data, bitwidth=8)
+            artifact.q_weight = q_weight.astype(np.int8)
+            artifact.weight_scale = params.scale
+            if module.bias is not None:
+                q_bias, _ = quantize_weight_tensor(module.bias.data, bitwidth=8)
+                artifact.bias = q_bias.astype(np.int8)
+        package.layers.append(artifact)
+    return package
+
+
+def _c_array(name: str, values: np.ndarray, ctype: str = "int8_t", per_line: int = 16) -> str:
+    flat = values.ravel()
+    lines = []
+    for start in range(0, flat.size, per_line):
+        chunk = ", ".join(str(int(v)) for v in flat[start : start + per_line])
+        lines.append(f"    {chunk},")
+    body = "\n".join(lines)
+    return f"static const {ctype} {name}[{flat.size}] = {{\n{body}\n}};\n"
+
+
+def emit_c_header(package: DeploymentPackage, guard: str = "WEIGHT_POOL_NETWORK_H") -> str:
+    """Render the deployment package as a C header for MCU firmware.
+
+    The header contains the quantized LUT, every compressed layer's packed
+    index stream, every uncompressed layer's q7 weights, and the precision
+    metadata — the exact contents the paper loads into flash (Figure 1).
+    """
+    parts = [
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+        "#include <stdint.h>",
+        "",
+        f"/* Auto-generated deployment package for '{package.network}'. */",
+        f"#define WP_GROUP_SIZE {package.group_size}",
+        f"#define WP_POOL_SIZE {package.pool_size}",
+        f"#define WP_LUT_BITWIDTH {package.lut_bitwidth}",
+        f"#define WP_ACTIVATION_BITWIDTH {package.activation_bitwidth}",
+        f"#define WP_NUM_LAYERS {len(package.layers)}",
+        "",
+        f"/* LUT scale: {package.lut_scale!r} */",
+        _c_array("wp_lut", package.lut_integer, "int16_t" if package.lut_bitwidth > 8 else "int8_t"),
+    ]
+    for i, layer in enumerate(package.layers):
+        parts.append(f"/* layer {i}: {layer.name} ({layer.kind}), "
+                     f"{'compressed' if layer.compressed else 'uncompressed'} */")
+        if layer.packed_indices is not None:
+            parts.append(_c_array(f"wp_layer{i}_indices", layer.packed_indices, "uint8_t"))
+        if layer.q_weight is not None:
+            parts.append(_c_array(f"wp_layer{i}_weights", layer.q_weight, "int8_t"))
+        if layer.bias is not None:
+            parts.append(_c_array(f"wp_layer{i}_bias", layer.bias, "int8_t"))
+    parts.append(f"#endif /* {guard} */")
+    return "\n".join(parts)

@@ -1,0 +1,81 @@
+"""Index-reassignment fine-tuning of weight-pool models (paper Figure 2).
+
+After the initial projection onto the pool, the paper retrains the network
+"to fine-tune the weight indices assignment (with a fixed weight pool) and
+fully connected layer's weights.  The backward pass updates the network
+weights and the forward pass reassigns indices to the nearest weight pool
+vector."  :func:`finetune_compressed_model` implements exactly that loop on
+top of :class:`repro.nn.Trainer`; the reassignment itself happens inside the
+weight-pool layers' ``forward``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.nn import DataLoader, Module, SGD, TrainConfig, Trainer
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim.scheduler import CosineAnnealingLR
+
+
+def weight_pool_layers(model: Module) -> List[Module]:
+    """All weight-pool layers in a model."""
+    return [
+        module
+        for module in model.modules()
+        if isinstance(module, (WeightPoolConv2d, WeightPoolLinear))
+    ]
+
+
+def freeze_assignments(model: Module) -> None:
+    """Stop reassigning indices on forward (deployment state)."""
+    for layer in weight_pool_layers(model):
+        layer.reassign_on_forward = False
+
+
+def unfreeze_assignments(model: Module) -> None:
+    """Resume reassigning indices on forward (fine-tuning state)."""
+    for layer in weight_pool_layers(model):
+        layer.reassign_on_forward = True
+
+
+def finetune_compressed_model(
+    model: Module,
+    train_loader: DataLoader,
+    epochs: int = 5,
+    lr: float = 0.01,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    val_loader: Optional[DataLoader] = None,
+    label_smoothing: float = 0.0,
+    use_cosine_schedule: bool = True,
+):
+    """Fine-tune a compressed model with the paper's reassignment loop.
+
+    Returns the :class:`~repro.nn.training.trainer.Trainer` (whose ``history``
+    carries per-epoch statistics).  On return the model is left in eval mode
+    with assignments frozen, ready for deployment/bit-serial execution.
+    """
+    if not weight_pool_layers(model):
+        raise ValueError("model contains no weight-pool layers; compress it first")
+    unfreeze_assignments(model)
+    optimizer = SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    scheduler = CosineAnnealingLR(optimizer, t_max=max(epochs, 1)) if use_cosine_schedule else None
+    trainer = Trainer(
+        model,
+        optimizer,
+        loss_fn=CrossEntropyLoss(label_smoothing=label_smoothing),
+        scheduler=scheduler,
+    )
+    trainer.fit(train_loader, TrainConfig(epochs=epochs), val_loader=val_loader)
+
+    # Deployment state: one final reassignment from the fine-tuned latent
+    # weights, then freeze.
+    for layer in weight_pool_layers(model):
+        layer.reassign()
+    freeze_assignments(model)
+    model.eval()
+    return trainer

@@ -1,0 +1,182 @@
+"""Weight grouping: z-dimension (channel) vectors and xy-dimension (kernel) vectors.
+
+The paper's key compression choice (§3, Figure 3) is grouping weights into
+1×``group_size`` vectors along the *channel* (z) dimension of each 3D filter,
+rather than clustering whole 2D kernels (the xy-dimension baseline of Son et
+al. 2018, evaluated in Figure 4).  This module provides the pure array
+transformations: extract vectors from a weight tensor, and reconstruct a
+weight tensor from pool indices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# z-dimension grouping
+# ---------------------------------------------------------------------------
+def pad_channels_to_group(weight: np.ndarray, group_size: int) -> np.ndarray:
+    """Zero-pad the channel dimension of ``(F, C, KH, KW)`` to a multiple of ``group_size``.
+
+    The paper mentions zero padding as the alternative to leaving thin layers
+    uncompressed.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4D conv weight, got shape {weight.shape}")
+    c = weight.shape[1]
+    remainder = c % group_size
+    if remainder == 0:
+        return weight
+    pad = group_size - remainder
+    return np.pad(weight, ((0, 0), (0, pad), (0, 0), (0, 0)), mode="constant")
+
+
+def extract_z_vectors(weight: np.ndarray, group_size: int) -> np.ndarray:
+    """Group a conv weight ``(F, C, KH, KW)`` into z-dimension vectors.
+
+    Channels are split into ``C / group_size`` consecutive groups; each filter
+    and spatial position contributes one vector per channel group, exactly as
+    in Figure 3 of the paper.
+
+    Returns an array of shape ``(F * C/g * KH * KW, group_size)``.  The channel
+    count must be divisible by ``group_size`` (callers either pad first with
+    :func:`pad_channels_to_group` or leave the layer uncompressed).
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4D conv weight, got shape {weight.shape}")
+    f, c, kh, kw = weight.shape
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if c % group_size:
+        raise ValueError(
+            f"channel count {c} not divisible by group size {group_size}; "
+            "pad the weight or leave the layer uncompressed"
+        )
+    groups = c // group_size
+    # (F, groups, g, KH, KW) -> (F, groups, KH, KW, g)
+    vectors = weight.reshape(f, groups, group_size, kh, kw).transpose(0, 1, 3, 4, 2)
+    return vectors.reshape(-1, group_size)
+
+
+def z_index_shape(weight_shape: Tuple[int, ...], group_size: int) -> Tuple[int, int, int, int]:
+    """Shape of the index tensor for a z-grouped conv weight: ``(F, C/g, KH, KW)``."""
+    f, c, kh, kw = weight_shape
+    if c % group_size:
+        raise ValueError(f"channel count {c} not divisible by group size {group_size}")
+    return (f, c // group_size, kh, kw)
+
+
+def reconstruct_from_z_indices(
+    indices: np.ndarray,
+    pool_vectors: np.ndarray,
+    num_channels: Optional[int] = None,
+) -> np.ndarray:
+    """Rebuild a conv weight from z-dimension pool indices.
+
+    Parameters
+    ----------
+    indices:
+        ``(F, C/g, KH, KW)`` integer indices into the pool.
+    pool_vectors:
+        ``(S, g)`` pool.
+    num_channels:
+        If the original channel count was padded up to a multiple of ``g``,
+        pass the original count to slice the reconstruction back down.
+    """
+    if indices.ndim != 4:
+        raise ValueError(f"expected 4D index tensor, got shape {indices.shape}")
+    pool_vectors = np.asarray(pool_vectors)
+    s, g = pool_vectors.shape
+    if indices.size and (indices.min() < 0 or indices.max() >= s):
+        raise ValueError("index out of range for the given pool")
+    f, groups, kh, kw = indices.shape
+    gathered = pool_vectors[indices]  # (F, groups, KH, KW, g)
+    weight = gathered.transpose(0, 1, 4, 2, 3).reshape(f, groups * g, kh, kw)
+    if num_channels is not None:
+        if not 0 < num_channels <= groups * g:
+            raise ValueError(
+                f"num_channels {num_channels} incompatible with padded count {groups * g}"
+            )
+        weight = weight[:, :num_channels]
+    return weight
+
+
+# ---------------------------------------------------------------------------
+# z-dimension grouping for fully-connected layers
+# ---------------------------------------------------------------------------
+def extract_linear_z_vectors(weight: np.ndarray, group_size: int) -> np.ndarray:
+    """Group a linear weight ``(out, in)`` into vectors along the input dimension."""
+    if weight.ndim != 2:
+        raise ValueError(f"expected 2D linear weight, got shape {weight.shape}")
+    out_features, in_features = weight.shape
+    if in_features % group_size:
+        raise ValueError(
+            f"in_features {in_features} not divisible by group size {group_size}"
+        )
+    return weight.reshape(out_features * (in_features // group_size), group_size)
+
+
+def reconstruct_linear_from_z_indices(
+    indices: np.ndarray, pool_vectors: np.ndarray
+) -> np.ndarray:
+    """Rebuild a linear weight from ``(out, in/g)`` pool indices."""
+    if indices.ndim != 2:
+        raise ValueError(f"expected 2D index tensor, got shape {indices.shape}")
+    pool_vectors = np.asarray(pool_vectors)
+    s, g = pool_vectors.shape
+    if indices.size and (indices.min() < 0 or indices.max() >= s):
+        raise ValueError("index out of range for the given pool")
+    out_features, groups = indices.shape
+    gathered = pool_vectors[indices]  # (out, groups, g)
+    return gathered.reshape(out_features, groups * g)
+
+
+# ---------------------------------------------------------------------------
+# xy-dimension grouping (the Figure 4 baseline)
+# ---------------------------------------------------------------------------
+def extract_xy_vectors(weight: np.ndarray) -> np.ndarray:
+    """Flatten each 2D kernel of ``(F, C, KH, KW)`` into a ``KH*KW`` vector."""
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4D conv weight, got shape {weight.shape}")
+    f, c, kh, kw = weight.shape
+    return weight.reshape(f * c, kh * kw)
+
+
+def reconstruct_from_xy_indices(
+    indices: np.ndarray,
+    pool_vectors: np.ndarray,
+    weight_shape: Tuple[int, int, int, int],
+    coefficients: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rebuild a conv weight from per-kernel xy pool indices.
+
+    ``indices`` has shape ``(F * C,)`` (one pool entry per 2D kernel);
+    ``coefficients``, if given, scales each reconstructed kernel (the
+    "with coefficient" variant of Son et al. evaluated in Figure 4).
+    """
+    f, c, kh, kw = weight_shape
+    pool_vectors = np.asarray(pool_vectors)
+    if pool_vectors.shape[1] != kh * kw:
+        raise ValueError(
+            f"pool vector length {pool_vectors.shape[1]} does not match kernel size {kh * kw}"
+        )
+    indices = np.asarray(indices).reshape(f * c)
+    kernels = pool_vectors[indices]  # (F*C, KH*KW)
+    if coefficients is not None:
+        coefficients = np.asarray(coefficients).reshape(f * c, 1)
+        kernels = kernels * coefficients
+    return kernels.reshape(f, c, kh, kw)
+
+
+def least_squares_coefficients(
+    kernels: np.ndarray, pool_vectors: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Optimal per-kernel scaling coefficients ``argmin_a ||kernel - a * pool[idx]||``."""
+    assigned = pool_vectors[indices]
+    denom = (assigned**2).sum(axis=1)
+    numer = (kernels * assigned).sum(axis=1)
+    coeffs = np.where(denom > 0, numer / np.maximum(denom, 1e-12), 0.0)
+    return coeffs

@@ -1,0 +1,262 @@
+"""Weight-pool layers: convolutions/linears whose weights live in a shared pool.
+
+A :class:`WeightPoolConv2d` keeps a *latent* full-precision weight tensor (the
+paper's fine-tuning state) plus an index tensor into the shared
+:class:`~repro.core.weight_pool.WeightPool`.  The forward pass always uses the
+*effective* weight reconstructed from the pool; during fine-tuning the forward
+pass first re-assigns indices to the nearest pool vectors and the backward
+pass updates the latent weights (straight-through), exactly the training
+pipeline of Figure 2.
+
+An optional ``runtime`` object can be installed by the bit-serial inference
+engine; when present, it takes over the forward computation (quantized
+activations + LUT lookups) while compression bookkeeping stays in this class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.grouping import (
+    extract_linear_z_vectors,
+    extract_z_vectors,
+    pad_channels_to_group,
+    reconstruct_from_z_indices,
+    reconstruct_linear_from_z_indices,
+)
+from repro.core.weight_pool import WeightPool
+from repro.nn import Conv2d, Linear
+from repro.nn import functional as F
+
+
+class WeightPoolConv2d(Conv2d):
+    """Convolution whose weight vectors are drawn from a shared weight pool."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        pool: WeightPool,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        pad_channels: bool = False,
+        rng=None,
+    ):
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=bias,
+            rng=rng,
+        )
+        if groups != 1:
+            raise ValueError(
+                "weight-pool compression of grouped convolutions is not supported "
+                "(the paper keeps depthwise layers uncompressed)"
+            )
+        channels = in_channels
+        if channels % pool.group_size and not pad_channels:
+            raise ValueError(
+                f"in_channels {channels} not divisible by pool group size "
+                f"{pool.group_size}; enable pad_channels or keep the layer uncompressed"
+            )
+        self.pool = pool
+        self.pad_channels = pad_channels
+        self.reassign_on_forward = True
+        self.runtime = None  # installed by BitSerialInferenceEngine
+        self.indices: Optional[np.ndarray] = None
+        self.reassign()
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_conv(
+        cls, conv: Conv2d, pool: WeightPool, pad_channels: bool = False
+    ) -> "WeightPoolConv2d":
+        """Wrap an existing convolution, preserving its (latent) weights and bias."""
+        layer = cls(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            pool,
+            stride=conv.stride,
+            padding=conv.padding,
+            groups=conv.groups,
+            bias=conv.bias is not None,
+            pad_channels=pad_channels,
+        )
+        layer.weight.copy_(conv.weight.data)
+        if conv.bias is not None:
+            layer.bias.copy_(conv.bias.data)
+        layer.reassign()
+        return layer
+
+    # -- pool bookkeeping ------------------------------------------------------
+    def _padded_latent_weight(self) -> np.ndarray:
+        weight = self.weight.data
+        if self.pad_channels:
+            weight = pad_channels_to_group(weight, self.pool.group_size)
+        return weight
+
+    def reassign(self) -> np.ndarray:
+        """Re-assign every z-group of the latent weight to its nearest pool vector."""
+        weight = self._padded_latent_weight()
+        vectors = extract_z_vectors(weight, self.pool.group_size)
+        flat = self.pool.assign(vectors)
+        f, c, kh, kw = weight.shape
+        groups = c // self.pool.group_size
+        # extract_z_vectors lays vectors out as (F, groups, KH, KW).
+        self.indices = flat.reshape(f, groups, kh, kw)
+        return self.indices
+
+    def effective_weight(self) -> np.ndarray:
+        """The weight tensor actually used at inference (reconstructed from the pool)."""
+        if self.indices is None:
+            raise RuntimeError("indices not assigned; call reassign() first")
+        return reconstruct_from_z_indices(
+            self.indices, self.pool.vectors, num_channels=self.in_channels
+        )
+
+    def num_index_entries(self) -> int:
+        """Number of stored pool indices for this layer."""
+        return int(np.prod(self.indices.shape))
+
+    # -- forward/backward -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.last_input_shape = x.shape
+        if self.training and self.reassign_on_forward:
+            self.reassign()
+        if self.runtime is not None:
+            return self.runtime.run(self, x)
+        weight = self.effective_weight()
+        bias = self.bias.data if self.bias is not None else None
+        out, cols = F.conv2d_forward(x, weight, bias, self.stride, self.padding, 1)
+        self._cache = (x.shape, cols, weight)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.runtime is not None:
+            raise RuntimeError(
+                "backward() is not available while a bit-serial runtime is installed"
+            )
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x_shape, cols, weight = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_output,
+            cols,
+            x_shape,
+            weight,
+            self.stride,
+            self.padding,
+            1,
+            has_bias=self.bias is not None,
+        )
+        # Straight-through: the gradient with respect to the effective weight is
+        # applied to the latent weight, which the next forward pass re-assigns.
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"WeightPoolConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"pool_size={self.pool.size}, group_size={self.pool.group_size})"
+        )
+
+
+class WeightPoolLinear(Linear):
+    """Fully-connected layer whose weight vectors are drawn from the shared pool.
+
+    The paper keeps FC layers uncompressed by default (footnote 1) but
+    evaluates compressing them; this layer provides that option.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        pool: WeightPool,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__(in_features, out_features, bias=bias, rng=rng)
+        if in_features % pool.group_size:
+            raise ValueError(
+                f"in_features {in_features} not divisible by pool group size {pool.group_size}"
+            )
+        self.pool = pool
+        self.reassign_on_forward = True
+        self.runtime = None
+        self.indices: Optional[np.ndarray] = None
+        self.reassign()
+
+    @classmethod
+    def from_linear(cls, linear: Linear, pool: WeightPool) -> "WeightPoolLinear":
+        layer = cls(
+            linear.in_features,
+            linear.out_features,
+            pool,
+            bias=linear.bias is not None,
+        )
+        layer.weight.copy_(linear.weight.data)
+        if linear.bias is not None:
+            layer.bias.copy_(linear.bias.data)
+        layer.reassign()
+        return layer
+
+    def reassign(self) -> np.ndarray:
+        vectors = extract_linear_z_vectors(self.weight.data, self.pool.group_size)
+        flat = self.pool.assign(vectors)
+        groups = self.in_features // self.pool.group_size
+        self.indices = flat.reshape(self.out_features, groups)
+        return self.indices
+
+    def effective_weight(self) -> np.ndarray:
+        if self.indices is None:
+            raise RuntimeError("indices not assigned; call reassign() first")
+        return reconstruct_linear_from_z_indices(self.indices, self.pool.vectors)
+
+    def num_index_entries(self) -> int:
+        return int(np.prod(self.indices.shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.last_input_shape = x.shape
+        if self.training and self.reassign_on_forward:
+            self.reassign()
+        if self.runtime is not None:
+            return self.runtime.run(self, x)
+        weight = self.effective_weight()
+        self._cache = (x, weight)
+        out = x @ weight.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.runtime is not None:
+            raise RuntimeError(
+                "backward() is not available while a bit-serial runtime is installed"
+            )
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x, weight = self._cache
+        self.weight.accumulate_grad(grad_output.T @ x)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return grad_output @ weight
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"WeightPoolLinear({self.in_features}, {self.out_features}, "
+            f"pool_size={self.pool.size}, group_size={self.pool.group_size})"
+        )

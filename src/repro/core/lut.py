@@ -1,0 +1,148 @@
+"""Dot-product lookup tables between 1-bit activation vectors and pool vectors.
+
+For a pool of ``S`` weight vectors of length ``N`` (the group size), the LUT
+stores the dot product of every possible 1-bit activation vector (there are
+``2^N`` of them) with every pool vector — ``2^N × S`` entries total
+(Eq. 3: ``Storage_LUT = 2^N × S × B_l``).  Bit ``i`` of the activation value
+(LSB first) corresponds to element ``i`` of the pool vector.
+
+Two storage layouts exist on the MCU (paper §4.2): *input-oriented* order
+(blocks of ``S`` entries per activation value — the layout that makes LUT
+caching effective) and *weight-oriented* order (blocks of ``2^N`` entries per
+pool vector).  The layout only affects the memory-system cost model; lookups
+through this class are layout-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.weight_pool import WeightPool
+
+
+def enumerate_bit_vectors(group_size: int) -> np.ndarray:
+    """All ``2^g`` possible 1-bit activation vectors as a ``(2^g, g)`` 0/1 matrix.
+
+    Row ``v`` contains the binary digits of ``v`` with bit ``i`` (LSB first) in
+    column ``i``.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if group_size > 16:
+        raise ValueError(
+            f"group_size {group_size} would require a {2**group_size}-entry LUT; "
+            "the paper uses 8"
+        )
+    values = np.arange(1 << group_size, dtype=np.int64)
+    return ((values[:, None] >> np.arange(group_size)) & 1).astype(np.float64)
+
+
+@dataclass
+class LookupTable:
+    """The network-wide dot-product LUT, optionally quantized.
+
+    Attributes
+    ----------
+    values:
+        Float table of shape ``(2^g, S)``: ``values[v, s]`` is the dot product
+        of the 1-bit activation vector encoded by ``v`` with pool vector ``s``.
+        When ``bitwidth`` is set, these are the *dequantized* values actually
+        used at inference (integer entry × scale).
+    integer_values:
+        The raw integer entries when quantized, else ``None``.
+    bitwidth:
+        LUT storage bitwidth ``B_l`` (None means full precision floats).
+    order:
+        ``"input"`` or ``"weight"`` storage layout (affects only MCU modeling).
+    """
+
+    values: np.ndarray
+    pool_size: int
+    group_size: int
+    bitwidth: Optional[int] = None
+    scale: Optional[float] = None
+    integer_values: Optional[np.ndarray] = None
+    order: str = "input"
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        expected = (1 << self.group_size, self.pool_size)
+        if self.values.shape != expected:
+            raise ValueError(
+                f"LUT shape {self.values.shape} does not match expected {expected}"
+            )
+        if self.order not in ("input", "weight"):
+            raise ValueError(f"order must be 'input' or 'weight', got {self.order}")
+
+    # -- sizes -----------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Total number of table entries (``2^g × S``)."""
+        return int(self.values.size)
+
+    def storage_bits(self) -> int:
+        """Eq. 3: storage of the LUT in bits (floats count as 32-bit)."""
+        entry_bits = self.bitwidth if self.bitwidth is not None else 32
+        return self.num_entries * entry_bits
+
+    def storage_bytes(self) -> float:
+        return self.storage_bits() / 8.0
+
+    # -- lookups ----------------------------------------------------------------
+    def lookup(self, bit_values: np.ndarray, pool_indices: np.ndarray) -> np.ndarray:
+        """Gather ``values[bit_values, pool_indices]`` with broadcasting."""
+        bit_values = np.asarray(bit_values)
+        pool_indices = np.asarray(pool_indices)
+        if bit_values.size and (bit_values.min() < 0 or bit_values.max() >= self.values.shape[0]):
+            raise ValueError("bit value out of range for this LUT")
+        if pool_indices.size and (
+            pool_indices.min() < 0 or pool_indices.max() >= self.pool_size
+        ):
+            raise ValueError("pool index out of range for this LUT")
+        return self.values[bit_values, pool_indices]
+
+    def pool_vector_sums(self) -> np.ndarray:
+        """Dot product of the all-ones bit vector with each pool vector.
+
+        This is exactly the LUT row for value ``2^g - 1`` and is what an MCU
+        implementation uses for the activation zero-point correction term.
+        """
+        return self.values[(1 << self.group_size) - 1]
+
+    # -- quantization -------------------------------------------------------------
+    def quantize(self, bitwidth: int) -> "LookupTable":
+        """Quantize table entries symmetrically to ``bitwidth`` bits (§3.2, Table 5)."""
+        if self.bitwidth is not None:
+            raise ValueError("LUT is already quantized; quantize the float LUT instead")
+        if not 2 <= bitwidth <= 16:
+            raise ValueError(f"LUT bitwidth must be in [2, 16], got {bitwidth}")
+        max_abs = float(np.max(np.abs(self.values))) if self.values.size else 1.0
+        if max_abs == 0.0:
+            max_abs = 1.0
+        qmax = (1 << (bitwidth - 1)) - 1
+        scale = max_abs / qmax
+        integer = np.clip(np.round(self.values / scale), -qmax - 1, qmax).astype(np.int64)
+        return LookupTable(
+            values=integer * scale,
+            pool_size=self.pool_size,
+            group_size=self.group_size,
+            bitwidth=bitwidth,
+            scale=scale,
+            integer_values=integer,
+            order=self.order,
+        )
+
+
+def build_lut(pool: WeightPool, order: str = "input") -> LookupTable:
+    """Generate the full-precision LUT for a weight pool."""
+    bit_vectors = enumerate_bit_vectors(pool.group_size)  # (2^g, g)
+    values = bit_vectors @ pool.vectors.T  # (2^g, S)
+    return LookupTable(
+        values=values,
+        pool_size=pool.size,
+        group_size=pool.group_size,
+        order=order,
+    )

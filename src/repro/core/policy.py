@@ -1,0 +1,61 @@
+"""Compression policy: which layers are replaced by weight-pool layers.
+
+The paper's defaults (§3, §5.1, §5.2):
+
+* the first convolution layer stays uncompressed (its depth is below the
+  group size and it is a small fraction of storage/compute);
+* depthwise convolutions stay uncompressed (MobileNet-v2, §5.1);
+* fully-connected layers stay uncompressed by default (footnote 1: pooling
+  them costs accuracy and rarely improves compression), but can be enabled;
+* any convolution whose channel count is not a multiple of the group size is
+  either zero-padded or left uncompressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tracing import LayerTrace
+
+
+@dataclass
+class CompressionPolicy:
+    """Configuration of layer eligibility for weight-pool compression."""
+
+    group_size: int = 8
+    compress_first_layer: bool = False
+    compress_depthwise: bool = False
+    compress_fc: bool = False
+    pad_channels: bool = False  # zero-pad thin layers instead of skipping them
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ValueError(f"group_size must be >= 2, got {self.group_size}")
+
+    def eligible(self, trace: LayerTrace) -> bool:
+        """Return True when the traced layer should be weight-pool compressed."""
+        if trace.kind == "linear":
+            if not self.compress_fc:
+                return False
+            return trace.in_channels % self.group_size == 0 or self.pad_channels
+        # Convolutions.
+        if trace.is_first and not self.compress_first_layer:
+            return False
+        if trace.is_depthwise and not self.compress_depthwise:
+            return False
+        channels_per_group = trace.in_channels // trace.groups
+        if channels_per_group % self.group_size != 0 and not self.pad_channels:
+            return False
+        if trace.is_depthwise and channels_per_group < self.group_size:
+            # A depthwise kernel has a single channel; z-grouping cannot apply.
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable summary used in experiment reports."""
+        parts = [f"group_size={self.group_size}"]
+        parts.append("first layer compressed" if self.compress_first_layer else "first layer kept")
+        parts.append("depthwise compressed" if self.compress_depthwise else "depthwise kept")
+        parts.append("FC compressed" if self.compress_fc else "FC kept")
+        parts.append("pad thin layers" if self.pad_channels else "skip thin layers")
+        return ", ".join(parts)

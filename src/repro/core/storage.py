@@ -1,0 +1,192 @@
+"""Storage accounting and compression ratios (paper Eq. 3–4 and Table 3).
+
+The overall storage of a deployed weight-pool network consists of:
+
+* per-layer **index storage** for every compressed layer
+  (``num_groups × index_bitwidth`` bits);
+* the shared **lookup table** (``2^N × S × B_l`` bits, Eq. 3);
+* the weights of **uncompressed layers** (first conv, depthwise convs, FC by
+  default) stored at the baseline weight bitwidth;
+* biases (stored at the baseline bitwidth).
+
+The compression ratio compares against storing *all* weights at the baseline
+bitwidth (8-bit in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.policy import CompressionPolicy
+from repro.core.tracing import LayerTrace, trace_model
+from repro.core.weight_pool import WeightPool
+from repro.nn import Module
+from repro.utils.bits import required_bits
+
+
+def lut_storage_bits(group_size: int, pool_size: int, lut_bitwidth: int) -> int:
+    """Eq. 3: ``Storage_LUT = 2^N × S × B_l`` in bits."""
+    if group_size < 1 or pool_size < 1 or lut_bitwidth < 1:
+        raise ValueError("group_size, pool_size and lut_bitwidth must all be positive")
+    return (1 << group_size) * pool_size * lut_bitwidth
+
+
+def theoretical_compression_ratio(
+    total_params: int,
+    weight_bitwidth: int = 8,
+    group_size: int = 8,
+    pool_size: int = 64,
+    lut_bitwidth: int = 8,
+    index_bitwidth: Optional[int] = None,
+) -> float:
+    """Eq. 4: maximum compression ratio when *every* weight is pooled."""
+    if total_params <= 0:
+        raise ValueError(f"total_params must be positive, got {total_params}")
+    index_bits = index_bitwidth if index_bitwidth is not None else required_bits(pool_size)
+    numerator = total_params * weight_bitwidth
+    denominator = (total_params / group_size) * index_bits + lut_storage_bits(
+        group_size, pool_size, lut_bitwidth
+    )
+    return numerator / denominator
+
+
+@dataclass
+class LayerStorage:
+    """Storage accounting for a single layer."""
+
+    name: str
+    kind: str
+    compressed: bool
+    weight_params: int
+    bias_params: int
+    storage_bits: float
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_bits / 8.0
+
+
+@dataclass
+class StorageReport:
+    """Whole-network storage accounting."""
+
+    layers: List[LayerStorage]
+    lut_bits: int
+    pool_size: int
+    group_size: int
+    index_bitwidth: int
+    lut_bitwidth: int
+    baseline_bitwidth: int
+
+    # -- totals -------------------------------------------------------------
+    @property
+    def total_params(self) -> int:
+        """Uncompressed weight parameter count (the paper's "Total param" column)."""
+        return sum(layer.weight_params for layer in self.layers)
+
+    @property
+    def baseline_bits(self) -> float:
+        """Storage of the uncompressed 8-bit baseline (weights + biases)."""
+        return sum(
+            (layer.weight_params + layer.bias_params) * self.baseline_bitwidth
+            for layer in self.layers
+        )
+
+    @property
+    def compressed_bits(self) -> float:
+        """Total storage of the weight-pool deployment (layers + LUT)."""
+        return sum(layer.storage_bits for layer in self.layers) + self.lut_bits
+
+    @property
+    def compression_ratio(self) -> float:
+        """Overall compression ratio versus the 8-bit baseline (Table 3 "CR")."""
+        return self.baseline_bits / self.compressed_bits
+
+    @property
+    def lut_overhead(self) -> float:
+        """LUT share of total compressed storage (Table 3 "LUT overhead")."""
+        return self.lut_bits / self.compressed_bits
+
+    @property
+    def compressed_bytes(self) -> float:
+        return self.compressed_bits / 8.0
+
+    def flash_bytes(self) -> float:
+        """Bytes of flash needed to store the deployed network (weights + indices + LUT)."""
+        return self.compressed_bytes
+
+
+def analyze_model_storage(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    pool: Optional[WeightPool] = None,
+    policy: Optional[CompressionPolicy] = None,
+    pool_size: int = 64,
+    index_bitwidth: Optional[int] = None,
+    lut_bitwidth: int = 8,
+    baseline_bitwidth: int = 8,
+) -> StorageReport:
+    """Account for the storage of a model under weight-pool deployment.
+
+    The model may be an *already compressed* model (containing weight-pool
+    layers), in which case the actual layer types decide what is compressed;
+    or an uncompressed model, in which case ``policy`` (plus ``pool_size``)
+    decides eligibility hypothetically — convenient for Table 3-style studies
+    without having to run the full compression pipeline.
+    """
+    policy = policy or CompressionPolicy()
+    group_size = pool.group_size if pool is not None else policy.group_size
+    actual_pool_size = pool.size if pool is not None else pool_size
+    index_bits = index_bitwidth if index_bitwidth is not None else required_bits(actual_pool_size)
+
+    traces = trace_model(model, input_shape)
+    layers: List[LayerStorage] = []
+    any_compressed = False
+    for trace in traces:
+        module = trace.module
+        if isinstance(module, (WeightPoolConv2d, WeightPoolLinear)):
+            compressed = True
+            num_indices = module.num_index_entries()
+        else:
+            compressed = policy.eligible(trace)
+            if compressed:
+                channels = (
+                    trace.in_channels if trace.kind == "linear" else trace.weight_shape[1]
+                )
+                padded = int(np.ceil(channels / group_size)) * group_size
+                num_groups_per_filter = (padded // group_size) * (
+                    trace.kernel_size**2 if trace.kind == "conv" else 1
+                )
+                num_indices = trace.weight_shape[0] * num_groups_per_filter
+            else:
+                num_indices = 0
+        if compressed:
+            any_compressed = True
+            bits = num_indices * index_bits + trace.bias_params * baseline_bitwidth
+        else:
+            bits = (trace.weight_params + trace.bias_params) * baseline_bitwidth
+        layers.append(
+            LayerStorage(
+                name=trace.name,
+                kind=trace.kind,
+                compressed=compressed,
+                weight_params=trace.weight_params,
+                bias_params=trace.bias_params,
+                storage_bits=bits,
+            )
+        )
+
+    lut_bits = lut_storage_bits(group_size, actual_pool_size, lut_bitwidth) if any_compressed else 0
+    return StorageReport(
+        layers=layers,
+        lut_bits=lut_bits,
+        pool_size=actual_pool_size,
+        group_size=group_size,
+        index_bitwidth=index_bits,
+        lut_bitwidth=lut_bitwidth,
+        baseline_bitwidth=baseline_bitwidth,
+    )

@@ -1,0 +1,144 @@
+"""Model tracing: recover per-layer geometry from a single dummy forward pass.
+
+Both the storage accounting (Table 3) and the MCU cost model (Figures 7–8,
+Table 7) need, for every convolution and fully-connected layer, its weight
+shape and the spatial size of its input.  Layers record their last input shape
+during ``forward``; :func:`trace_model` runs one dummy batch and collects the
+records in module-tree order (which matches execution order for all models in
+the zoo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear, Module
+
+
+@dataclass
+class LayerTrace:
+    """Geometry of one weight-bearing layer observed during tracing."""
+
+    name: str
+    kind: str  # "conv" or "linear"
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    groups: int
+    input_hw: Tuple[int, int]
+    output_hw: Tuple[int, int]
+    weight_shape: Tuple[int, ...]
+    has_bias: bool
+    is_first: bool = False
+    module: Optional[Module] = None
+
+    @property
+    def weight_params(self) -> int:
+        """Number of weight parameters (excluding bias)."""
+        return int(np.prod(self.weight_shape))
+
+    @property
+    def bias_params(self) -> int:
+        return self.out_channels if self.has_bias else 0
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.kind == "conv" and self.groups == self.in_channels and self.groups > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.kind == "conv" and self.kernel_size == 1 and self.groups == 1
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference of this layer."""
+        if self.kind == "linear":
+            return self.in_channels * self.out_channels
+        oh, ow = self.output_hw
+        per_position = (
+            (self.in_channels // self.groups) * self.kernel_size * self.kernel_size
+        )
+        return self.out_channels * oh * ow * per_position
+
+
+def trace_model(
+    model: Module, input_shape: Tuple[int, int, int], batch_size: int = 1
+) -> List[LayerTrace]:
+    """Run a dummy forward pass and return traces for every conv/linear layer.
+
+    Parameters
+    ----------
+    model:
+        Any model built from :mod:`repro.nn` layers (including weight-pool
+        layers, which subclass the plain layers).
+    input_shape:
+        ``(C, H, W)`` of a single input sample.
+    """
+    model.eval()
+    dummy = np.zeros((batch_size,) + tuple(input_shape), dtype=np.float64)
+    model(dummy)
+
+    traces: List[LayerTrace] = []
+    for name, module in model.named_modules():
+        if isinstance(module, Conv2d):
+            if not hasattr(module, "last_input_shape"):
+                raise RuntimeError(
+                    f"layer '{name}' was never executed during tracing; "
+                    "is it reachable from forward()?"
+                )
+            _, _, h, w = module.last_input_shape
+            oh, ow = module.output_shape((h, w))
+            traces.append(
+                LayerTrace(
+                    name=name,
+                    kind="conv",
+                    in_channels=module.in_channels,
+                    out_channels=module.out_channels,
+                    kernel_size=module.kernel_size,
+                    stride=module.stride,
+                    padding=module.padding,
+                    groups=module.groups,
+                    input_hw=(h, w),
+                    output_hw=(oh, ow),
+                    weight_shape=tuple(module.weight.shape),
+                    has_bias=module.bias is not None,
+                    module=module,
+                )
+            )
+        elif isinstance(module, Linear):
+            if not hasattr(module, "last_input_shape"):
+                raise RuntimeError(
+                    f"layer '{name}' was never executed during tracing; "
+                    "is it reachable from forward()?"
+                )
+            traces.append(
+                LayerTrace(
+                    name=name,
+                    kind="linear",
+                    in_channels=module.in_features,
+                    out_channels=module.out_features,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    groups=1,
+                    input_hw=(1, 1),
+                    output_hw=(1, 1),
+                    weight_shape=tuple(module.weight.shape),
+                    has_bias=module.bias is not None,
+                    module=module,
+                )
+            )
+    if traces:
+        first_conv = next((t for t in traces if t.kind == "conv"), traces[0])
+        first_conv.is_first = True
+    return traces
+
+
+def total_weight_params(traces: List[LayerTrace]) -> int:
+    """Total number of weight parameters across traced layers."""
+    return sum(t.weight_params for t in traces)

@@ -1,0 +1,147 @@
+"""The shared weight pool: construction, assignment, persistence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.clustering import kmeans
+from repro.core.grouping import extract_linear_z_vectors, extract_z_vectors, pad_channels_to_group
+from repro.core.policy import CompressionPolicy
+from repro.core.tracing import LayerTrace, trace_model
+from repro.nn import Module
+from repro.utils.bits import required_bits
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class WeightPool:
+    """A pool of ``size`` weight vectors of length ``group_size`` shared network-wide."""
+
+    vectors: np.ndarray
+    metric: str = "cosine"
+
+    def __post_init__(self) -> None:
+        self.vectors = np.asarray(self.vectors, dtype=np.float64)
+        if self.vectors.ndim != 2:
+            raise ValueError(f"pool vectors must be 2D (S, g), got {self.vectors.shape}")
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of vectors in the pool (the paper's ``S``)."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def group_size(self) -> int:
+        """Vector length (the paper's ``N``, default 8)."""
+        return int(self.vectors.shape[1])
+
+    @property
+    def index_bitwidth(self) -> int:
+        """Minimum bits needed per stored index (``log2 S`` in Eq. 4)."""
+        return required_bits(self.size)
+
+    def storage_bits(self, value_bitwidth: int = 8) -> int:
+        """Bits required to store the raw pool vectors themselves."""
+        return self.size * self.group_size * value_bitwidth
+
+    # -- assignment -----------------------------------------------------------
+    def assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Assign each row of ``vectors`` to its nearest pool entry."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.group_size:
+            raise ValueError(
+                f"expected (N, {self.group_size}) vectors, got {vectors.shape}"
+            )
+        if self.metric == "cosine":
+            pool_norm = self.vectors / np.maximum(
+                np.linalg.norm(self.vectors, axis=1, keepdims=True), 1e-12
+            )
+            vec_norm = vectors / np.maximum(
+                np.linalg.norm(vectors, axis=1, keepdims=True), 1e-12
+            )
+            similarity = vec_norm @ pool_norm.T
+            return similarity.argmax(axis=1)
+        distances = (
+            (vectors**2).sum(axis=1, keepdims=True)
+            + (self.vectors**2).sum(axis=1)
+            - 2.0 * vectors @ self.vectors.T
+        )
+        return distances.argmin(axis=1)
+
+    def reconstruct(self, indices: np.ndarray) -> np.ndarray:
+        """Gather pool vectors for an arbitrary-shaped index array."""
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise ValueError("pool index out of range")
+        return self.vectors[indices]
+
+    def quantization_error(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error of assigning ``vectors`` to the pool."""
+        indices = self.assign(vectors)
+        return float(np.mean((self.vectors[indices] - vectors) ** 2))
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez(Path(path), vectors=self.vectors, metric=np.array(self.metric))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WeightPool":
+        data = np.load(Path(path), allow_pickle=False)
+        return cls(vectors=data["vectors"], metric=str(data["metric"]))
+
+
+def collect_poolable_vectors(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    policy: Optional[CompressionPolicy] = None,
+) -> Tuple[np.ndarray, List[LayerTrace]]:
+    """Gather z-dimension weight vectors from every policy-eligible layer."""
+    policy = policy or CompressionPolicy()
+    traces = trace_model(model, input_shape)
+    eligible = [t for t in traces if policy.eligible(t)]
+    if not eligible:
+        raise ValueError(
+            "no layers are eligible for weight-pool compression under the given policy"
+        )
+    chunks = []
+    for trace in eligible:
+        weight = trace.module.weight.data
+        if trace.kind == "conv":
+            if policy.pad_channels:
+                weight = pad_channels_to_group(weight, policy.group_size)
+            chunks.append(extract_z_vectors(weight, policy.group_size))
+        else:
+            chunks.append(extract_linear_z_vectors(weight, policy.group_size))
+    return np.concatenate(chunks, axis=0), eligible
+
+
+def build_weight_pool(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    pool_size: int = 64,
+    policy: Optional[CompressionPolicy] = None,
+    metric: str = "cosine",
+    max_cluster_vectors: int = 20000,
+    seed: SeedLike = 0,
+) -> WeightPool:
+    """Cluster a pretrained model's weight vectors into a shared pool.
+
+    ``max_cluster_vectors`` bounds the number of vectors handed to K-means (a
+    uniform subsample is used beyond that), keeping pool generation fast on
+    large networks without materially changing the centroids.
+    """
+    policy = policy or CompressionPolicy()
+    vectors, _ = collect_poolable_vectors(model, input_shape, policy)
+    rng = new_rng(seed)
+    if len(vectors) > max_cluster_vectors:
+        subset = rng.choice(len(vectors), size=max_cluster_vectors, replace=False)
+        cluster_input = vectors[subset]
+    else:
+        cluster_input = vectors
+    result = kmeans(cluster_input, pool_size, metric=metric, seed=rng)
+    return WeightPool(vectors=result.centroids, metric=metric)

@@ -1,0 +1,31 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The paper evaluates on CIFAR-10 and Quickdraw-100.  Neither dataset can be
+downloaded in the offline reproduction environment, so this package provides
+procedurally generated classification tasks with the same input geometry:
+
+* :class:`SyntheticCIFAR10` — 3x32x32 colour images, 10 classes.
+* :class:`SyntheticQuickDraw` — 1x28x28 sketch-like images, up to 100 classes.
+
+Both are built on :class:`PatternLibrary`, which creates one smooth random
+"prototype" per class and draws samples as noisy, shifted variations of it.
+This keeps the tasks learnable by small CNNs (so accuracy-degradation trends
+from compression/quantization are measurable) while remaining fully
+reproducible from a seed.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.datasets.patterns import PatternLibrary
+from repro.datasets.synthetic import (
+    SyntheticCIFAR10,
+    SyntheticQuickDraw,
+    SyntheticImageClassification,
+    make_classification_split,
+)
+
+__all__ = [
+    "PatternLibrary",
+    "SyntheticImageClassification",
+    "SyntheticCIFAR10",
+    "SyntheticQuickDraw",
+    "make_classification_split",
+]

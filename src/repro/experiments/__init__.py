@@ -1,0 +1,24 @@
+"""Experiment runners: one module per table/figure of the paper's evaluation.
+
+Every runner module (``repro.experiments.table1`` … ``table7``, ``figure4``,
+``figure7``, ``figure8``, ``section55``, ``ablations``) exposes
+``run(scale=..., seed=...)`` returning an
+:class:`~repro.experiments.result.ExperimentResult` whose rows mirror the
+paper's table/figure.  The ``scale`` presets (:mod:`repro.experiments.scale`)
+trade fidelity for runtime so the whole suite can execute on a laptop-class
+CPU; see DESIGN.md §5.
+
+Runner modules are intentionally not imported eagerly here — import the one
+you need (they are lightweight, but keeping the package import cheap matters
+for the library-only use case).
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SCALES, get_scale
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+]

@@ -1,0 +1,19 @@
+"""Tiny argparse helper shared by the ``python -m repro.experiments.tableN`` entry points."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments.result import ExperimentResult
+
+
+def run_cli(run: Callable[..., ExperimentResult], description: str) -> ExperimentResult:
+    """Parse ``--scale``/``--seed`` and execute an experiment runner."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", default="tiny", help="experiment scale preset (tiny/small/full)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args()
+    result = run(scale=args.scale, seed=args.seed)
+    print(result.to_table())
+    return result

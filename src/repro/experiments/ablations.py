@@ -1,0 +1,128 @@
+"""Ablations beyond the paper's headline tables.
+
+Three design-space studies DESIGN.md calls out:
+
+* ``run_memoization`` — precomputation vs. dynamic memoization (paper §4.3 /
+  appendix: the paper evaluated both and picked precomputation).
+* ``run_lut_layout`` — input-oriented vs. weight-oriented LUT ordering
+  (paper §4.2: only the input-oriented layout allows caching the active
+  blocks, which is why it is the deployment default).
+* ``run_index_bitwidth`` — log2(S) vs. 8-bit vs. 16-bit index storage
+  (paper Eq. 4 note: the minimum bitwidth maximises compression but byte/
+  half-word indices are cheaper to access).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core import CompressionPolicy, analyze_model_storage
+from repro.experiments.figure7 import synthetic_layer
+from repro.experiments.result import ExperimentResult
+from repro.mcu import MC_LARGE, BitSerialKernelConfig, MCUDevice
+from repro.mcu.kernels.bitserial import bitserial_conv_cycles
+from repro.mcu.kernels.memoization import memoized_conv_cycles
+from repro.models import create_model
+
+
+def run_memoization(
+    filter_counts: Sequence[int] = (32, 64, 128, 192, 256),
+    pool_size: int = 64,
+    device: MCUDevice = MC_LARGE,
+    **_,
+) -> ExperimentResult:
+    """Precomputation vs. memoization across layer widths."""
+    result = ExperimentResult(
+        experiment_id="ablation-memoization",
+        title="Computation-reuse strategies: precomputation vs. memoization",
+        headers=["filters", "no reuse (Mcycles)", "precompute (Mcycles)", "memoization (Mcycles)",
+                 "precompute speedup", "memoization speedup"],
+        scale="cost model",
+    )
+    for filters in filter_counts:
+        trace = synthetic_layer(filters)
+        base = bitserial_conv_cycles(
+            trace, BitSerialKernelConfig(pool_size=pool_size, precompute="never"), device
+        )
+        pre = bitserial_conv_cycles(
+            trace, BitSerialKernelConfig(pool_size=pool_size, precompute="always"), device
+        )
+        memo = memoized_conv_cycles(
+            trace, BitSerialKernelConfig(pool_size=pool_size), device
+        )
+        result.add_row(filters, base / 1e6, pre / 1e6, memo / 1e6, base / pre, base / memo)
+    result.add_note("the paper picks precomputation; expect it to win for filters > pool size")
+    return result
+
+
+def run_lut_layout(
+    filter_counts: Sequence[int] = (32, 64, 128, 192),
+    pool_size: int = 64,
+    device: MCUDevice = MC_LARGE,
+    **_,
+) -> ExperimentResult:
+    """Input-oriented (cacheable) vs. weight-oriented (uncacheable) LUT layout."""
+    result = ExperimentResult(
+        experiment_id="ablation-lut-layout",
+        title="LUT storage layout: input-oriented (cacheable) vs. weight-oriented",
+        headers=["filters", "weight-oriented (Mcycles)", "input-oriented (Mcycles)", "speedup"],
+        scale="cost model",
+    )
+    for filters in filter_counts:
+        trace = synthetic_layer(filters)
+        # Weight-oriented order scatters the active entries across the table, so
+        # the per-input block cache cannot be built: lookups stay in flash.
+        weight_oriented = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(pool_size=pool_size, lut_caching=False, precompute="auto"),
+            device,
+        )
+        input_oriented = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(pool_size=pool_size, lut_caching=True, precompute="auto"),
+            device,
+        )
+        result.add_row(filters, weight_oriented / 1e6, input_oriented / 1e6,
+                       weight_oriented / input_oriented)
+    result.add_note("input-oriented order is the paper's deployment default (§4.2)")
+    return result
+
+
+def run_index_bitwidth(
+    index_bitwidths: Sequence[int] = (6, 8, 16),
+    network: Tuple[str, int, int] = ("resnet10", 10, 3),
+    pool_size: int = 64,
+    image_size: int = 32,
+    **_,
+) -> ExperimentResult:
+    """Compression-ratio impact of the weight-index storage bitwidth (Eq. 4)."""
+    registry_name, num_classes, channels = network
+    result = ExperimentResult(
+        experiment_id="ablation-index-bitwidth",
+        title=f"Index storage bitwidth vs. compression ratio ({registry_name}, pool {pool_size})",
+        headers=["index bits", "compression ratio", "LUT overhead (%)"],
+        scale="full-size model",
+    )
+    model = create_model(registry_name, num_classes=num_classes, in_channels=channels, rng=0)
+    for index_bits in index_bitwidths:
+        report = analyze_model_storage(
+            model,
+            (channels, image_size, image_size),
+            policy=CompressionPolicy(),
+            pool_size=pool_size,
+            index_bitwidth=index_bits,
+        )
+        result.add_row(index_bits, report.compression_ratio, report.lut_overhead * 100.0)
+    result.add_note("log2(S)=6 bits maximises compression; 8-bit indices are byte-addressable")
+    return result
+
+
+def run(scale="tiny", seed: int = 0) -> ExperimentResult:
+    """Default ablation (memoization), for CLI symmetry with the other runners."""
+    return run_memoization()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments._cli import run_cli
+
+    run_cli(run, __doc__)

@@ -1,0 +1,268 @@
+"""Shared infrastructure for the experiment runners.
+
+Responsibilities:
+
+* build the synthetic datasets used at a given scale (CIFAR-10 and
+  Quickdraw-100 substitutes),
+* pretrain the paper's networks once per (network, dataset, scale, seed)
+  tuple, caching results on disk so that the many tables sharing a pretrained
+  model do not repeat the work,
+* compress + fine-tune weight-pool models,
+* assemble calibrated bit-serial inference engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.batchnorm import recalibrate_batchnorm
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    CompressionResult,
+    EngineConfig,
+    compress_model,
+    finetune_compressed_model,
+)
+from repro.datasets import SyntheticCIFAR10, SyntheticQuickDraw, make_classification_split
+from repro.models import create_model
+from repro.nn import DataLoader, Module, SGD, TrainConfig, Trainer
+from repro.nn.optim.scheduler import CosineAnnealingLR
+from repro.nn.training.trainer import evaluate_model
+from repro.experiments.scale import ExperimentScale, get_scale
+
+# Paper §5.1: the five network–dataset combinations of the evaluation.
+NETWORK_DATASETS = (
+    ("resnet_s", "cifar10"),
+    ("resnet10", "cifar10"),
+    ("resnet14", "cifar10"),
+    ("tinyconv", "quickdraw"),
+    ("mobilenetv2", "quickdraw"),
+)
+
+_DATASET_CACHE: Dict[tuple, tuple] = {}
+_MODEL_CACHE: Dict[tuple, tuple] = {}
+
+CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "pretrained"
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+def dataset_pair(kind: str, scale, seed: int = 0):
+    """Train/test synthetic datasets for ``kind`` in {"cifar10", "quickdraw"}."""
+    scale = get_scale(scale)
+    key = (kind, scale.name, seed)
+    if key in _DATASET_CACHE:
+        return _DATASET_CACHE[key]
+    if kind == "cifar10":
+        train, test = make_classification_split(
+            SyntheticCIFAR10,
+            train_per_class=scale.train_per_class,
+            test_per_class=scale.test_per_class,
+            seed=seed,
+            num_classes=scale.cifar_classes,
+            image_size=scale.image_size,
+            noise_std=scale.cifar_noise_std,
+            instance_strength=scale.instance_strength,
+        )
+    elif kind == "quickdraw":
+        train, test = make_classification_split(
+            SyntheticQuickDraw,
+            train_per_class=scale.train_per_class,
+            test_per_class=scale.test_per_class,
+            seed=seed + 1,
+            num_classes=scale.quickdraw_classes,
+            image_size=scale.image_size,
+            noise_std=scale.quickdraw_noise_std,
+            instance_strength=scale.instance_strength,
+        )
+    else:
+        raise ValueError(f"unknown dataset kind '{kind}' (expected 'cifar10' or 'quickdraw')")
+    _DATASET_CACHE[key] = (train, test)
+    return train, test
+
+
+def loaders_for(train_ds, test_ds, scale, seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+    scale = get_scale(scale)
+    train_loader = DataLoader(train_ds, batch_size=scale.batch_size, shuffle=True, rng=seed)
+    test_loader = DataLoader(test_ds, batch_size=scale.batch_size, shuffle=False)
+    return train_loader, test_loader
+
+
+def dataset_num_classes(kind: str, scale) -> int:
+    scale = get_scale(scale)
+    return scale.cifar_classes if kind == "cifar10" else scale.quickdraw_classes
+
+
+def dataset_channels(kind: str) -> int:
+    return 3 if kind == "cifar10" else 1
+
+
+# ---------------------------------------------------------------------------
+# Pretraining with a disk cache
+# ---------------------------------------------------------------------------
+@dataclass
+class PretrainedModel:
+    """A pretrained float model plus its held-out accuracy."""
+
+    model: Module
+    accuracy: float
+    paper_name: str
+    dataset: str
+    input_shape: Tuple[int, int, int]
+
+
+def _cache_key(paper_name: str, kind: str, scale: ExperimentScale, seed: int) -> str:
+    payload = json.dumps(
+        {
+            "paper_name": paper_name,
+            "dataset": kind,
+            "scale": scale.name,
+            "train_per_class": scale.train_per_class,
+            "classes": dataset_num_classes(kind, scale),
+            "image_size": scale.image_size,
+            "epochs": scale.pretrain_epochs,
+            "suffix": scale.model_suffix,
+            "noise_std": scale.cifar_noise_std if kind == "cifar10" else scale.quickdraw_noise_std,
+            "instance_strength": scale.instance_strength,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _build_model(paper_name: str, kind: str, scale: ExperimentScale, seed: int) -> Module:
+    num_classes = dataset_num_classes(kind, scale)
+    return create_model(
+        scale.model_name(paper_name),
+        num_classes=num_classes,
+        in_channels=dataset_channels(kind),
+        rng=seed,
+    )
+
+
+def pretrained_model(
+    paper_name: str,
+    kind: str,
+    scale,
+    seed: int = 0,
+    use_disk_cache: bool = True,
+) -> PretrainedModel:
+    """Return a pretrained model for ``paper_name`` on dataset ``kind``.
+
+    Results are cached in memory and (optionally) on disk under ``.cache/`` so
+    repeated experiment runs reuse the same pretrained checkpoints.
+    """
+    scale = get_scale(scale)
+    mem_key = (paper_name, kind, scale.name, seed)
+    if mem_key in _MODEL_CACHE:
+        return _MODEL_CACHE[mem_key]
+
+    train_ds, test_ds = dataset_pair(kind, scale, seed)
+    train_loader, test_loader = loaders_for(train_ds, test_ds, scale, seed)
+    input_shape = train_ds.input_shape
+    model = _build_model(paper_name, kind, scale, seed)
+
+    cache_file = CACHE_DIR / f"{paper_name}_{kind}_{_cache_key(paper_name, kind, scale, seed)}.npz"
+    if use_disk_cache and cache_file.exists():
+        data = np.load(cache_file, allow_pickle=False)
+        state = {key: data[key] for key in data.files if key != "__accuracy__"}
+        model.load_state_dict(state)
+        accuracy = float(data["__accuracy__"])
+        result = PretrainedModel(model, accuracy, paper_name, kind, input_shape)
+        _MODEL_CACHE[mem_key] = result
+        return result
+
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    scheduler = CosineAnnealingLR(optimizer, t_max=max(scale.pretrain_epochs, 1))
+    trainer = Trainer(model, optimizer, scheduler=scheduler)
+    trainer.fit(train_loader, TrainConfig(epochs=scale.pretrain_epochs))
+    accuracy = evaluate_model(model, test_loader)
+
+    if use_disk_cache:
+        CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        state = model.state_dict()
+        np.savez(cache_file, __accuracy__=np.array(accuracy), **state)
+
+    result = PretrainedModel(model, accuracy, paper_name, kind, input_shape)
+    _MODEL_CACHE[mem_key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Compression + fine-tuning + engines
+# ---------------------------------------------------------------------------
+def compress_and_finetune(
+    pretrained: PretrainedModel,
+    scale,
+    pool_size: int = 64,
+    group_size: int = 8,
+    seed: int = 0,
+    finetune: bool = True,
+    policy: Optional[CompressionPolicy] = None,
+) -> Tuple[CompressionResult, float]:
+    """Compress a pretrained model and (optionally) fine-tune the indices.
+
+    Returns the compression result and the compressed model's test accuracy.
+    """
+    scale = get_scale(scale)
+    policy = policy or CompressionPolicy(group_size=group_size)
+    train_ds, test_ds = dataset_pair(pretrained.dataset, scale, seed)
+    train_loader, test_loader = loaders_for(train_ds, test_ds, scale, seed)
+
+    result = compress_model(
+        pretrained.model,
+        pretrained.input_shape,
+        pool_size=pool_size,
+        policy=policy,
+        seed=seed,
+    )
+    if finetune and scale.finetune_epochs > 0:
+        finetune_compressed_model(
+            result.model,
+            train_loader,
+            epochs=scale.finetune_epochs,
+            lr=0.01,
+            val_loader=None,
+        )
+    else:
+        # Projection-only evaluation: refresh the BatchNorm statistics, which
+        # the weight replacement invalidates (fine-tuning does this implicitly).
+        recalibrate_batchnorm(result.model, train_loader, num_batches=scale.calibration_batches)
+    # Fine-tuning ends with one final index reassignment; refresh BN statistics
+    # for the deployed (reconstructed) weights before measuring accuracy.
+    recalibrate_batchnorm(result.model, train_loader, num_batches=scale.calibration_batches)
+    accuracy = evaluate_model(result.model, test_loader)
+    return result, accuracy
+
+
+def calibrated_engine(
+    result: CompressionResult,
+    pretrained: PretrainedModel,
+    scale,
+    config: Optional[EngineConfig] = None,
+    seed: int = 0,
+) -> BitSerialInferenceEngine:
+    """Build and calibrate a bit-serial engine for a compressed model."""
+    scale = get_scale(scale)
+    config = config or EngineConfig(calibration_batches=scale.calibration_batches)
+    train_ds, _ = dataset_pair(pretrained.dataset, scale, seed)
+    train_loader = DataLoader(train_ds, batch_size=scale.batch_size, shuffle=True, rng=seed + 7)
+    engine = BitSerialInferenceEngine(result.model, result.pool, config)
+    engine.calibrate(train_loader, batches=scale.calibration_batches)
+    return engine
+
+
+def test_loader_for(pretrained: PretrainedModel, scale, seed: int = 0) -> DataLoader:
+    """The held-out loader matching a pretrained model's dataset."""
+    scale = get_scale(scale)
+    _, test_ds = dataset_pair(pretrained.dataset, scale, seed)
+    return DataLoader(test_ds, batch_size=scale.batch_size, shuffle=False)

@@ -1,0 +1,117 @@
+"""Figure 7: layer-level speedup from LUT caching and precomputation.
+
+The paper benchmarks four 3x3 convolution layers (16x16 input, channels =
+filters ∈ {32, 64, 128, 192}, pool 64) and reports the speedup of
+(a) LUT caching alone and (b) precomputation + LUT caching over the baseline
+bit-serial implementation (no caching, no precomputation).  Caching helps more
+as the filter count grows; precomputation only helps once the layer has more
+filters than pool entries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.tracing import LayerTrace
+from repro.experiments._cli import run_cli
+from repro.experiments.result import ExperimentResult
+from repro.mcu import MC_LARGE, BitSerialKernelConfig, MCUDevice
+from repro.mcu.kernels.bitserial import bitserial_conv_cycles
+
+PAPER_SPEEDUPS = {  # approximate values read off Figure 7
+    32: (1.05, 1.0),
+    64: (1.2, 1.2),
+    128: (1.35, 2.0),
+    192: (1.4, 2.45),
+}
+
+
+def synthetic_layer(filters: int, input_size: int = 16, kernel: int = 3) -> LayerTrace:
+    """The Figure 7 benchmark layer: channels = filters, 16x16 input, 3x3 kernel."""
+    return LayerTrace(
+        name=f"conv{filters}",
+        kind="conv",
+        in_channels=filters,
+        out_channels=filters,
+        kernel_size=kernel,
+        stride=1,
+        padding=kernel // 2,
+        groups=1,
+        input_hw=(input_size, input_size),
+        output_hw=(input_size, input_size),
+        weight_shape=(filters, filters, kernel, kernel),
+        has_bias=False,
+    )
+
+
+def run(
+    scale="tiny",
+    seed: int = 0,
+    filter_counts: Sequence[int] = (32, 64, 128, 192),
+    pool_size: int = 64,
+    activation_bitwidth: int = 8,
+    device: MCUDevice = MC_LARGE,
+) -> ExperimentResult:
+    """Reproduce Figure 7 (analytical cost model; scale-independent)."""
+    result = ExperimentResult(
+        experiment_id="figure7",
+        title="Layer speedup of LUT caching and precomputation (vs. naive bit-serial)",
+        headers=[
+            "filters",
+            "baseline (Mcycles)",
+            "caching speedup",
+            "precompute+caching speedup",
+            "paper caching",
+            "paper precompute+caching",
+        ],
+        scale="cost model (scale-independent)",
+    )
+    for filters in filter_counts:
+        trace = synthetic_layer(filters)
+        baseline = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(
+                pool_size=pool_size,
+                activation_bitwidth=activation_bitwidth,
+                lut_caching=False,
+                precompute="never",
+            ),
+            device,
+        )
+        cached = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(
+                pool_size=pool_size,
+                activation_bitwidth=activation_bitwidth,
+                lut_caching=True,
+                precompute="never",
+            ),
+            device,
+        )
+        precomputed = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(
+                pool_size=pool_size,
+                activation_bitwidth=activation_bitwidth,
+                lut_caching=True,
+                precompute="auto",
+            ),
+            device,
+        )
+        paper = PAPER_SPEEDUPS.get(filters, (None, None))
+        result.add_row(
+            filters,
+            baseline / 1e6,
+            baseline / cached,
+            baseline / precomputed,
+            paper[0],
+            paper[1],
+        )
+    result.add_note(
+        f"device={device.name}; precomputation engages automatically only when filters > pool size"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_cli(run, __doc__)

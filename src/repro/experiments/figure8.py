@@ -1,0 +1,79 @@
+"""Figure 8: speedup vs. activation bitwidth (the arbitrary-precision knob).
+
+For a 128-filter / 128-channel 3x3 layer (16x16 input, pool 64) the paper
+reports the speedup of each activation bitwidth relative to the 8-bit
+bit-serial implementation, (a) without and (b) with precomputation.  Without
+precomputation the speedup scales almost linearly (bounded by the fixed bit
+unpacking cost); with precomputation the filter-loop lookups do not shrink
+with the bitwidth, so the curve saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments._cli import run_cli
+from repro.experiments.figure7 import synthetic_layer
+from repro.experiments.result import ExperimentResult
+from repro.mcu import MC_LARGE, BitSerialKernelConfig, MCUDevice
+from repro.mcu.kernels.bitserial import bitserial_conv_cycles
+
+PAPER_SPEEDUPS_NO_PRECOMPUTE = {8: 1.0, 7: 1.1, 6: 1.25, 5: 1.45, 4: 1.7, 3: 2.1, 2: 2.7, 1: 3.9}
+PAPER_SPEEDUPS_PRECOMPUTE = {8: 1.0, 7: 1.1, 6: 1.2, 5: 1.35, 4: 1.5, 3: 1.7, 2: 2.0, 1: 2.3}
+
+
+def run(
+    scale="tiny",
+    seed: int = 0,
+    bitwidths: Sequence[int] = (8, 7, 6, 5, 4, 3, 2, 1),
+    filters: int = 128,
+    pool_size: int = 64,
+    device: MCUDevice = MC_LARGE,
+) -> ExperimentResult:
+    """Reproduce Figure 8 (analytical cost model; scale-independent)."""
+    result = ExperimentResult(
+        experiment_id="figure8",
+        title="Speedup vs. activation bitwidth (128-filter layer, relative to 8-bit)",
+        headers=[
+            "activation bits",
+            "speedup (no precompute)",
+            "speedup (precompute)",
+            "paper (no precompute)",
+            "paper (precompute)",
+        ],
+        scale="cost model (scale-independent)",
+    )
+    trace = synthetic_layer(filters)
+    reference = {}
+    for precompute in ("never", "always"):
+        reference[precompute] = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(
+                pool_size=pool_size, activation_bitwidth=8, precompute=precompute
+            ),
+            device,
+        )
+    for bits in bitwidths:
+        cycles_no_pre = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(pool_size=pool_size, activation_bitwidth=bits, precompute="never"),
+            device,
+        )
+        cycles_pre = bitserial_conv_cycles(
+            trace,
+            BitSerialKernelConfig(pool_size=pool_size, activation_bitwidth=bits, precompute="always"),
+            device,
+        )
+        result.add_row(
+            bits,
+            reference["never"] / cycles_no_pre,
+            reference["always"] / cycles_pre,
+            PAPER_SPEEDUPS_NO_PRECOMPUTE.get(bits),
+            PAPER_SPEEDUPS_PRECOMPUTE.get(bits),
+        )
+    result.add_note(f"device={device.name}; input 16x16, channels = filters = {filters}")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_cli(run, __doc__)

@@ -1,0 +1,56 @@
+"""Structured experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.utils.tabulate import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of a reproduced table/figure plus bookkeeping metadata."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+    scale: Optional[str] = None
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_table(self, float_fmt: str = ".2f") -> str:
+        """Render the result as an aligned plain-text table."""
+        title = f"{self.experiment_id}: {self.title}"
+        if self.scale:
+            title += f" (scale={self.scale})"
+        table = format_table(self.rows, headers=self.headers, float_fmt=float_fmt, title=title)
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return table
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name."""
+        headers = list(self.headers)
+        if name not in headers:
+            raise KeyError(f"no column named '{name}' (have {headers})")
+        index = headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_column: str, key_value: Any) -> Sequence[Any]:
+        """Return the first row whose ``key_column`` equals ``key_value``."""
+        keys = self.column(key_column)
+        for i, key in enumerate(keys):
+            if key == key_value:
+                return self.rows[i]
+        raise KeyError(f"no row with {key_column} == {key_value!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_table()

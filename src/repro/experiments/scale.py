@@ -1,0 +1,104 @@
+"""Scale presets for the experiment runners.
+
+NumPy-on-CPU cannot train the paper's full-size networks on full datasets in a
+benchmark run, so every experiment accepts a scale preset:
+
+* ``tiny``  — default for ``pytest benchmarks/``; small synthetic datasets and
+  width-reduced model variants.  Captures qualitative trends in seconds-to-
+  minutes per experiment.
+* ``small`` — more data and epochs, same reduced models.
+* ``full``  — the paper's model sizes and 100-class Quickdraw substitute.
+  Provided for completeness; expect hours on CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling dataset size, model size, and training length."""
+
+    name: str
+    train_per_class: int
+    test_per_class: int
+    cifar_classes: int
+    quickdraw_classes: int
+    image_size: int
+    pretrain_epochs: int
+    finetune_epochs: int
+    batch_size: int
+    calibration_batches: int
+    model_suffix: str  # appended to registry names ("_tiny" or "")
+    default_pool_size: int = 64
+    # Synthetic-task difficulty: higher noise keeps the uncompressed accuracy
+    # away from 100 % so compression-induced drops remain measurable.  The
+    # sketch-style Quickdraw substitute is more noise-sensitive than the
+    # CIFAR-like task, so the two get separate settings.
+    cifar_noise_std: float = 0.45
+    quickdraw_noise_std: float = 0.3
+    instance_strength: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.train_per_class < 1 or self.test_per_class < 1:
+            raise ValueError("per-class sample counts must be positive")
+        if self.image_size % 8:
+            raise ValueError("image_size must be divisible by 8 (TinyConv pooling)")
+
+    def model_name(self, paper_name: str) -> str:
+        """Registry name of the model variant used at this scale."""
+        return f"{paper_name}{self.model_suffix}"
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        train_per_class=28,
+        test_per_class=16,
+        cifar_classes=10,
+        quickdraw_classes=10,
+        image_size=32,
+        pretrain_epochs=5,
+        finetune_epochs=3,
+        batch_size=32,
+        calibration_batches=2,
+        model_suffix="_tiny",
+    ),
+    "small": ExperimentScale(
+        name="small",
+        train_per_class=100,
+        test_per_class=40,
+        cifar_classes=10,
+        quickdraw_classes=20,
+        image_size=32,
+        pretrain_epochs=10,
+        finetune_epochs=4,
+        batch_size=64,
+        calibration_batches=3,
+        model_suffix="_tiny",
+    ),
+    "full": ExperimentScale(
+        name="full",
+        train_per_class=500,
+        test_per_class=100,
+        cifar_classes=10,
+        quickdraw_classes=100,
+        image_size=32,
+        pretrain_epochs=40,
+        finetune_epochs=10,
+        batch_size=128,
+        calibration_batches=4,
+        model_suffix="",
+    ),
+}
+
+
+def get_scale(scale: Union[str, ExperimentScale]) -> ExperimentScale:
+    """Resolve a scale preset by name (or pass through an explicit preset)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale '{scale}'; available: {', '.join(SCALES)}")
+    return SCALES[scale]

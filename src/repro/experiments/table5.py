@@ -1,0 +1,104 @@
+"""Table 5: inference accuracy vs. lookup-table bitwidth.
+
+The paper stores the LUT at 16 / 8 / 4 bits (plus a "No-LUT" reference that
+skips the LUT entirely) with 8-bit activations and finds that an 8-bit LUT
+loses essentially no accuracy, which is why 8 bits is the deployment default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core import EngineConfig
+from repro.experiments._cli import run_cli
+from repro.experiments.common import (
+    NETWORK_DATASETS,
+    calibrated_engine,
+    compress_and_finetune,
+    pretrained_model,
+    test_loader_for,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import get_scale
+
+PAPER_RESULTS = {
+    "resnet_s": {"no-lut": 83.0, 16: 83.0, 8: 82.9, 4: 82.3},
+    "resnet10": {"no-lut": 89.6, 16: 89.9, 8: 89.9, 4: 89.4},
+    "resnet14": {"no-lut": 91.1, 16: 91.1, 8: 91.1, 4: 90.4},
+    "tinyconv": {"no-lut": 82.2, 16: 82.2, 8: 82.1, 4: 81.6},
+    "mobilenetv2": {"no-lut": 86.8, 16: 86.6, 8: 86.6, 4: 85.5},
+}
+
+
+def run(
+    scale="tiny",
+    seed: int = 0,
+    lut_bitwidths: Sequence[Optional[int]] = (None, 16, 8, 4),
+    activation_bitwidth: int = 8,
+    pool_size: int = 64,
+    networks: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ExperimentResult:
+    """Reproduce Table 5 at the given scale.
+
+    ``None`` in ``lut_bitwidths`` denotes the "No-LUT" reference (quantized
+    activations, float pool weights, no lookup table).
+    """
+    scale = get_scale(scale)
+    networks = tuple(networks) if networks is not None else NETWORK_DATASETS
+
+    def column_name(bitwidth: Optional[int]) -> str:
+        return "no-LUT (%)" if bitwidth is None else f"LUT {bitwidth}-bit (%)"
+
+    headers = ["network", "dataset"] + [column_name(b) for b in lut_bitwidths] + ["paper 8-bit LUT"]
+    result = ExperimentResult(
+        experiment_id="table5",
+        title=f"Accuracy vs. LUT bitwidth ({activation_bitwidth}-bit activations)",
+        headers=headers,
+        scale=scale.name,
+    )
+
+    for paper_name, dataset in networks:
+        pretrained = pretrained_model(paper_name, dataset, scale, seed)
+        compressed, _ = compress_and_finetune(pretrained, scale, pool_size=pool_size, seed=seed)
+        loader = test_loader_for(pretrained, scale, seed)
+        engine = calibrated_engine(
+            compressed,
+            pretrained,
+            scale,
+            EngineConfig(
+                activation_bitwidth=activation_bitwidth,
+                lut_bitwidth=None,
+                use_lut=True,
+                calibration_batches=scale.calibration_batches,
+            ),
+            seed=seed,
+        )
+        row = [paper_name, dataset]
+        for lut_bitwidth in lut_bitwidths:
+            if lut_bitwidth is None:
+                engine.config = EngineConfig(
+                    activation_bitwidth=activation_bitwidth,
+                    lut_bitwidth=None,
+                    use_lut=False,
+                    calibration_batches=scale.calibration_batches,
+                )
+                engine.set_lut_bitwidth(None)
+            else:
+                engine.config = EngineConfig(
+                    activation_bitwidth=activation_bitwidth,
+                    lut_bitwidth=lut_bitwidth,
+                    use_lut=True,
+                    calibration_batches=scale.calibration_batches,
+                )
+                engine.set_lut_bitwidth(lut_bitwidth)
+            row.append(engine.evaluate(loader) * 100.0)
+        paper = PAPER_RESULTS.get(paper_name, {})
+        row.append(paper.get(8))
+        result.add_row(*row)
+
+    result.add_note("expect the 16/8-bit LUT columns to match the no-LUT column closely")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_cli(run, __doc__)

@@ -1,0 +1,104 @@
+"""Table 6: inference accuracy vs. activation bitwidth, plus the minimum bitwidth.
+
+The paper sweeps the activation bitwidth from 8 down to 3 bits (LUT fixed at
+8 bits, pool 64) and reports, per network, the minimum bitwidth whose accuracy
+drop against the float weight-pool network stays below 1 %.  (The bracketed
+numbers in the paper are after quantization-aware retraining; this runner
+reports post-training accuracy and exposes retraining as follow-up work in
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core import EngineConfig
+from repro.experiments._cli import run_cli
+from repro.experiments.common import (
+    NETWORK_DATASETS,
+    calibrated_engine,
+    compress_and_finetune,
+    pretrained_model,
+    test_loader_for,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import get_scale
+
+PAPER_MIN_BITWIDTH = {
+    "resnet_s": 4,
+    "resnet10": 4,
+    "resnet14": 3,
+    "tinyconv": 4,
+    "mobilenetv2": 5,
+}
+
+
+def run(
+    scale="tiny",
+    seed: int = 0,
+    activation_bitwidths: Sequence[int] = (8, 7, 6, 5, 4, 3),
+    pool_size: int = 64,
+    lut_bitwidth: int = 8,
+    max_drop: float = 0.01,
+    networks: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ExperimentResult:
+    """Reproduce Table 6 at the given scale."""
+    scale = get_scale(scale)
+    networks = tuple(networks) if networks is not None else NETWORK_DATASETS
+    headers = ["network", "dataset", "float pool (%)"]
+    headers += [f"{b}-bit (%)" for b in activation_bitwidths]
+    headers += ["min bitwidth (<1% drop)", "paper min bitwidth"]
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Accuracy vs. activation bitwidth (8-bit LUT, pool 64)",
+        headers=headers,
+        scale=scale.name,
+    )
+
+    for paper_name, dataset in networks:
+        pretrained = pretrained_model(paper_name, dataset, scale, seed)
+        compressed, float_accuracy = compress_and_finetune(
+            pretrained, scale, pool_size=pool_size, seed=seed
+        )
+        loader = test_loader_for(pretrained, scale, seed)
+        engine = calibrated_engine(
+            compressed,
+            pretrained,
+            scale,
+            EngineConfig(
+                activation_bitwidth=max(activation_bitwidths),
+                lut_bitwidth=lut_bitwidth,
+                calibration_batches=scale.calibration_batches,
+            ),
+            seed=seed,
+        )
+        row = [paper_name, dataset, float_accuracy * 100.0]
+        accuracies = {}
+        for bitwidth in sorted(activation_bitwidths, reverse=True):
+            engine.set_activation_bitwidth(bitwidth)
+            accuracies[bitwidth] = engine.evaluate(loader)
+        for bitwidth in activation_bitwidths:
+            row.append(accuracies[bitwidth] * 100.0)
+        # Minimum bitwidth with <1% drop, derived from the sweep just measured
+        # (same protocol as repro.analysis.find_min_activation_bitwidth, without
+        # re-running the evaluations).
+        min_bitwidth = None
+        for bitwidth in sorted(accuracies, reverse=True):
+            if float_accuracy - accuracies[bitwidth] <= max_drop:
+                min_bitwidth = bitwidth
+            else:
+                break
+        row.append(min_bitwidth)
+        row.append(PAPER_MIN_BITWIDTH.get(paper_name))
+        result.add_row(*row)
+        result.extras[paper_name] = accuracies
+
+    result.add_note(
+        "post-training quantization only (the paper's bracketed numbers additionally retrain "
+        "with quantized activations)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_cli(run, __doc__)

@@ -1,0 +1,129 @@
+"""Table 7: full-network inference latency on both microcontrollers.
+
+For every network the paper reports the latency (seconds) of the CMSIS 8-bit
+baseline and of weight-pool deployments with pool sizes 64 and 32, each at
+8-bit and at the minimum activation bitwidth from Table 6.  Networks that do
+not fit the device's flash are marked "/".  MC-small only fits the two
+smallest networks.
+
+This runner uses the analytical MCU cost model on the paper-sized networks
+(latency estimation needs no training); see DESIGN.md §2 for the fidelity
+caveats — the headline comparisons are the *ratios* between columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments._cli import run_cli
+from repro.experiments.result import ExperimentResult
+from repro.mcu import (
+    MC_LARGE,
+    MC_SMALL,
+    BitSerialKernelConfig,
+    MCUDevice,
+    estimate_cmsis_network,
+    estimate_weight_pool_network,
+)
+from repro.models import create_model
+
+# (paper name, registry name, classes, input channels)
+PAPER_NETWORKS: Tuple[Tuple[str, str, int, int], ...] = (
+    ("TinyConv", "tinyconv", 100, 1),
+    ("ResNet-s", "resnet_s", 10, 3),
+    ("ResNet-10", "resnet10", 10, 3),
+    ("ResNet-14", "resnet14", 10, 3),
+    ("MobileNet-v2", "mobilenetv2", 100, 3),
+)
+
+# Table 6's minimum activation bitwidths (<1% accuracy drop).
+PAPER_MIN_BITWIDTH: Dict[str, int] = {
+    "TinyConv": 4,
+    "ResNet-s": 4,
+    "ResNet-10": 4,
+    "ResNet-14": 3,
+    "MobileNet-v2": 5,
+}
+
+PAPER_LATENCY_MC_LARGE = {
+    "TinyConv": (1.06, 0.83, 0.75, 0.60, 0.57),
+    "ResNet-s": (0.60, 0.49, 0.43, 0.31, 0.28),
+    "ResNet-10": (5.28, 3.00, 2.22, 1.87, 1.61),
+    "ResNet-14": (None, 3.46, 2.59, 1.92, 1.73),
+    "MobileNet-v2": (None, 3.60, 3.12, 3.07, 2.78),
+}
+
+PAPER_LATENCY_MC_SMALL = {
+    "TinyConv": (1.95, 1.49, 1.33, 0.99, 0.89),
+    "ResNet-s": (1.24, 1.07, 0.89, 0.63, 0.55),
+}
+
+
+def run(
+    scale="tiny",
+    seed: int = 0,
+    devices: Sequence[MCUDevice] = (MC_LARGE, MC_SMALL),
+    pool_sizes: Sequence[int] = (64, 32),
+    min_bitwidths: Optional[Dict[str, int]] = None,
+    image_size: int = 32,
+    networks: Sequence[Tuple[str, str, int, int]] = PAPER_NETWORKS,
+) -> ExperimentResult:
+    """Reproduce Table 7 (full-size networks, analytical MCU cost model)."""
+    min_bitwidths = dict(PAPER_MIN_BITWIDTH if min_bitwidths is None else min_bitwidths)
+    headers = ["device", "network", "CMSIS (s)"]
+    for pool in pool_sizes:
+        headers += [f"{pool}-8 (s)", f"{pool}-min (s)"]
+    headers += ["paper CMSIS (s)", "paper 64-8 (s)", "paper 64-min (s)"]
+    result = ExperimentResult(
+        experiment_id="table7",
+        title="Full-network inference latency (/ = does not fit in flash)",
+        headers=headers,
+        scale="full-size models + cost model (scale-independent)",
+    )
+
+    for device in devices:
+        for paper_name, registry_name, num_classes, channels in networks:
+            if device.name == "MC-small" and paper_name not in PAPER_LATENCY_MC_SMALL:
+                # The paper only evaluates the two smallest networks on MC-small.
+                continue
+            model = create_model(
+                registry_name, num_classes=num_classes, in_channels=channels, rng=seed
+            )
+            input_shape = (channels, image_size, image_size)
+            cmsis = estimate_cmsis_network(model, input_shape, device, paper_name)
+            row = [device.name, paper_name, cmsis.latency_or_none]
+            min_bits = min_bitwidths.get(paper_name, 4)
+            for pool in pool_sizes:
+                for bits in (8, min_bits):
+                    report = estimate_weight_pool_network(
+                        model,
+                        input_shape,
+                        device,
+                        BitSerialKernelConfig(pool_size=pool, activation_bitwidth=bits),
+                        network_name=paper_name,
+                    )
+                    row.append(report.latency_or_none)
+            paper = (
+                PAPER_LATENCY_MC_LARGE.get(paper_name)
+                if device.name == "MC-large"
+                else PAPER_LATENCY_MC_SMALL.get(paper_name)
+            )
+            if paper is not None:
+                row += [paper[0], paper[1], paper[3]]
+            else:
+                row += [None, None, None]
+            result.add_row(*row)
+
+    result.add_note(
+        "minimum activation bitwidths taken from Table 6: "
+        + ", ".join(f"{name}={bits}" for name, bits in min_bitwidths.items())
+    )
+    result.add_note(
+        "absolute cycle counts are approximate; compare speedups (CMSIS / weight-pool) "
+        "and which networks fit which device"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_cli(run, __doc__)

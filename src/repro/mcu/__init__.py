@@ -1,0 +1,49 @@
+"""Microcontroller cost-model simulator.
+
+The paper measures runtime with hardware cycle counters on two STM32 Nucleo
+boards (Table 2).  This package substitutes an analytical Cortex-M3 cycle-cost
+model: every kernel walks the *same loop structure* as the paper's
+implementation (Algorithm 1 for the bit-serial LUT kernel, a CMSIS-NN-style
+direct convolution for the baseline) and charges per-operation costs from a
+:class:`~repro.mcu.device.CycleCosts` table (SRAM vs. sequential-flash vs.
+random-flash accesses, MAC/ALU ops, loop bookkeeping).
+
+Absolute cycle counts are approximate (see DESIGN.md §2); relative speedups —
+scaling with the number of filters, with activation bitwidth, the
+precomputation crossover at ``#filters > pool size``, and flash-vs-SRAM LUT
+caching gains — derive from operation counts and are the quantities compared
+against the paper's Figures 7–8 and Table 7.
+"""
+
+from repro.mcu.device import MCUDevice, CycleCosts, MC_LARGE, MC_SMALL, DEVICES
+from repro.mcu.kernels.cmsis import cmsis_conv_cycles, cmsis_linear_cycles
+from repro.mcu.kernels.bitserial import (
+    BitSerialKernelConfig,
+    bitserial_conv_cycles,
+    bitserial_layer_breakdown,
+)
+from repro.mcu.kernels.memoization import memoized_conv_cycles
+from repro.mcu.executor import (
+    LayerLatency,
+    NetworkLatencyReport,
+    estimate_cmsis_network,
+    estimate_weight_pool_network,
+)
+
+__all__ = [
+    "MCUDevice",
+    "CycleCosts",
+    "MC_LARGE",
+    "MC_SMALL",
+    "DEVICES",
+    "cmsis_conv_cycles",
+    "cmsis_linear_cycles",
+    "BitSerialKernelConfig",
+    "bitserial_conv_cycles",
+    "bitserial_layer_breakdown",
+    "memoized_conv_cycles",
+    "LayerLatency",
+    "NetworkLatencyReport",
+    "estimate_cmsis_network",
+    "estimate_weight_pool_network",
+]

@@ -1,0 +1,133 @@
+"""Microcontroller device models (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import KiB
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Effective per-operation cycle costs of a Cortex-M3-class core.
+
+    These are *effective* (pipeline-amortised) costs rather than data-sheet
+    instruction timings; the same table is used for every kernel so relative
+    comparisons depend only on operation counts.
+
+    Attributes
+    ----------
+    sram_load / sram_store:
+        Access to on-chip SRAM.
+    flash_seq_load:
+        Sequential flash read (prefetch/accelerator friendly) — weight and
+        index streaming.
+    flash_rand_load:
+        Random flash read (accelerator miss) — LUT lookups when the table is
+        not cached in SRAM.
+    mac:
+        Multiply-accumulate.
+    alu:
+        Simple ALU operation (shift, add, mask).
+    loop:
+        Per-iteration loop bookkeeping (increment, compare, branch),
+        amortised.
+    """
+
+    sram_load: float = 1.0
+    sram_store: float = 1.0
+    flash_seq_load: float = 2.0
+    flash_rand_load: float = 3.0
+    mac: float = 1.0
+    alu: float = 0.5
+    loop: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sram_load",
+            "sram_store",
+            "flash_seq_load",
+            "flash_rand_load",
+            "mac",
+            "alu",
+            "loop",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.flash_rand_load < self.flash_seq_load:
+            raise ValueError("random flash access cannot be cheaper than sequential")
+        if self.flash_seq_load < self.sram_load:
+            raise ValueError("flash access cannot be cheaper than SRAM access")
+
+
+@dataclass(frozen=True)
+class MCUDevice:
+    """A microcontroller target: memory sizes, clock, and cycle costs."""
+
+    name: str
+    part: str
+    sram_bytes: int
+    flash_bytes: int
+    freq_mhz: float
+    costs: CycleCosts = field(default_factory=CycleCosts)
+    code_reserve_bytes: int = 24 * KiB  # flash reserved for code + runtime
+    sram_reserve_bytes: int = 4 * KiB  # SRAM reserved for stack + globals
+
+    def __post_init__(self) -> None:
+        if self.sram_bytes <= 0 or self.flash_bytes <= 0 or self.freq_mhz <= 0:
+            raise ValueError("memory sizes and frequency must be positive")
+
+    @property
+    def available_flash_bytes(self) -> int:
+        return max(self.flash_bytes - self.code_reserve_bytes, 0)
+
+    @property
+    def available_sram_bytes(self) -> int:
+        return max(self.sram_bytes - self.sram_reserve_bytes, 0)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the device clock."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / (self.freq_mhz * 1e6)
+
+
+# Paper Table 2: STM Nucleo boards, both Cortex-M3.
+MC_LARGE = MCUDevice(
+    name="MC-large",
+    part="STM32F207ZG",
+    sram_bytes=128 * KiB,
+    flash_bytes=1024 * KiB,
+    freq_mhz=120.0,
+    # The F207's ART accelerator makes sequential flash cheap but random LUT
+    # accesses still miss; SRAM is single-cycle-ish when pipelined.
+    costs=CycleCosts(
+        sram_load=1.0,
+        sram_store=1.0,
+        flash_seq_load=2.0,
+        flash_rand_load=3.5,
+        mac=1.0,
+        alu=0.5,
+        loop=0.5,
+    ),
+)
+
+MC_SMALL = MCUDevice(
+    name="MC-small",
+    part="STM32F103RB",
+    sram_bytes=20 * KiB,
+    flash_bytes=128 * KiB,
+    freq_mhz=72.0,
+    # Lower clock -> fewer flash wait states, but no accelerator.
+    costs=CycleCosts(
+        sram_load=1.0,
+        sram_store=1.0,
+        flash_seq_load=2.0,
+        flash_rand_load=3.0,
+        mac=1.0,
+        alu=0.5,
+        loop=0.5,
+    ),
+)
+
+DEVICES = {device.name: device for device in (MC_LARGE, MC_SMALL)}

@@ -1,0 +1,197 @@
+"""Whole-network latency estimation and memory-fit checking on an MCU model.
+
+Reproduces the protocol behind Table 7: a network is deployed either with the
+CMSIS-style 8-bit baseline or with the weight-pool bit-serial kernel; the
+estimator reports per-layer and total cycles, the wall-clock latency at the
+device clock, and whether the deployment fits the device's flash (the paper
+marks networks that do not fit with "/").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.policy import CompressionPolicy
+from repro.core.storage import analyze_model_storage, lut_storage_bits
+from repro.core.tracing import LayerTrace, trace_model
+from repro.mcu.device import MCUDevice
+from repro.mcu.kernels.bitserial import (
+    BitSerialKernelConfig,
+    bitserial_conv_cycles,
+    bitserial_linear_cycles,
+)
+from repro.mcu.kernels.cmsis import cmsis_conv_cycles, cmsis_linear_cycles
+from repro.nn import Module
+
+
+@dataclass
+class LayerLatency:
+    """Cycle count of one layer under a given deployment."""
+
+    name: str
+    kind: str
+    compressed: bool
+    cycles: float
+    macs: int
+
+
+@dataclass
+class NetworkLatencyReport:
+    """Latency and memory-fit summary of one network on one device."""
+
+    network: str
+    device: MCUDevice
+    mode: str  # "cmsis" or "weight_pool"
+    layers: List[LayerLatency]
+    flash_bytes_needed: float
+    sram_bytes_needed: float
+    activation_bitwidth: int = 8
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.device.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def fits_flash(self) -> bool:
+        return self.flash_bytes_needed <= self.device.available_flash_bytes
+
+    @property
+    def fits_sram(self) -> bool:
+        return self.sram_bytes_needed <= self.device.available_sram_bytes
+
+    @property
+    def latency_or_none(self) -> Optional[float]:
+        """Latency in seconds, or ``None`` when the network does not fit in flash.
+
+        Mirrors the "/" entries of Table 7.
+        """
+        return self.latency_seconds if self.fits_flash else None
+
+
+def _activation_sram_bytes(traces: List[LayerTrace]) -> float:
+    """Peak activation working set: largest (input + output) of any conv/linear layer.
+
+    Activations are 8-bit on the MCU.  This matches the double-buffering scheme
+    CMSIS-NN and the paper's kernel both use.
+    """
+    peak = 0.0
+    for trace in traces:
+        ih, iw = trace.input_hw
+        oh, ow = trace.output_hw
+        if trace.kind == "conv":
+            in_bytes = trace.in_channels * ih * iw
+            out_bytes = trace.out_channels * oh * ow
+        else:
+            in_bytes = trace.in_channels
+            out_bytes = trace.out_channels
+        peak = max(peak, float(in_bytes + out_bytes))
+    return peak
+
+
+def estimate_cmsis_network(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    device: MCUDevice,
+    network_name: str = "network",
+) -> NetworkLatencyReport:
+    """Latency of the 8-bit CMSIS-style deployment of ``model`` on ``device``."""
+    traces = trace_model(model, input_shape)
+    layers = []
+    total_weight_bytes = 0.0
+    for trace in traces:
+        cycles = (
+            cmsis_conv_cycles(trace, device)
+            if trace.kind == "conv"
+            else cmsis_linear_cycles(trace, device)
+        )
+        layers.append(
+            LayerLatency(
+                name=trace.name,
+                kind=trace.kind,
+                compressed=False,
+                cycles=cycles,
+                macs=trace.macs,
+            )
+        )
+        total_weight_bytes += trace.weight_params + trace.bias_params
+    return NetworkLatencyReport(
+        network=network_name,
+        device=device,
+        mode="cmsis",
+        layers=layers,
+        flash_bytes_needed=total_weight_bytes,  # 8-bit weights: one byte each
+        sram_bytes_needed=_activation_sram_bytes(traces),
+    )
+
+
+def estimate_weight_pool_network(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    device: MCUDevice,
+    config: Optional[BitSerialKernelConfig] = None,
+    policy: Optional[CompressionPolicy] = None,
+    network_name: str = "network",
+) -> NetworkLatencyReport:
+    """Latency of the weight-pool bit-serial deployment of ``model`` on ``device``.
+
+    ``model`` may already contain weight-pool layers (then the actual layer
+    types decide what is compressed) or be an uncompressed model (then
+    ``policy`` decides hypothetically, which is how the full-size Table 7
+    networks are evaluated without materialising the compression).
+    """
+    config = config or BitSerialKernelConfig()
+    policy = policy or CompressionPolicy(group_size=config.group_size)
+    traces = trace_model(model, input_shape)
+
+    layers = []
+    for trace in traces:
+        module = trace.module
+        if isinstance(module, (WeightPoolConv2d, WeightPoolLinear)):
+            compressed = True
+        else:
+            compressed = policy.eligible(trace)
+        if compressed and trace.kind == "conv":
+            cycles = bitserial_conv_cycles(trace, config, device)
+        elif compressed and trace.kind == "linear":
+            cycles = bitserial_linear_cycles(trace, config, device)
+        elif trace.kind == "conv":
+            cycles = cmsis_conv_cycles(trace, device)
+        else:
+            cycles = cmsis_linear_cycles(trace, device)
+        layers.append(
+            LayerLatency(
+                name=trace.name,
+                kind=trace.kind,
+                compressed=compressed,
+                cycles=cycles,
+                macs=trace.macs,
+            )
+        )
+
+    storage = analyze_model_storage(
+        model,
+        input_shape,
+        policy=policy,
+        pool_size=config.pool_size,
+        index_bitwidth=config.index_bytes * 8,
+        lut_bitwidth=config.lut_entry_bytes * 8,
+    )
+    sram = _activation_sram_bytes(traces)
+    if config.lut_caching:
+        # Cached active LUT blocks: M rows of S entries.
+        sram += config.activation_bitwidth * config.pool_size * config.lut_entry_bytes
+    return NetworkLatencyReport(
+        network=network_name,
+        device=device,
+        mode="weight_pool",
+        layers=layers,
+        flash_bytes_needed=storage.flash_bytes(),
+        sram_bytes_needed=sram,
+        activation_bitwidth=config.activation_bitwidth,
+    )

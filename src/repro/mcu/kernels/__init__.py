@@ -1,0 +1,18 @@
+"""Kernel-level cycle-cost models."""
+
+from repro.mcu.kernels.cmsis import cmsis_conv_cycles, cmsis_linear_cycles
+from repro.mcu.kernels.bitserial import (
+    BitSerialKernelConfig,
+    bitserial_conv_cycles,
+    bitserial_layer_breakdown,
+)
+from repro.mcu.kernels.memoization import memoized_conv_cycles
+
+__all__ = [
+    "cmsis_conv_cycles",
+    "cmsis_linear_cycles",
+    "BitSerialKernelConfig",
+    "bitserial_conv_cycles",
+    "bitserial_layer_breakdown",
+    "memoized_conv_cycles",
+]

@@ -1,0 +1,226 @@
+"""Cycle model of the bit-serial LUT convolution kernel (paper Algorithm 1, §4).
+
+The kernel walks, per layer::
+
+    for output y, output x:                       # output positions
+      for kernel y, kernel x:                     # receptive-field offsets
+        for input channel group:                  # C / group_size
+          (1) activation vector decomposition (bit unpacking)
+          (2) LUT caching (flash -> SRAM)         [optional, §4.2]
+          if precomputation:                       [optional, §4.3]
+            (3) for each pool vector, for each active bit:
+                  result lookup + shift + accumulate;  store to SRAM
+            (4) for each filter: index load + precomputed-result load + accumulate
+          else:
+            (5) for each filter: index load
+                  for each active bit: result lookup + shift + accumulate
+
+The cost of each numbered step is charged from the device's
+:class:`~repro.mcu.device.CycleCosts`; this module exposes both the total and
+a per-step breakdown (useful for the Figure 7/8 analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.tracing import LayerTrace
+from repro.mcu.device import MCUDevice
+
+
+@dataclass(frozen=True)
+class BitSerialKernelConfig:
+    """Configuration of the bit-serial kernel cost model."""
+
+    pool_size: int = 64
+    group_size: int = 8
+    activation_bitwidth: int = 8
+    lut_caching: bool = True
+    precompute: str = "auto"  # "auto" (paper rule: filters > pool size), "always", "never"
+    lut_entry_bytes: int = 1  # 8-bit LUT entries
+    index_bytes: int = 1  # 8-bit index storage (paper §3.2 note)
+    share_unpacking: bool = True  # input-reuse dataflow (§4.1); False models the naive flow
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        if not 1 <= self.activation_bitwidth <= 8:
+            raise ValueError(
+                f"activation_bitwidth must be in [1, 8], got {self.activation_bitwidth}"
+            )
+        if self.precompute not in ("auto", "always", "never"):
+            raise ValueError(
+                f"precompute must be 'auto', 'always' or 'never', got {self.precompute}"
+            )
+
+    def uses_precompute(self, num_filters: int) -> bool:
+        """The paper's rule: precompute only when the layer has more filters than pool entries."""
+        if self.precompute == "always":
+            return True
+        if self.precompute == "never":
+            return False
+        return num_filters > self.pool_size
+
+
+@dataclass
+class BitSerialLayerBreakdown:
+    """Per-step cycle breakdown for one layer."""
+
+    unpack: float = 0.0
+    lut_cache: float = 0.0
+    precompute: float = 0.0
+    filter_loop: float = 0.0
+    output_writeback: float = 0.0
+    used_precompute: bool = False
+    iterations: int = 0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.unpack
+            + self.lut_cache
+            + self.precompute
+            + self.filter_loop
+            + self.output_writeback
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "unpack": self.unpack,
+            "lut_cache": self.lut_cache,
+            "precompute": self.precompute,
+            "filter_loop": self.filter_loop,
+            "output_writeback": self.output_writeback,
+            "total": self.total,
+        }
+
+
+def _unpack_cycles_per_group(config: BitSerialKernelConfig, device: MCUDevice) -> float:
+    """Decompose one activation vector (``group_size`` elements × ``M`` bits).
+
+    Each element is loaded once from SRAM; each (element, bit) pair costs a
+    shift, a mask, and an OR into the bit-row word (3 ALU ops), matching the
+    paper's observation that an 8-element 8-bit vector needs 64 unpacking
+    iterations.  The assembled bit rows are stored back to SRAM (one store per
+    bit row).
+    """
+    costs = device.costs
+    g = config.group_size
+    m = config.activation_bitwidth
+    element_loads = g * costs.sram_load
+    per_bit_ops = g * m * (2 * costs.alu + costs.loop)  # shift+mask, OR into bit row
+    row_stores = m * costs.sram_store
+    return element_loads + per_bit_ops + row_stores
+
+
+def _lut_cache_cycles_per_group(config: BitSerialKernelConfig, device: MCUDevice) -> float:
+    """Copy the active LUT blocks (``M`` rows × ``S`` entries) from flash to SRAM.
+
+    8-bit entries are copied four-at-a-time as 32-bit words (sequential flash
+    reads), which is how a real implementation would do the block copy.
+    """
+    costs = device.costs
+    entries = config.activation_bitwidth * config.pool_size
+    entries_per_word = max(4 // config.lut_entry_bytes, 1)
+    words = entries / entries_per_word
+    return words * (costs.flash_seq_load + costs.sram_store + costs.alu)
+
+
+def bitserial_layer_breakdown(
+    trace: LayerTrace, config: BitSerialKernelConfig, device: MCUDevice
+) -> BitSerialLayerBreakdown:
+    """Full per-step cost breakdown of one compressed convolution layer."""
+    if trace.kind != "conv":
+        raise ValueError(f"expected a conv trace, got kind='{trace.kind}'")
+    if trace.groups != 1:
+        raise ValueError("bit-serial kernel models only dense (groups=1) convolutions")
+    costs = device.costs
+    g = config.group_size
+    m = config.activation_bitwidth
+    s = config.pool_size
+    f = trace.out_channels
+    oh, ow = trace.output_hw
+    kh = kw = trace.kernel_size
+    channel_groups = -(-trace.in_channels // g)  # ceil: padded thin layers
+    iterations = oh * ow * kh * kw * channel_groups
+    use_precompute = config.uses_precompute(f)
+
+    breakdown = BitSerialLayerBreakdown(used_precompute=use_precompute, iterations=iterations)
+
+    # (1) bit unpacking — shared across filters under the input-reuse dataflow,
+    # repeated per filter in the naive dataflow (§4.1).
+    unpack_per_group = _unpack_cycles_per_group(config, device)
+    unpack_multiplier = 1 if config.share_unpacking else f
+    breakdown.unpack = iterations * unpack_per_group * unpack_multiplier
+
+    # (2) LUT caching.
+    lookup_cost = costs.sram_load if config.lut_caching else costs.flash_rand_load
+    if config.lut_caching:
+        breakdown.lut_cache = iterations * _lut_cache_cycles_per_group(config, device)
+
+    per_bit_lookup = lookup_cost + 2 * costs.alu + costs.loop  # lookup, shift, accumulate
+    # Weight indices are byte-sized and laid out sequentially; the filter loop
+    # streams them four at a time as 32-bit words.
+    index_load = config.index_bytes * costs.flash_seq_load / 4.0 + costs.alu
+
+    if use_precompute:
+        # (3) bit-serial loop over every pool vector, results stored to SRAM.
+        per_pool_vector = m * per_bit_lookup + costs.sram_store
+        breakdown.precompute = iterations * s * per_pool_vector
+        # (4) filter loop: stream the index, load the precomputed result, accumulate.
+        per_filter = index_load + costs.sram_load + costs.alu + costs.loop
+        breakdown.filter_loop = iterations * f * per_filter
+    else:
+        # (5) filter loop with the bit-serial lookup inline.
+        per_filter = index_load + m * per_bit_lookup + costs.loop
+        breakdown.filter_loop = iterations * f * per_filter
+
+    # Output writeback / requantization: per output element.
+    outputs = f * oh * ow
+    breakdown.output_writeback = outputs * (4 * costs.alu + costs.sram_store)
+    return breakdown
+
+
+def bitserial_conv_cycles(
+    trace: LayerTrace, config: BitSerialKernelConfig, device: MCUDevice
+) -> float:
+    """Total cycles for one compressed convolution layer."""
+    return bitserial_layer_breakdown(trace, config, device).total
+
+
+def bitserial_linear_cycles(
+    trace: LayerTrace, config: BitSerialKernelConfig, device: MCUDevice
+) -> float:
+    """Cycles for a weight-pool compressed fully-connected layer.
+
+    A compressed FC layer is a single "output position" with ``in/g`` channel
+    groups; the same Algorithm 1 structure applies with KH = KW = OH = OW = 1.
+    """
+    if trace.kind != "linear":
+        raise ValueError(f"expected a linear trace, got kind='{trace.kind}'")
+    costs = device.costs
+    g = config.group_size
+    m = config.activation_bitwidth
+    s = config.pool_size
+    f = trace.out_channels
+    channel_groups = -(-trace.in_channels // g)
+    iterations = channel_groups
+    use_precompute = config.uses_precompute(f)
+
+    unpack = iterations * _unpack_cycles_per_group(config, device)
+    cache = iterations * _lut_cache_cycles_per_group(config, device) if config.lut_caching else 0.0
+    lookup_cost = costs.sram_load if config.lut_caching else costs.flash_rand_load
+    per_bit_lookup = lookup_cost + 2 * costs.alu + costs.loop
+    index_load = config.index_bytes * costs.flash_seq_load / 4.0 + costs.alu
+    if use_precompute:
+        core = iterations * (
+            s * (m * per_bit_lookup + costs.sram_store)
+            + f * (index_load + costs.sram_load + costs.alu + costs.loop)
+        )
+    else:
+        core = iterations * f * (index_load + m * per_bit_lookup + costs.loop)
+    writeback = f * (4 * costs.alu + costs.sram_store)
+    return unpack + cache + core + writeback

@@ -1,0 +1,52 @@
+"""Cycle model of a CMSIS-NN-style int8 (q7) convolution on Cortex-M3.
+
+CMSIS-NN on Cortex-M3 (no DSP extension) executes a direct/im2col convolution
+whose inner loop performs, per multiply-accumulate: one activation load from
+SRAM, one weight load streamed from flash, one MAC, plus amortised loop
+bookkeeping.  Each output element additionally pays a requantization step
+(scale/shift, saturation, store).
+"""
+
+from __future__ import annotations
+
+from repro.core.tracing import LayerTrace
+from repro.mcu.device import MCUDevice
+
+# Requantization of one output element: multiply, shift, saturate, store.
+_REQUANT_ALU_OPS = 4
+
+
+def cmsis_conv_cycles(trace: LayerTrace, device: MCUDevice) -> float:
+    """Cycles to execute one convolution layer with the CMSIS-style kernel."""
+    if trace.kind != "conv":
+        raise ValueError(f"expected a conv trace, got kind='{trace.kind}'")
+    costs = device.costs
+    macs = trace.macs
+    # Per MAC: activation byte load (SRAM), weight byte load streamed from
+    # flash, sign-extension of the q7 operands (no DSP extension on M3), the
+    # multiply-accumulate itself and amortised loop bookkeeping.
+    per_mac = costs.sram_load + costs.flash_seq_load + costs.alu + costs.mac + costs.loop
+    oh, ow = trace.output_hw
+    outputs = trace.out_channels * oh * ow
+    per_output = _REQUANT_ALU_OPS * costs.alu + costs.sram_store
+    bias_load = trace.out_channels * costs.flash_seq_load if trace.has_bias else 0.0
+    return macs * per_mac + outputs * per_output + bias_load
+
+
+def cmsis_linear_cycles(trace: LayerTrace, device: MCUDevice) -> float:
+    """Cycles to execute one fully-connected layer with the CMSIS-style kernel."""
+    if trace.kind != "linear":
+        raise ValueError(f"expected a linear trace, got kind='{trace.kind}'")
+    costs = device.costs
+    macs = trace.macs
+    per_mac = costs.sram_load + costs.flash_seq_load + costs.alu + costs.mac + costs.loop
+    per_output = _REQUANT_ALU_OPS * costs.alu + costs.sram_store
+    bias_load = trace.out_channels * costs.flash_seq_load if trace.has_bias else 0.0
+    return macs * per_mac + trace.out_channels * per_output + bias_load
+
+
+def cmsis_layer_cycles(trace: LayerTrace, device: MCUDevice) -> float:
+    """Dispatch on layer kind."""
+    if trace.kind == "conv":
+        return cmsis_conv_cycles(trace, device)
+    return cmsis_linear_cycles(trace, device)

@@ -1,0 +1,69 @@
+"""Cost model of the memoization alternative to precomputation (paper §4.3 / appendix).
+
+Instead of precomputing the dot products of the current activation vector with
+*every* pool vector before the filter loop, memoization computes them lazily:
+the first time a pool index appears in the filter loop its bit-serial result is
+computed and stored; later occurrences re-load the stored value.  The paper
+compares the two and finds precomputation faster for wide layers; this module
+reproduces that comparison (ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.core.tracing import LayerTrace
+from repro.mcu.device import MCUDevice
+from repro.mcu.kernels.bitserial import (
+    BitSerialKernelConfig,
+    _lut_cache_cycles_per_group,
+    _unpack_cycles_per_group,
+)
+
+
+def expected_unique_indices(pool_size: int, num_filters: int) -> float:
+    """Expected number of distinct pool indices among ``num_filters`` uniform draws."""
+    if pool_size < 1 or num_filters < 0:
+        raise ValueError("pool_size must be >= 1 and num_filters >= 0")
+    return pool_size * (1.0 - (1.0 - 1.0 / pool_size) ** num_filters)
+
+
+def memoized_conv_cycles(
+    trace: LayerTrace, config: BitSerialKernelConfig, device: MCUDevice
+) -> float:
+    """Cycles for one compressed conv layer using dynamic memoization."""
+    if trace.kind != "conv":
+        raise ValueError(f"expected a conv trace, got kind='{trace.kind}'")
+    costs = device.costs
+    g = config.group_size
+    m = config.activation_bitwidth
+    f = trace.out_channels
+    oh, ow = trace.output_hw
+    kh = kw = trace.kernel_size
+    channel_groups = -(-trace.in_channels // g)
+    iterations = oh * ow * kh * kw * channel_groups
+
+    unpack = iterations * _unpack_cycles_per_group(config, device)
+    cache = (
+        iterations * _lut_cache_cycles_per_group(config, device)
+        if config.lut_caching
+        else 0.0
+    )
+    lookup_cost = costs.sram_load if config.lut_caching else costs.flash_rand_load
+    per_bit_lookup = lookup_cost + 2 * costs.alu + costs.loop
+
+    unique = expected_unique_indices(config.pool_size, f)
+    # Every filter: word-packed index load + memo-table presence check
+    # (load + compare + branch).
+    index_load = config.index_bytes * costs.flash_seq_load / 4.0 + costs.alu
+    per_filter_always = index_load + costs.sram_load + 2 * costs.alu + costs.loop
+    # First occurrence of an index: full bit-serial computation + store to the memo table.
+    per_unique = m * per_bit_lookup + costs.sram_store
+    # Repeated occurrence: load the memoized value + accumulate.
+    per_repeat = costs.sram_load + costs.alu
+    repeats = max(f - unique, 0.0)
+    core = iterations * (
+        f * per_filter_always + unique * per_unique + repeats * per_repeat
+    )
+    # Memo-table validity flags must be cleared before each filter loop.
+    reset = iterations * config.pool_size * costs.sram_store * 0.25  # word-wide clears
+    writeback = f * oh * ow * (4 * costs.alu + costs.sram_store)
+    return unpack + cache + core + reset + writeback

@@ -1,0 +1,34 @@
+"""Model zoo: the paper's five networks plus scaled-down fast variants.
+
+All models are built on :mod:`repro.nn` and follow the paper's setup
+(Section 5.1): CIFAR-scale inputs, 3x3-dominated convolutions, batch norm, and
+a final fully-connected classifier.
+"""
+
+from repro.models.blocks import ConvBNReLU, BasicBlock, InvertedResidual
+from repro.models.tinyconv import TinyConv
+from repro.models.resnet import ResNet, resnet_s, resnet10, resnet14, resnet18
+from repro.models.mobilenetv2 import MobileNetV2
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    available_models,
+    create_model,
+    register_model,
+)
+
+__all__ = [
+    "ConvBNReLU",
+    "BasicBlock",
+    "InvertedResidual",
+    "TinyConv",
+    "ResNet",
+    "resnet_s",
+    "resnet10",
+    "resnet14",
+    "resnet18",
+    "MobileNetV2",
+    "MODEL_REGISTRY",
+    "available_models",
+    "create_model",
+    "register_model",
+]

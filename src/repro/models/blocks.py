@@ -1,0 +1,153 @@
+"""Reusable building blocks: Conv-BN-ReLU, residual BasicBlock, InvertedResidual."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import BatchNorm2d, Conv2d, Identity, Module, ReLU, ReLU6, Sequential
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class ConvBNReLU(Module):
+    """Convolution → batch norm → ReLU (or ReLU6)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        relu6: bool = False,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if padding is None:
+            padding = kernel_size // 2
+        self.conv = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=False,
+            rng=rng,
+        )
+        self.bn = BatchNorm2d(out_channels)
+        self.act = ReLU6() if relu6 else ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.act(self.bn(self.conv(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.conv.backward(self.bn.backward(self.act.backward(grad_output)))
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convolutions with an identity/projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rngs = spawn_rngs(new_rng(rng), 3)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rngs[0]
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rngs[1]
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride=stride,
+                    padding=0,
+                    bias=False,
+                    rng=rngs[2],
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.bn2(self.conv2(self.relu1(self.bn1(self.conv1(x)))))
+        residual = self.shortcut(x)
+        return self.relu2(main + residual)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        grad_main = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(self.conv2.backward(self.bn2.backward(grad_sum)))
+            )
+        )
+        grad_residual = self.shortcut.backward(grad_sum)
+        return grad_main + grad_residual
+
+
+class InvertedResidual(Module):
+    """MobileNet-v2 inverted residual block.
+
+    Expansion 1x1 (pointwise) → depthwise 3x3 → projection 1x1.  Only the
+    pointwise convolutions are eligible for weight-pool compression; the paper
+    keeps the depthwise layers uncompressed (§5.1).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        expand_ratio: int = 6,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError(f"stride must be 1 or 2, got {stride}")
+        rngs = spawn_rngs(new_rng(rng), 3)
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand_ratio = expand_ratio
+
+        if expand_ratio != 1:
+            self.expand = ConvBNReLU(in_channels, hidden, 1, relu6=True, rng=rngs[0])
+        else:
+            self.expand = Identity()
+            hidden = in_channels
+        self.depthwise = ConvBNReLU(
+            hidden, hidden, 3, stride=stride, groups=hidden, relu6=True, rng=rngs[1]
+        )
+        self.project_conv = Conv2d(hidden, out_channels, 1, bias=False, rng=rngs[2])
+        self.project_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.project_bn(self.project_conv(self.depthwise(self.expand(x))))
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.expand.backward(
+            self.depthwise.backward(
+                self.project_conv.backward(self.project_bn.backward(grad_output))
+            )
+        )
+        if self.use_residual:
+            grad = grad + grad_output
+        return grad

@@ -1,0 +1,102 @@
+"""MobileNet-v2 adapted to CIFAR/Quickdraw-scale inputs.
+
+Follows Sandler et al. (2018) with the stride schedule reduced for 32x32
+inputs (the first two downsampling strides are removed, as is standard for
+CIFAR adaptations).  Only the 1x1 pointwise convolutions are eligible for
+weight-pool compression; depthwise layers stay uncompressed (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, InvertedResidual
+from repro.nn import GlobalAvgPool2d, Linear, Module, Sequential
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+# (expansion t, output channels c, repeats n, stride s) per stage, from the
+# MobileNet-v2 paper, with strides adapted for 32x32 inputs.
+_CIFAR_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),   # stride 2 -> 1 for CIFAR
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _scale_channels(channels: int, width_mult: float) -> int:
+    return max(4, int(round(channels * width_mult)))
+
+
+class MobileNetV2(Module):
+    """MobileNet-v2 backbone + linear classifier.
+
+    ``inverted_residual_settings`` may be overridden (the tiny experiment
+    presets use a truncated stage list).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        inverted_residual_settings: Sequence[Tuple[int, int, int, int]] = _CIFAR_SETTINGS,
+        last_channels: int = 1280,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        total_blocks = sum(n for _, _, n, _ in inverted_residual_settings)
+        rngs = spawn_rngs(rng, total_blocks + 3)
+
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+
+        stem_width = _scale_channels(32, width_mult)
+        self.stem = ConvBNReLU(in_channels, stem_width, 3, stride=1, relu6=True, rng=rngs[0])
+
+        blocks: List[Module] = []
+        prev = stem_width
+        rng_idx = 1
+        for t, c, n, s in inverted_residual_settings:
+            out_ch = _scale_channels(c, width_mult)
+            for block_idx in range(n):
+                stride = s if block_idx == 0 else 1
+                blocks.append(
+                    InvertedResidual(prev, out_ch, stride=stride, expand_ratio=t, rng=rngs[rng_idx])
+                )
+                prev = out_ch
+                rng_idx += 1
+        self.blocks = Sequential(*blocks)
+
+        head_width = _scale_channels(last_channels, width_mult) if width_mult < 1.0 else last_channels
+        self.head = ConvBNReLU(prev, head_width, 1, relu6=True, rng=rngs[rng_idx])
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(head_width, num_classes, rng=rngs[rng_idx + 1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        x = self.blocks(x)
+        x = self.head(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_output)
+        grad = self.pool.backward(grad)
+        grad = self.head.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+
+# Truncated settings for the fast experiment presets: three stages only.
+TINY_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 2, 2),
+)

@@ -1,0 +1,117 @@
+"""Model registry mapping names to factory functions.
+
+Names ending in ``_tiny`` are width/depth-scaled variants used by the fast
+experiment presets; the un-suffixed names match the paper's five networks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.mobilenetv2 import TINY_SETTINGS, MobileNetV2
+from repro.models.resnet import resnet10, resnet14, resnet18, resnet_s
+from repro.models.tinyconv import TinyConv
+from repro.nn import Module
+from repro.utils.rng import SeedLike
+
+ModelFactory = Callable[..., Module]
+
+MODEL_REGISTRY: Dict[str, ModelFactory] = {}
+
+
+def register_model(name: str):
+    """Decorator registering a model factory under ``name``."""
+
+    def decorator(factory: ModelFactory) -> ModelFactory:
+        if name in MODEL_REGISTRY:
+            raise ValueError(f"model '{name}' is already registered")
+        MODEL_REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(
+    name: str,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    rng: SeedLike = None,
+    **kwargs,
+) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model '{name}'; available: {', '.join(available_models())}"
+        )
+    return MODEL_REGISTRY[name](
+        num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs
+    )
+
+
+# --- paper networks ---------------------------------------------------------
+@register_model("tinyconv")
+def _tinyconv(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    return TinyConv(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet_s")
+def _resnet_s(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    return resnet_s(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet10")
+def _resnet10(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    return resnet10(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet14")
+def _resnet14(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    return resnet14(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet18")
+def _resnet18(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    return resnet18(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("mobilenetv2")
+def _mobilenetv2(num_classes=100, in_channels=3, rng=None, **kwargs) -> Module:
+    return MobileNetV2(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+# --- fast variants for the tiny/small experiment scales ----------------------
+@register_model("tinyconv_tiny")
+def _tinyconv_tiny(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    kwargs.setdefault("width_mult", 0.25)
+    return TinyConv(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet_s_tiny")
+def _resnet_s_tiny(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    kwargs.setdefault("width_mult", 0.5)
+    return resnet_s(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet10_tiny")
+def _resnet10_tiny(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    kwargs.setdefault("width_mult", 0.25)
+    return resnet10(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("resnet14_tiny")
+def _resnet14_tiny(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    kwargs.setdefault("width_mult", 0.25)
+    return resnet14(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+
+
+@register_model("mobilenetv2_tiny")
+def _mobilenetv2_tiny(num_classes=10, in_channels=3, rng=None, **kwargs) -> Module:
+    kwargs.setdefault("width_mult", 0.5)
+    kwargs.setdefault("inverted_residual_settings", TINY_SETTINGS)
+    kwargs.setdefault("last_channels", 256)
+    return MobileNetV2(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)

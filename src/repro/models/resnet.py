@@ -1,0 +1,119 @@
+"""CIFAR-style ResNets: ResNet-s, ResNet-10, ResNet-14, ResNet-18.
+
+The paper derives its ResNet variants from ResNet-18 adapted to CIFAR-10:
+
+* **ResNet-18** — 4 stages of 2 basic blocks, widths (64, 128, 256, 512).
+* **ResNet-14** — ResNet-18 with the *last block* (stage) truncated.
+* **ResNet-10** — ResNet-18 with the last *two* stages truncated.
+* **ResNet-s** — the scaled-down ResNet used by MLPerf Tiny (Banbury et al.,
+  2021): 3 stages of a single block with widths (16, 32, 64).
+
+A ``width_mult`` argument produces the fast variants used by the tiny-scale
+experiment presets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.blocks import BasicBlock, ConvBNReLU
+from repro.nn import GlobalAvgPool2d, Linear, Module, Sequential
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class ResNet(Module):
+    """Generic CIFAR-style ResNet made of :class:`BasicBlock` stages."""
+
+    def __init__(
+        self,
+        stage_widths: Sequence[int],
+        blocks_per_stage: Sequence[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        stem_width: int | None = None,
+        width_mult: float = 1.0,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if len(stage_widths) != len(blocks_per_stage):
+            raise ValueError("stage_widths and blocks_per_stage length mismatch")
+        widths = [max(4, int(round(w * width_mult))) for w in stage_widths]
+        stem_width = (
+            max(4, int(round((stem_width or stage_widths[0]) * width_mult)))
+            if stem_width is not None
+            else widths[0]
+        )
+        rng = new_rng(rng)
+        rngs = spawn_rngs(rng, 2 + sum(blocks_per_stage))
+
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.stage_widths = widths
+
+        self.stem = ConvBNReLU(in_channels, stem_width, 3, stride=1, rng=rngs[0])
+        blocks = []
+        rng_idx = 1
+        prev = stem_width
+        for stage_idx, (width, num_blocks) in enumerate(zip(widths, blocks_per_stage)):
+            for block_idx in range(num_blocks):
+                # First block of every stage except the first downsamples.
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                blocks.append(BasicBlock(prev, width, stride=stride, rng=rngs[rng_idx]))
+                prev = width
+                rng_idx += 1
+        self.blocks = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(prev, num_classes, rng=rngs[rng_idx])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        x = self.blocks(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_output)
+        grad = self.pool.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+
+def resnet18(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             rng: SeedLike = None) -> ResNet:
+    """Full CIFAR ResNet-18 (4 stages × 2 blocks, widths 64..512)."""
+    return ResNet(
+        (64, 128, 256, 512), (2, 2, 2, 2), num_classes, in_channels,
+        width_mult=width_mult, rng=rng,
+    )
+
+
+def resnet14(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             rng: SeedLike = None) -> ResNet:
+    """ResNet-18 with the last stage truncated (the paper's ResNet-14)."""
+    return ResNet(
+        (64, 128, 256), (2, 2, 2), num_classes, in_channels,
+        width_mult=width_mult, rng=rng,
+    )
+
+
+def resnet10(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             rng: SeedLike = None) -> ResNet:
+    """ResNet-18 with the last two stages truncated (the paper's ResNet-10)."""
+    return ResNet(
+        (64, 128), (2, 2), num_classes, in_channels, width_mult=width_mult, rng=rng,
+    )
+
+
+def resnet_s(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             rng: SeedLike = None) -> ResNet:
+    """Scaled-down ResNet-18 (the paper's ResNet-s): 3 stages, widths 16/32/64.
+
+    With two blocks per stage this lands at ~175k parameters, matching the
+    ~171k the paper reports for ResNet-s in Table 3.
+    """
+    return ResNet(
+        (16, 32, 64), (2, 2, 2), num_classes, in_channels,
+        width_mult=width_mult, rng=rng,
+    )

@@ -1,0 +1,70 @@
+"""TinyConv: the CMSIS-NN CIFAR-10 example network used by the paper (Lai et al. 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class TinyConv(Module):
+    """Three 5x5 convolutions with pooling, followed by one fully-connected layer.
+
+    Structure (following the CMSIS-NN CIFAR-10 example the paper cites):
+
+    ``conv5x5(C→32) → maxpool2 → relu → conv5x5(32→32) → relu → avgpool2 →
+    conv5x5(32→64) → relu → avgpool2 → fc → logits``
+
+    ``width_mult`` scales all channel counts for the fast "tiny" variants.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if image_size % 8 != 0:
+            raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+        rngs = spawn_rngs(new_rng(rng), 4)
+        c1 = max(4, int(round(32 * width_mult)))
+        c2 = max(4, int(round(32 * width_mult)))
+        c3 = max(8, int(round(64 * width_mult)))
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+
+        # Three pooling stages of factor 2 reduce the input by 8x; CIFAR's 32 -> 4.
+        final_spatial = image_size // 8
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 5, stride=1, padding=2, rng=rngs[0]),
+            MaxPool2d(2),
+            ReLU(),
+            Conv2d(c1, c2, 5, stride=1, padding=2, rng=rngs[1]),
+            ReLU(),
+            AvgPool2d(2),
+            Conv2d(c2, c3, 5, stride=1, padding=2, rng=rngs[2]),
+            ReLU(),
+            AvgPool2d(2),
+            Flatten(),
+        )
+        self.classifier = Linear(c3 * final_spatial * final_spatial, num_classes, rng=rngs[3])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))

@@ -1,0 +1,62 @@
+"""A from-scratch NumPy deep-learning substrate.
+
+The paper trains and fine-tunes its networks in PyTorch; this package provides
+the equivalent substrate without external deep-learning dependencies.  It is a
+layer-oriented framework: every :class:`Module` implements an explicit
+``forward`` and ``backward`` so the whole library remains easy to read and to
+verify with finite-difference gradient checks (see :mod:`repro.nn.gradcheck`).
+
+Design notes
+------------
+* Tensors are plain ``numpy.ndarray`` in NCHW layout.
+* Modules cache whatever ``backward`` needs during ``forward``; calling
+  ``backward`` before ``forward`` is an error.
+* Parameters accumulate gradients in ``Parameter.grad``; optimizers read and
+  update ``Parameter.data`` in place.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.layers.container import Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.batchnorm import BatchNorm2d
+from repro.nn.layers.activations import ReLU, ReLU6, Identity
+from repro.nn.layers.pooling import AvgPool2d, MaxPool2d, GlobalAvgPool2d
+from repro.nn.layers.shape import Flatten
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.scheduler import StepLR, MultiStepLR, CosineAnnealingLR
+from repro.nn.data.dataset import ArrayDataset, Dataset, Subset
+from repro.nn.data.dataloader import DataLoader
+from repro.nn.training.trainer import Trainer, TrainConfig
+from repro.nn.training.metrics import accuracy, top_k_accuracy
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Identity",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "CrossEntropyLoss",
+    "SGD",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "Trainer",
+    "TrainConfig",
+    "accuracy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,6 @@
+"""Dataset and data-loading utilities."""
+
+from repro.nn.data.dataset import ArrayDataset, Dataset, Subset
+from repro.nn.data.dataloader import DataLoader
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "DataLoader"]

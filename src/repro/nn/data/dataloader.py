@@ -1,0 +1,58 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.nn.data.dataset import Dataset
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DataLoader:
+    """Batches a dataset, optionally shuffling each epoch with its own RNG."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: SeedLike = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        # Fast path for array-backed datasets: slice directly instead of
+        # touching items one by one.
+        inputs = getattr(self.dataset, "inputs", None)
+        targets = getattr(self.dataset, "targets", None)
+        use_fast_path = inputs is not None and targets is not None
+
+        for start in range(0, n, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            if use_fast_path:
+                yield inputs[batch_idx], targets[batch_idx]
+            else:
+                items = [self.dataset[int(i)] for i in batch_idx]
+                xs, ys = zip(*items)
+                yield np.stack(xs), np.asarray(ys, dtype=np.int64)

@@ -1,0 +1,63 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise the full dataset as ``(inputs, targets)`` arrays."""
+        xs, ys = zip(*(self[i] for i in range(len(self))))
+        return np.stack(xs), np.asarray(ys, dtype=np.int64)
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets, dtype=np.int64)
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs and targets length mismatch: {len(inputs)} vs {len(targets)}"
+            )
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.inputs[index], int(self.targets[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs, self.targets
+
+
+class Subset(Dataset):
+    """View onto a subset of another dataset."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+        n = len(dataset)
+        for idx in self.indices:
+            if not 0 <= idx < n:
+                raise IndexError(f"index {idx} out of range for dataset of size {n}")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[self.indices[index]]

@@ -1,0 +1,86 @@
+"""Finite-difference gradient checking used by the test suite.
+
+The guides recommend keeping an easy-to-debug reference implementation next to
+the optimized one; numerical gradients are that reference for every layer's
+backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function with respect to ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = fn(x)
+        x[idx] = original - eps
+        f_minus = fn(x)
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_module_gradients(
+    module: Module,
+    x: np.ndarray,
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    rng: np.random.Generator = None,
+) -> Tuple[float, float]:
+    """Compare analytic and numerical gradients for a module.
+
+    Uses a random linear functional of the output as the scalar objective so
+    every output element influences the check.  Returns the maximum absolute
+    error over (input gradient, parameter gradients) and raises ``AssertionError``
+    when outside tolerance.
+    """
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64)
+    out = module(x)
+    weights = rng.normal(size=out.shape)
+
+    def objective_wrt_input(x_val: np.ndarray) -> float:
+        return float((module(x_val) * weights).sum())
+
+    # Analytic gradients.
+    module.zero_grad()
+    module(x)
+    grad_x = module.backward(weights)
+
+    num_grad_x = numerical_gradient(objective_wrt_input, x.copy(), eps)
+    max_err_input = float(np.max(np.abs(grad_x - num_grad_x))) if x.size else 0.0
+    np.testing.assert_allclose(grad_x, num_grad_x, atol=atol, rtol=rtol)
+
+    max_err_param = 0.0
+    for name, param in module.named_parameters():
+        if not param.trainable:
+            continue
+        analytic = param.grad.copy()
+
+        def objective_wrt_param(values: np.ndarray, _param=param) -> float:
+            backup = _param.data.copy()
+            _param.data[...] = values
+            result = float((module(x) * weights).sum())
+            _param.data[...] = backup
+            return result
+
+        numeric = numerical_gradient(objective_wrt_param, param.data.copy(), eps)
+        max_err_param = max(max_err_param, float(np.max(np.abs(analytic - numeric))))
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=rtol, err_msg=f"parameter {name}"
+        )
+    return max_err_input, max_err_param

@@ -1,0 +1,52 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fan_in_out(shape) -> tuple:
+    """Compute (fan_in, fan_out) for linear or convolutional weight shapes."""
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: SeedLike = None) -> np.ndarray:
+    """He-normal initialisation (appropriate before ReLU nonlinearities)."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """He-uniform initialisation."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """Glorot-uniform initialisation (appropriate before linear/tanh outputs)."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

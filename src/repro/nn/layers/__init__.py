@@ -1,0 +1,23 @@
+"""Layer modules for the NumPy substrate."""
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.batchnorm import BatchNorm2d
+from repro.nn.layers.activations import ReLU, ReLU6, Identity
+from repro.nn.layers.pooling import AvgPool2d, MaxPool2d, GlobalAvgPool2d
+from repro.nn.layers.shape import Flatten
+from repro.nn.layers.container import Sequential
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Identity",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+]

@@ -1,0 +1,99 @@
+"""Batch normalisation over NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation with running statistics.
+
+    In training mode, batch statistics are used and running statistics are
+    updated with exponential averaging; in eval mode, running statistics are
+    used (the mode the quantized / weight-pool inference paths rely on, since
+    BN folding assumes frozen statistics).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self._cache = None
+
+    @property
+    def running_mean(self) -> np.ndarray:
+        return self.get_buffer("running_mean")
+
+    @property
+    def running_var(self) -> np.ndarray:
+        return self.get_buffer("running_var")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (N, {self.num_features}, H, W) input, got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            m = self.momentum
+            self.set_buffer("running_mean", (1 - m) * self.running_mean + m * mean)
+            # Unbiased variance for the running estimate, matching common practice.
+            n = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased = var * n / max(n - 1, 1)
+            self.set_buffer("running_var", (1 - m) * self.running_var + m * unbiased)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(
+            1, -1, 1, 1
+        )
+        self._cache = (x_hat, inv_std, self.training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x_hat, inv_std, was_training = self._cache
+        n = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+
+        self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=(0, 2, 3)))
+        self.beta.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+
+        gamma = self.gamma.data.reshape(1, -1, 1, 1)
+        g = grad_output * gamma
+        if not was_training:
+            # Eval mode treats mean/var as constants.
+            return g * inv_std.reshape(1, -1, 1, 1)
+
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_g_xhat = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_x = (
+            inv_std.reshape(1, -1, 1, 1)
+            * (g - sum_g / n - x_hat * sum_g_xhat / n)
+        )
+        return grad_x
+
+    def fold_into_conv_scale_shift(self):
+        """Return per-channel ``(scale, shift)`` equivalent to this BN in eval mode.
+
+        ``y = scale * x + shift`` with ``scale = gamma / sqrt(var + eps)`` and
+        ``shift = beta - mean * scale``.  Used by the deployment pipeline to
+        fold BN into the preceding convolution before quantization, as any MCU
+        deployment flow (including CMSIS-NN's) would do.
+        """
+        scale = self.gamma.data / np.sqrt(self.running_var + self.eps)
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift

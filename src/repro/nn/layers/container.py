@@ -1,0 +1,47 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order; backward runs them in reverse order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in self._order:
+            yield self._modules[name]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self:
+            x = module(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for module in reversed(list(self)):
+            grad_output = module.backward(grad_output)
+        return grad_output

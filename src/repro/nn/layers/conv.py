@@ -1,0 +1,119 @@
+"""2D convolution layer (supports grouped / depthwise convolution)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import SeedLike
+
+
+class Conv2d(Module):
+    """Grouped 2D convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.  ``groups=in_channels`` with
+        ``out_channels=in_channels`` gives a depthwise convolution (used by
+        MobileNet-v2, which the paper keeps uncompressed).
+    kernel_size:
+        Square kernel size.
+    stride, padding:
+        Standard convolution geometry (symmetric padding).
+    bias:
+        Whether to learn an additive per-filter bias.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"in_channels ({in_channels}) and out_channels ({out_channels}) "
+                f"must be divisible by groups ({groups})"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.has_bias = bias
+
+        weight_shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng), name="weight")
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)), name="bias")
+        else:
+            self.bias = None
+
+        self._cache = None
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True when this layer is a depthwise convolution (groups == channels)."""
+        return self.groups == self.in_channels and self.groups > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True for 1x1 convolutions (the only layers pooled in MobileNet-v2)."""
+        return self.kernel_size == 1 and self.groups == 1
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Recorded so tracing utilities (storage accounting, MCU cost model)
+        # can recover per-layer input geometry after a single dummy forward.
+        self.last_input_shape = x.shape
+        bias = self.bias.data if self.bias is not None else None
+        out, cols = F.conv2d_forward(
+            x, self.weight.data, bias, self.stride, self.padding, self.groups
+        )
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x_shape, cols = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_output,
+            cols,
+            x_shape,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            self.groups,
+            has_bias=self.bias is not None,
+        )
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
+
+    def output_shape(self, input_hw: tuple) -> tuple:
+        """Spatial output shape for an ``(H, W)`` input."""
+        h, w = input_hw
+        oh = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return oh, ow
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, groups={self.groups}, bias={self.has_bias})"
+        )

@@ -1,0 +1,58 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import SeedLike
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over 2D ``(N, in_features)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.has_bias = bias
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Linear expects 2D input, got shape {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects {self.in_features} input features, got {x.shape[1]}"
+            )
+        # Recorded for tracing utilities (storage accounting, MCU cost model).
+        self.last_input_shape = x.shape
+        self._cache = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x = self._cache
+        self.weight.accumulate_grad(grad_output.T @ x)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return grad_output @ self.weight.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.has_bias})"

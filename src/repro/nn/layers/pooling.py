@@ -1,0 +1,92 @@
+"""Pooling layers (non-overlapping windows) and global average pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def _check_divisible(x: np.ndarray, kernel: int) -> None:
+    if x.shape[2] % kernel or x.shape[3] % kernel:
+        raise ValueError(
+            f"pooling kernel {kernel} must divide spatial dims {x.shape[2:]}"
+        )
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        _check_divisible(x, self.kernel_size)
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // k, w // k, k * k)
+        argmax = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x_shape, argmax = self._cache
+        k = self.kernel_size
+        n, c, h, w = x_shape
+        grad_windows = np.zeros((n, c, h // k, w // k, k * k), dtype=np.float64)
+        np.put_along_axis(grad_windows, argmax[..., None], grad_output[..., None], axis=-1)
+        grad_x = (
+            grad_windows.reshape(n, c, h // k, w // k, k, k)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h, w)
+        )
+        return grad_x
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        _check_divisible(x, self.kernel_size)
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        self._x_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        k = self.kernel_size
+        n, c, h, w = self._x_shape
+        grad = np.repeat(np.repeat(grad_output, k, axis=2), k, axis=3)
+        return grad / (k * k)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing ``(N, C)`` features."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        n, c, h, w = self._x_shape
+        grad = grad_output.reshape(n, c, 1, 1) / (h * w)
+        return np.broadcast_to(grad, self._x_shape).copy()

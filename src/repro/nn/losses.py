@@ -1,0 +1,55 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets.
+
+    ``forward(logits, targets)`` returns the mean loss; ``backward()`` returns
+    the gradient with respect to the logits (no upstream gradient argument,
+    since the loss is the root of the backward pass).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, num_classes) logits, got {logits.shape}")
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        n, num_classes = logits.shape
+        if np.any(targets < 0) or np.any(targets >= num_classes):
+            raise ValueError("targets out of range")
+
+        log_probs = F.log_softmax(logits, axis=1)
+        one_hot = np.zeros_like(log_probs)
+        one_hot[np.arange(n), targets] = 1.0
+        if self.label_smoothing:
+            smooth = self.label_smoothing
+            soft_targets = one_hot * (1 - smooth) + smooth / num_classes
+        else:
+            soft_targets = one_hot
+        loss = -(soft_targets * log_probs).sum(axis=1).mean()
+
+        self._cache = (F.softmax(logits, axis=1), soft_targets, n)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:  # type: ignore[override]
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        probs, soft_targets, n = self._cache
+        return (probs - soft_targets) / n

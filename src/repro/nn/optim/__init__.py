@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.scheduler import StepLR, MultiStepLR, CosineAnnealingLR
+
+__all__ = ["SGD", "StepLR", "MultiStepLR", "CosineAnnealingLR"]

@@ -1,0 +1,69 @@
+"""Learning-rate schedulers operating on :class:`repro.nn.optim.sgd.SGD`."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class _Scheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and set the optimizer learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class MultiStepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(self, optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma**passed)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )

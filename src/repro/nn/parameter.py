@@ -1,0 +1,58 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A named, trainable tensor with an accumulated gradient.
+
+    Parameters are always stored as ``float64`` to keep finite-difference
+    gradient checks well conditioned; inference-oriented code quantizes copies
+    rather than mutating parameters in place.
+    """
+
+    def __init__(self, data: np.ndarray, trainable: bool = True, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray = np.zeros_like(self.data)
+        self.trainable = trainable
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient (shape-checked)."""
+        grad = np.asarray(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape "
+                f"{self.data.shape} for parameter '{self.name}'"
+            )
+        self.grad += grad
+
+    def copy_(self, values: np.ndarray) -> None:
+        """Overwrite the parameter values in place (shape-checked)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"values shape {values.shape} does not match parameter shape "
+                f"{self.data.shape} for parameter '{self.name}'"
+            )
+        self.data[...] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        label: Optional[str] = self.name or None
+        return f"Parameter(name={label!r}, shape={self.data.shape}, trainable={self.trainable})"

@@ -1,0 +1,6 @@
+"""Training loop and metrics."""
+
+from repro.nn.training.trainer import Trainer, TrainConfig
+from repro.nn.training.metrics import accuracy, top_k_accuracy
+
+__all__ = ["Trainer", "TrainConfig", "accuracy", "top_k_accuracy"]

@@ -1,0 +1,30 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy given logits (or probabilities) and integer targets."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2D logits, got shape {logits.shape}")
+    if len(logits) != len(targets):
+        raise ValueError("logits and targets length mismatch")
+    if len(targets) == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    predictions = logits.argmax(axis=1)
+    return float((predictions == targets).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k must be in [1, num_classes], got {k}")
+    top_k = np.argsort(-logits, axis=1)[:, :k]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,41 @@
+"""Uniform quantization substrate.
+
+The bit-serial weight-pool engine operates on unsigned quantized activations
+(the bit-decomposition of Eq. 2 assumes non-negative integers, which holds
+after ReLU with an unsigned affine quantizer).  This package provides:
+
+* :class:`QuantParams` / :func:`quantize` / :func:`dequantize` — uniform
+  affine quantization.
+* range calibration strategies, including the paper's iterative search for the
+  optimal clipping range (§5.3.3).
+* :class:`ActivationQuantizer` — an observer/fake-quant module.
+* weight quantization helpers used by the CMSIS-style int8 baseline.
+"""
+
+from repro.quantization.quantizer import (
+    QuantParams,
+    dequantize,
+    fake_quantize,
+    quantize,
+)
+from repro.quantization.calibration import (
+    calibrate_minmax,
+    calibrate_percentile,
+    calibrate_iterative,
+    CalibrationMethod,
+)
+from repro.quantization.activation import ActivationQuantizer
+from repro.quantization.weights import quantize_weight_tensor
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "calibrate_minmax",
+    "calibrate_percentile",
+    "calibrate_iterative",
+    "CalibrationMethod",
+    "ActivationQuantizer",
+    "quantize_weight_tensor",
+]

@@ -1,0 +1,100 @@
+"""Activation observer / fake-quantization module."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quantization.calibration import CalibrationMethod, calibrate
+from repro.quantization.quantizer import QuantParams, fake_quantize
+
+
+class ActivationQuantizer(Module):
+    """Observes activation statistics, then applies fake quantization.
+
+    Life cycle:
+
+    1. ``observe`` mode — forward passes record samples (sub-sampled to bound
+       memory); gradients pass straight through.
+    2. :meth:`freeze` — computes :class:`QuantParams` from the recorded
+       samples using the configured calibration method.
+    3. frozen mode — forward applies fake quantization; backward uses a
+       straight-through estimator (gradients pass through unchanged inside the
+       representable range, zero outside), which is what quantization-aware
+       retraining in the paper relies on.
+    """
+
+    def __init__(
+        self,
+        bitwidth: int = 8,
+        method: CalibrationMethod = CalibrationMethod.ITERATIVE,
+        max_samples: int = 100_000,
+    ):
+        super().__init__()
+        if bitwidth < 1:
+            raise ValueError(f"bitwidth must be >= 1, got {bitwidth}")
+        self.bitwidth = bitwidth
+        self.method = CalibrationMethod(method)
+        self.max_samples = max_samples
+        self.params: Optional[QuantParams] = None
+        self.observing = True
+        self._samples: List[np.ndarray] = []
+        self._mask = None
+
+    # -- calibration ---------------------------------------------------------
+    def reset(self) -> None:
+        """Clear recorded samples and any frozen parameters."""
+        self.params = None
+        self.observing = True
+        self._samples = []
+
+    def freeze(self, bitwidth: Optional[int] = None) -> QuantParams:
+        """Compute quantization parameters from observed samples and stop observing."""
+        if bitwidth is not None:
+            self.bitwidth = bitwidth
+        if not self._samples:
+            raise RuntimeError("no activation samples observed before freeze()")
+        samples = np.concatenate([s.ravel() for s in self._samples])
+        self.params = calibrate(samples, self.bitwidth, self.method, signed=False)
+        self.observing = False
+        return self.params
+
+    def set_bitwidth(self, bitwidth: int) -> QuantParams:
+        """Re-derive parameters for a new bitwidth from the already-observed samples.
+
+        Reducing the activation bitwidth at runtime is the paper's central
+        knob; this keeps the calibrated clipping range and just changes the
+        number of levels.
+        """
+        if not self._samples:
+            raise RuntimeError("no activation samples observed; cannot re-calibrate")
+        self.bitwidth = bitwidth
+        samples = np.concatenate([s.ravel() for s in self._samples])
+        self.params = calibrate(samples, bitwidth, self.method, signed=False)
+        return self.params
+
+    # -- forward/backward ----------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.observing:
+            flat = np.asarray(x, dtype=np.float64).ravel()
+            if flat.size > self.max_samples:
+                # Deterministic stride subsampling keeps calibration reproducible.
+                stride = int(np.ceil(flat.size / self.max_samples))
+                flat = flat[::stride]
+            self._samples.append(flat.copy())
+            self._mask = np.ones_like(x, dtype=bool)
+            return x
+        if self.params is None:
+            raise RuntimeError("ActivationQuantizer used after observe without freeze()")
+        # Straight-through estimator: pass gradients inside the clip range.
+        low = (self.params.qmin - self.params.zero_point) * self.params.scale
+        high = (self.params.qmax - self.params.zero_point) * self.params.scale
+        self._mask = (x >= low) & (x <= high)
+        return fake_quantize(x, self.params)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_output * self._mask

@@ -1,0 +1,107 @@
+"""Uniform affine quantization primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Parameters of a uniform quantizer ``q = clip(round(x / scale) + zero_point)``.
+
+    Attributes
+    ----------
+    scale:
+        Step size between adjacent quantization levels (must be positive).
+    zero_point:
+        Integer level that represents real value 0.
+    bitwidth:
+        Number of bits of the integer representation.
+    signed:
+        If True the integer range is ``[-2^(b-1), 2^(b-1) - 1]``; otherwise
+        ``[0, 2^b - 1]``.  The bit-serial engine uses unsigned activations.
+    """
+
+    scale: float
+    zero_point: int
+    bitwidth: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise ValueError(f"scale must be positive and finite, got {self.scale}")
+        if not 1 <= self.bitwidth <= 32:
+            raise ValueError(f"bitwidth must be in [1, 32], got {self.bitwidth}")
+        if not self.qmin <= self.zero_point <= self.qmax:
+            raise ValueError(
+                f"zero_point {self.zero_point} outside representable range "
+                f"[{self.qmin}, {self.qmax}]"
+            )
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bitwidth - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bitwidth - 1)) - 1 if self.signed else (1 << self.bitwidth) - 1
+
+    @property
+    def num_levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    @classmethod
+    def from_range(
+        cls, low: float, high: float, bitwidth: int, signed: bool = False
+    ) -> "QuantParams":
+        """Build parameters covering the real interval ``[low, high]``.
+
+        For unsigned quantization the interval is first clipped to include 0 so
+        that the zero point is exactly representable (required for ReLU
+        activations and for the bit-decomposition of Eq. 2 in the paper).
+        """
+        if high < low:
+            raise ValueError(f"invalid range [{low}, {high}]")
+        low = min(float(low), 0.0)
+        high = max(float(high), 0.0)
+        if high == low:
+            # Degenerate (all-zero) tensors still need a valid scale.
+            high = low + 1.0
+        qmin = -(1 << (bitwidth - 1)) if signed else 0
+        qmax = (1 << (bitwidth - 1)) - 1 if signed else (1 << bitwidth) - 1
+        scale = (high - low) / (qmax - qmin)
+        zero_point = int(round(qmin - low / scale))
+        zero_point = int(np.clip(zero_point, qmin, qmax))
+        return cls(scale=scale, zero_point=zero_point, bitwidth=bitwidth, signed=signed)
+
+    @classmethod
+    def symmetric(cls, max_abs: float, bitwidth: int) -> "QuantParams":
+        """Signed symmetric quantizer for weights (zero_point = 0)."""
+        max_abs = float(max_abs)
+        if max_abs <= 0:
+            max_abs = 1.0
+        qmax = (1 << (bitwidth - 1)) - 1
+        return cls(scale=max_abs / qmax, zero_point=0, bitwidth=bitwidth, signed=True)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize real values to integers (stored as int64 for headroom)."""
+    q = np.round(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return np.clip(q, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map integer levels back to real values."""
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def fake_quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize then dequantize (simulated quantization in the real domain)."""
+    return dequantize(quantize(x, params), params)
+
+
+def quantization_mse(x: np.ndarray, params: QuantParams) -> float:
+    """Mean squared error introduced by quantizing ``x`` with ``params``."""
+    return float(np.mean((fake_quantize(x, params) - x) ** 2))

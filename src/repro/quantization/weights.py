@@ -1,0 +1,29 @@
+"""Weight quantization helpers (used by the CMSIS-style int8 baseline)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.quantization.quantizer import QuantParams, dequantize, quantize
+
+
+def quantize_weight_tensor(
+    weight: np.ndarray, bitwidth: int = 8
+) -> Tuple[np.ndarray, QuantParams]:
+    """Per-tensor symmetric quantization of a weight tensor.
+
+    Returns the integer weights and their quantization parameters.  The
+    CMSIS-NN baseline in the paper stores 8-bit (q7) weights; the weight-pool
+    path never stores weights explicitly (only LUT entries), so this helper is
+    used by the baseline and by the LUT bitwidth quantization.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    params = QuantParams.symmetric(np.max(np.abs(weight)) if weight.size else 1.0, bitwidth)
+    return quantize(weight, params), params
+
+
+def dequantize_weight_tensor(q_weight: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Inverse of :func:`quantize_weight_tensor`."""
+    return dequantize(q_weight, params)

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG handling, bit manipulation, tabulation, sizes."""
+
+from repro.utils.rng import new_rng, spawn_rngs, temp_seed
+from repro.utils.bits import (
+    bits_to_int,
+    int_to_bits,
+    pack_sub_byte,
+    unpack_sub_byte,
+    required_bits,
+)
+from repro.utils.tabulate import format_table
+from repro.utils.units import KiB, MiB, bits_to_bytes, bytes_to_kib, human_bytes
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "temp_seed",
+    "bits_to_int",
+    "int_to_bits",
+    "pack_sub_byte",
+    "unpack_sub_byte",
+    "required_bits",
+    "format_table",
+    "KiB",
+    "MiB",
+    "bits_to_bytes",
+    "bytes_to_kib",
+    "human_bytes",
+]

@@ -1,0 +1,100 @@
+"""Bit-level helpers used by the bit-serial engine and storage accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def required_bits(n_values: int) -> int:
+    """Minimum number of bits needed to index ``n_values`` distinct values.
+
+    This is the ``log2(S)`` term of Eq. 4 in the paper (index bitwidth for a
+    weight pool of size ``S``).  ``n_values`` must be at least 1; a single
+    value still requires one bit of storage in any practical encoding.
+    """
+    if n_values < 1:
+        raise ValueError(f"n_values must be >= 1, got {n_values}")
+    if n_values == 1:
+        return 1
+    return int(math.ceil(math.log2(n_values)))
+
+
+def int_to_bits(values: np.ndarray, bitwidth: int, msb_first: bool = True) -> np.ndarray:
+    """Decompose non-negative integers into their binary digits.
+
+    Parameters
+    ----------
+    values:
+        Array of non-negative integers, each representable in ``bitwidth`` bits.
+    bitwidth:
+        Number of bits to extract.
+    msb_first:
+        If True (default, matching the paper's MSB-to-LSB bit-serial order) the
+        first entry of the last axis is the most significant bit.
+
+    Returns
+    -------
+    Array of shape ``values.shape + (bitwidth,)`` with entries in {0, 1}.
+    """
+    if bitwidth < 1:
+        raise ValueError(f"bitwidth must be >= 1, got {bitwidth}")
+    values = np.asarray(values)
+    if np.any(values < 0):
+        raise ValueError("int_to_bits expects non-negative integers")
+    if np.any(values >= (1 << bitwidth)):
+        raise ValueError(
+            f"values do not fit in {bitwidth} bits (max={int(values.max())})"
+        )
+    shifts = np.arange(bitwidth - 1, -1, -1) if msb_first else np.arange(bitwidth)
+    bits = (values[..., None] >> shifts) & 1
+    return bits.astype(np.uint8)
+
+
+def bits_to_int(bits: np.ndarray, msb_first: bool = True) -> np.ndarray:
+    """Inverse of :func:`int_to_bits` along the last axis."""
+    bits = np.asarray(bits)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits_to_int expects an array of 0/1 values")
+    bitwidth = bits.shape[-1]
+    shifts = np.arange(bitwidth - 1, -1, -1) if msb_first else np.arange(bitwidth)
+    weights = (1 << shifts).astype(np.int64)
+    return np.tensordot(bits.astype(np.int64), weights, axes=([-1], [0]))
+
+
+def pack_sub_byte(values: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Pack sub-byte unsigned integers densely into a uint8 byte stream.
+
+    Models the flash layout an MCU implementation would use for weight indices
+    or sub-byte activations.  Values are packed little-endian within the bit
+    stream (first value occupies the least-significant bits of the stream).
+    """
+    if not 1 <= bitwidth <= 8:
+        raise ValueError(f"bitwidth must be in [1, 8], got {bitwidth}")
+    values = np.asarray(values).ravel()
+    if np.any(values < 0) or np.any(values >= (1 << bitwidth)):
+        raise ValueError(f"values do not fit in {bitwidth} bits")
+    bits = int_to_bits(values.astype(np.int64), bitwidth, msb_first=False)
+    flat = bits.reshape(-1)
+    pad = (-flat.size) % 8
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+    flat = flat.reshape(-1, 8)
+    byte_weights = (1 << np.arange(8)).astype(np.uint16)
+    return (flat * byte_weights).sum(axis=1).astype(np.uint8)
+
+
+def unpack_sub_byte(packed: np.ndarray, bitwidth: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_sub_byte`; recovers ``count`` values."""
+    if not 1 <= bitwidth <= 8:
+        raise ValueError(f"bitwidth must be in [1, 8], got {bitwidth}")
+    packed = np.asarray(packed, dtype=np.uint8).ravel()
+    bits = ((packed[:, None] >> np.arange(8)) & 1).reshape(-1)
+    needed = count * bitwidth
+    if needed > bits.size:
+        raise ValueError(
+            f"packed stream too short: need {needed} bits, have {bits.size}"
+        )
+    bits = bits[:needed].reshape(count, bitwidth)
+    return bits_to_int(bits, msb_first=False).astype(np.int64)

@@ -1,0 +1,62 @@
+"""Random-number-generator helpers.
+
+Everything in the library that needs randomness takes either a seed or a
+:class:`numpy.random.Generator`.  These helpers normalise between the two and
+make it easy to derive independent child generators for sub-tasks so that
+experiments are reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or generator.
+
+    Passing an existing generator returns it unchanged so callers can thread a
+    single stream through a pipeline.  Passing ``None`` creates a fresh,
+    OS-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children do not
+    overlap even when the parent stream is also used.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seeds from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+@contextlib.contextmanager
+def temp_seed(seed: Optional[int]) -> Iterator[None]:
+    """Temporarily seed the *legacy* global NumPy RNG inside a ``with`` block.
+
+    Only used by tests that want deterministic behaviour from third-party code
+    relying on the global state; library code uses explicit generators.
+    """
+    if seed is None:
+        yield
+        return
+    state = np.random.get_state()
+    np.random.seed(seed)
+    try:
+        yield
+    finally:
+        np.random.set_state(state)

@@ -1,0 +1,58 @@
+"""Minimal plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows the paper reports; this module
+renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if value is None:
+        return "/"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    float_fmt: str = ".2f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``None`` cells render as ``/`` to mirror the paper's "does not fit" marker
+    in Table 7.
+    """
+    str_rows: List[List[str]] = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    if headers is not None:
+        all_rows = [list(map(str, headers))] + str_rows
+    else:
+        all_rows = str_rows
+    if not all_rows:
+        return title + "\n" if title else ""
+    n_cols = max(len(r) for r in all_rows)
+    for row in all_rows:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[c]) for row in all_rows) for c in range(n_cols)]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if headers is not None:
+        lines.append(fmt_row(all_rows[0]))
+        lines.append("  ".join("-" * w for w in widths))
+        body = all_rows[1:]
+    else:
+        body = all_rows
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Storage-size units and conversions used by the storage/MCU models."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count to bytes (fractional bytes allowed for accounting)."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    return bits / 8.0
+
+
+def bytes_to_kib(n_bytes: float) -> float:
+    """Convert bytes to binary kilobytes."""
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+    return n_bytes / KiB
+
+
+def human_bytes(n_bytes: float) -> str:
+    """Render a byte count as a short human-readable string."""
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+    if n_bytes < KiB:
+        return f"{n_bytes:.0f} B"
+    if n_bytes < MiB:
+        return f"{n_bytes / KiB:.1f} KiB"
+    return f"{n_bytes / MiB:.2f} MiB"

@@ -1,0 +1,135 @@
+"""Tests for accuracy helpers, BN recalibration and the bitwidth search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_drop,
+    evaluate_accuracy,
+    find_min_activation_bitwidth,
+    recalibrate_batchnorm,
+)
+from repro.core import BitSerialInferenceEngine, EngineConfig
+from repro.nn import BatchNorm2d, Conv2d, DataLoader, Sequential, Flatten, Linear
+from repro.nn.data.dataset import ArrayDataset
+
+
+def _loader(n=32, channels=3, size=32, classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return DataLoader(
+        ArrayDataset(rng.normal(size=(n, channels, size, size)), rng.integers(0, classes, n)),
+        batch_size=16,
+    )
+
+
+class TestAccuracyHelpers:
+    def test_evaluate_accuracy_accepts_dataset_or_loader(self, small_model, tiny_cifar):
+        _, test_ds = tiny_cifar
+        from_dataset = evaluate_accuracy(small_model, test_ds)
+        from_loader = evaluate_accuracy(small_model, DataLoader(test_ds, batch_size=16))
+        assert from_dataset == pytest.approx(from_loader)
+
+    def test_accuracy_drop_percentage_points(self):
+        assert accuracy_drop(0.90, 0.885) == pytest.approx(1.5)
+        assert accuracy_drop(0.5, 0.6) == pytest.approx(-10.0)
+
+    def test_accuracy_drop_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_drop(1.5, 0.5)
+
+
+class TestBatchnormRecalibration:
+    def test_running_stats_match_new_distribution(self):
+        model = Sequential(Conv2d(3, 4, 3, padding=1, rng=0), BatchNorm2d(4), Flatten(), Linear(4 * 8 * 8, 2, rng=0))
+        loader = _loader(n=64, size=8, classes=2)
+        recalibrate_batchnorm(model, loader, num_batches=4)
+        bn = model[1]
+        conv_outputs = []
+        model.eval()
+        for inputs, _ in loader:
+            conv_outputs.append(model[0](inputs))
+        stacked = np.concatenate(conv_outputs)
+        np.testing.assert_allclose(bn.running_mean, stacked.mean(axis=(0, 2, 3)), atol=1e-6)
+
+    def test_returns_number_of_bn_layers(self, small_model):
+        count = recalibrate_batchnorm(small_model, _loader(), num_batches=1)
+        expected = sum(1 for m in small_model.modules() if isinstance(m, BatchNorm2d))
+        assert count == expected
+
+    def test_model_without_bn_is_noop(self):
+        model = Sequential(Flatten(), Linear(3 * 32 * 32, 2, rng=0))
+        assert recalibrate_batchnorm(model, _loader(), num_batches=1) == 0
+
+    def test_leaves_model_in_eval_mode(self, small_model):
+        recalibrate_batchnorm(small_model, _loader(), num_batches=1)
+        assert not small_model.training
+
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError):
+            recalibrate_batchnorm(small_model, _loader(), num_batches=0)
+
+    def test_recalibration_restores_accuracy_after_weight_perturbation(self, tiny_loaders):
+        """The motivating use case: refreshing stats after a weight transformation."""
+        from repro.models import create_model
+        from repro.nn import SGD, TrainConfig, Trainer
+        from repro.nn.training.trainer import evaluate_model
+
+        train_loader, test_loader = tiny_loaders
+        model = create_model("resnet_s_tiny", num_classes=10, rng=0)
+        Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9)).fit(
+            train_loader, TrainConfig(epochs=2)
+        )
+        model.eval()
+        baseline = evaluate_model(model, test_loader)
+        # Rescale every conv weight: BN statistics are now stale.
+        for module in model.modules():
+            if isinstance(module, Conv2d):
+                module.weight.data *= 1.7
+        stale = evaluate_model(model, test_loader)
+        recalibrate_batchnorm(model, train_loader, num_batches=4)
+        refreshed = evaluate_model(model, test_loader)
+        assert refreshed >= stale - 1e-9
+        assert refreshed >= baseline - 0.25
+
+
+class TestBitwidthSearch:
+    def test_finds_min_bitwidth_on_compressed_model(self, compressed_small_model):
+        loader = _loader(n=32)
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model,
+            compressed_small_model.pool,
+            EngineConfig(activation_bitwidth=8, lut_bitwidth=None, calibration_batches=2),
+        )
+        engine.calibrate(loader)
+        reference = engine.evaluate(loader)
+        result = find_min_activation_bitwidth(
+            engine, loader, reference_accuracy=reference, max_drop=1.0 - 1e-9,
+            bitwidths=(8, 6, 4),
+        )
+        # With a permissive drop threshold every bitwidth qualifies.
+        assert result.min_bitwidth == 4
+        assert set(result.accuracies) == {8, 6, 4}
+
+    def test_strict_threshold_keeps_high_bitwidth(self, compressed_small_model):
+        loader = _loader(n=32, seed=3)
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model,
+            compressed_small_model.pool,
+            EngineConfig(activation_bitwidth=8, lut_bitwidth=None, calibration_batches=2),
+        )
+        engine.calibrate(loader)
+        reference = engine.evaluate(loader)
+        result = find_min_activation_bitwidth(
+            engine, loader, reference_accuracy=reference, max_drop=0.0, bitwidths=(8, 1)
+        )
+        assert result.min_bitwidth in (8, 1)
+        assert 8 in result.accuracies
+
+    def test_validation(self, compressed_small_model):
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model, compressed_small_model.pool
+        )
+        with pytest.raises(ValueError):
+            find_min_activation_bitwidth(engine, None, 0.9, bitwidths=())
+        with pytest.raises(ValueError):
+            find_min_activation_bitwidth(engine, None, 0.9, max_drop=1.5)

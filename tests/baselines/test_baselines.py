@@ -1,0 +1,130 @@
+"""Tests for the CMSIS-like int8 pipeline and binarized-network baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BinaryActivation,
+    BinaryConv2d,
+    BinaryLinear,
+    binarize_model,
+    binary_network_storage_bits,
+    quantize_model_int8,
+)
+from repro.baselines.bnn import binarize_weights
+from repro.baselines.cmsis import Int8Conv2d, Int8Linear
+from repro.models import create_model
+from repro.nn import Conv2d, DataLoader, Linear
+from repro.nn.data.dataset import ArrayDataset
+
+
+@pytest.fixture()
+def calibration_loader():
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(32, 3, 32, 32))
+    targets = rng.integers(0, 10, size=32)
+    return DataLoader(ArrayDataset(inputs, targets), batch_size=16)
+
+
+class TestInt8Pipeline:
+    def test_quantize_model_replaces_layers(self, small_model, calibration_loader):
+        quantized = quantize_model_int8(small_model, (3, 32, 32), calibration_loader)
+        assert any(isinstance(m, Int8Conv2d) for m in quantized.modules())
+        assert any(isinstance(m, Int8Linear) for m in quantized.modules())
+        # Original model untouched.
+        assert not any(isinstance(m, Int8Conv2d) for m in small_model.modules())
+
+    def test_quantized_model_output_close_to_float(self, small_model, calibration_loader):
+        small_model.eval()
+        x = np.random.default_rng(1).normal(size=(4, 3, 32, 32))
+        float_out = small_model(x)
+        quantized = quantize_model_int8(small_model, (3, 32, 32), calibration_loader)
+        quantized.eval()
+        int8_out = quantized(x)
+        correlation = np.corrcoef(float_out.ravel(), int8_out.ravel())[0, 1]
+        assert correlation > 0.98
+
+    def test_int8_conv_weights_are_quantized(self):
+        conv = Conv2d(4, 8, 3, rng=0)
+        int8 = Int8Conv2d(conv)
+        unique_levels = np.unique(int8._quantized_weight)
+        assert len(unique_levels) <= 256
+
+    def test_int8_layers_are_inference_only(self):
+        conv = Int8Conv2d(Conv2d(4, 8, 3, rng=0))
+        with pytest.raises(NotImplementedError):
+            conv.backward(np.zeros((1, 8, 1, 1)))
+        linear = Int8Linear(Linear(4, 2, rng=0))
+        with pytest.raises(NotImplementedError):
+            linear.backward(np.zeros((1, 2)))
+
+
+class TestBinarization:
+    def test_binarize_weights_values(self):
+        weight = np.array([[[[0.5, -0.25]]], [[[1.0, 2.0]]]])
+        binary = binarize_weights(weight)
+        np.testing.assert_allclose(np.abs(binary[0]), 0.375)
+        np.testing.assert_allclose(np.abs(binary[1]), 1.5)
+        assert np.all(np.sign(binary[weight != 0]) == np.sign(weight[weight != 0]))
+
+    def test_binary_conv_uses_two_levels_per_filter(self):
+        conv = BinaryConv2d(4, 3, 3, rng=0)
+        conv(np.random.default_rng(0).normal(size=(1, 4, 5, 5)))
+        weight = conv._cache[2]
+        for f in range(3):
+            assert len(np.unique(np.abs(weight[f]))) == 1
+
+    def test_binary_conv_backward_updates_latent_weights(self):
+        conv = BinaryConv2d(4, 3, 3, padding=1, rng=0)
+        x = np.random.default_rng(1).normal(size=(2, 4, 5, 5))
+        out = conv(x)
+        conv.backward(np.ones_like(out))
+        assert np.abs(conv.weight.grad).sum() > 0
+
+    def test_binary_activation_sign_and_ste(self):
+        act = BinaryActivation()
+        x = np.array([[-0.5, 0.2, 2.0]])
+        np.testing.assert_array_equal(act(x), [[-1.0, 1.0, 1.0]])
+        grad = act.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, [[1.0, 1.0, 0.0]])
+
+    def test_binarize_model_keeps_first_and_last_full_precision(self, small_model):
+        binarized = binarize_model(small_model, (3, 32, 32))
+        from repro.core.tracing import trace_model
+
+        traces = trace_model(binarized, (3, 32, 32))
+        assert not isinstance(traces[0].module, BinaryConv2d)
+        assert not isinstance(traces[-1].module, (BinaryLinear,))
+        assert any(isinstance(t.module, BinaryConv2d) for t in traces)
+
+    def test_binary_storage_is_much_smaller_than_int8(self, small_model):
+        int8_bits = small_model.num_parameters() * 8
+        binarized = binarize_model(small_model, (3, 32, 32))
+        binary_bits = binary_network_storage_bits(binarized, (3, 32, 32))
+        assert binary_bits < int8_bits / 3
+
+    def test_binarized_model_still_classifies(self, small_model):
+        binarized = binarize_model(small_model, (3, 32, 32))
+        binarized.eval()
+        out = binarized(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+        assert np.all(np.isfinite(out))
+
+    def test_binarized_model_can_learn_a_toy_problem(self):
+        """Binarized TinyConv should train (even if it ends up less accurate)."""
+        from repro.nn import SGD, CrossEntropyLoss
+
+        model = create_model("tinyconv_tiny", num_classes=3, in_channels=1, rng=0)
+        binarized = binarize_model(model, (1, 32, 32))
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, 1, 32, 32)) + np.repeat(np.arange(3), 4).reshape(-1, 1, 1, 1)
+        y = np.repeat(np.arange(3), 4)
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(binarized.parameters(), lr=0.05, momentum=0.9)
+        initial = loss_fn(binarized(x), y)
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = loss_fn(binarized(x), y)
+            binarized.backward(loss_fn.backward())
+            optimizer.step()
+        assert loss_fn(binarized(x), y) < initial

@@ -1,0 +1,94 @@
+"""Tests for cosine/euclidean K-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import kmeans
+
+
+def _blobs(rng, centers, points_per_center=30, scale=0.05):
+    data = []
+    for center in centers:
+        data.append(center + rng.normal(scale=scale, size=(points_per_center, len(center))))
+    return np.concatenate(data)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters_euclidean(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[5.0, 0.0], [-5.0, 0.0], [0.0, 5.0]])
+        data = _blobs(rng, centers)
+        result = kmeans(data, 3, metric="euclidean", seed=0)
+        recovered = sorted(tuple(np.round(c).astype(int)) for c in result.centroids)
+        expected = sorted(tuple(c.astype(int)) for c in centers)
+        assert recovered == expected
+
+    def test_recovers_directional_clusters_cosine(self):
+        rng = np.random.default_rng(1)
+        directions = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 1.0]])
+        data = []
+        for direction in directions:
+            scales = rng.uniform(0.5, 3.0, size=(40, 1))  # different magnitudes
+            data.append(direction * scales + rng.normal(scale=0.02, size=(40, 2)))
+        data = np.concatenate(data)
+        result = kmeans(data, 3, metric="cosine", seed=0)
+        assert len(np.unique(result.assignments)) == 3
+
+    def test_requested_cluster_count_is_honoured(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(100, 8))
+        result = kmeans(data, 16, seed=0)
+        assert result.centroids.shape == (16, 8)
+        assert set(np.unique(result.assignments)) <= set(range(16))
+
+    def test_cosine_assignment_is_scale_invariant(self):
+        """DESIGN invariant 7."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(60, 8))
+        result = kmeans(data, 4, metric="cosine", seed=0)
+        scaled_assignment = kmeans(data, 4, metric="cosine", seed=0)
+        # Re-assign scaled copies of the points to the learned centroids.
+        from repro.core.weight_pool import WeightPool
+
+        pool = WeightPool(result.centroids, metric="cosine")
+        base = pool.assign(data)
+        for factor in (0.1, 3.0, 17.0):
+            np.testing.assert_array_equal(pool.assign(data * factor), base)
+        del scaled_assignment
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(50, 4))
+        a = kmeans(data, 5, seed=11)
+        b = kmeans(data, 5, seed=11)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 4)), 5)
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((10, 2)), 2, metric="manhattan")
+
+    def test_invalid_cluster_count_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((10, 2)), 0)
+
+    def test_duplicate_points_do_not_crash(self):
+        data = np.ones((20, 4))
+        result = kmeans(data, 3, seed=0)
+        assert result.centroids.shape == (3, 4)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_inertia_no_worse_than_random_centroids(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(80, 6))
+        result = kmeans(data, 8, metric="euclidean", seed=seed)
+        random_centroids = rng.normal(size=(8, 6))
+        dists = ((data[:, None, :] - random_centroids[None]) ** 2).sum(-1)
+        random_inertia = dists.min(axis=1).sum()
+        assert result.inertia <= random_inertia + 1e-9

@@ -1,0 +1,119 @@
+"""Tests for deployment-package export (indices packing, persistence, C header)."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_model_storage
+from repro.core.export import (
+    DeploymentPackage,
+    build_deployment_package,
+    emit_c_header,
+)
+
+
+@pytest.fixture()
+def package(compressed_small_model):
+    result = compressed_small_model
+    return build_deployment_package(
+        result.model,
+        (3, 32, 32),
+        result.pool,
+        network_name="resnet_s_tiny",
+        index_bitwidth=8,
+    )
+
+
+class TestBuildDeploymentPackage:
+    def test_metadata(self, package, compressed_small_model):
+        assert package.network == "resnet_s_tiny"
+        assert package.group_size == 8
+        assert package.pool_size == compressed_small_model.pool.size
+        assert package.lut_integer.shape == (256, package.pool_size)
+
+    def test_every_layer_is_represented(self, package, compressed_small_model):
+        from repro.core.tracing import trace_model
+
+        traces = trace_model(compressed_small_model.model, (3, 32, 32))
+        assert len(package.layers) == len(traces)
+        assert len(package.compressed_layers) == compressed_small_model.num_compressed_layers
+
+    def test_packed_indices_roundtrip(self, package, compressed_small_model):
+        pools = compressed_small_model.weight_pool_modules()
+        by_name = {layer.name: layer for layer in package.layers}
+        for name, module in pools.items():
+            artifact = by_name[name]
+            np.testing.assert_array_equal(artifact.unpack_indices(), module.indices)
+
+    def test_uncompressed_layers_store_q7_weights(self, package):
+        uncompressed = [l for l in package.layers if not l.compressed]
+        assert uncompressed
+        for layer in uncompressed:
+            assert layer.q_weight is not None
+            assert layer.q_weight.dtype == np.int8
+
+    def test_flash_size_close_to_storage_report(self, package, compressed_small_model):
+        report = analyze_model_storage(
+            compressed_small_model.model,
+            (3, 32, 32),
+            pool=compressed_small_model.pool,
+            index_bitwidth=8,
+        )
+        # The package and the accounting agree to within the bias/rounding slack.
+        assert package.flash_bytes == pytest.approx(report.compressed_bytes, rel=0.1)
+
+    def test_sub_byte_index_packing_shrinks_stream(self, compressed_small_model):
+        result = compressed_small_model
+        byte_package = build_deployment_package(
+            result.model, (3, 32, 32), result.pool, index_bitwidth=8
+        )
+        nibble_package = build_deployment_package(
+            result.model, (3, 32, 32), result.pool, index_bitwidth=4
+        )
+        assert nibble_package.flash_bytes < byte_package.flash_bytes
+        # Packing at 4 bits still roundtrips exactly (pool has 16 entries).
+        pools = result.weight_pool_modules()
+        by_name = {layer.name: layer for layer in nibble_package.layers}
+        for name, module in pools.items():
+            np.testing.assert_array_equal(by_name[name].unpack_indices(), module.indices)
+
+    def test_invalid_index_bitwidth_rejected(self, compressed_small_model):
+        result = compressed_small_model
+        with pytest.raises(ValueError):
+            build_deployment_package(
+                result.model, (3, 32, 32), result.pool, index_bitwidth=16
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, package, tmp_path):
+        path = tmp_path / "net.npz"
+        package.save(path)
+        loaded = DeploymentPackage.load(path)
+        assert loaded.network == package.network
+        assert loaded.pool_size == package.pool_size
+        np.testing.assert_array_equal(loaded.lut_integer, package.lut_integer)
+        assert len(loaded.layers) == len(package.layers)
+        for original, restored in zip(package.layers, loaded.layers):
+            assert original.name == restored.name
+            assert original.compressed == restored.compressed
+            if original.packed_indices is not None:
+                np.testing.assert_array_equal(
+                    restored.unpack_indices(), original.unpack_indices()
+                )
+
+
+class TestCHeader:
+    def test_header_contains_all_sections(self, package):
+        header = emit_c_header(package)
+        assert header.startswith("#ifndef")
+        assert "#define WP_POOL_SIZE" in header
+        assert "wp_lut" in header
+        assert "wp_layer0" in header
+        # One array per compressed layer's indices.
+        assert header.count("_indices[") == len(package.compressed_layers)
+
+    def test_header_is_ascii_and_balanced(self, package):
+        header = emit_c_header(package)
+        header.encode("ascii")
+        assert header.count("{") == header.count("}")
+        assert header.rstrip().endswith("#endif /* WEIGHT_POOL_NETWORK_H */")

@@ -1,0 +1,147 @@
+"""Tests for z/xy weight grouping and reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    extract_linear_z_vectors,
+    extract_xy_vectors,
+    extract_z_vectors,
+    least_squares_coefficients,
+    pad_channels_to_group,
+    reconstruct_from_xy_indices,
+    reconstruct_from_z_indices,
+    reconstruct_linear_from_z_indices,
+    z_index_shape,
+)
+
+
+class TestZGrouping:
+    def test_vector_count_matches_figure3(self):
+        # Paper example: an 8x3x3 filter bank with group size 4 yields
+        # (channels/4) * 3 * 3 vectors per filter.
+        weight = np.random.default_rng(0).normal(size=(1, 8, 3, 3))
+        vectors = extract_z_vectors(weight, 4)
+        assert vectors.shape == (18, 4)
+
+    def test_vectors_are_channel_slices(self):
+        weight = np.arange(2 * 8 * 1 * 1, dtype=float).reshape(2, 8, 1, 1)
+        vectors = extract_z_vectors(weight, 8)
+        np.testing.assert_array_equal(vectors[0], np.arange(8))
+        np.testing.assert_array_equal(vectors[1], np.arange(8, 16))
+
+    def test_roundtrip_with_identity_pool(self):
+        """Extract vectors, use them directly as the pool: reconstruction is exact."""
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(3, 16, 3, 3))
+        vectors = extract_z_vectors(weight, 8)
+        indices = np.arange(len(vectors)).reshape(z_index_shape(weight.shape, 8))
+        reconstructed = reconstruct_from_z_indices(indices, vectors)
+        np.testing.assert_allclose(reconstructed, weight)
+
+    def test_indivisible_channels_rejected(self):
+        with pytest.raises(ValueError):
+            extract_z_vectors(np.zeros((2, 6, 3, 3)), 8)
+
+    def test_pad_channels(self):
+        weight = np.ones((2, 6, 3, 3))
+        padded = pad_channels_to_group(weight, 8)
+        assert padded.shape == (2, 8, 3, 3)
+        assert np.all(padded[:, 6:] == 0)
+        np.testing.assert_array_equal(pad_channels_to_group(weight, 3), weight)
+
+    def test_reconstruct_slices_padded_channels(self):
+        rng = np.random.default_rng(2)
+        pool = rng.normal(size=(4, 8))
+        indices = np.zeros((2, 1, 3, 3), dtype=int)
+        full = reconstruct_from_z_indices(indices, pool)
+        sliced = reconstruct_from_z_indices(indices, pool, num_channels=6)
+        assert sliced.shape == (2, 6, 3, 3)
+        np.testing.assert_allclose(sliced, full[:, :6])
+
+    def test_reconstruct_rejects_bad_indices(self):
+        pool = np.zeros((4, 8))
+        with pytest.raises(ValueError):
+            reconstruct_from_z_indices(np.full((1, 1, 1, 1), 7), pool)
+
+    def test_every_zgroup_of_reconstruction_is_a_pool_vector(self):
+        """DESIGN invariant 4."""
+        rng = np.random.default_rng(3)
+        pool = rng.normal(size=(5, 8))
+        indices = rng.integers(0, 5, size=(4, 2, 3, 3))
+        weight = reconstruct_from_z_indices(indices, pool)
+        groups = extract_z_vectors(weight, 8)
+        for group in groups:
+            assert any(np.allclose(group, vec) for vec in pool)
+
+    @given(
+        filters=st.integers(1, 4),
+        channel_groups=st.integers(1, 3),
+        kernel=st.sampled_from([1, 3]),
+        group_size=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, filters, channel_groups, kernel, group_size):
+        rng = np.random.default_rng(filters * 10 + channel_groups)
+        weight = rng.normal(size=(filters, channel_groups * group_size, kernel, kernel))
+        vectors = extract_z_vectors(weight, group_size)
+        indices = np.arange(len(vectors)).reshape(z_index_shape(weight.shape, group_size))
+        np.testing.assert_allclose(reconstruct_from_z_indices(indices, vectors), weight)
+
+
+class TestLinearZGrouping:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(5, 16))
+        vectors = extract_linear_z_vectors(weight, 8)
+        indices = np.arange(len(vectors)).reshape(5, 2)
+        np.testing.assert_allclose(reconstruct_linear_from_z_indices(indices, vectors), weight)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            extract_linear_z_vectors(np.zeros((5, 10)), 8)
+
+    def test_reconstruct_rejects_bad_indices(self):
+        with pytest.raises(ValueError):
+            reconstruct_linear_from_z_indices(np.full((1, 1), 3), np.zeros((2, 8)))
+
+
+class TestXYGrouping:
+    def test_extract_shape(self):
+        weight = np.random.default_rng(0).normal(size=(4, 3, 3, 3))
+        assert extract_xy_vectors(weight).shape == (12, 9)
+
+    def test_roundtrip_with_identity_pool(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(2, 3, 3, 3))
+        kernels = extract_xy_vectors(weight)
+        indices = np.arange(len(kernels))
+        np.testing.assert_allclose(
+            reconstruct_from_xy_indices(indices, kernels, weight.shape), weight
+        )
+
+    def test_coefficients_scale_kernels(self):
+        pool = np.ones((1, 9))
+        indices = np.zeros(2, dtype=int)
+        coeffs = np.array([2.0, -1.0])
+        weight = reconstruct_from_xy_indices(indices, pool, (2, 1, 3, 3), coefficients=coeffs)
+        assert np.all(weight[0] == 2.0) and np.all(weight[1] == -1.0)
+
+    def test_least_squares_coefficients_are_optimal(self):
+        rng = np.random.default_rng(2)
+        pool = rng.normal(size=(3, 9))
+        kernels = rng.normal(size=(5, 9))
+        indices = rng.integers(0, 3, size=5)
+        coeffs = least_squares_coefficients(kernels, pool, indices)
+        # Perturbing any coefficient should not reduce the reconstruction error.
+        def error(c):
+            return ((kernels - c[:, None] * pool[indices]) ** 2).sum()
+        base = error(coeffs)
+        for delta in (0.01, -0.01):
+            assert error(coeffs + delta) >= base - 1e-9
+
+    def test_pool_kernel_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_from_xy_indices(np.zeros(1, dtype=int), np.zeros((2, 4)), (1, 1, 3, 3))

@@ -1,0 +1,252 @@
+"""Tests for weight-pool layers, model compression and fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy, compress_model, apply_xy_pool_to_model
+from repro.core.finetune import (
+    finetune_compressed_model,
+    freeze_assignments,
+    unfreeze_assignments,
+    weight_pool_layers,
+)
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.weight_pool import WeightPool
+from repro.models import create_model
+from repro.nn import Conv2d, DataLoader, Linear
+from repro.nn.data.dataset import ArrayDataset
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def pool():
+    return WeightPool(np.random.default_rng(0).normal(size=(16, 8)))
+
+
+class TestWeightPoolConv2d:
+    def test_from_conv_preserves_geometry_and_latent_weights(self, pool):
+        conv = Conv2d(16, 12, 3, stride=2, padding=1, rng=0)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        assert wp.stride == 2 and wp.padding == 1
+        np.testing.assert_allclose(wp.weight.data, conv.weight.data)
+        assert wp.indices.shape == (12, 2, 3, 3)
+
+    def test_effective_weight_rows_come_from_pool(self, pool):
+        conv = Conv2d(8, 4, 3, rng=1)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        weight = wp.effective_weight()
+        from repro.core.grouping import extract_z_vectors
+
+        for vector in extract_z_vectors(weight, 8):
+            assert any(np.allclose(vector, pv) for pv in pool.vectors)
+
+    def test_forward_uses_effective_weights(self, pool):
+        conv = Conv2d(8, 4, 3, padding=1, rng=2)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        wp.eval()
+        x = np.random.default_rng(2).normal(size=(2, 8, 5, 5))
+        expected, _ = F.conv2d_forward(x, wp.effective_weight(), wp.bias.data, 1, 1, 1)
+        np.testing.assert_allclose(wp(x), expected)
+
+    def test_training_forward_reassigns_after_latent_update(self, pool):
+        conv = Conv2d(8, 2, 1, bias=False, rng=3)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        wp.train()
+        before = wp.indices.copy()
+        # Move the latent weights onto a specific pool vector: the next forward
+        # must reassign the indices accordingly.
+        wp.weight.data[...] = np.tile(pool.vectors[5].reshape(1, 8, 1, 1), (2, 1, 1, 1))
+        wp(np.zeros((1, 8, 4, 4)))
+        assert np.all(wp.indices == 5)
+        del before
+
+    def test_no_reassign_when_frozen(self, pool):
+        conv = Conv2d(8, 2, 1, bias=False, rng=4)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        wp.train()
+        wp.reassign_on_forward = False
+        original = wp.indices.copy()
+        wp.weight.data[...] = np.tile(pool.vectors[3].reshape(1, 8, 1, 1), (2, 1, 1, 1))
+        wp(np.zeros((1, 8, 4, 4)))
+        np.testing.assert_array_equal(wp.indices, original)
+
+    def test_backward_accumulates_into_latent_weights(self, pool):
+        conv = Conv2d(8, 3, 3, padding=1, rng=5)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+        wp.train()
+        x = np.random.default_rng(5).normal(size=(2, 8, 5, 5))
+        out = wp(x)
+        wp.backward(np.ones_like(out))
+        assert np.abs(wp.weight.grad).sum() > 0
+        assert np.abs(wp.bias.grad).sum() > 0
+
+    def test_grouped_conv_rejected(self, pool):
+        with pytest.raises(ValueError):
+            WeightPoolConv2d(8, 8, 3, pool, groups=8)
+
+    def test_indivisible_channels_need_padding_flag(self, pool):
+        with pytest.raises(ValueError):
+            WeightPoolConv2d(12, 4, 3, pool)
+        layer = WeightPoolConv2d(12, 4, 3, pool, pad_channels=True)
+        assert layer.indices.shape == (4, 2, 3, 3)
+        assert layer.effective_weight().shape == (4, 12, 3, 3)
+
+    def test_runtime_delegation(self, pool):
+        conv = Conv2d(8, 2, 3, padding=1, rng=6)
+        wp = WeightPoolConv2d.from_conv(conv, pool)
+
+        class _FakeRuntime:
+            def run(self, layer, x):
+                return np.full((x.shape[0], layer.out_channels, 1, 1), 42.0)
+
+        wp.runtime = _FakeRuntime()
+        out = wp(np.zeros((3, 8, 5, 5)))
+        assert np.all(out == 42.0)
+        with pytest.raises(RuntimeError):
+            wp.backward(out)
+
+
+class TestWeightPoolLinear:
+    def test_from_linear_roundtrip(self, pool):
+        linear = Linear(16, 5, rng=0)
+        wp = WeightPoolLinear.from_linear(linear, pool)
+        assert wp.indices.shape == (5, 2)
+        x = np.random.default_rng(0).normal(size=(3, 16))
+        wp.eval()
+        np.testing.assert_allclose(wp(x), x @ wp.effective_weight().T + wp.bias.data)
+
+    def test_indivisible_features_rejected(self, pool):
+        with pytest.raises(ValueError):
+            WeightPoolLinear(12, 4, pool)
+
+    def test_backward_accumulates(self, pool):
+        wp = WeightPoolLinear(16, 3, pool, rng=1)
+        wp.train()
+        x = np.random.default_rng(1).normal(size=(4, 16))
+        out = wp(x)
+        wp.backward(np.ones_like(out))
+        assert np.abs(wp.weight.grad).sum() > 0
+
+
+class TestCompressModel:
+    def test_compress_replaces_eligible_layers(self, compressed_small_model):
+        result = compressed_small_model
+        assert result.num_compressed_layers > 0
+        assert "stem.conv" in result.skipped_layers
+        for name, module in result.weight_pool_modules().items():
+            assert isinstance(module, (WeightPoolConv2d, WeightPoolLinear)), name
+
+    def test_original_model_untouched_by_default(self, small_model):
+        before = {name: p.data.copy() for name, p in small_model.named_parameters()}
+        compress_model(small_model, (3, 32, 32), pool_size=8, seed=0)
+        for name, param in small_model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert not any(
+            isinstance(m, WeightPoolConv2d) for m in small_model.modules()
+        )
+
+    def test_inplace_compression(self, small_model):
+        compress_model(small_model, (3, 32, 32), pool_size=8, seed=0, inplace=True)
+        assert any(isinstance(m, WeightPoolConv2d) for m in small_model.modules())
+
+    def test_compression_is_idempotent(self, compressed_small_model):
+        result = compressed_small_model
+        again = compress_model(
+            result.model, (3, 32, 32), pool=result.pool, policy=result.policy, seed=0
+        )
+        assert set(again.compressed_layers) == set(result.compressed_layers)
+
+    def test_forward_still_works_after_compression(self, compressed_small_model):
+        model = compressed_small_model.model
+        model.eval()
+        out = model(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+        assert np.all(np.isfinite(out))
+
+    def test_pool_group_size_mismatch_rejected(self, small_model, pool):
+        with pytest.raises(ValueError):
+            compress_model(
+                small_model,
+                (3, 32, 32),
+                pool=pool,
+                policy=CompressionPolicy(group_size=4),
+            )
+
+    def test_compress_fc_option(self):
+        model = create_model("tinyconv", num_classes=10, in_channels=3, rng=0)
+        result = compress_model(
+            model,
+            (3, 32, 32),
+            pool_size=16,
+            policy=CompressionPolicy(compress_fc=True),
+            seed=0,
+        )
+        assert any(
+            isinstance(m, WeightPoolLinear) for m in result.model.modules()
+        )
+
+
+class TestXYCompression:
+    def test_projection_changes_weights_but_keeps_shapes(self, small_model):
+        result = apply_xy_pool_to_model(small_model, (3, 32, 32), pool_size=8, seed=0)
+        assert result.compressed_layers
+        out = result.model(np.zeros((1, 3, 32, 32)))
+        assert out.shape == (1, 10)
+
+    def test_coefficients_reduce_projection_error(self, small_model):
+        from repro.core.tracing import trace_model
+
+        plain = apply_xy_pool_to_model(small_model, (3, 32, 32), pool_size=8, seed=0)
+        scaled = apply_xy_pool_to_model(
+            small_model, (3, 32, 32), pool_size=8, with_coefficients=True, seed=0
+        )
+        original = {
+            t.name: t.module.weight.data.copy()
+            for t in trace_model(small_model, (3, 32, 32))
+        }
+        def total_error(result):
+            error = 0.0
+            for t in trace_model(result.model, (3, 32, 32)):
+                if t.name in original and t.name in result.compressed_layers:
+                    error += float(((t.module.weight.data - original[t.name]) ** 2).sum())
+            return error
+
+        assert total_error(scaled) <= total_error(plain) + 1e-9
+
+    def test_no_eligible_layer_raises(self):
+        model = create_model("tinyconv", num_classes=10, in_channels=3, rng=0)
+        with pytest.raises(ValueError):
+            apply_xy_pool_to_model(model, (3, 32, 32), kernel_size=7)
+
+
+class TestFinetune:
+    def _loader(self, n=32):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(n, 3, 32, 32))
+        targets = rng.integers(0, 10, size=n)
+        return DataLoader(ArrayDataset(inputs, targets), batch_size=16, shuffle=True, rng=0)
+
+    def test_finetune_runs_and_freezes(self, compressed_small_model):
+        trainer = finetune_compressed_model(
+            compressed_small_model.model, self._loader(), epochs=1, lr=0.01
+        )
+        assert len(trainer.history) == 1
+        for layer in weight_pool_layers(compressed_small_model.model):
+            assert not layer.reassign_on_forward
+        assert not compressed_small_model.model.training
+
+    def test_finetune_requires_compressed_model(self, small_model):
+        with pytest.raises(ValueError):
+            finetune_compressed_model(small_model, self._loader(), epochs=1)
+
+    def test_freeze_unfreeze_helpers(self, compressed_small_model):
+        freeze_assignments(compressed_small_model.model)
+        assert all(
+            not layer.reassign_on_forward
+            for layer in weight_pool_layers(compressed_small_model.model)
+        )
+        unfreeze_assignments(compressed_small_model.model)
+        assert all(
+            layer.reassign_on_forward
+            for layer in weight_pool_layers(compressed_small_model.model)
+        )

@@ -1,0 +1,239 @@
+"""Tests for LUT generation and the bit-serial execution kernels.
+
+The central invariant (DESIGN invariant 1): with a full-precision LUT, the
+bit-serial LUT convolution equals direct convolution with the reconstructed
+pool weights exactly, for any unsigned integer input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitserial import (
+    bit_decompose,
+    bit_vector_values,
+    bitserial_conv2d,
+    bitserial_dot,
+    bitserial_linear,
+)
+from repro.core.grouping import reconstruct_from_z_indices, reconstruct_linear_from_z_indices
+from repro.core.lut import LookupTable, build_lut, enumerate_bit_vectors
+from repro.core.weight_pool import WeightPool
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return WeightPool(np.random.default_rng(7).normal(size=(16, 8)))
+
+
+@pytest.fixture(scope="module")
+def lut(pool):
+    return build_lut(pool)
+
+
+class TestEnumerateBitVectors:
+    def test_all_combinations_present(self):
+        vectors = enumerate_bit_vectors(3)
+        assert vectors.shape == (8, 3)
+        assert len({tuple(v) for v in vectors.astype(int)}) == 8
+
+    def test_bit_order_lsb_first(self):
+        vectors = enumerate_bit_vectors(3)
+        np.testing.assert_array_equal(vectors[1], [1, 0, 0])  # value 1 -> element 0
+        np.testing.assert_array_equal(vectors[4], [0, 0, 1])  # value 4 -> element 2
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_bit_vectors(0)
+        with pytest.raises(ValueError):
+            enumerate_bit_vectors(20)
+
+
+class TestLookupTable:
+    def test_size_matches_eq3(self, lut, pool):
+        assert lut.num_entries == (1 << 8) * 16
+        assert lut.storage_bits() == lut.num_entries * 32  # float LUT counted as 32-bit
+        assert lut.quantize(8).storage_bits() == lut.num_entries * 8
+
+    def test_entries_are_dot_products(self, lut, pool):
+        value = 0b10110001
+        bits = enumerate_bit_vectors(8)[value]
+        for pool_index in (0, 5, 15):
+            expected = float(bits @ pool.vectors[pool_index])
+            assert lut.lookup(value, pool_index) == pytest.approx(expected)
+
+    def test_all_ones_entry_is_pool_sum(self, lut, pool):
+        np.testing.assert_allclose(lut.pool_vector_sums(), pool.vectors.sum(axis=1))
+
+    def test_zero_entry_is_zero(self, lut):
+        np.testing.assert_allclose(lut.lookup(0, np.arange(16)), 0.0)
+
+    def test_lookup_validation(self, lut):
+        with pytest.raises(ValueError):
+            lut.lookup(1 << 8, 0)
+        with pytest.raises(ValueError):
+            lut.lookup(0, 16)
+
+    def test_quantization_error_bounded(self, lut):
+        quantized = lut.quantize(8)
+        assert quantized.bitwidth == 8
+        assert np.abs(quantized.values - lut.values).max() <= quantized.scale / 2 + 1e-12
+
+    def test_lower_bitwidth_has_larger_error(self, lut):
+        err8 = np.abs(lut.quantize(8).values - lut.values).max()
+        err4 = np.abs(lut.quantize(4).values - lut.values).max()
+        assert err4 >= err8
+
+    def test_double_quantization_rejected(self, lut):
+        with pytest.raises(ValueError):
+            lut.quantize(8).quantize(4)
+
+    def test_invalid_order_rejected(self, pool):
+        with pytest.raises(ValueError):
+            LookupTable(values=np.zeros((256, 16)), pool_size=16, group_size=8, order="diagonal")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable(values=np.zeros((10, 16)), pool_size=16, group_size=8)
+
+
+class TestBitDecomposition:
+    def test_bit_decompose_known_value(self):
+        bits = bit_decompose(np.array([6]), 4)
+        np.testing.assert_array_equal(bits[0], [0, 1, 1, 0])  # LSB first
+
+    def test_bit_decompose_range_checks(self):
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([-1]), 4)
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([16]), 4)
+
+    def test_bit_vector_values_matches_manual(self):
+        group = np.array([[3, 0, 1, 2]])  # g = 4
+        addresses = bit_vector_values(group, 2)
+        # bit 0: elements with LSB set -> 3 (bit0) and 1 (bit2) -> value 0b0101 = 5
+        # bit 1: elements with bit1 set -> 3 (bit0) and 2 (bit3) -> value 0b1001 = 9
+        np.testing.assert_array_equal(addresses[0], [5, 9])
+
+    def test_bit_vector_values_reconstructs_activations(self):
+        """Summing 2^j * bit_j recovers each activation (Eq. 2)."""
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, 256, size=(5, 8))
+        addresses = bit_vector_values(groups, 8)
+        recovered = np.zeros_like(groups)
+        for j in range(8):
+            bits = enumerate_bit_vectors(8)[addresses[:, j]]
+            recovered += (bits * (1 << j)).astype(np.int64)
+        np.testing.assert_array_equal(recovered, groups)
+
+
+class TestBitserialDot:
+    def test_matches_direct_dot(self, pool, lut):
+        rng = np.random.default_rng(1)
+        q = rng.integers(0, 256, size=8)
+        for idx in (0, 7, 15):
+            expected = float(q @ pool.vectors[idx])
+            assert bitserial_dot(q, idx, lut, 8) == pytest.approx(expected)
+
+    def test_truncation_drops_lsbs(self, pool, lut):
+        q = np.full(8, 0b11111111)
+        full = bitserial_dot(q, 3, lut, 8)
+        truncated = bitserial_dot(q, 3, lut, 8, active_bits=4)
+        expected_truncated = float((q - 0b00001111) @ pool.vectors[3])
+        assert truncated == pytest.approx(expected_truncated)
+        # The dropped contribution is exactly the low 4 bits times the vector sum.
+        dropped = float(np.full(8, 0b00001111) @ pool.vectors[3])
+        assert full - truncated == pytest.approx(dropped)
+
+    def test_validation(self, lut):
+        with pytest.raises(ValueError):
+            bitserial_dot(np.zeros(4, dtype=int), 0, lut, 8)
+        with pytest.raises(ValueError):
+            bitserial_dot(np.zeros(8, dtype=int), 0, lut, 8, active_bits=9)
+
+
+class TestBitserialConv2d:
+    @pytest.mark.parametrize("filters", [4, 40])  # below and above the pool size
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0)])
+    def test_exactness_vs_reconstructed_conv(self, pool, lut, filters, stride, padding):
+        rng = np.random.default_rng(filters + stride)
+        q_x = rng.integers(0, 256, size=(2, 16, 6, 6))
+        indices = rng.integers(0, pool.size, size=(filters, 2, 3, 3))
+        out = bitserial_conv2d(q_x, indices, lut, stride, padding, act_bitwidth=8)
+        weight = reconstruct_from_z_indices(indices, pool.vectors)
+        expected, _ = F.conv2d_forward(q_x.astype(float), weight, None, stride, padding, 1)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-9)
+
+    def test_pad_value_contributes_like_constant(self, pool, lut):
+        rng = np.random.default_rng(3)
+        q_x = rng.integers(0, 256, size=(1, 8, 4, 4))
+        indices = rng.integers(0, pool.size, size=(3, 1, 3, 3))
+        out = bitserial_conv2d(q_x, indices, lut, 1, 1, act_bitwidth=8, pad_value=9)
+        padded = np.pad(q_x, ((0, 0), (0, 0), (1, 1), (1, 1)), constant_values=9)
+        weight = reconstruct_from_z_indices(indices, pool.vectors)
+        expected, _ = F.conv2d_forward(padded.astype(float), weight, None, 1, 0, 1)
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_active_bits_equals_lsb_truncation(self, pool, lut):
+        """DESIGN invariant 5: early termination == truncating the LSBs."""
+        rng = np.random.default_rng(4)
+        q_x = rng.integers(0, 256, size=(1, 8, 5, 5))
+        indices = rng.integers(0, pool.size, size=(4, 1, 3, 3))
+        for active in (1, 3, 6):
+            out = bitserial_conv2d(q_x, indices, lut, 1, 1, act_bitwidth=8, active_bits=active)
+            mask = ~((1 << (8 - active)) - 1)
+            truncated = q_x & mask
+            out_ref = bitserial_conv2d(truncated, indices, lut, 1, 1, act_bitwidth=8)
+            np.testing.assert_allclose(out, out_ref, atol=1e-9)
+
+    def test_quantized_lut_error_is_bounded(self, pool, lut):
+        rng = np.random.default_rng(5)
+        q_x = rng.integers(0, 256, size=(1, 8, 5, 5))
+        indices = rng.integers(0, pool.size, size=(4, 1, 3, 3))
+        exact = bitserial_conv2d(q_x, indices, lut, 1, 1, act_bitwidth=8)
+        quantized = bitserial_conv2d(q_x, indices, lut.quantize(8), 1, 1, act_bitwidth=8)
+        # Each of the taps*bits lookups errs by at most scale/2 * 2^bit.
+        taps = indices.shape[1] * 9
+        bound = lut.quantize(8).scale / 2 * taps * (2**8 - 1) + 1e-9
+        assert np.abs(exact - quantized).max() <= bound
+
+    def test_shape_and_range_validation(self, lut):
+        with pytest.raises(ValueError):
+            bitserial_conv2d(np.zeros((1, 8, 4, 4), dtype=int), np.zeros((2, 1, 3, 3), dtype=int), lut, act_bitwidth=8, active_bits=9)
+        with pytest.raises(ValueError):
+            bitserial_conv2d(np.zeros((1, 12, 4, 4), dtype=int), np.zeros((2, 1, 3, 3), dtype=int), lut)
+        with pytest.raises(ValueError):
+            bitserial_conv2d(np.zeros((8, 4, 4), dtype=int), np.zeros((2, 1, 3, 3), dtype=int), lut)
+
+    @given(
+        act_bitwidth=st.integers(1, 8),
+        filters=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_exactness_any_bitwidth(self, pool, lut, act_bitwidth, filters, seed):
+        rng = np.random.default_rng(seed)
+        q_x = rng.integers(0, 1 << act_bitwidth, size=(1, 8, 4, 4))
+        indices = rng.integers(0, pool.size, size=(filters, 1, 3, 3))
+        out = bitserial_conv2d(q_x, indices, lut, 1, 1, act_bitwidth=act_bitwidth)
+        weight = reconstruct_from_z_indices(indices, pool.vectors)
+        expected, _ = F.conv2d_forward(q_x.astype(float), weight, None, 1, 1, 1)
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+
+class TestBitserialLinear:
+    def test_exactness(self, pool, lut):
+        rng = np.random.default_rng(6)
+        q_x = rng.integers(0, 256, size=(3, 24))
+        indices = rng.integers(0, pool.size, size=(5, 3))
+        out = bitserial_linear(q_x, indices, lut, act_bitwidth=8)
+        weight = reconstruct_linear_from_z_indices(indices, pool.vectors)
+        np.testing.assert_allclose(out, q_x @ weight.T, atol=1e-9)
+
+    def test_validation(self, lut):
+        with pytest.raises(ValueError):
+            bitserial_linear(np.zeros((2, 20), dtype=int), np.zeros((3, 3), dtype=int), lut)
+        with pytest.raises(ValueError):
+            bitserial_linear(np.zeros((2,), dtype=int), np.zeros((3, 3), dtype=int), lut)

@@ -1,0 +1,113 @@
+"""Tests for compression policies and model tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy
+from repro.core.tracing import trace_model, total_weight_params
+from repro.models import create_model
+from repro.nn import Conv2d, Linear, Sequential, Flatten
+
+
+class TestTracing:
+    def test_traces_cover_all_weight_layers(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        conv_count = sum(1 for t in traces if t.kind == "conv")
+        linear_count = sum(1 for t in traces if t.kind == "linear")
+        model_convs = sum(1 for m in small_model.modules() if isinstance(m, Conv2d))
+        model_linears = sum(1 for m in small_model.modules() if isinstance(m, Linear))
+        assert conv_count == model_convs
+        assert linear_count == model_linears
+
+    def test_first_conv_is_marked(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        first_flags = [t for t in traces if t.is_first]
+        assert len(first_flags) == 1
+        assert first_flags[0].kind == "conv"
+        assert first_flags[0].in_channels == 3
+
+    def test_input_output_geometry(self):
+        model = Sequential(Conv2d(3, 8, 3, stride=2, padding=1, rng=0), Flatten(), Linear(8 * 16 * 16, 5, rng=0))
+        traces = trace_model(model, (3, 32, 32))
+        conv_trace = traces[0]
+        assert conv_trace.input_hw == (32, 32)
+        assert conv_trace.output_hw == (16, 16)
+        assert traces[1].kind == "linear"
+
+    def test_macs_formula(self):
+        model = Sequential(Conv2d(4, 8, 3, stride=1, padding=1, rng=0))
+        trace = trace_model(model, (4, 10, 10))[0]
+        assert trace.macs == 8 * 10 * 10 * 4 * 9
+
+    def test_depthwise_macs_account_for_groups(self):
+        model = Sequential(Conv2d(8, 8, 3, stride=1, padding=1, groups=8, rng=0))
+        trace = trace_model(model, (8, 6, 6))[0]
+        assert trace.is_depthwise
+        assert trace.macs == 8 * 6 * 6 * 1 * 9
+
+    def test_total_weight_params_matches_module_count(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        expected = sum(
+            int(np.prod(m.weight.shape))
+            for m in small_model.modules()
+            if isinstance(m, (Conv2d, Linear))
+        )
+        assert total_weight_params(traces) == expected
+
+    def test_weight_params_property(self):
+        model = Sequential(Conv2d(3, 4, 3, rng=0))
+        trace = trace_model(model, (3, 8, 8))[0]
+        assert trace.weight_params == 4 * 3 * 9
+        assert trace.bias_params == 4
+
+
+class TestCompressionPolicy:
+    def _traces(self, name="mobilenetv2_tiny", channels=3):
+        model = create_model(name, num_classes=10, in_channels=channels, rng=0)
+        return trace_model(model, (channels, 32, 32))
+
+    def test_first_layer_skipped_by_default(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        policy = CompressionPolicy()
+        assert not policy.eligible(next(t for t in traces if t.is_first))
+
+    def test_first_layer_can_be_compressed_with_padding(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        policy = CompressionPolicy(compress_first_layer=True, pad_channels=True)
+        assert policy.eligible(next(t for t in traces if t.is_first))
+
+    def test_depthwise_skipped_by_default(self):
+        traces = self._traces()
+        depthwise = [t for t in traces if t.is_depthwise]
+        assert depthwise, "expected depthwise layers in MobileNet-v2"
+        policy = CompressionPolicy()
+        assert all(not policy.eligible(t) for t in depthwise)
+
+    def test_pointwise_layers_eligible(self):
+        traces = self._traces()
+        policy = CompressionPolicy()
+        pointwise = [t for t in traces if t.is_pointwise and not t.is_first]
+        eligible = [t for t in pointwise if policy.eligible(t)]
+        assert eligible, "expected at least some pointwise layers to be compressible"
+
+    def test_fc_skipped_unless_enabled(self, small_model):
+        traces = trace_model(small_model, (3, 32, 32))
+        fc = next(t for t in traces if t.kind == "linear")
+        assert not CompressionPolicy().eligible(fc)
+        assert CompressionPolicy(compress_fc=True).eligible(fc)
+
+    def test_thin_layers_skipped_without_padding(self):
+        model = Sequential(Conv2d(3, 8, 3, rng=0), Conv2d(8, 6, 3, rng=0), Conv2d(6, 8, 3, rng=0))
+        traces = trace_model(model, (3, 20, 20))
+        policy = CompressionPolicy(group_size=8)
+        # Third conv has 6 input channels: skipped unless padding is enabled.
+        assert not policy.eligible(traces[2])
+        assert CompressionPolicy(group_size=8, pad_channels=True).eligible(traces[2])
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy(group_size=1)
+
+    def test_describe_mentions_choices(self):
+        text = CompressionPolicy(compress_fc=True).describe()
+        assert "FC compressed" in text and "group_size=8" in text

@@ -1,0 +1,128 @@
+"""Tests for storage accounting and compression ratios (Eq. 3-4, Table 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CompressionPolicy,
+    analyze_model_storage,
+    compress_model,
+    lut_storage_bits,
+    theoretical_compression_ratio,
+)
+from repro.models import create_model
+from repro.utils.bits import required_bits
+
+
+class TestLutStorage:
+    def test_paper_example_16kb(self):
+        """Paper §3.2: 64 vectors, 8-element groups, 8-bit entries -> 16 kB."""
+        bits = lut_storage_bits(group_size=8, pool_size=64, lut_bitwidth=8)
+        assert bits / 8 / 1024 == 16.0
+
+    def test_eq3_formula(self):
+        assert lut_storage_bits(4, 32, 16) == (1 << 4) * 32 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lut_storage_bits(0, 64, 8)
+
+
+class TestTheoreticalCompressionRatio:
+    def test_approaches_bound_for_large_networks(self):
+        """Eq. 4 with 8-bit weights, group 8, 8-bit indices tends to 8x."""
+        cr = theoretical_compression_ratio(10**8, index_bitwidth=8)
+        assert 7.9 < cr < 8.0
+
+    def test_log2s_indices_give_higher_ratio(self):
+        cr_min = theoretical_compression_ratio(10**7, index_bitwidth=required_bits(64))
+        cr_byte = theoretical_compression_ratio(10**7, index_bitwidth=8)
+        assert cr_min > cr_byte
+
+    def test_lut_dominates_small_networks(self):
+        small = theoretical_compression_ratio(20_000)
+        large = theoretical_compression_ratio(2_000_000)
+        assert small < large
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theoretical_compression_ratio(0)
+
+    @given(params=st.integers(10_000, 10**7))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_index_bound(self, params):
+        """CR can never exceed weight_bits / (index_bits / group_size)."""
+        cr = theoretical_compression_ratio(params, index_bitwidth=8)
+        assert cr <= 8 / (8 / 8) + 1e-9
+
+
+class TestAnalyzeModelStorage:
+    def test_uncompressed_policy_vs_compressed_model_agree(self, compressed_small_model, small_model):
+        hypothetical = analyze_model_storage(
+            small_model, (3, 32, 32), policy=CompressionPolicy(), pool_size=16
+        )
+        actual = analyze_model_storage(
+            compressed_small_model.model, (3, 32, 32), pool=compressed_small_model.pool
+        )
+        assert hypothetical.compression_ratio == pytest.approx(
+            actual.compression_ratio, rel=1e-6
+        )
+
+    def test_compression_ratio_improves_with_network_size(self):
+        ratios = []
+        for name in ("resnet_s", "resnet10", "resnet14"):
+            model = create_model(name, num_classes=10, rng=0)
+            report = analyze_model_storage(
+                model, (3, 32, 32), policy=CompressionPolicy(), pool_size=64, index_bitwidth=8
+            )
+            ratios.append(report.compression_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 6.5  # ResNet-14 approaches the 8x bound (paper: 7.55)
+
+    def test_lut_overhead_shrinks_with_network_size(self):
+        overheads = []
+        for name in ("resnet_s", "resnet14"):
+            model = create_model(name, num_classes=10, rng=0)
+            report = analyze_model_storage(
+                model, (3, 32, 32), policy=CompressionPolicy(), pool_size=64, index_bitwidth=8
+            )
+            overheads.append(report.lut_overhead)
+        assert overheads[0] > overheads[1]
+
+    def test_no_compressed_layers_means_no_lut(self):
+        model = create_model("tinyconv", num_classes=10, in_channels=3, width_mult=0.1, rng=0)
+        report = analyze_model_storage(model, (3, 32, 32), policy=CompressionPolicy())
+        assert report.lut_bits == 0
+        assert report.compression_ratio <= 1.0 + 1e-9
+
+    def test_total_params_matches_model(self, small_model):
+        from repro.core.tracing import total_weight_params, trace_model
+
+        report = analyze_model_storage(small_model, (3, 32, 32), policy=CompressionPolicy())
+        assert report.total_params == total_weight_params(trace_model(small_model, (3, 32, 32)))
+
+    def test_larger_pool_increases_lut_share(self, small_model):
+        small = analyze_model_storage(small_model, (3, 32, 32), pool_size=32)
+        large = analyze_model_storage(small_model, (3, 32, 32), pool_size=128)
+        assert large.lut_bits > small.lut_bits
+        assert large.lut_overhead > small.lut_overhead
+
+    def test_compressed_layer_storage_counts_indices(self, compressed_small_model):
+        report = analyze_model_storage(
+            compressed_small_model.model,
+            (3, 32, 32),
+            pool=compressed_small_model.pool,
+            index_bitwidth=8,
+        )
+        compressed_layers = [l for l in report.layers if l.compressed]
+        assert compressed_layers
+        for layer in compressed_layers:
+            # 8-bit indices, one per 8 weights: 1/8 of the 8-bit baseline (+ bias).
+            expected = layer.weight_params / 8 * 8 + layer.bias_params * 8
+            assert layer.storage_bits == pytest.approx(expected)
+
+    def test_flash_bytes_positive(self, small_model):
+        report = analyze_model_storage(small_model, (3, 32, 32))
+        assert report.flash_bytes() > 0

@@ -1,0 +1,94 @@
+"""Tests for the WeightPool container and pool construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPolicy, build_weight_pool
+from repro.core.weight_pool import WeightPool, collect_poolable_vectors
+from repro.models import create_model
+
+
+class TestWeightPool:
+    def test_basic_properties(self, small_pool):
+        assert small_pool.size == 16
+        assert small_pool.group_size == 8
+        assert small_pool.index_bitwidth == 4
+        assert small_pool.storage_bits(8) == 16 * 8 * 8
+
+    def test_assign_returns_nearest_cosine(self):
+        pool = WeightPool(np.array([[1.0, 0.0], [0.0, 1.0]]), metric="cosine")
+        indices = pool.assign(np.array([[5.0, 0.1], [0.2, 9.0]]))
+        np.testing.assert_array_equal(indices, [0, 1])
+
+    def test_assign_scale_invariance_cosine(self, small_pool):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(40, 8))
+        base = small_pool.assign(vectors)
+        np.testing.assert_array_equal(small_pool.assign(vectors * 100.0), base)
+        np.testing.assert_array_equal(small_pool.assign(vectors * 0.01), base)
+
+    def test_assign_euclidean(self):
+        pool = WeightPool(np.array([[0.0, 0.0], [10.0, 10.0]]), metric="euclidean")
+        np.testing.assert_array_equal(
+            pool.assign(np.array([[1.0, 1.0], [9.0, 9.0]])), [0, 1]
+        )
+
+    def test_assign_shape_validation(self, small_pool):
+        with pytest.raises(ValueError):
+            small_pool.assign(np.zeros((3, 4)))
+
+    def test_reconstruct_gathers_vectors(self, small_pool):
+        indices = np.array([[0, 1], [2, 3]])
+        gathered = small_pool.reconstruct(indices)
+        assert gathered.shape == (2, 2, 8)
+        np.testing.assert_allclose(gathered[0, 0], small_pool.vectors[0])
+
+    def test_reconstruct_rejects_out_of_range(self, small_pool):
+        with pytest.raises(ValueError):
+            small_pool.reconstruct(np.array([99]))
+
+    def test_quantization_error_zero_for_pool_members(self, small_pool):
+        assert small_pool.quantization_error(small_pool.vectors.copy()) < 1e-20
+
+    def test_save_load_roundtrip(self, small_pool, tmp_path):
+        path = tmp_path / "pool.npz"
+        small_pool.save(path)
+        loaded = WeightPool.load(path)
+        np.testing.assert_allclose(loaded.vectors, small_pool.vectors)
+        assert loaded.metric == small_pool.metric
+
+    def test_rejects_non_2d_vectors(self):
+        with pytest.raises(ValueError):
+            WeightPool(np.zeros((2, 3, 4)))
+
+
+class TestBuildWeightPool:
+    def test_pool_has_requested_size_and_group(self, small_model):
+        pool = build_weight_pool(small_model, (3, 32, 32), pool_size=16, seed=0)
+        assert pool.size == 16
+        assert pool.group_size == 8
+
+    def test_collect_respects_policy(self, small_model):
+        vectors, eligible = collect_poolable_vectors(
+            small_model, (3, 32, 32), CompressionPolicy(group_size=8)
+        )
+        assert vectors.shape[1] == 8
+        # The first (stem) convolution must not contribute vectors.
+        assert all(not trace.is_first for trace in eligible)
+
+    def test_no_eligible_layers_raises(self):
+        model = create_model("tinyconv", num_classes=4, in_channels=3, width_mult=0.1, rng=0)
+        # width 0.1 -> 4-channel convs, none divisible by 8, first layer excluded.
+        with pytest.raises(ValueError):
+            collect_poolable_vectors(model, (3, 32, 32), CompressionPolicy(group_size=8))
+
+    def test_subsampling_limits_clustering_input(self, small_model):
+        pool = build_weight_pool(
+            small_model, (3, 32, 32), pool_size=8, max_cluster_vectors=50, seed=0
+        )
+        assert pool.size == 8
+
+    def test_deterministic_given_seed(self, small_model):
+        a = build_weight_pool(small_model, (3, 32, 32), pool_size=8, seed=3)
+        b = build_weight_pool(small_model, (3, 32, 32), pool_size=8, seed=3)
+        np.testing.assert_allclose(a.vectors, b.vectors)

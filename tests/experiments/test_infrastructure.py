@@ -1,0 +1,135 @@
+"""Tests for the experiment infrastructure (results, scales, cheap runners).
+
+Training-heavy runners (tables 1, 4, 5, 6, figure 4, section 5.5) are
+exercised by the benchmark harness; here we test the shared infrastructure and
+the analytical runners that need no training.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentResult, SCALES, get_scale
+from repro.experiments import ablations, figure7, figure8, table3, table7
+from repro.experiments.scale import ExperimentScale
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment_id="tX", title="demo", headers=["name", "value"], scale="tiny"
+        )
+        result.add_row("a", 1.0)
+        result.add_row("b", None)
+        result.add_note("a note")
+        return result
+
+    def test_table_rendering(self):
+        text = self._result().to_table()
+        assert "tX: demo" in text
+        assert "note: a note" in text
+        assert "/" in text  # None rendered as slash
+
+    def test_column_extraction(self):
+        assert self._result().column("name") == ["a", "b"]
+        with pytest.raises(KeyError):
+            self._result().column("missing")
+
+    def test_row_by(self):
+        assert self._result().row_by("name", "a")[1] == 1.0
+        with pytest.raises(KeyError):
+            self._result().row_by("name", "zzz")
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"tiny", "small", "full"}
+
+    def test_get_scale_by_name_and_passthrough(self):
+        tiny = get_scale("tiny")
+        assert get_scale(tiny) is tiny
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_scales_are_ordered_by_size(self):
+        assert SCALES["tiny"].train_per_class < SCALES["small"].train_per_class
+        assert SCALES["small"].train_per_class < SCALES["full"].train_per_class
+
+    def test_model_name_suffix(self):
+        assert SCALES["tiny"].model_name("resnet10") == "resnet10_tiny"
+        assert SCALES["full"].model_name("resnet10") == "resnet10"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", train_per_class=0, test_per_class=1, cifar_classes=10,
+                quickdraw_classes=10, image_size=32, pretrain_epochs=1,
+                finetune_epochs=1, batch_size=8, calibration_batches=1, model_suffix="",
+            )
+
+
+class TestAnalyticalRunners:
+    """Runners that use only the cost model / storage accounting (no training)."""
+
+    def test_figure7_shapes(self):
+        result = figure7.run(filter_counts=(32, 64, 128, 192))
+        caching = result.column("caching speedup")
+        precompute = result.column("precompute+caching speedup")
+        # Caching speedup grows with filter count; precompute only engages > pool size.
+        assert caching == sorted(caching)
+        assert precompute[-1] > caching[-1]
+        assert precompute[0] == pytest.approx(caching[0], rel=1e-6)
+        assert all(s >= 1.0 for s in caching)
+
+    def test_figure8_shapes(self):
+        result = figure8.run(bitwidths=(8, 4, 1))
+        no_pre = result.column("speedup (no precompute)")
+        pre = result.column("speedup (precompute)")
+        assert no_pre[0] == pytest.approx(1.0)
+        assert pre[0] == pytest.approx(1.0)
+        # Lower bitwidth -> faster, and truncation helps more without precompute.
+        assert no_pre[-1] > no_pre[1] > no_pre[0]
+        assert no_pre[-1] > pre[-1]
+
+    def test_table3_compression_trends(self):
+        result = table3.run()
+        networks = result.column("network")
+        ratios = dict(zip(networks, result.column("CR")))
+        overheads = dict(zip(networks, result.column("LUT overhead (%)")))
+        # Paper Table 3 trends: CR grows with network size, LUT overhead shrinks.
+        assert ratios["ResNet-14"] > ratios["ResNet-10"] > ratios["ResNet-s"]
+        assert ratios["ResNet-14"] > 6.5
+        assert overheads["TinyConv"] > overheads["ResNet-14"]
+
+    def test_table7_fit_and_speedups(self):
+        result = table7.run()
+        large_rows = [r for r in result.rows if r[0] == "MC-large"]
+        by_network = {row[1]: row for row in large_rows}
+        # ResNet-14 and MobileNet-v2 do not fit in flash without compression.
+        assert by_network["ResNet-14"][2] is None
+        assert by_network["MobileNet-v2"][2] is None
+        assert by_network["ResNet-14"][3] is not None
+        # ResNet-10: weight pools are faster than CMSIS, and min-bitwidth is faster still.
+        resnet10 = by_network["ResNet-10"]
+        assert resnet10[3] < resnet10[2]
+        assert resnet10[4] < resnet10[3]
+        # MC-small only carries the two smallest networks.
+        small_rows = [r for r in result.rows if r[0] == "MC-small"]
+        assert {row[1] for row in small_rows} == {"TinyConv", "ResNet-s"}
+
+    def test_ablation_memoization(self):
+        result = ablations.run_memoization(filter_counts=(32, 128, 256))
+        pre = result.column("precompute speedup")
+        memo = result.column("memoization speedup")
+        # For wide layers precomputation wins (the paper's choice).
+        assert pre[-1] > memo[-1] > 1.0
+
+    def test_ablation_lut_layout(self):
+        result = ablations.run_lut_layout(filter_counts=(64, 192))
+        speedups = result.column("speedup")
+        # The cacheable (input-oriented) layout never loses; the relative gain
+        # shrinks once precomputation bounds the number of lookups per group.
+        assert all(s >= 1.0 for s in speedups)
+
+    def test_ablation_index_bitwidth(self):
+        result = ablations.run_index_bitwidth(index_bitwidths=(6, 8, 16))
+        ratios = result.column("compression ratio")
+        assert ratios[0] > ratios[1] > ratios[2]

@@ -1,0 +1,149 @@
+"""Tests for whole-network latency estimation and memory-fit checks."""
+
+import pytest
+
+from repro.core import CompressionPolicy
+from repro.mcu import (
+    MC_LARGE,
+    MC_SMALL,
+    BitSerialKernelConfig,
+    estimate_cmsis_network,
+    estimate_weight_pool_network,
+)
+from repro.models import create_model
+
+
+@pytest.fixture(scope="module")
+def resnet10():
+    return create_model("resnet10", num_classes=10, in_channels=3, rng=0)
+
+
+@pytest.fixture(scope="module")
+def resnet14():
+    return create_model("resnet14", num_classes=10, in_channels=3, rng=0)
+
+
+class TestCmsisEstimate:
+    def test_report_fields(self, resnet10):
+        report = estimate_cmsis_network(resnet10, (3, 32, 32), MC_LARGE, "resnet10")
+        assert report.mode == "cmsis"
+        assert report.total_cycles > 0
+        assert report.latency_seconds == pytest.approx(
+            report.total_cycles / 120e6, rel=1e-9
+        )
+        assert len(report.layers) > 0
+        assert all(not layer.compressed for layer in report.layers)
+
+    def test_flash_requirement_equals_param_bytes(self, resnet10):
+        report = estimate_cmsis_network(resnet10, (3, 32, 32), MC_LARGE)
+        assert report.flash_bytes_needed == pytest.approx(resnet10.num_parameters(), rel=0.01)
+
+    def test_resnet14_does_not_fit_mc_large_without_compression(self, resnet14):
+        """Table 7: ResNet-14 (2.7M parameters) exceeds 1MB flash at 8 bits."""
+        report = estimate_cmsis_network(resnet14, (3, 32, 32), MC_LARGE)
+        assert not report.fits_flash
+        assert report.latency_or_none is None
+
+    def test_resnet10_does_not_fit_mc_small(self, resnet10):
+        report = estimate_cmsis_network(resnet10, (3, 32, 32), MC_SMALL)
+        assert not report.fits_flash
+
+
+class TestWeightPoolEstimate:
+    def test_compressed_layers_flagged(self, resnet10):
+        report = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=64)
+        )
+        assert report.mode == "weight_pool"
+        compressed = [l for l in report.layers if l.compressed]
+        uncompressed = [l for l in report.layers if not l.compressed]
+        assert compressed, "most conv layers should be compressed"
+        # First conv and the classifier stay uncompressed under the default policy.
+        assert any(l.kind == "linear" for l in uncompressed)
+
+    def test_weight_pool_makes_resnet14_fit_mc_large(self, resnet14):
+        """Table 7's key qualitative point: compression makes the big nets deployable."""
+        cmsis = estimate_cmsis_network(resnet14, (3, 32, 32), MC_LARGE)
+        pool = estimate_weight_pool_network(
+            resnet14, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=64)
+        )
+        assert not cmsis.fits_flash
+        assert pool.fits_flash
+        assert pool.latency_or_none is not None
+
+    def test_speedup_over_cmsis_for_medium_network(self, resnet10):
+        """Paper: >2.8x at the minimum bitwidth, >1.5x at 8 bits for ResNet-10."""
+        cmsis = estimate_cmsis_network(resnet10, (3, 32, 32), MC_LARGE)
+        pool8 = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=64)
+        )
+        pool4 = estimate_weight_pool_network(
+            resnet10,
+            (3, 32, 32),
+            MC_LARGE,
+            BitSerialKernelConfig(pool_size=64, activation_bitwidth=4),
+        )
+        assert cmsis.latency_seconds / pool8.latency_seconds > 1.2
+        assert cmsis.latency_seconds / pool4.latency_seconds > 2.0
+
+    def test_lower_bitwidth_is_faster(self, resnet10):
+        latencies = [
+            estimate_weight_pool_network(
+                resnet10,
+                (3, 32, 32),
+                MC_LARGE,
+                BitSerialKernelConfig(pool_size=64, activation_bitwidth=bits),
+            ).latency_seconds
+            for bits in (8, 4, 2)
+        ]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_smaller_pool_is_faster_for_wide_layers(self, resnet10):
+        pool64 = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=64)
+        )
+        pool32 = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=32)
+        )
+        assert pool32.latency_seconds < pool64.latency_seconds
+
+    def test_mc_small_is_slower_than_mc_large(self):
+        model = create_model("resnet_s", num_classes=10, rng=0)
+        large = estimate_weight_pool_network(
+            model, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(pool_size=64)
+        )
+        small = estimate_weight_pool_network(
+            model, (3, 32, 32), MC_SMALL, BitSerialKernelConfig(pool_size=64)
+        )
+        assert small.latency_seconds > large.latency_seconds
+
+    def test_sram_requirement_includes_lut_cache(self, resnet10):
+        cached = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(lut_caching=True)
+        )
+        uncached = estimate_weight_pool_network(
+            resnet10, (3, 32, 32), MC_LARGE, BitSerialKernelConfig(lut_caching=False)
+        )
+        assert cached.sram_bytes_needed > uncached.sram_bytes_needed
+
+    def test_policy_controls_hypothetical_compression(self, resnet10):
+        # A group size that divides no layer's channel count (and no padding)
+        # makes every layer ineligible, so nothing is treated as compressed.
+        nothing_compressed = estimate_weight_pool_network(
+            resnet10,
+            (3, 32, 32),
+            MC_LARGE,
+            BitSerialKernelConfig(pool_size=64),
+            policy=CompressionPolicy(group_size=7, pad_channels=False),
+        )
+        assert all(not layer.compressed for layer in nothing_compressed.layers)
+
+    def test_works_on_actually_compressed_model(self, compressed_small_model):
+        report = estimate_weight_pool_network(
+            compressed_small_model.model,
+            (3, 32, 32),
+            MC_LARGE,
+            BitSerialKernelConfig(pool_size=16),
+        )
+        assert any(layer.compressed for layer in report.layers)
+        assert report.latency_seconds > 0

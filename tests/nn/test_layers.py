@@ -1,0 +1,197 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_module_gradients
+
+
+class TestConv2d:
+    def test_gradients(self):
+        conv = nn.Conv2d(3, 5, 3, stride=1, padding=1, rng=0)
+        x = np.random.default_rng(0).normal(size=(2, 3, 5, 5))
+        check_module_gradients(conv, x)
+
+    def test_gradients_strided_no_bias(self):
+        conv = nn.Conv2d(4, 2, 3, stride=2, padding=0, bias=False, rng=1)
+        x = np.random.default_rng(1).normal(size=(2, 4, 7, 7))
+        check_module_gradients(conv, x)
+
+    def test_gradients_depthwise(self):
+        conv = nn.Conv2d(4, 4, 3, stride=1, padding=1, groups=4, rng=2)
+        x = np.random.default_rng(2).normal(size=(1, 4, 5, 5))
+        check_module_gradients(conv, x)
+
+    def test_output_shape_helper(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        assert conv.output_shape((32, 32)) == (16, 16)
+
+    def test_depthwise_and_pointwise_flags(self):
+        assert nn.Conv2d(8, 8, 3, groups=8).is_depthwise
+        assert not nn.Conv2d(8, 8, 3).is_depthwise
+        assert nn.Conv2d(8, 16, 1).is_pointwise
+        assert not nn.Conv2d(8, 16, 3).is_pointwise
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+    def test_backward_before_forward_raises(self):
+        conv = nn.Conv2d(3, 4, 3)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 4, 3, 3)))
+
+    def test_records_last_input_shape(self):
+        conv = nn.Conv2d(3, 4, 3, padding=1, rng=0)
+        conv(np.zeros((2, 3, 8, 8)))
+        assert conv.last_input_shape == (2, 3, 8, 8)
+
+
+class TestLinear:
+    def test_gradients(self):
+        linear = nn.Linear(6, 4, rng=0)
+        x = np.random.default_rng(0).normal(size=(3, 6))
+        check_module_gradients(linear, x)
+
+    def test_gradients_no_bias(self):
+        linear = nn.Linear(5, 2, bias=False, rng=1)
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        check_module_gradients(linear, x)
+
+    def test_rejects_wrong_feature_count(self):
+        linear = nn.Linear(4, 2)
+        with pytest.raises(ValueError):
+            linear(np.zeros((1, 5)))
+
+    def test_rejects_non_2d_input(self):
+        linear = nn.Linear(4, 2)
+        with pytest.raises(ValueError):
+            linear(np.zeros((1, 4, 1)))
+
+
+class TestBatchNorm2d:
+    def test_gradients_training_mode(self):
+        bn = nn.BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(size=(4, 3, 4, 4))
+        check_module_gradients(bn, x)
+
+    def test_normalises_batch_statistics(self):
+        bn = nn.BatchNorm2d(2)
+        x = np.random.default_rng(1).normal(loc=3.0, scale=2.0, size=(8, 2, 6, 6))
+        out = bn(x)
+        assert abs(out.mean()) < 1e-8
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_running_stats_update_and_eval_use(self):
+        bn = nn.BatchNorm2d(2, momentum=1.0)
+        x = np.random.default_rng(2).normal(loc=1.0, size=(16, 2, 4, 4))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.mean(axis=(0, 2, 3)), atol=1e-10)
+        bn.eval()
+        out = bn(np.zeros((1, 2, 4, 4)))
+        assert np.all(np.isfinite(out))
+
+    def test_eval_mode_gradients(self):
+        bn = nn.BatchNorm2d(3)
+        # Populate running stats first, then check eval-mode gradients.
+        bn(np.random.default_rng(3).normal(size=(4, 3, 4, 4)))
+        bn.eval()
+        x = np.random.default_rng(4).normal(size=(2, 3, 4, 4))
+        check_module_gradients(bn, x)
+
+    def test_fold_into_scale_shift(self):
+        bn = nn.BatchNorm2d(3, momentum=1.0)
+        x = np.random.default_rng(5).normal(size=(8, 3, 4, 4))
+        bn(x)
+        bn.eval()
+        scale, shift = bn.fold_into_conv_scale_shift()
+        expected = bn(x)
+        folded = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(folded, expected, atol=1e-8)
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(np.zeros((1, 4, 2, 2)))
+
+
+class TestActivations:
+    def test_relu_forward_and_gradients(self):
+        relu = nn.ReLU()
+        x = np.array([[-1.0, 0.5], [2.0, -3.0]])
+        np.testing.assert_array_equal(relu(x), [[0.0, 0.5], [2.0, 0.0]])
+        check_module_gradients(nn.ReLU(), np.random.default_rng(0).normal(size=(3, 4)) + 0.1)
+
+    def test_relu6_clips(self):
+        relu6 = nn.ReLU6()
+        x = np.array([[-1.0, 3.0, 9.0]])
+        np.testing.assert_array_equal(relu6(x), [[0.0, 3.0, 6.0]])
+
+    def test_relu6_gradients(self):
+        check_module_gradients(nn.ReLU6(), np.random.default_rng(1).normal(size=(3, 4)) * 3 + 0.05)
+
+    def test_identity_passthrough(self):
+        identity = nn.Identity()
+        x = np.random.default_rng(2).normal(size=(2, 3))
+        np.testing.assert_array_equal(identity(x), x)
+        np.testing.assert_array_equal(identity.backward(x), x)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradients(self):
+        check_module_gradients(nn.MaxPool2d(2), np.random.default_rng(0).normal(size=(2, 3, 4, 4)))
+
+    def test_avgpool_forward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradients(self):
+        check_module_gradients(nn.AvgPool2d(2), np.random.default_rng(1).normal(size=(2, 3, 6, 6)))
+
+    def test_global_avgpool(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 4, 5))
+        out = nn.GlobalAvgPool2d()(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+        check_module_gradients(nn.GlobalAvgPool2d(), x)
+
+    def test_pooling_rejects_indivisible_input(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(3)(np.zeros((1, 1, 4, 4)))
+
+
+class TestContainers:
+    def test_sequential_forward_backward(self):
+        seq = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=0),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(4 * 2 * 2, 3, rng=1),
+        )
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+        check_module_gradients(seq, x)
+
+    def test_sequential_indexing_and_iteration(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Flatten"]
+
+    def test_sequential_append(self):
+        seq = nn.Sequential(nn.ReLU())
+        seq.append(nn.Flatten())
+        assert len(seq) == 2
+
+    def test_flatten_roundtrip(self):
+        flatten = nn.Flatten()
+        x = np.random.default_rng(1).normal(size=(2, 3, 4, 4))
+        out = flatten(x)
+        assert out.shape == (2, 48)
+        assert flatten.backward(out).shape == x.shape

@@ -1,0 +1,156 @@
+"""Tests for losses, optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import numerical_gradient
+from repro.nn.parameter import Parameter
+
+
+class TestCrossEntropyLoss:
+    def test_matches_manual_computation(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        targets = np.array([0, 1])
+        loss = nn.CrossEntropyLoss()(logits, targets)
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss_fn = nn.CrossEntropyLoss()
+        loss_fn(logits, targets)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(lambda z: nn.CrossEntropyLoss()(z, targets), logits.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_label_smoothing_increases_loss_of_confident_prediction(self):
+        logits = np.array([[10.0, -10.0]])
+        targets = np.array([0])
+        plain = nn.CrossEntropyLoss()(logits, targets)
+        smoothed = nn.CrossEntropyLoss(label_smoothing=0.2)(logits, targets)
+        assert smoothed > plain
+
+    def test_rejects_bad_targets(self):
+        loss = nn.CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3)), np.array([0]))
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.CrossEntropyLoss().backward()
+
+
+class TestSGD:
+    def _param(self, value):
+        return Parameter(np.array(value, dtype=float))
+
+    def test_plain_gradient_step(self):
+        p = self._param([1.0, 2.0])
+        opt = nn.SGD([p], lr=0.1)
+        p.grad[:] = [1.0, -1.0]
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        p = self._param([0.0])
+        opt = nn.SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = [1.0]
+        opt.step()  # velocity = 1, p = -1
+        p.grad[:] = [1.0]
+        opt.step()  # velocity = 1.5, p = -2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay_pulls_towards_zero(self):
+        p = self._param([1.0])
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad[:] = [0.0]
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_non_trainable_parameters_untouched(self):
+        p = Parameter(np.array([1.0]), trainable=False)
+        opt = nn.SGD([p], lr=0.1)
+        p.grad[:] = [1.0]
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = self._param([1.0])
+        opt = nn.SGD([p], lr=0.1)
+        p.grad[:] = [5.0]
+        opt.zero_grad()
+        np.testing.assert_allclose(p.grad, [0.0])
+
+    def test_validation(self):
+        p = self._param([1.0])
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.1, nesterov=True)
+
+    def test_state_dict_roundtrip(self):
+        p = self._param([1.0])
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        p.grad[:] = [1.0]
+        opt.step()
+        state = opt.state_dict()
+        opt2 = nn.SGD([p], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(state)
+        np.testing.assert_allclose(opt2._velocity[0], opt._velocity[0])
+
+    def test_sgd_minimises_quadratic(self):
+        p = self._param([5.0])
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[:] = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestSchedulers:
+    def _opt(self):
+        return nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        opt = self._opt()
+        sched = nn.MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = [sched.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._opt()
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_scheduler_updates_optimizer(self):
+        opt = self._opt()
+        sched = nn.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(self._opt(), t_max=0)

@@ -1,0 +1,203 @@
+"""Tests for the Module base class, data pipeline, metrics and trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.parameter import Parameter
+from repro.nn.training.metrics import accuracy, top_k_accuracy
+from repro.nn.training.trainer import evaluate_model
+
+
+class _ToyModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=0)
+        self.act = nn.ReLU()
+        self.fc2 = nn.Linear(8, 3, rng=1)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, grad):
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        model = _ToyModel()
+        names = [name for name, _ in model.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        model = _ToyModel()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = _ToyModel()
+        model.eval()
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad(self):
+        model = _ToyModel()
+        model.fc1.weight.grad[:] = 1.0
+        model.zero_grad()
+        assert np.all(model.fc1.weight.grad == 0)
+
+    def test_state_dict_roundtrip(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        other = _ToyModel()
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.fc1.weight.data, model.fc1.weight.data)
+
+    def test_state_dict_missing_key_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            _ToyModel().load_state_dict(state)
+
+    def test_state_dict_unexpected_key_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            _ToyModel().load_state_dict(state)
+
+    def test_state_dict_includes_bn_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        assert "running_mean" in bn.state_dict()
+
+    def test_named_modules_traversal(self):
+        model = _ToyModel()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "fc1" in names
+
+    def test_parameter_shape_mismatch_rejected(self):
+        param = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            param.copy_(np.zeros(3))
+        with pytest.raises(ValueError):
+            param.accumulate_grad(np.zeros(3))
+
+
+class TestDataPipeline:
+    def test_array_dataset_len_and_getitem(self):
+        ds = nn.ArrayDataset(np.arange(12).reshape(6, 2), np.arange(6))
+        assert len(ds) == 6
+        x, y = ds[2]
+        np.testing.assert_array_equal(x, [4, 5])
+        assert y == 2
+
+    def test_array_dataset_length_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset(self):
+        ds = nn.ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        sub = nn.Subset(ds, [1, 3, 5])
+        assert len(sub) == 3
+        assert sub[1][1] == 3
+
+    def test_subset_out_of_range(self):
+        ds = nn.ArrayDataset(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(IndexError):
+            nn.Subset(ds, [5])
+
+    def test_dataloader_batching(self):
+        ds = nn.ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert len(loader) == 4
+        assert batches[-1][0].shape[0] == 1
+
+    def test_dataloader_drop_last(self):
+        ds = nn.ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert all(x.shape[0] == 3 for x, _ in loader)
+
+    def test_dataloader_shuffle_is_seeded(self):
+        ds = nn.ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        first = [y.tolist() for _, y in nn.DataLoader(ds, batch_size=10, shuffle=True, rng=3)]
+        second = [y.tolist() for _, y in nn.DataLoader(ds, batch_size=10, shuffle=True, rng=3)]
+        assert first == second
+        assert first[0] != list(range(10))
+
+    def test_dataloader_covers_all_samples_when_shuffled(self):
+        ds = nn.ArrayDataset(np.arange(20).reshape(20, 1), np.arange(20))
+        loader = nn.DataLoader(ds, batch_size=6, shuffle=True, rng=0)
+        seen = sorted(int(y) for _, ys in loader for y in ys)
+        assert seen == list(range(20))
+
+    def test_dataloader_rejects_bad_batch_size(self):
+        ds = nn.ArrayDataset(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            nn.DataLoader(ds, batch_size=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((1, 2)), np.zeros(1), k=3)
+
+
+class TestTrainer:
+    def _toy_classification(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(size=(3, 4)) * 3
+        labels = rng.integers(0, 3, size=n)
+        inputs = centers[labels] + rng.normal(scale=0.5, size=(n, 4))
+        return nn.ArrayDataset(inputs, labels)
+
+    def test_training_reduces_loss_and_learns(self):
+        ds = self._toy_classification()
+        loader = nn.DataLoader(ds, batch_size=16, shuffle=True, rng=0)
+        model = _ToyModel()
+        trainer = nn.Trainer(model, nn.SGD(model.parameters(), lr=0.1, momentum=0.9))
+        history = trainer.fit(loader, nn.TrainConfig(epochs=8))
+        assert history[-1].train_loss < history[0].train_loss
+        assert trainer.evaluate(nn.DataLoader(ds, batch_size=32)) > 0.8
+
+    def test_after_forward_hook_called(self):
+        ds = self._toy_classification(n=32)
+        loader = nn.DataLoader(ds, batch_size=16)
+        model = _ToyModel()
+        calls = []
+        trainer = nn.Trainer(
+            model,
+            nn.SGD(model.parameters(), lr=0.05),
+            after_forward=lambda m: calls.append(m),
+        )
+        trainer.fit(loader, nn.TrainConfig(epochs=1))
+        assert len(calls) == len(loader)
+
+    def test_history_records_validation_accuracy(self):
+        ds = self._toy_classification(n=48)
+        loader = nn.DataLoader(ds, batch_size=16)
+        model = _ToyModel()
+        trainer = nn.Trainer(model, nn.SGD(model.parameters(), lr=0.05))
+        history = trainer.fit(loader, nn.TrainConfig(epochs=1), val_loader=loader)
+        assert history[0].val_accuracy is not None
+
+    def test_evaluate_model_helper(self):
+        ds = self._toy_classification(n=32)
+        model = _ToyModel()
+        acc = evaluate_model(model, nn.DataLoader(ds, batch_size=8))
+        assert 0.0 <= acc <= 1.0

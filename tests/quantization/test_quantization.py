@@ -1,0 +1,191 @@
+"""Tests for the uniform quantization substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import (
+    ActivationQuantizer,
+    CalibrationMethod,
+    QuantParams,
+    calibrate_iterative,
+    calibrate_minmax,
+    calibrate_percentile,
+    dequantize,
+    fake_quantize,
+    quantize,
+    quantize_weight_tensor,
+)
+from repro.quantization.quantizer import quantization_mse
+
+
+class TestQuantParams:
+    def test_unsigned_range(self):
+        params = QuantParams(scale=0.1, zero_point=0, bitwidth=8)
+        assert params.qmin == 0 and params.qmax == 255
+        assert params.num_levels == 256
+
+    def test_signed_range(self):
+        params = QuantParams(scale=0.1, zero_point=0, bitwidth=8, signed=True)
+        assert params.qmin == -128 and params.qmax == 127
+
+    def test_from_range_covers_interval(self):
+        params = QuantParams.from_range(-1.0, 3.0, 8)
+        assert dequantize(params.qmin, params) <= -1.0 + params.scale
+        assert dequantize(params.qmax, params) >= 3.0 - params.scale
+
+    def test_from_range_includes_zero_exactly(self):
+        params = QuantParams.from_range(0.5, 3.0, 8)
+        assert dequantize(quantize(np.array(0.0), params), params) == 0.0
+
+    def test_degenerate_range(self):
+        params = QuantParams.from_range(0.0, 0.0, 4)
+        assert params.scale > 0
+
+    def test_symmetric_weights(self):
+        params = QuantParams.symmetric(2.0, 8)
+        assert params.signed and params.zero_point == 0
+        assert params.scale == pytest.approx(2.0 / 127)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, zero_point=0, bitwidth=8)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=300, bitwidth=8)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=0, bitwidth=0)
+        with pytest.raises(ValueError):
+            QuantParams.from_range(2.0, 1.0, 8)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_one_step(self):
+        params = QuantParams.from_range(0.0, 4.0, 8)
+        x = np.linspace(0.0, 4.0, 101)
+        error = np.abs(fake_quantize(x, params) - x)
+        assert error.max() <= params.scale / 2 + 1e-12
+
+    def test_clipping_outside_range(self):
+        params = QuantParams.from_range(0.0, 1.0, 4)
+        assert quantize(np.array([10.0]), params)[0] == params.qmax
+        assert quantize(np.array([-10.0]), params)[0] == params.qmin
+
+    def test_fake_quantize_idempotent(self):
+        params = QuantParams.from_range(-1.0, 1.0, 6)
+        x = np.random.default_rng(0).normal(size=100)
+        once = fake_quantize(x, params)
+        np.testing.assert_allclose(fake_quantize(once, params), once, atol=1e-12)
+
+    @given(
+        bitwidth=st.integers(2, 8),
+        low=st.floats(-10, 0),
+        high=st.floats(0.1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_bounded(self, bitwidth, low, high):
+        params = QuantParams.from_range(low, high, bitwidth)
+        x = np.linspace(low, high, 37)
+        error = np.abs(fake_quantize(x, params) - x)
+        assert error.max() <= params.scale / 2 + 1e-9
+
+    def test_more_bits_never_hurt(self):
+        x = np.random.default_rng(1).normal(size=500)
+        mses = [
+            quantization_mse(x, QuantParams.from_range(x.min(), x.max(), b, signed=False))
+            for b in (2, 4, 6, 8)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(mses, mses[1:]))
+
+
+class TestCalibration:
+    def test_minmax_covers_extremes(self):
+        samples = np.array([-2.0, 0.0, 5.0])
+        params = calibrate_minmax(samples, 8)
+        assert quantize(np.array([5.0]), params)[0] == params.qmax
+
+    def test_percentile_clips_outliers(self):
+        rng = np.random.default_rng(0)
+        samples = np.concatenate([rng.normal(size=10000), [100.0]])
+        minmax = calibrate_minmax(samples, 8)
+        pct = calibrate_percentile(samples, 8, percentile=99.5)
+        assert pct.scale < minmax.scale
+
+    def test_iterative_beats_or_matches_minmax_mse(self):
+        rng = np.random.default_rng(1)
+        samples = np.concatenate([rng.normal(size=5000), rng.normal(scale=8.0, size=50)])
+        samples = np.abs(samples)
+        minmax_mse = quantization_mse(samples, calibrate_minmax(samples, 4))
+        iterative_mse = quantization_mse(samples, calibrate_iterative(samples, 4))
+        assert iterative_mse <= minmax_mse + 1e-12
+
+    def test_iterative_on_all_zero_samples(self):
+        params = calibrate_iterative(np.zeros(100), 8)
+        assert params.scale > 0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_minmax(np.array([]), 8)
+        with pytest.raises(ValueError):
+            calibrate_iterative(np.array([]), 8)
+        with pytest.raises(ValueError):
+            calibrate_percentile(np.array([1.0]), 8, percentile=40)
+
+
+class TestActivationQuantizer:
+    def test_observe_then_freeze_then_quantize(self):
+        quantizer = ActivationQuantizer(bitwidth=4, method=CalibrationMethod.MINMAX)
+        x = np.random.default_rng(0).uniform(0, 2, size=(4, 8))
+        out = quantizer(x)
+        np.testing.assert_array_equal(out, x)  # observing: pass-through
+        params = quantizer.freeze()
+        assert params.bitwidth == 4
+        quantized = quantizer(x)
+        assert not np.allclose(quantized, x)
+        assert np.abs(quantized - x).max() <= params.scale / 2 + 1e-12
+
+    def test_freeze_without_observation_raises(self):
+        with pytest.raises(RuntimeError):
+            ActivationQuantizer().freeze()
+
+    def test_set_bitwidth_reuses_samples(self):
+        quantizer = ActivationQuantizer(bitwidth=8, method=CalibrationMethod.MINMAX)
+        quantizer(np.random.default_rng(0).uniform(0, 1, size=100))
+        quantizer.freeze()
+        params4 = quantizer.set_bitwidth(4)
+        assert params4.bitwidth == 4
+        assert params4.scale > 0
+
+    def test_straight_through_gradient(self):
+        quantizer = ActivationQuantizer(bitwidth=8, method=CalibrationMethod.MINMAX)
+        x = np.random.default_rng(1).uniform(0, 1, size=(3, 3))
+        quantizer(x)
+        quantizer.freeze()
+        quantizer(x)
+        grad = quantizer.backward(np.ones((3, 3)))
+        np.testing.assert_array_equal(grad, np.ones((3, 3)))
+
+    def test_subsampling_bounds_memory(self):
+        quantizer = ActivationQuantizer(bitwidth=8, max_samples=10)
+        quantizer(np.arange(1000, dtype=float))
+        assert quantizer._samples[0].size <= 101
+
+    def test_reset(self):
+        quantizer = ActivationQuantizer(bitwidth=8)
+        quantizer(np.ones(10))
+        quantizer.freeze()
+        quantizer.reset()
+        assert quantizer.observing and quantizer.params is None
+
+
+class TestWeightQuantization:
+    def test_weight_roundtrip_error(self):
+        weight = np.random.default_rng(0).normal(size=(8, 8))
+        q, params = quantize_weight_tensor(weight, bitwidth=8)
+        error = np.abs(dequantize(q, params) - weight)
+        assert error.max() <= params.scale / 2 + 1e-12
+
+    def test_zero_weight_tensor(self):
+        q, params = quantize_weight_tensor(np.zeros((2, 2)))
+        assert params.scale > 0
+        np.testing.assert_array_equal(q, 0)

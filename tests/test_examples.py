@@ -1,0 +1,52 @@
+"""Smoke tests that the example scripts are importable and their pieces compose.
+
+The examples themselves train small networks (tens of seconds each); running
+them end-to-end belongs to the benchmark/demo tier, so here we only check that
+they import cleanly (no stale API usage) and expose a ``main`` entry point.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load_module(path)
+        assert hasattr(module, "main"), f"{path.name} must expose a main() entry point"
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} must document what it demonstrates"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_only_uses_public_package_imports(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in {"repro", "numpy", "__future__"}, (
+                    f"{path.name} imports from unexpected package '{root}'"
+                )

@@ -1,0 +1,109 @@
+"""Tests for bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_int,
+    int_to_bits,
+    pack_sub_byte,
+    required_bits,
+    unpack_sub_byte,
+)
+
+
+class TestRequiredBits:
+    def test_powers_of_two(self):
+        assert required_bits(2) == 1
+        assert required_bits(64) == 6
+        assert required_bits(256) == 8
+
+    def test_non_powers_round_up(self):
+        assert required_bits(3) == 2
+        assert required_bits(65) == 7
+        assert required_bits(100) == 7
+
+    def test_single_value_needs_one_bit(self):
+        assert required_bits(1) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            required_bits(0)
+
+
+class TestIntToBits:
+    def test_known_value_msb_first(self):
+        np.testing.assert_array_equal(int_to_bits(np.array(5), 4), [0, 1, 0, 1])
+
+    def test_known_value_lsb_first(self):
+        np.testing.assert_array_equal(
+            int_to_bits(np.array(5), 4, msb_first=False), [1, 0, 1, 0]
+        )
+
+    def test_shape_is_extended(self):
+        bits = int_to_bits(np.arange(6).reshape(2, 3), 3)
+        assert bits.shape == (2, 3, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([-1]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([16]), 4)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+        msb_first=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_with_bits_to_int(self, values, msb_first):
+        arr = np.array(values)
+        bits = int_to_bits(arr, 8, msb_first=msb_first)
+        np.testing.assert_array_equal(bits_to_int(bits, msb_first=msb_first), arr)
+
+
+class TestBitsToInt:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int(np.array([0, 2, 1]))
+
+
+class TestSubBytePacking:
+    def test_pack_length(self):
+        packed = pack_sub_byte(np.arange(10) % 16, 4)
+        assert packed.dtype == np.uint8
+        assert len(packed) == 5  # 10 nibbles -> 5 bytes
+
+    def test_rejects_values_too_large(self):
+        with pytest.raises(ValueError):
+            pack_sub_byte(np.array([4]), 2)
+
+    def test_rejects_bad_bitwidth(self):
+        with pytest.raises(ValueError):
+            pack_sub_byte(np.array([0]), 9)
+
+    def test_unpack_needs_enough_bits(self):
+        packed = pack_sub_byte(np.array([1, 2, 3]), 4)
+        with pytest.raises(ValueError):
+            unpack_sub_byte(packed, 4, count=10)
+
+    @given(
+        bitwidth=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, bitwidth, data):
+        count = data.draw(st.integers(min_value=1, max_value=40))
+        values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << bitwidth) - 1),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        arr = np.array(values)
+        packed = pack_sub_byte(arr, bitwidth)
+        np.testing.assert_array_equal(unpack_sub_byte(packed, bitwidth, count), arr)

@@ -1,0 +1,55 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import new_rng, spawn_rngs, temp_seed
+
+
+class TestNewRng:
+    def test_seed_reproducibility(self):
+        assert new_rng(42).integers(1000) == new_rng(42).integers(1000)
+
+    def test_passthrough_of_generator(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [child.integers(10**9) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawning_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(10**9) for g in spawn_rngs(7, 4)]
+        b = [g.integers(10**9) for g in spawn_rngs(7, 4)]
+        assert a == b
+
+
+class TestTempSeed:
+    def test_restores_global_state(self):
+        np.random.seed(123)
+        before = np.random.get_state()[1].copy()
+        with temp_seed(7):
+            np.random.random(10)
+        after = np.random.get_state()[1]
+        np.testing.assert_array_equal(before, after)
+
+    def test_none_is_noop(self):
+        with temp_seed(None):
+            pass

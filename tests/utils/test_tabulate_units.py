@@ -1,0 +1,54 @@
+"""Tests for table formatting and unit helpers."""
+
+import pytest
+
+from repro.utils.tabulate import format_table
+from repro.utils.units import bits_to_bytes, bytes_to_kib, human_bytes
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table([[1, "ab"], [22, "c"]], headers=["x", "y"])
+        lines = table.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_none_renders_as_slash(self):
+        table = format_table([["net", None]], headers=["name", "latency"])
+        assert "/" in table
+
+    def test_title_prepended(self):
+        assert format_table([[1]], title="T7").startswith("T7")
+
+    def test_float_formatting(self):
+        table = format_table([[1.23456]], float_fmt=".1f")
+        assert "1.2" in table
+        assert "1.23" not in table
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty\n"
+
+    def test_ragged_rows_padded(self):
+        table = format_table([[1, 2], [3]])
+        assert len(table.splitlines()) == 2
+
+
+class TestUnits:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(16) == 2.0
+
+    def test_bits_to_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(-1)
+
+    def test_bytes_to_kib(self):
+        assert bytes_to_kib(2048) == 2.0
+
+    def test_human_bytes_ranges(self):
+        assert human_bytes(10) == "10 B"
+        assert human_bytes(2048) == "2.0 KiB"
+        assert "MiB" in human_bytes(3 * 1024 * 1024)
+
+    def test_human_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            human_bytes(-5)
