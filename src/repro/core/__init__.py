@@ -17,6 +17,9 @@ Bit-serial LUT execution (paper §3.1–3.3):
   1-bit activation vector and every pool vector.
 * :func:`repro.core.bitserial.bitserial_conv2d` — functional bit-serial
   convolution driven entirely by LUT lookups.
+* :mod:`repro.core.kernel_plan` — compile-once / execute-many per-layer
+  kernel plans (pre-gathered sub-tables, fused epilogue, compact dtypes)
+  backing the fast execution path.
 * :class:`repro.core.engine.BitSerialInferenceEngine` — calibrates activation
   ranges and runs whole networks at arbitrary activation/LUT bitwidths.
 
@@ -41,9 +44,18 @@ from repro.core.finetune import finetune_compressed_model, freeze_assignments
 from repro.core.lut import LookupTable, build_lut
 from repro.core.bitserial import (
     bit_decompose,
+    bit_vector_values,
     bitserial_conv2d,
+    bitserial_conv2d_reference,
     bitserial_dot,
     bitserial_linear,
+    bitserial_linear_reference,
+)
+from repro.core.kernel_plan import (
+    ConvKernelPlan,
+    LinearKernelPlan,
+    compile_conv_plan,
+    compile_linear_plan,
 )
 from repro.core.engine import BitSerialInferenceEngine, EngineConfig
 from repro.core.storage import (
@@ -80,9 +92,16 @@ __all__ = [
     "LookupTable",
     "build_lut",
     "bit_decompose",
+    "bit_vector_values",
     "bitserial_dot",
     "bitserial_conv2d",
+    "bitserial_conv2d_reference",
     "bitserial_linear",
+    "bitserial_linear_reference",
+    "ConvKernelPlan",
+    "LinearKernelPlan",
+    "compile_conv_plan",
+    "compile_linear_plan",
     "BitSerialInferenceEngine",
     "EngineConfig",
     "StorageReport",

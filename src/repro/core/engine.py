@@ -30,7 +30,8 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-from repro.core.bitserial import bitserial_conv2d, bitserial_linear
+from repro.core.bitserial import bitserial_conv2d_reference, bitserial_linear_reference
+from repro.core.kernel_plan import compile_conv_plan, compile_linear_plan
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable, build_lut
 from repro.core.weight_pool import WeightPool
@@ -51,6 +52,13 @@ class EngineConfig:
     calibration_method: CalibrationMethod = CalibrationMethod.ITERATIVE
     calibration_batches: int = 4
     active_bits: Optional[int] = None  # early termination (MSB-first truncation)
+    # Execute through compiled per-layer kernel plans (vectorised
+    # gather-accumulate, fused epilogue).  False falls back to the original
+    # Python tap-loop kernels — kept for A/B benchmarking and as a debugging
+    # oracle.  With a full-precision LUT the raw kernels are bit-exact; the
+    # engine outputs differ only by the fused epilogue's float association
+    # (alpha*acc + beta vs scale*(raw - z*sum_w) + bias), ~1e-10 relative.
+    use_kernel_plans: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.activation_bitwidth <= 8:
@@ -93,7 +101,10 @@ class _BitSerialRuntime:
         zero_point = params.zero_point
         if isinstance(layer, WeightPoolConv2d):
             q_x = _pad_channels(q_x, layer, zero_point)
-            raw = bitserial_conv2d(
+            if config.use_kernel_plans:
+                plan = self.engine._plan_for(layer)
+                return plan(q_x, active_bits=config.active_bits)
+            raw = bitserial_conv2d_reference(
                 q_x,
                 layer.indices,
                 lut,
@@ -103,23 +114,24 @@ class _BitSerialRuntime:
                 active_bits=config.active_bits,
                 pad_value=zero_point,
             )
-            taps_per_filter = layer.indices.shape[1] * layer.indices.shape[2] * layer.indices.shape[3]
             # Zero-point correction: dot(a, w) = scale * (dot(q, w) - z * sum(w)).
-            w_sums = lut.pool_vector_sums()[layer.indices].reshape(layer.indices.shape[0], -1).sum(axis=1)
+            w_sums = self.engine._layer_w_sums(layer)
             out = params.scale * (raw - zero_point * w_sums.reshape(1, -1, 1, 1))
             if layer.bias is not None:
                 out = out + layer.bias.data.reshape(1, -1, 1, 1)
-            del taps_per_filter
             return out
         if isinstance(layer, WeightPoolLinear):
-            raw = bitserial_linear(
+            if config.use_kernel_plans:
+                plan = self.engine._plan_for(layer)
+                return plan(q_x, active_bits=config.active_bits)
+            raw = bitserial_linear_reference(
                 q_x,
                 layer.indices,
                 lut,
                 act_bitwidth=config.activation_bitwidth,
                 active_bits=config.active_bits,
             )
-            w_sums = lut.pool_vector_sums()[layer.indices].sum(axis=1)
+            w_sums = self.engine._layer_w_sums(layer)
             out = params.scale * (raw - zero_point * w_sums.reshape(1, -1))
             if layer.bias is not None:
                 out = out + layer.bias.data
@@ -178,6 +190,10 @@ class BitSerialInferenceEngine:
         self.activation_params: Dict[int, QuantParams] = {}
         self.lut: Optional[LookupTable] = None
         self._calibrated = False
+        # Per-layer compiled state, built lazily on first use and invalidated
+        # whenever the LUT or the activation parameters change.
+        self._plans: Dict[int, object] = {}
+        self._w_sums: Dict[int, np.ndarray] = {}
 
     # -- lifecycle ---------------------------------------------------------------
     def calibrate(self, loader: DataLoader, batches: Optional[int] = None) -> None:
@@ -216,6 +232,7 @@ class BitSerialInferenceEngine:
         if self.config.lut_bitwidth is not None:
             lut = lut.quantize(self.config.lut_bitwidth)
         self.lut = lut
+        self._invalidate_compiled()
 
     def set_activation_bitwidth(self, bitwidth: int) -> None:
         """Re-freeze activation quantizers at a new bitwidth (no re-calibration needed)."""
@@ -224,11 +241,64 @@ class BitSerialInferenceEngine:
         self.config = replace(self.config, activation_bitwidth=bitwidth, active_bits=None)
         for layer in self.layers:
             self.activation_params[id(layer)] = self.quantizers[id(layer)].set_bitwidth(bitwidth)
+        self._invalidate_compiled()
 
     def set_lut_bitwidth(self, bitwidth: Optional[int]) -> None:
         """Change the LUT storage bitwidth and rebuild the table."""
         self.config = replace(self.config, lut_bitwidth=bitwidth)
         self._build_lut()
+
+    # -- compiled per-layer state ---------------------------------------------
+    def _invalidate_compiled(self) -> None:
+        """Drop cached kernel plans and zero-point sums (LUT/params changed)."""
+        self._plans.clear()
+        self._w_sums.clear()
+
+    def _plan_for(self, layer):
+        """The compiled kernel plan for ``layer``, building it on first use.
+
+        Plans snapshot the layer's indices, the LUT, and the frozen activation
+        parameters; :meth:`_invalidate_compiled` must run when any of those
+        change (``set_activation_bitwidth`` / ``set_lut_bitwidth`` do).
+        """
+        key = id(layer)
+        plan = self._plans.get(key)
+        if plan is None:
+            params = self.activation_params[key]
+            bias = layer.bias.data if layer.bias is not None else None
+            if isinstance(layer, WeightPoolConv2d):
+                plan = compile_conv_plan(
+                    layer.indices,
+                    self.lut,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    act_bitwidth=self.config.activation_bitwidth,
+                    pad_value=params.zero_point,
+                    scale=params.scale,
+                    zero_point=params.zero_point,
+                    bias=bias,
+                )
+            else:
+                plan = compile_linear_plan(
+                    layer.indices,
+                    self.lut,
+                    act_bitwidth=self.config.activation_bitwidth,
+                    scale=params.scale,
+                    zero_point=params.zero_point,
+                    bias=bias,
+                )
+            self._plans[key] = plan
+        return plan
+
+    def _layer_w_sums(self, layer) -> np.ndarray:
+        """Per-filter pool-vector sums for the zero-point correction, cached."""
+        key = id(layer)
+        w_sums = self._w_sums.get(key)
+        if w_sums is None:
+            gathered = self.lut.pool_vector_sums()[layer.indices]
+            w_sums = gathered.reshape(layer.indices.shape[0], -1).sum(axis=1)
+            self._w_sums[key] = w_sums
+        return w_sums
 
     # -- execution ---------------------------------------------------------------
     def _install(self, runtime) -> None:

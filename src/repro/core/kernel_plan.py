@@ -1,0 +1,447 @@
+"""Compiled per-layer kernel plans for bit-serial LUT execution.
+
+The functional kernels in :mod:`repro.core.bitserial` re-derive every
+per-layer constant (sub-tables, zero-point corrections, dtypes) on every
+batch and loop in Python over every channel-group × kernel-tap, gathering
+``N·T·P·M·F`` table entries per batch (``T`` taps, ``P`` output positions,
+``M`` bit positions, ``F`` filters).  A *kernel plan* moves all per-layer
+constant work to compile time — once per layer — and restructures execution
+so the per-batch gather work drops by roughly ``M·KH·KW``:
+
+* **Pre-gathered sub-tables** — in direct mode (``F ≤ S``, the paper's §4.3
+  dispatch rule) the LUT columns each channel group actually uses,
+  ``lut.values[:, used]``, are gathered at compile time into one contiguous
+  ``(G, 2^g, W)`` tensor with the layer's pool indices remapped into the
+  compact column space; in precompute mode (``F > S``) the shared ``(2^g,
+  S)`` table is used whole.
+* **Bit/space hoisting** — at run time the activation image is bit-encoded
+  *once per padded pixel* and the shift-accumulate over bit positions
+  produces per-group pool partials ``pv[n, g, y, x, :]`` before the
+  convolution window is taken.  Overlapping windows share pixels, so this
+  memoizes the bit-serial work across the ``KH·KW`` taps that would
+  otherwise recompute it (the §4.3 precompute idea applied network-side).
+  The remaining tap reduction is a single bit-free windowed gather.
+* **Fused affine epilogue** — the activation scale, the zero-point correction
+  ``scale · zero_point · Σw`` and the layer bias folded into one
+  ``out = α·acc + β`` applied after accumulation.
+* **Compact dtypes** — LUT addresses are ``uint8``/``uint16`` (values are
+  below ``2^g``), quantized LUTs accumulate in *integers* sized by exact
+  overflow bounds (``int16`` tables and partials for the default 8-bit LUT ×
+  8-bit activations) with a single final rescale, and full-precision LUTs
+  keep ``float64`` tables so the bit-exactness invariant against the
+  reference kernel holds.  An explicit ``table_dtype`` (e.g. ``np.float32``)
+  trades exactness for memory.
+
+Batch and tap chunking bound every gather temporary to a fixed memory
+budget, so the kernel stays memory-lean for arbitrarily large layers.
+
+Plans are immutable snapshots of ``(indices, lut, quant params)``; recompile
+after changing any of them (the engine invalidates its plan cache on
+``set_activation_bitwidth`` / ``set_lut_bitwidth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitserial import active_bit_positions, bit_vector_values, _validate_unsigned
+from repro.core.lut import LookupTable
+from repro.nn.functional import conv_output_size
+from repro.utils.bits import min_uint_dtype
+
+# Upper bound on the size of any single temporary materialised during
+# execution; batches and taps are processed in chunks that fit this budget.
+_GATHER_BUDGET_BYTES = 64 << 20
+
+
+def _compile_tables(
+    lut: LookupTable, table_dtype: Optional[np.dtype]
+) -> Tuple[np.ndarray, float, bool]:
+    """Pick the table representation: ``(base_table, table_scale, integer)``.
+
+    Quantized LUTs execute in the integer domain (exact integer accumulation,
+    one final multiply by the LUT scale); full-precision LUTs stay ``float64``
+    so plan-based execution remains bit-exact with the reference kernel.  An
+    explicit ``table_dtype`` (e.g. ``np.float32``) overrides the policy for
+    callers trading exactness for memory.
+    """
+    if table_dtype is not None:
+        return np.ascontiguousarray(lut.values, dtype=table_dtype), 1.0, False
+    if lut.integer_values is not None:
+        # Entries fit int32 for every supported LUT bitwidth (<= 16).
+        return np.ascontiguousarray(lut.integer_values, dtype=np.int32), float(lut.scale), True
+    return np.ascontiguousarray(lut.values, dtype=np.float64), 1.0, False
+
+
+def _fused_epilogue(
+    lut: LookupTable,
+    indices: np.ndarray,
+    table_scale: float,
+    scale: Optional[float],
+    zero_point: int,
+    bias: Optional[np.ndarray],
+) -> Tuple[float, Optional[np.ndarray]]:
+    """Fold activation scale, zero-point correction and bias into ``α, β``.
+
+    ``raw = table_scale · acc`` is the kernel output in the "integer
+    activation × real weight" domain; the engine's dequantization
+    ``scale · (raw − zero_point · Σw) + bias`` collapses to ``α·acc + β``.
+    With ``scale=None`` the plan is a raw kernel (α = table_scale, no β),
+    matching the functional :func:`~repro.core.bitserial.bitserial_conv2d`
+    contract.
+    """
+    if scale is None:
+        return table_scale, None
+    f = indices.shape[0]
+    w_sums = lut.pool_vector_sums()[indices].reshape(f, -1).sum(axis=1)  # (F,)
+    beta = -float(scale) * float(zero_point) * w_sums
+    if bias is not None:
+        beta = beta + np.asarray(bias, dtype=np.float64)
+    return float(scale) * table_scale, beta
+
+
+@dataclass
+class ConvKernelPlan:
+    """Compiled execution plan for one weight-pool convolution layer.
+
+    Call the plan with ``(N, C, H, W)`` unsigned integer activations; it
+    returns ``(N, F, OH, OW)`` outputs with the fused epilogue applied.
+    """
+
+    group_size: int
+    act_bitwidth: int
+    stride: int
+    padding: int
+    pad_value: int
+    kernel: Tuple[int, int]
+    in_channels: int
+    num_filters: int
+    num_taps: int
+    mode: str  # "direct" (F <= S) or "precompute" (F > S), paper §4.3
+    # Bit-weighted tables: entry [j] is the (sub-)table pre-multiplied by 2^j
+    # (exact for float64 — powers of two — and overflow-checked for int32).
+    # direct: (M, G, 2^g, W) per-group sub-tables; precompute: (M, 2^g, S).
+    tables: np.ndarray
+    # (G, KH*KW*F) column into the stage-1 partials that each (kernel
+    # position, filter) pair of a channel group reads, kernel-position-major.
+    group_cols: np.ndarray
+    partial_dtype: np.dtype  # stage-1 accumulator dtype (int32/int64/float)
+    acc_dtype: np.dtype  # stage-2 accumulator dtype (int32/int64/float)
+    integer: bool
+    alpha: float
+    beta: Optional[np.ndarray]
+
+    # -- stage 1: per-pixel bit-serial pool partials ---------------------------
+    def _encode_addresses(self, q_x: np.ndarray) -> np.ndarray:
+        """Per-bit LUT addresses ``(G, N, Hp, Wp, M)`` of the padded image.
+
+        For the paper's configuration (group size and activation bitwidth both
+        ≤ 8) the addresses are produced by ``np.packbits`` over uint8 data —
+        a bit-matrix transpose at C speed; other configurations fall back to
+        the generic :func:`~repro.core.bitserial.bit_vector_values` encoder.
+        Inputs are range-validated by ``__call__`` before this runs.
+        """
+        n = q_x.shape[0]
+        fast = self.group_size <= 8 and self.act_bitwidth <= 8
+        if fast:
+            q_x = q_x.astype(np.uint8)
+        if self.padding:
+            q_x = np.pad(
+                q_x,
+                ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
+                mode="constant",
+                constant_values=self.pad_value,
+            )
+        hp, wp = q_x.shape[2], q_x.shape[3]
+        groups = self.in_channels // self.group_size
+        grouped = q_x.reshape(n, groups, self.group_size, hp, wp).transpose(1, 0, 3, 4, 2)
+        if not fast:
+            return bit_vector_values(grouped, self.act_bitwidth)
+        grouped = np.ascontiguousarray(grouped)  # (G, N, Hp, Wp, g) uint8
+        out = np.empty((groups, n, hp, wp, self.act_bitwidth), dtype=np.uint8)
+        scratch = np.empty_like(grouped)
+        for j in range(self.act_bitwidth):
+            np.right_shift(grouped, j, out=scratch)
+            np.bitwise_and(scratch, 1, out=scratch)
+            out[..., j] = np.packbits(scratch, axis=-1, bitorder="little")[..., 0]
+        return out
+
+    def _pool_partials(self, q_x: np.ndarray, bit_positions: List[int]) -> np.ndarray:
+        """Shift-accumulated LUT partials per padded pixel and channel group.
+
+        Returns ``pv`` of shape ``(G, N, Hp, Wp, W)`` where
+        ``pv[g, n, y, x, s] = Σ_j 2^j · table_g[addr_j(n, g, y, x), s]`` —
+        the bit-serial dot products of every (sub-)pool column with the
+        activation group at one pixel.  Computed once per pixel; the
+        convolution windows gather from it without touching bits again.
+        """
+        addresses = self._encode_addresses(q_x)
+        groups, n, hp, wp, _ = addresses.shape
+        width = self.tables.shape[-1]
+
+        if self.mode == "direct":
+            # Fold the group axis into the row index so every bit pass is one
+            # flat row-gather (tables are stored (M, G, 2^g, W) contiguous).
+            flat_tables = self.tables.reshape(self.act_bitwidth, -1, width)
+            offset_dtype = min_uint_dtype((groups << self.group_size) - 1)
+            rows = addresses.astype(offset_dtype)
+            rows += (
+                np.arange(groups, dtype=offset_dtype) << self.group_size
+            ).reshape(groups, 1, 1, 1, 1)
+        else:
+            flat_tables = self.tables
+            rows = addresses
+
+        pv = np.empty((groups, n, hp, wp, width), dtype=self.partial_dtype)
+        if self.partial_dtype == self.tables.dtype:
+            # Gather straight into the accumulator / a reused scratch buffer.
+            scratch: Optional[np.ndarray] = None
+            for i, j in enumerate(bit_positions):
+                if i == 0:
+                    np.take(flat_tables[j], rows[..., j], axis=0, out=pv)
+                else:
+                    if scratch is None:
+                        scratch = np.empty_like(pv)
+                    np.take(flat_tables[j], rows[..., j], axis=0, out=scratch)
+                    pv += scratch
+        else:
+            # Mixed dtypes (e.g. int32 tables, int64 partials): gather, widen, add.
+            pv.fill(0)
+            for j in bit_positions:
+                pv += flat_tables[j][rows[..., j]]
+        return pv
+
+    # -- stage 2: windowed tap reduction ---------------------------------------
+    def _reduce_taps(self, pv: np.ndarray, oh: int, ow: int, stride: int) -> np.ndarray:
+        """Bit-free gather of each filter's column, then strided window sums.
+
+        Per (channel group, kernel position), one contiguous ``np.take`` into
+        a reused buffer pulls the column every filter uses for the whole
+        padded image; the spatial reduction is then a pure strided slice-add.
+        ``N·T·P·F``-order element reads in total, no bit dimension.
+        """
+        groups, n, hp, wp, _ = pv.shape
+        kh, kw = self.kernel
+        f = self.num_filters
+        acc = np.zeros((n, oh, ow, f), dtype=self.acc_dtype)
+        scratch = np.empty((n, hp * wp, f), dtype=pv.dtype)
+        image = scratch.reshape(n, hp, wp, f)
+        for g in range(groups):
+            flat = pv[g].reshape(n, hp * wp, -1)
+            for k in range(kh * kw):
+                ki, kj = divmod(k, kw)
+                np.take(flat, self.group_cols[g, k * f : (k + 1) * f], axis=-1, out=scratch)
+                acc += image[
+                    :,
+                    ki : ki + oh * stride : stride,
+                    kj : kj + ow * stride : stride,
+                ]
+        return acc.transpose(0, 3, 1, 2)
+
+    # -- memory ----------------------------------------------------------------
+    def _batch_chunk(self, hp: int, wp: int) -> int:
+        groups = self.in_channels // self.group_size
+        per_image = max(
+            hp * wp * (groups * self.tables.shape[-1] + self.num_filters)
+            * self.partial_dtype.itemsize,
+            1,
+        )
+        return max(1, _GATHER_BUDGET_BYTES // per_image)
+
+    # -- execution -------------------------------------------------------------
+    def __call__(self, q_x: np.ndarray, active_bits: Optional[int] = None) -> np.ndarray:
+        q_x = np.asarray(q_x, dtype=np.int64)
+        if q_x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) activations, got {q_x.shape}")
+        n, c, h, w = q_x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"indices expect {self.in_channels} channels, activations have {c}"
+            )
+        # Validate once here; the encoders below assume in-range values.
+        _validate_unsigned(q_x, self.act_bitwidth, "bit-serial kernels")
+        bit_positions = active_bit_positions(self.act_bitwidth, active_bits)
+        kh, kw = self.kernel
+        oh = conv_output_size(h, kh, self.stride, self.padding)
+        ow = conv_output_size(w, kw, self.stride, self.padding)
+
+        stride = self.stride
+        if kh == kw == 1 and stride > 1 and self.padding == 0:
+            # Pointwise downsample: only every stride-th pixel is ever read,
+            # so drop the others before the bit-serial stage.
+            q_x = q_x[:, :, ::stride, ::stride]
+            stride = 1
+        acc = np.empty((n, self.num_filters, oh, ow), dtype=self.acc_dtype)
+        chunk = self._batch_chunk(h + 2 * self.padding, w + 2 * self.padding)
+        for n0 in range(0, n, chunk):
+            n1 = min(n, n0 + chunk)
+            pv = self._pool_partials(q_x[n0:n1], bit_positions)
+            acc[n0:n1] = self._reduce_taps(pv, oh, ow, stride)
+
+        if self.integer or self.alpha != 1.0:
+            out = acc * self.alpha
+        else:
+            out = acc.astype(np.float64, copy=False)
+        if self.beta is not None:
+            out = out + self.beta.reshape(1, -1, 1, 1)
+        return out
+
+
+def compile_conv_plan(
+    indices: np.ndarray,
+    lut: LookupTable,
+    stride: int = 1,
+    padding: int = 0,
+    act_bitwidth: int = 8,
+    pad_value: int = 0,
+    scale: Optional[float] = None,
+    zero_point: int = 0,
+    bias: Optional[np.ndarray] = None,
+    table_dtype: Optional[np.dtype] = None,
+) -> ConvKernelPlan:
+    """Compile a convolution kernel plan for one weight-pool layer.
+
+    With ``scale=None`` the plan computes the raw ``sum q·w`` domain exactly
+    like :func:`~repro.core.bitserial.bitserial_conv2d`; passing the
+    activation ``scale``/``zero_point`` (and optionally ``bias``) fuses the
+    whole dequantization epilogue into the plan.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 4:
+        raise ValueError(f"expected (F, C/g, KH, KW) indices, got {indices.shape}")
+    if indices.size and (indices.min() < 0 or indices.max() >= lut.pool_size):
+        raise ValueError("pool index out of range for this LUT")
+    f, groups, kh, kw = indices.shape
+    taps = groups * kh * kw
+
+    base, table_scale, integer = _compile_tables(lut, table_dtype)
+    alpha, beta = _fused_epilogue(lut, indices, table_scale, scale, zero_point, bias)
+
+    if f <= lut.pool_size:
+        # Direct mode: pre-gather only the LUT columns each channel group
+        # uses, and remap the layer's pool indices into that compact space.
+        mode = "direct"
+        used = [np.unique(indices[:, g]) for g in range(groups)]
+        width = max(len(u) for u in used)
+        sub = np.zeros((groups, base.shape[0], width), dtype=base.dtype)
+        local = np.empty_like(indices)
+        for g, u in enumerate(used):
+            sub[g, :, : len(u)] = base[:, u]
+            local[:, g] = np.searchsorted(u, indices[:, g])
+    else:
+        # Precompute mode (F > S): per-pool-vector partials, shared table.
+        mode = "precompute"
+        sub = base
+        local = indices
+
+    # Pre-scale the tables by every bit weight (exact: powers of two), so the
+    # per-bit execution pass is a pure gather-add.
+    bit_weights = (1 << np.arange(act_bitwidth, dtype=np.int64)).reshape(
+        (act_bitwidth,) + (1,) * sub.ndim
+    )
+    if integer:
+        tables = sub.astype(np.int64)[None] * bit_weights
+
+        def _int_dtype(bound: int) -> np.dtype:
+            for candidate in (np.int16, np.int32, np.int64):
+                if bound <= np.iinfo(candidate).max:
+                    return np.dtype(candidate)
+            raise ValueError(f"integer bound {bound} exceeds int64")
+
+        tables = tables.astype(_int_dtype(int(np.abs(tables).max(initial=0))))
+        # Stage-1 partials sum the bit-weighted entries over at most M bits
+        # (for the default 8-bit LUT × 8-bit activations this fits int16,
+        # halving the gather traffic); stage-2 additionally sums the T taps.
+        partial_bound = ((1 << act_bitwidth) - 1) * int(np.abs(sub).max(initial=0))
+        partial_dtype = _int_dtype(partial_bound)
+        acc_dtype = max(_int_dtype(taps * partial_bound), np.dtype(np.int32))
+    else:
+        # Bit weights are powers of two: exact in any float dtype.
+        tables = sub[None] * bit_weights.astype(sub.dtype)
+        partial_dtype = tables.dtype
+        acc_dtype = tables.dtype
+    tables = np.ascontiguousarray(tables)
+    if padding and not 0 <= pad_value < (1 << act_bitwidth):
+        raise ValueError(
+            f"pad_value {pad_value} does not fit in {act_bitwidth} bits"
+        )
+
+    # Stage-2 gather columns, kernel-position-major per channel group.
+    group_cols = np.ascontiguousarray(
+        local.transpose(1, 2, 3, 0).reshape(groups, kh * kw * f)
+    ).astype(np.intp)
+
+    return ConvKernelPlan(
+        group_size=lut.group_size,
+        act_bitwidth=act_bitwidth,
+        stride=stride,
+        padding=padding,
+        pad_value=pad_value,
+        kernel=(kh, kw),
+        in_channels=groups * lut.group_size,
+        num_filters=f,
+        num_taps=taps,
+        mode=mode,
+        tables=tables,
+        group_cols=group_cols,
+        partial_dtype=partial_dtype,
+        acc_dtype=acc_dtype,
+        integer=integer,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+@dataclass
+class LinearKernelPlan:
+    """Compiled execution plan for one weight-pool linear layer.
+
+    Internally a 1×1 convolution plan over a 1×1 "image"; call with
+    ``(N, in_features)`` unsigned integer activations.
+    """
+
+    conv_plan: ConvKernelPlan
+
+    def __call__(self, q_x: np.ndarray, active_bits: Optional[int] = None) -> np.ndarray:
+        q_x = np.asarray(q_x, dtype=np.int64)
+        if q_x.ndim != 2:
+            raise ValueError("bitserial_linear expects 2D activations and 2D indices")
+        n, in_features = q_x.shape
+        if in_features != self.conv_plan.in_channels:
+            raise ValueError(
+                f"indices expect {self.conv_plan.in_channels} inputs, "
+                f"activations have {in_features}"
+            )
+        out = self.conv_plan(q_x.reshape(n, in_features, 1, 1), active_bits=active_bits)
+        return out.reshape(n, self.conv_plan.num_filters)
+
+
+def compile_linear_plan(
+    indices: np.ndarray,
+    lut: LookupTable,
+    act_bitwidth: int = 8,
+    scale: Optional[float] = None,
+    zero_point: int = 0,
+    bias: Optional[np.ndarray] = None,
+    table_dtype: Optional[np.dtype] = None,
+) -> LinearKernelPlan:
+    """Compile a kernel plan for a fully-connected weight-pool layer."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 2:
+        raise ValueError("bitserial_linear expects 2D activations and 2D indices")
+    conv_plan = compile_conv_plan(
+        indices[:, :, None, None],
+        lut,
+        stride=1,
+        padding=0,
+        act_bitwidth=act_bitwidth,
+        pad_value=0,
+        scale=scale,
+        zero_point=zero_point,
+        bias=bias,
+        table_dtype=table_dtype,
+    )
+    return LinearKernelPlan(conv_plan=conv_plan)

@@ -124,7 +124,10 @@ class LookupTable:
             max_abs = 1.0
         qmax = (1 << (bitwidth - 1)) - 1
         scale = max_abs / qmax
-        integer = np.clip(np.round(self.values / scale), -qmax - 1, qmax).astype(np.int64)
+        # Store entries in the smallest sufficient signed dtype — the MCU
+        # layout the storage model assumes, and what the kernel plans gather.
+        store_dtype = np.int8 if bitwidth <= 8 else np.int16
+        integer = np.clip(np.round(self.values / scale), -qmax - 1, qmax).astype(store_dtype)
         return LookupTable(
             values=integer * scale,
             pool_size=self.pool_size,

@@ -27,6 +27,32 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+def im2col_patches(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Zero-copy sliding-window view of image patches.
+
+    Returns a read-only strided *view* of shape ``(N, C, KH, KW, OH, OW)``.
+    Callers that need a different memory layout should materialise it with a
+    single explicit copy (``np.ascontiguousarray`` after a transpose) instead
+    of reshaping this view — a reshape silently copies, and doing so before a
+    transpose used to copy the full int64 patch tensor twice on the
+    bit-serial path.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides, writeable=False)
+
+
 def im2col(
     x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
 ) -> np.ndarray:
@@ -41,20 +67,13 @@ def im2col(
 
     Returns
     -------
-    Array of shape ``(N, C * KH * KW, OH * OW)``.
+    Array of shape ``(N, C * KH * KW, OH * OW)`` (one materialising copy of
+    the :func:`im2col_patches` view).
     """
-    n, c, h, w = x.shape
+    n, c, _, _ = x.shape
     kh, kw = kernel
-    oh = conv_output_size(h, kh, stride, padding)
-    ow = conv_output_size(w, kw, stride, padding)
-    if padding:
-        x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
-        )
-    sn, sc, sh, sw = x.strides
-    shape = (n, c, kh, kw, oh, ow)
-    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    patches = im2col_patches(x, kernel, stride, padding)
+    oh, ow = patches.shape[4], patches.shape[5]
     return patches.reshape(n, c * kh * kw, oh * ow)
 
 

@@ -21,6 +21,21 @@ def required_bits(n_values: int) -> int:
     return int(math.ceil(math.log2(n_values)))
 
 
+def min_uint_dtype(max_value: int) -> np.dtype:
+    """Smallest unsigned NumPy dtype that can hold ``max_value``.
+
+    Used by the bit-serial kernels to store LUT addresses compactly: a group
+    size of 8 yields addresses below 256, so ``uint8`` suffices and the
+    address tensors shrink 8x versus the historical ``int64`` layout.
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be non-negative, got {max_value}")
+    for dtype in (np.uint8, np.uint16, np.uint32, np.uint64):
+        if max_value <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    raise ValueError(f"max_value {max_value} does not fit in any unsigned dtype")
+
+
 def int_to_bits(values: np.ndarray, bitwidth: int, msb_first: bool = True) -> np.ndarray:
     """Decompose non-negative integers into their binary digits.
 
