@@ -9,13 +9,32 @@ that deployment decision end-to-end for the paper's ResNet family:
 * report the same for the weight-pool deployment (pool 64, 8-bit indices,
   8-bit LUT),
 * show which networks fit which device, and the estimated latency for those
-  that do — i.e. a per-device deployment plan.
+  that do — i.e. a per-device deployment plan,
+* compile one compressed network into its whole-network program and write
+  both deployment artifacts: the serialized executor program (``.npz``) and
+  the MCU flash package derived from the same IR.
 
 Run with:  python examples/deploy_resnet_mcu.py
 """
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    EngineConfig,
+    compress_model,
+    load_program,
+    package_from_program,
+    save_program,
+)
+from repro.datasets import SyntheticCIFAR10, make_classification_split
+from repro.nn import DataLoader
 from repro.mcu import (
     MC_LARGE,
     MC_SMALL,
@@ -86,6 +105,46 @@ def main() -> None:
             )
         )
         print()
+
+    export_program_artifacts()
+
+
+def export_program_artifacts(seed: int = 0) -> None:
+    """Compile ResNet-s into a network program and write both artifacts."""
+    print("Compiling ResNet-s (tiny) into a deployable network program ...")
+    model = create_model("resnet_s_tiny", num_classes=10, in_channels=3, rng=seed)
+    result = compress_model(
+        model, (3, 32, 32), pool_size=64, policy=CompressionPolicy(group_size=8), seed=seed
+    )
+    train_ds, _ = make_classification_split(
+        SyntheticCIFAR10, train_per_class=8, test_per_class=4, seed=seed
+    )
+    engine = BitSerialInferenceEngine(
+        result.model,
+        result.pool,
+        EngineConfig(activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2),
+    )
+    engine.calibrate(DataLoader(train_ds, batch_size=16, shuffle=True, rng=seed))
+    program = engine.compile()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        program_path = pathlib.Path(tmp) / "resnet_s.program.npz"
+        save_program(program, program_path)
+        reloaded = load_program(program_path)
+        package = package_from_program(program, "resnet_s_tiny")
+        x = np.random.default_rng(seed).normal(size=(2, 3, 32, 32))
+        from repro.core import Executor
+
+        identical = np.array_equal(Executor(reloaded).run(x), engine.predict(x))
+        print(
+            f"  program: {len(program.ops)} ops, artifact "
+            f"{program_path.stat().st_size / 1024:.1f} KiB, "
+            f"round-trip bit-identical: {identical}"
+        )
+        print(
+            f"  MCU package from the same IR: {len(package.layers)} layers, "
+            f"flash {package.flash_bytes / 1024:.1f} KiB"
+        )
 
 
 if __name__ == "__main__":

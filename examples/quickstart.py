@@ -5,14 +5,18 @@ This walks the full pipeline of the paper on a laptop-sized problem:
 1. train a small CNN on a synthetic CIFAR-10-like task,
 2. compress it with a shared z-dimension weight pool (paper §3),
 3. fine-tune the pool-index assignment (paper Figure 2),
-4. execute it with the bit-serial lookup-table engine at 8-bit and 4-bit
+4. compile it to a whole-network program (calibrate → lower → optimize) and
+   execute it with the bit-serial graph executor at 8-bit and 4-bit
    activations (paper §3.1–3.3),
 5. report compression ratio, accuracy, and estimated microcontroller latency.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py          (full demo)
+           python examples/quickstart.py --fast   (CI smoke: tiny scale)
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -32,22 +36,28 @@ from repro.nn import DataLoader, SGD, TrainConfig, Trainer
 from repro.utils.tabulate import format_table
 
 
-def main(seed: int = 0) -> None:
+def main(seed: int = 0, fast: bool = False) -> None:
     rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ data
+    per_class = (8, 6) if fast else (30, 20)
     train_ds, test_ds = make_classification_split(
-        SyntheticCIFAR10, train_per_class=30, test_per_class=20, seed=seed, noise_std=0.5
+        SyntheticCIFAR10,
+        train_per_class=per_class[0],
+        test_per_class=per_class[1],
+        seed=seed,
+        noise_std=0.5,
     )
     train_loader = DataLoader(train_ds, batch_size=32, shuffle=True, rng=seed)
     test_loader = DataLoader(test_ds, batch_size=32)
     input_shape = train_ds.input_shape
 
     # ------------------------------------------------------- 1. pretrain CNN
-    model = create_model("tinyconv", num_classes=10, in_channels=3, rng=seed)
-    print("Pretraining TinyConv on the synthetic CIFAR-10 substitute ...")
+    model_name = "tinyconv_tiny" if fast else "tinyconv"
+    model = create_model(model_name, num_classes=10, in_channels=3, rng=seed)
+    print(f"Pretraining {model_name} on the synthetic CIFAR-10 substitute ...")
     trainer = Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9))
-    trainer.fit(train_loader, TrainConfig(epochs=4))
+    trainer.fit(train_loader, TrainConfig(epochs=1 if fast else 4))
     baseline_acc = evaluate_accuracy(model, test_loader)
     print(f"  float accuracy: {baseline_acc:.1%}")
 
@@ -61,7 +71,7 @@ def main(seed: int = 0) -> None:
 
     # --------------------------------------------------------- 3. fine-tune
     print("Fine-tuning the index assignment (forward reassigns, backward updates) ...")
-    finetune_compressed_model(result.model, train_loader, epochs=2, lr=0.01)
+    finetune_compressed_model(result.model, train_loader, epochs=1 if fast else 2, lr=0.01)
     pool_acc = evaluate_accuracy(result.model, test_loader)
     print(f"  weight-pool accuracy: {pool_acc:.1%}")
 
@@ -72,7 +82,7 @@ def main(seed: int = 0) -> None:
         f"LUT overhead {storage.lut_overhead:.1%})"
     )
 
-    # ------------------------------------------- 4. bit-serial LUT execution
+    # --------------------------- 4. compile + execute the network program
     rows = []
     for act_bits in (8, 4):
         engine = BitSerialInferenceEngine(
@@ -81,6 +91,14 @@ def main(seed: int = 0) -> None:
             EngineConfig(activation_bitwidth=act_bits, lut_bitwidth=8, calibration_batches=2),
         )
         engine.calibrate(train_loader)
+        program = engine.compile()
+        if act_bits == 8:
+            print(
+                f"  compiled program: {len(program.ops)} ops "
+                f"({program.count('bitserial_conv') + program.count('bitserial_linear')}"
+                f" bit-serial, {program.count('requantize')} requantize-fused, "
+                f"{program.count('batchnorm')} BN left unfolded)"
+            )
         acc = engine.evaluate(test_loader)
         wp_latency = estimate_weight_pool_network(
             result.model,
@@ -105,4 +123,12 @@ def main(seed: int = 0) -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="tiny-scale smoke run (used by CI): smaller model, data, epochs",
+    )
+    args = parser.parse_args()
+    main(seed=args.seed, fast=args.fast)

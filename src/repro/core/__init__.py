@@ -23,6 +23,17 @@ Bit-serial LUT execution (paper §3.1–3.3):
 * :class:`repro.core.engine.BitSerialInferenceEngine` — calibrates activation
   ranges and runs whole networks at arbitrary activation/LUT bitwidths.
 
+Whole-network compilation (the graph pipeline):
+
+* :mod:`repro.core.graph` — lower a model to a flat dataflow graph via the
+  per-module ``lower_into`` hooks.
+* :mod:`repro.core.program` — type the graph into a :class:`NetworkProgram`
+  IR, optimize it (BatchNorm folding, requantize fusion), and execute it
+  batch-wise through a multi-backend :class:`Executor` (``plan`` /
+  ``reference`` / MCU ``cost``).
+* :func:`repro.core.export.save_program` / ``load_program`` — the compiled
+  program as a serializable deployment artifact.
+
 Storage accounting (paper Eq. 3–4, Table 3):
 
 * :mod:`repro.core.storage`.
@@ -57,6 +68,16 @@ from repro.core.kernel_plan import (
     compile_conv_plan,
     compile_linear_plan,
 )
+from repro.core.graph import GraphBuilder, GraphOp, NetworkGraph, lower_model
+from repro.core.program import (
+    Executor,
+    NetworkProgram,
+    ProgramOp,
+    compile_network,
+    fold_batchnorm,
+    fuse_requantize,
+    register_backend,
+)
 from repro.core.engine import BitSerialInferenceEngine, EngineConfig
 from repro.core.storage import (
     StorageReport,
@@ -68,6 +89,9 @@ from repro.core.export import (
     DeploymentPackage,
     build_deployment_package,
     emit_c_header,
+    load_program,
+    package_from_program,
+    save_program,
 )
 from repro.core.tracing import LayerTrace, trace_model
 
@@ -104,6 +128,17 @@ __all__ = [
     "compile_linear_plan",
     "BitSerialInferenceEngine",
     "EngineConfig",
+    "GraphBuilder",
+    "GraphOp",
+    "NetworkGraph",
+    "lower_model",
+    "Executor",
+    "NetworkProgram",
+    "ProgramOp",
+    "compile_network",
+    "fold_batchnorm",
+    "fuse_requantize",
+    "register_backend",
     "StorageReport",
     "analyze_model_storage",
     "lut_storage_bits",
@@ -111,6 +146,9 @@ __all__ = [
     "DeploymentPackage",
     "build_deployment_package",
     "emit_c_header",
+    "save_program",
+    "load_program",
+    "package_from_program",
     "LayerTrace",
     "trace_model",
 ]

@@ -21,12 +21,22 @@ The engine supports three execution modes:
 * ``use_lut=False`` — "No-LUT" mode: activations are fake-quantized and the
   reconstructed pool weights are used directly (the Table 5 reference column).
 * ``float`` (no engine installed) — plain weight-pool accuracy (Table 4).
+
+Since the whole-network compiler landed, the default execution path is
+**compile-then-execute**: after calibration the engine lowers the model into a
+:class:`~repro.core.program.NetworkProgram` (BatchNorm folded into the
+bit-serial epilogues, back-to-back dequantize→quantize pairs elided) and
+delegates ``predict``/``evaluate`` to the batched graph
+:class:`~repro.core.program.Executor`.  The original per-layer runtime-install
+path is kept as the oracle — ``EngineConfig(use_graph=False)``, or entering
+the engine as a context manager, still runs it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +44,7 @@ from repro.core.bitserial import bitserial_conv2d_reference, bitserial_linear_re
 from repro.core.kernel_plan import compile_conv_plan, compile_linear_plan
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable, build_lut
+from repro.core.program import Executor, NetworkProgram, compile_network
 from repro.core.weight_pool import WeightPool
 from repro.nn import DataLoader, Module
 from repro.nn.training.trainer import evaluate_model
@@ -59,6 +70,15 @@ class EngineConfig:
     # engine outputs differ only by the fused epilogue's float association
     # (alpha*acc + beta vs scale*(raw - z*sum_w) + bias), ~1e-10 relative.
     use_kernel_plans: bool = True
+    # Execute predict/evaluate through the whole-network compiled program
+    # (lower → optimize → batched executor).  False re-enters the per-layer
+    # runtime-install path on every batch — PR 1's engine, kept as the oracle
+    # and as the baseline of the graph throughput benchmark.
+    use_graph: bool = True
+    # Apply the graph-level passes (BatchNorm folding, requantize fusion).
+    # False compiles the canonical op stream, which executes the exact same
+    # plans in the exact same float association as the per-layer path.
+    graph_optimize: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.activation_bitwidth <= 8:
@@ -100,7 +120,16 @@ class _BitSerialRuntime:
         q_x = quantize(x, params)
         zero_point = params.zero_point
         if isinstance(layer, WeightPoolConv2d):
-            q_x = _pad_channels(q_x, layer, zero_point)
+            # The expected-channel check is resolved once per layer at compile
+            # time (`_pad_for`); the hot path only pads when it must.
+            pad = self.engine._pad_for(layer)
+            if pad:
+                q_x = np.pad(
+                    q_x,
+                    ((0, 0), (0, pad), (0, 0), (0, 0)),
+                    mode="constant",
+                    constant_values=zero_point,
+                )
             if config.use_kernel_plans:
                 plan = self.engine._plan_for(layer)
                 return plan(q_x, active_bits=config.active_bits)
@@ -149,22 +178,18 @@ def _float_forward(layer, x: np.ndarray) -> np.ndarray:
         layer.runtime = runtime
 
 
-def _pad_channels(q_x: np.ndarray, layer: WeightPoolConv2d, zero_point: int) -> np.ndarray:
-    """Pad activation channels with the zero point when the layer pads its weights."""
-    group_size = layer.pool.group_size
-    channels = q_x.shape[1]
-    expected = layer.indices.shape[1] * group_size
-    if channels == expected:
-        return q_x
-    pad = expected - channels
+def _channel_padding(layer: WeightPoolConv2d) -> int:
+    """Zero-point channels to pad so activations match the layer's indices.
+
+    Static per layer (indices vs. declared ``in_channels``), so the engine
+    computes it once at compile time instead of re-deriving — and previously
+    re-checking — it on every batch.
+    """
+    expected = layer.indices.shape[1] * layer.pool.group_size
+    pad = expected - layer.in_channels
     if pad < 0:
-        raise ValueError("activation has more channels than the layer expects")
-    return np.pad(
-        q_x,
-        ((0, 0), (0, pad), (0, 0), (0, 0)),
-        mode="constant",
-        constant_values=zero_point,
-    )
+        raise ValueError("layer declares more channels than its indices cover")
+    return pad
 
 
 class BitSerialInferenceEngine:
@@ -194,6 +219,12 @@ class BitSerialInferenceEngine:
         # whenever the LUT or the activation parameters change.
         self._plans: Dict[int, object] = {}
         self._w_sums: Dict[int, np.ndarray] = {}
+        self._pads: Dict[int, int] = {}
+        # Whole-network compiled state: (C, H, W) recorded during calibration,
+        # executors cached per (backend, optimize, active_bits).
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self._executors: Dict[tuple, Executor] = {}
+        self._graph_unsupported = False
 
     # -- lifecycle ---------------------------------------------------------------
     def calibrate(self, loader: DataLoader, batches: Optional[int] = None) -> None:
@@ -209,10 +240,13 @@ class BitSerialInferenceEngine:
         runtime = _CalibrationRuntime(self.quantizers)
         self.model.eval()
         self._install(runtime)
+        self.input_shape = None  # re-calibration re-records the data shape
         try:
             for batch_index, (inputs, _) in enumerate(loader):
                 if batch_index >= batches:
                     break
+                if self.input_shape is None:
+                    self.input_shape = tuple(inputs.shape[1:])
                 self.model(inputs)
         finally:
             self._uninstall()
@@ -235,10 +269,25 @@ class BitSerialInferenceEngine:
         self._invalidate_compiled()
 
     def set_activation_bitwidth(self, bitwidth: int) -> None:
-        """Re-freeze activation quantizers at a new bitwidth (no re-calibration needed)."""
+        """Re-freeze activation quantizers at a new bitwidth (no re-calibration needed).
+
+        A configured ``active_bits`` early-termination setting is preserved
+        when it still fits the new bitwidth; when it does not, it is reset to
+        ``None`` (process every bit) with a warning rather than silently.
+        """
         if not self.quantizers:
             raise RuntimeError("calibrate() must be called before changing the bitwidth")
-        self.config = replace(self.config, activation_bitwidth=bitwidth, active_bits=None)
+        active_bits = self.config.active_bits
+        if active_bits is not None and active_bits > bitwidth:
+            warnings.warn(
+                f"active_bits={active_bits} does not fit the new activation "
+                f"bitwidth {bitwidth}; resetting early termination to None",
+                stacklevel=2,
+            )
+            active_bits = None
+        self.config = replace(
+            self.config, activation_bitwidth=bitwidth, active_bits=active_bits
+        )
         for layer in self.layers:
             self.activation_params[id(layer)] = self.quantizers[id(layer)].set_bitwidth(bitwidth)
         self._invalidate_compiled()
@@ -250,9 +299,20 @@ class BitSerialInferenceEngine:
 
     # -- compiled per-layer state ---------------------------------------------
     def _invalidate_compiled(self) -> None:
-        """Drop cached kernel plans and zero-point sums (LUT/params changed)."""
+        """Drop cached kernel plans, executors and sums (LUT/params changed)."""
         self._plans.clear()
         self._w_sums.clear()
+        self._pads.clear()
+        self._executors.clear()
+
+    def _pad_for(self, layer: WeightPoolConv2d) -> int:
+        """Compile-time channel padding for ``layer`` (0 for most layers)."""
+        key = id(layer)
+        pad = self._pads.get(key)
+        if pad is None:
+            pad = _channel_padding(layer)
+            self._pads[key] = pad
+        return pad
 
     def _plan_for(self, layer):
         """The compiled kernel plan for ``layer``, building it on first use.
@@ -300,6 +360,80 @@ class BitSerialInferenceEngine:
             self._w_sums[key] = w_sums
         return w_sums
 
+    # -- whole-network compilation ---------------------------------------------
+    def compile(
+        self,
+        optimize: Optional[bool] = None,
+        backend: Optional[str] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> NetworkProgram:
+        """Lower the calibrated model into a :class:`NetworkProgram`.
+
+        Builds (and caches) the matching graph :class:`Executor`; ``predict``
+        and ``evaluate`` delegate to it.  ``optimize``/``backend`` default to
+        the engine config (``graph_optimize``; plan vs reference kernels per
+        ``use_kernel_plans``); ``input_shape`` defaults to the shape recorded
+        during calibration.
+        """
+        executor = self._executor(optimize=optimize, backend=backend, input_shape=input_shape)
+        return executor.program
+
+    def _executor(
+        self,
+        optimize: Optional[bool] = None,
+        backend: Optional[str] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> Executor:
+        if not self._calibrated:
+            raise RuntimeError("calibrate() must be called before compiling the network")
+        optimize = self.config.graph_optimize if optimize is None else optimize
+        backend = backend or ("plan" if self.config.use_kernel_plans else "reference")
+        input_shape = tuple(input_shape or self.input_shape or ())
+        if len(input_shape) != 3:
+            raise RuntimeError(
+                "input shape unknown; calibrate with (N, C, H, W) batches or "
+                "pass input_shape explicitly"
+            )
+        key = (backend, optimize, input_shape, self.config.active_bits)
+        executor = self._executors.get(key)
+        if executor is None:
+            program = compile_network(
+                self.model,
+                input_shape,
+                lut=self.lut,
+                activation_params=self.activation_params,
+                act_bitwidth=self.config.activation_bitwidth,
+                optimize=optimize,
+            )
+            executor = Executor(program, backend=backend, active_bits=self.config.active_bits)
+            self._executors[key] = executor
+        return executor
+
+    def _graph_executor_or_none(self, inputs: Optional[np.ndarray] = None) -> Optional[Executor]:
+        """The executor for the current config, or ``None`` for legacy-only modes."""
+        if not self.config.use_graph or not self.config.use_lut or self._graph_unsupported:
+            return None
+        input_shape = None
+        if inputs is not None and np.ndim(inputs) == 4:
+            # Program execution is spatial-size-agnostic (plans, pools and
+            # epilogues all adapt per batch), so varying H/W reuses the
+            # calibration-shape executor instead of recompiling per shape;
+            # only a channel-count change forces a fresh compile.
+            channels = int(np.shape(inputs)[1])
+            if self.input_shape is None or len(self.input_shape) != 3 or self.input_shape[0] != channels:
+                input_shape = tuple(np.shape(inputs)[1:])
+        if input_shape is None and (self.input_shape is None or len(self.input_shape) != 3):
+            # Lowering needs a (C, H, W) input; models calibrated on other
+            # shapes (e.g. a linear-only model fed (N, F) batches) keep
+            # running through the per-layer runtime.
+            return None
+        try:
+            return self._executor(input_shape=input_shape)
+        except NotImplementedError:
+            # Model without lowering hooks: fall back to the per-layer runtime.
+            self._graph_unsupported = True
+            return None
+
     # -- execution ---------------------------------------------------------------
     def _install(self, runtime) -> None:
         for layer in self.layers:
@@ -320,16 +454,38 @@ class BitSerialInferenceEngine:
         self._uninstall()
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Run one batch through the model in bit-serial mode."""
+        """Run one batch through the model in bit-serial mode.
+
+        Executes the compiled network program by default; the legacy
+        per-layer runtime path runs for ``use_graph=False``, ``use_lut=False``
+        (the No-LUT mode has no bit-serial ops to compile) and models without
+        lowering hooks.
+        """
+        executor = self._graph_executor_or_none(inputs)
+        if executor is not None:
+            return executor.run(inputs)
         with self:
             return self.model(inputs)
 
     def evaluate(self, loader: DataLoader) -> float:
         """Top-1 accuracy of the bit-serial execution over a loader."""
+        executor = self._graph_executor_or_none()
+        if executor is not None:
+            return executor.evaluate(loader)
         with self:
             return evaluate_model(self.model, loader)
 
     def evaluate_float(self, loader: DataLoader) -> float:
-        """Accuracy of the plain (float) weight-pool model, for comparison."""
+        """Accuracy of the plain (float) weight-pool model, for comparison.
+
+        Restores whatever runtimes were installed before the call (so it can
+        be used inside an active engine context, and an exception mid-way
+        cannot leave the model half-uninstalled).
+        """
+        runtimes = [layer.runtime for layer in self.layers]
         self._uninstall()
-        return evaluate_model(self.model, loader)
+        try:
+            return evaluate_model(self.model, loader)
+        finally:
+            for layer, runtime in zip(self.layers, runtimes):
+                layer.runtime = runtime

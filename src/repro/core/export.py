@@ -16,12 +16,26 @@ deployable artifact from a compressed model:
 * :func:`emit_c_header` — render the package as a C header (const arrays),
   which is how the artifact would actually be baked into MCU firmware.
 
+Since the whole-network compiler landed, the *compiled program* is itself a
+deployment artifact:
+
+* :func:`save_program` / :func:`load_program` — serialize a bound
+  :class:`~repro.core.program.NetworkProgram` (op stream, LUT, quantization
+  parameters, folded epilogues, float weights of uncompressed layers) to one
+  ``.npz`` archive and reconstruct it exactly — a loaded program executes
+  bit-identically to the original through the graph
+  :class:`~repro.core.program.Executor`, with no model object required;
+* :func:`package_from_program` — build the MCU flash
+  :class:`DeploymentPackage` straight from the IR, so the host-side executor
+  artifact and the firmware image share one source of truth.
+
 The package size reported here is what the MCU cost model's flash-fit check
 uses conceptually (indices + LUT + uncompressed layers), so the two agree.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -31,9 +45,11 @@ import numpy as np
 from repro.core.engine import BitSerialInferenceEngine
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable, build_lut
+from repro.core.program import NetworkProgram, ProgramOp
 from repro.core.tracing import trace_model
 from repro.core.weight_pool import WeightPool
 from repro.nn import Module
+from repro.quantization.quantizer import QuantParams
 from repro.quantization.weights import quantize_weight_tensor
 from repro.utils.bits import pack_sub_byte, required_bits, unpack_sub_byte
 
@@ -258,6 +274,232 @@ def build_deployment_package(
                 q_bias, _ = quantize_weight_tensor(module.bias.data, bitwidth=8)
                 artifact.bias = q_bias.astype(np.int8)
         package.layers.append(artifact)
+    return package
+
+
+# ---------------------------------------------------------------------------
+# Compiled-program serialization (the executor-side deployment artifact)
+# ---------------------------------------------------------------------------
+def _encode_attrs(attrs: Dict, prefix: str, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Split op attrs into a JSON-able description + named npz arrays."""
+    meta: Dict[str, Dict] = {}
+    for key, value in attrs.items():
+        if value is None:
+            meta[key] = {"t": "none"}
+        elif isinstance(value, QuantParams):
+            meta[key] = {
+                "t": "qp",
+                "scale": float(value.scale),
+                "zero_point": int(value.zero_point),
+                "bitwidth": int(value.bitwidth),
+                "signed": bool(value.signed),
+            }
+        elif isinstance(value, np.ndarray):
+            meta[key] = {"t": "arr"}
+            arrays[f"{prefix}_{key}"] = value
+        elif (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and all(isinstance(v, np.ndarray) for v in value)
+        ):
+            meta[key] = {"t": "arrpair"}
+            arrays[f"{prefix}_{key}_0"] = value[0]
+            arrays[f"{prefix}_{key}_1"] = value[1]
+        elif isinstance(value, (bool, str)):
+            meta[key] = {"t": "val", "v": value}
+        elif isinstance(value, (int, np.integer)):
+            meta[key] = {"t": "val", "v": int(value)}
+        elif isinstance(value, (float, np.floating)):
+            meta[key] = {"t": "val", "v": float(value)}
+        else:
+            raise TypeError(
+                f"cannot serialize program attr '{key}' of type {type(value).__name__}"
+            )
+    return meta
+
+
+def _decode_attrs(meta: Dict, prefix: str, data) -> Dict:
+    attrs: Dict = {}
+    for key, desc in meta.items():
+        kind = desc["t"]
+        if kind == "none":
+            attrs[key] = None
+        elif kind == "qp":
+            attrs[key] = QuantParams(
+                scale=desc["scale"],
+                zero_point=desc["zero_point"],
+                bitwidth=desc["bitwidth"],
+                signed=desc["signed"],
+            )
+        elif kind == "arr":
+            attrs[key] = data[f"{prefix}_{key}"]
+        elif kind == "arrpair":
+            attrs[key] = (data[f"{prefix}_{key}_0"], data[f"{prefix}_{key}_1"])
+        else:
+            attrs[key] = desc["v"]
+    return attrs
+
+
+def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
+    """Serialize a bound :class:`NetworkProgram` as a ``.npz`` archive.
+
+    The archive is self-contained: the op stream (with folded epilogues and
+    quantization parameters), the LUT, and the float weights of uncompressed
+    layers.  :func:`load_program` reconstructs a program whose executor output
+    is bit-identical to the original's.
+    """
+    if not program.bound:
+        raise ValueError("only bound programs (with a LUT) can be serialized")
+    arrays: Dict[str, np.ndarray] = {"__lut_values__": program.lut.values}
+    if program.lut.integer_values is not None:
+        arrays["__lut_integer__"] = program.lut.integer_values
+    ops_meta = []
+    for i, op in enumerate(program.ops):
+        ops_meta.append(
+            {
+                "kind": op.kind,
+                "name": op.name,
+                "inputs": list(op.inputs),
+                "output": int(op.output),
+                "in_shape": list(op.in_shape),
+                "out_shape": list(op.out_shape),
+                "attrs": _encode_attrs(op.attrs, f"op{i}", arrays),
+            }
+        )
+    meta = {
+        "input_shape": list(program.input_shape),
+        "input_id": int(program.input_id),
+        "output_id": int(program.output_id),
+        "num_buffers": int(program.num_buffers),
+        "act_bitwidth": int(program.act_bitwidth),
+        "optimized": bool(program.optimized),
+        "lut": {
+            "pool_size": int(program.lut.pool_size),
+            "group_size": int(program.lut.group_size),
+            "bitwidth": program.lut.bitwidth,
+            "scale": program.lut.scale,
+            "order": program.lut.order,
+        },
+        "ops": ops_meta,
+    }
+    arrays["__program__"] = np.array(json.dumps(meta))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_program(path: Union[str, Path]) -> NetworkProgram:
+    """Reconstruct a :class:`NetworkProgram` saved by :func:`save_program`.
+
+    The loaded program carries no module references — it executes purely from
+    the serialized op attributes (indices, LUT, epilogue terms, weights).
+    """
+    data = np.load(Path(path), allow_pickle=False)
+    meta = json.loads(str(data["__program__"]))
+    lut_meta = meta["lut"]
+    lut = LookupTable(
+        values=data["__lut_values__"],
+        pool_size=lut_meta["pool_size"],
+        group_size=lut_meta["group_size"],
+        bitwidth=lut_meta["bitwidth"],
+        scale=lut_meta["scale"],
+        integer_values=data["__lut_integer__"] if "__lut_integer__" in data else None,
+        order=lut_meta["order"],
+    )
+    ops = [
+        ProgramOp(
+            kind=op_meta["kind"],
+            inputs=tuple(op_meta["inputs"]),
+            output=op_meta["output"],
+            name=op_meta["name"],
+            attrs=_decode_attrs(op_meta["attrs"], f"op{i}", data),
+            module=None,
+            in_shape=tuple(op_meta["in_shape"]),
+            out_shape=tuple(op_meta["out_shape"]),
+        )
+        for i, op_meta in enumerate(meta["ops"])
+    ]
+    return NetworkProgram(
+        ops=ops,
+        input_id=meta["input_id"],
+        output_id=meta["output_id"],
+        num_buffers=meta["num_buffers"],
+        input_shape=tuple(meta["input_shape"]),
+        lut=lut,
+        act_bitwidth=meta["act_bitwidth"],
+        optimized=meta["optimized"],
+    )
+
+
+def package_from_program(
+    program: NetworkProgram,
+    network_name: str = "network",
+    lut_bitwidth: int = 8,
+    index_bitwidth: Optional[int] = None,
+) -> DeploymentPackage:
+    """Build the MCU flash :class:`DeploymentPackage` from a compiled program.
+
+    The firmware image and the host executor artifact derive from the same
+    IR: packed index streams and activation parameters come from the
+    ``bitserial_*`` ops, q7 weights from the float ``conv``/``linear`` ops.
+    """
+    if not program.bound:
+        raise ValueError("only bound programs can be packaged for deployment")
+    lut = program.lut
+    if lut.bitwidth is None:
+        lut = lut.quantize(lut_bitwidth)
+    pool_size = lut.pool_size
+    index_bits = index_bitwidth if index_bitwidth is not None else required_bits(pool_size)
+    if not 1 <= index_bits <= 8:
+        raise ValueError(
+            f"index_bitwidth must be in [1, 8] for sub-byte packing, got {index_bits}"
+        )
+    package = DeploymentPackage(
+        network=network_name,
+        group_size=lut.group_size,
+        pool_size=pool_size,
+        lut_bitwidth=lut.bitwidth,
+        activation_bitwidth=program.act_bitwidth,
+        lut_integer=lut.integer_values,
+        lut_scale=float(lut.scale),
+    )
+    for op in program.ops:
+        if op.kind in ("bitserial_conv", "bitserial_linear"):
+            indices = np.asarray(op.attrs["indices"])
+            params = op.attrs.get("params")
+            artifact = LayerArtifact(
+                name=op.name,
+                kind="conv" if op.kind == "bitserial_conv" else "linear",
+                compressed=True,
+                shape=(op.out_shape[0], op.attrs["in_channels"])
+                + ((op.attrs["kernel_size"],) * 2 if op.kind == "bitserial_conv" else ()),
+                stride=op.attrs.get("stride", 1),
+                padding=op.attrs.get("padding", 0),
+                index_bitwidth=index_bits,
+                num_indices=int(indices.size),
+                index_shape=tuple(indices.shape),
+                packed_indices=pack_sub_byte(indices.ravel(), index_bits),
+                activation_scale=params.scale if params else None,
+                activation_zero_point=params.zero_point if params else None,
+            )
+            if op.attrs.get("bias") is not None:
+                q_bias, _ = quantize_weight_tensor(op.attrs["bias"], bitwidth=8)
+                artifact.bias = q_bias.astype(np.int8)
+            package.layers.append(artifact)
+        elif op.kind in ("conv", "linear"):
+            q_weight, w_params = quantize_weight_tensor(op.attrs["weight"], bitwidth=8)
+            artifact = LayerArtifact(
+                name=op.name,
+                kind=op.kind,
+                compressed=False,
+                shape=tuple(op.attrs["weight"].shape),
+                stride=op.attrs.get("stride", 1),
+                padding=op.attrs.get("padding", 0),
+                q_weight=q_weight.astype(np.int8),
+                weight_scale=w_params.scale,
+            )
+            if op.attrs.get("bias") is not None:
+                q_bias, _ = quantize_weight_tensor(op.attrs["bias"], bitwidth=8)
+                artifact.bias = q_bias.astype(np.int8)
+            package.layers.append(artifact)
     return package
 
 

@@ -131,24 +131,43 @@ class ConvKernelPlan:
     partial_dtype: np.dtype  # stage-1 accumulator dtype (int32/int64/float)
     acc_dtype: np.dtype  # stage-2 accumulator dtype (int32/int64/float)
     integer: bool
+    # Fused affine epilogue ``out = alpha * acc + beta``.  ``alpha`` is a
+    # scalar for the plain engine epilogue; the network compiler widens it to
+    # a per-filter ``(F,)`` array when BatchNorm is folded into the plan.
     alpha: float
     beta: Optional[np.ndarray]
+    # Fused requantization ``(clip_lo, clip_hi, dtype)``: when set, the
+    # epilogue result is rounded, clipped, and emitted as the next layer's
+    # quantized-integer activations (``alpha``/``beta`` already include the
+    # next layer's 1/scale and zero point) — the dequantize→quantize pair the
+    # graph optimizer elides.  ``None`` keeps the float (dequantized) output.
+    requant: Optional[Tuple[float, float, np.dtype]] = None
+    # Padding hoist (network-compiler variant): execute stage 1 on the
+    # *unpadded* image and inject the padded border's contribution — which is
+    # a per-(group, column) constant, since every padding pixel encodes the
+    # same all-``pad_value`` activation group — as compile-time constants
+    # during the tap reduction.  Cuts the bit-encode and gather work by the
+    # border fraction (11% at 32², 34% at 8² for 3×3/pad-1) and skips the
+    # per-batch pad copy.  Changes only the float *order* of the tap sum, so
+    # the per-layer engine keeps it off to preserve PR 1 bit-exactness.
+    hoist_padding: bool = False
 
     # -- stage 1: per-pixel bit-serial pool partials ---------------------------
-    def _encode_addresses(self, q_x: np.ndarray) -> np.ndarray:
-        """Per-bit LUT addresses ``(G, N, Hp, Wp, M)`` of the padded image.
+    def _encode_addresses(self, q_x: np.ndarray, pad: bool = True) -> np.ndarray:
+        """Per-bit LUT addresses ``(G, N, Hp, Wp, M)`` of the (padded) image.
 
         For the paper's configuration (group size and activation bitwidth both
         ≤ 8) the addresses are produced by ``np.packbits`` over uint8 data —
         a bit-matrix transpose at C speed; other configurations fall back to
         the generic :func:`~repro.core.bitserial.bit_vector_values` encoder.
         Inputs are range-validated by ``__call__`` before this runs.
+        ``pad=False`` (the padding-hoist pipeline) encodes the raw image.
         """
         n = q_x.shape[0]
         fast = self.group_size <= 8 and self.act_bitwidth <= 8
-        if fast:
+        if fast and q_x.dtype != np.uint8:
             q_x = q_x.astype(np.uint8)
-        if self.padding:
+        if pad and self.padding:
             q_x = np.pad(
                 q_x,
                 ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
@@ -161,13 +180,15 @@ class ConvKernelPlan:
         if not fast:
             return bit_vector_values(grouped, self.act_bitwidth)
         grouped = np.ascontiguousarray(grouped)  # (G, N, Hp, Wp, g) uint8
-        out = np.empty((groups, n, hp, wp, self.act_bitwidth), dtype=np.uint8)
-        scratch = np.empty_like(grouped)
-        for j in range(self.act_bitwidth):
-            np.right_shift(grouped, j, out=scratch)
-            np.bitwise_and(scratch, 1, out=scratch)
-            out[..., j] = np.packbits(scratch, axis=-1, bitorder="little")[..., 0]
-        return out
+        # The per-group addresses are the 8×8 bit-matrix transpose of the
+        # group bytes: one unpackbits (byte → its 8 bits, little-endian) and
+        # one packbits across the *group* axis (element i → address bit i)
+        # produce every bit position's address in two C calls.
+        bits = np.unpackbits(grouped[..., None], axis=-1, bitorder="little")
+        addresses = np.packbits(bits, axis=-2, bitorder="little")[..., 0, :]
+        if self.act_bitwidth < 8:
+            addresses = addresses[..., : self.act_bitwidth]
+        return addresses
 
     def _pool_partials(self, q_x: np.ndarray, bit_positions: List[int]) -> np.ndarray:
         """Shift-accumulated LUT partials per padded pixel and channel group.
@@ -241,6 +262,141 @@ class ConvKernelPlan:
                 ]
         return acc.transpose(0, 3, 1, 2)
 
+    # -- padding-hoist pipeline (network-compiler variant) ---------------------
+    def _pool_partials_grouped(self, q_x: np.ndarray, bit_positions: List[int]) -> np.ndarray:
+        """Stage-1 partials of the *unpadded* image, gathered per channel group.
+
+        Same per-element arithmetic (and dtype) as :meth:`_pool_partials`, but
+        without the padded-image copy and without materialising the flat
+        group-offset row tensor: each group gathers straight through its own
+        sub-table slice.
+        """
+        addresses = self._encode_addresses(q_x, pad=False)
+        groups, n, h, w, _ = addresses.shape
+        width = self.tables.shape[-1]
+        pv = np.empty((groups, n, h, w, width), dtype=self.partial_dtype)
+        scratch: Optional[np.ndarray] = None
+        for g in range(groups):
+            tables_g = self.tables[:, g] if self.mode == "direct" else self.tables
+            if self.partial_dtype == self.tables.dtype:
+                for i, j in enumerate(bit_positions):
+                    if i == 0:
+                        np.take(tables_g[j], addresses[g, ..., j], axis=0, out=pv[g])
+                    else:
+                        if scratch is None:
+                            scratch = np.empty(pv.shape[1:], dtype=pv.dtype)
+                        np.take(tables_g[j], addresses[g, ..., j], axis=0, out=scratch)
+                        pv[g] += scratch
+            else:
+                pv[g].fill(0)
+                for j in bit_positions:
+                    pv[g] += tables_g[j][addresses[g, ..., j]]
+        return pv
+
+    def _border_constants(self, bit_positions: List[int]) -> np.ndarray:
+        """Per-(group, column) stage-1 value of an all-``pad_value`` pixel.
+
+        Every padding pixel encodes the same activation group, so its pool
+        partials are constants: the bit-weighted table rows at address 0 or
+        ``2^g − 1`` depending on each bit of the zero point.  Summed in the
+        same bit order as the gather loop; cached per active-bit selection.
+        """
+        cache = getattr(self, "_border_cache", None)
+        if cache is None:
+            cache = {}
+            self._border_cache = cache
+        key = tuple(bit_positions)
+        consts = cache.get(key)
+        if consts is None:
+            groups = self.in_channels // self.group_size
+            all_ones = (1 << self.group_size) - 1
+            consts = np.zeros((groups, self.tables.shape[-1]), dtype=self.acc_dtype)
+            for g in range(groups):
+                tables_g = self.tables[:, g] if self.mode == "direct" else self.tables
+                for j in bit_positions:
+                    address = all_ones if (self.pad_value >> j) & 1 else 0
+                    consts[g] += tables_g[j][address].astype(self.acc_dtype, copy=False)
+            cache[key] = consts
+        return consts
+
+    def _tap_bounds(self, ki: int, kj: int, h: int, w: int, oh: int, ow: int, stride: int):
+        """In-bounds output window of one tap: y·s + ki − p ∈ [0, h)."""
+        p = self.padding
+        y0 = max(0, -((p - ki) // -stride))
+        y1 = min(oh, (h - 1 - ki + p) // stride + 1)
+        x0 = max(0, -((p - kj) // -stride))
+        x1 = min(ow, (w - 1 - kj + p) // stride + 1)
+        return y0, y1, x0, x1
+
+    def _border_tensor(
+        self, h: int, w: int, oh: int, ow: int, stride: int, bit_positions: List[int]
+    ) -> np.ndarray:
+        """Total padded-border contribution per output position, ``(OH, OW, F)``.
+
+        Purely a function of the layer geometry, the zero point, and the
+        active bit selection — independent of the batch — so it is computed
+        once and cached; the hot tap reduction adds it in a single pass.
+        """
+        cache = getattr(self, "_border_tensor_cache", None)
+        if cache is None:
+            cache = {}
+            self._border_tensor_cache = cache
+        key = (h, w, oh, ow, stride, tuple(bit_positions))
+        border = cache.get(key)
+        if border is None:
+            consts = self._border_constants(bit_positions)
+            kh, kw = self.kernel
+            f = self.num_filters
+            groups = self.in_channels // self.group_size
+            border = np.zeros((oh, ow, f), dtype=self.acc_dtype)
+            for g in range(groups):
+                for k in range(kh * kw):
+                    y0, y1, x0, x1 = self._tap_bounds(*divmod(k, kw), h, w, oh, ow, stride)
+                    cvec = consts[g][self.group_cols[g, k * f : (k + 1) * f]]
+                    border += cvec
+                    if y0 < y1 and x0 < x1:
+                        border[y0:y1, x0:x1] -= cvec
+            cache[key] = border
+        return border
+
+    def _reduce_taps_hoisted(
+        self, pv: np.ndarray, oh: int, ow: int, stride: int, bit_positions: List[int]
+    ) -> np.ndarray:
+        """Tap reduction over unpadded partials + cached border terms.
+
+        Each tap adds its in-bounds window region directly; the contribution
+        of taps that fall into the padding is the precomputed (batch-
+        independent) :meth:`_border_tensor`, added in one pass at the end.
+        """
+        groups, n, h, w, _ = pv.shape
+        kh, kw = self.kernel
+        f = self.num_filters
+        acc = np.zeros((n, oh, ow, f), dtype=self.acc_dtype)
+        # One gather per channel group covering every kernel position at once
+        # (the per-tap loop then adds strided views) — identical traffic to
+        # per-tap gathers but KH·KW× fewer kernel launches, which dominates at
+        # the executor's cache-sized micro-batches.
+        scratch = np.empty((n, h * w, kh * kw * f), dtype=pv.dtype)
+        taps = scratch.reshape(n, h, w, kh * kw, f)
+        for g in range(groups):
+            flat = pv[g].reshape(n, h * w, -1)
+            np.take(flat, self.group_cols[g], axis=-1, out=scratch)
+            for k in range(kh * kw):
+                ki, kj = divmod(k, kw)
+                y0, y1, x0, x1 = self._tap_bounds(ki, kj, h, w, oh, ow, stride)
+                if y0 < y1 and x0 < x1:
+                    ys = y0 * stride + ki - self.padding
+                    xs = x0 * stride + kj - self.padding
+                    acc[:, y0:y1, x0:x1] += taps[
+                        :,
+                        ys : ys + (y1 - y0) * stride : stride,
+                        xs : xs + (x1 - x0) * stride : stride,
+                        k,
+                    ]
+        if self.padding:
+            acc += self._border_tensor(h, w, oh, ow, stride, bit_positions)[None]
+        return acc.transpose(0, 3, 1, 2)
+
     # -- memory ----------------------------------------------------------------
     def _batch_chunk(self, hp: int, wp: int) -> int:
         groups = self.in_channels // self.group_size
@@ -252,8 +408,21 @@ class ConvKernelPlan:
         return max(1, _GATHER_BUDGET_BYTES // per_image)
 
     # -- execution -------------------------------------------------------------
-    def __call__(self, q_x: np.ndarray, active_bits: Optional[int] = None) -> np.ndarray:
-        q_x = np.asarray(q_x, dtype=np.int64)
+    def __call__(
+        self,
+        q_x: np.ndarray,
+        active_bits: Optional[int] = None,
+        validated: bool = False,
+    ) -> np.ndarray:
+        """Execute the plan on unsigned-integer activations.
+
+        ``validated=True`` skips the int64 conversion and range check — the
+        graph executor passes it for buffers whose producer (a clipped
+        quantize/requantize op) guarantees in-range unsigned values, removing
+        one full pass over the activations per layer.
+        """
+        if not validated:
+            q_x = np.asarray(q_x, dtype=np.int64)
         if q_x.ndim != 4:
             raise ValueError(f"expected (N, C, H, W) activations, got {q_x.shape}")
         n, c, h, w = q_x.shape
@@ -261,8 +430,9 @@ class ConvKernelPlan:
             raise ValueError(
                 f"indices expect {self.in_channels} channels, activations have {c}"
             )
-        # Validate once here; the encoders below assume in-range values.
-        _validate_unsigned(q_x, self.act_bitwidth, "bit-serial kernels")
+        if not validated:
+            # Validate once here; the encoders below assume in-range values.
+            _validate_unsigned(q_x, self.act_bitwidth, "bit-serial kernels")
         bit_positions = active_bit_positions(self.act_bitwidth, active_bits)
         kh, kw = self.kernel
         oh = conv_output_size(h, kh, self.stride, self.padding)
@@ -278,15 +448,28 @@ class ConvKernelPlan:
         chunk = self._batch_chunk(h + 2 * self.padding, w + 2 * self.padding)
         for n0 in range(0, n, chunk):
             n1 = min(n, n0 + chunk)
-            pv = self._pool_partials(q_x[n0:n1], bit_positions)
-            acc[n0:n1] = self._reduce_taps(pv, oh, ow, stride)
+            if self.hoist_padding:
+                pv = self._pool_partials_grouped(q_x[n0:n1], bit_positions)
+                acc[n0:n1] = self._reduce_taps_hoisted(pv, oh, ow, stride, bit_positions)
+            else:
+                pv = self._pool_partials(q_x[n0:n1], bit_positions)
+                acc[n0:n1] = self._reduce_taps(pv, oh, ow, stride)
 
-        if self.integer or self.alpha != 1.0:
-            out = acc * self.alpha
+        alpha = self.alpha
+        if np.ndim(alpha):  # per-filter alpha (BatchNorm folded into the epilogue)
+            out = acc * np.asarray(alpha, dtype=np.float64).reshape(1, -1, 1, 1)
+        elif self.integer or alpha != 1.0:
+            out = acc * alpha
         else:
             out = acc.astype(np.float64, copy=False)
         if self.beta is not None:
-            out = out + self.beta.reshape(1, -1, 1, 1)
+            # In place: `out` is this call's accumulator (or a fresh product).
+            np.add(out, self.beta.reshape(1, -1, 1, 1), out=out)
+        if self.requant is not None:
+            lo, hi, dtype = self.requant
+            np.rint(out, out=out)
+            np.clip(out, lo, hi, out=out)
+            out = out.astype(dtype, copy=False)
         return out
 
 
@@ -301,6 +484,7 @@ def compile_conv_plan(
     zero_point: int = 0,
     bias: Optional[np.ndarray] = None,
     table_dtype: Optional[np.dtype] = None,
+    hoist_padding: bool = False,
 ) -> ConvKernelPlan:
     """Compile a convolution kernel plan for one weight-pool layer.
 
@@ -392,6 +576,7 @@ def compile_conv_plan(
         integer=integer,
         alpha=alpha,
         beta=beta,
+        hoist_padding=hoist_padding,
     )
 
 
@@ -405,8 +590,14 @@ class LinearKernelPlan:
 
     conv_plan: ConvKernelPlan
 
-    def __call__(self, q_x: np.ndarray, active_bits: Optional[int] = None) -> np.ndarray:
-        q_x = np.asarray(q_x, dtype=np.int64)
+    def __call__(
+        self,
+        q_x: np.ndarray,
+        active_bits: Optional[int] = None,
+        validated: bool = False,
+    ) -> np.ndarray:
+        if not validated:
+            q_x = np.asarray(q_x, dtype=np.int64)
         if q_x.ndim != 2:
             raise ValueError("bitserial_linear expects 2D activations and 2D indices")
         n, in_features = q_x.shape
@@ -415,7 +606,11 @@ class LinearKernelPlan:
                 f"indices expect {self.conv_plan.in_channels} inputs, "
                 f"activations have {in_features}"
             )
-        out = self.conv_plan(q_x.reshape(n, in_features, 1, 1), active_bits=active_bits)
+        out = self.conv_plan(
+            q_x.reshape(n, in_features, 1, 1),
+            active_bits=active_bits,
+            validated=validated,
+        )
         return out.reshape(n, self.conv_plan.num_filters)
 
 

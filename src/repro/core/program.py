@@ -1,0 +1,1057 @@
+"""The whole-network compiled execution pipeline: typed IR, passes, executor.
+
+:mod:`repro.core.graph` lowers a model into generic dataflow ops; this module
+*types* them into a :class:`NetworkProgram` — a linear IR of executable ops —
+optimizes it with graph-level passes, and runs it through a batched
+:class:`Executor` with pluggable backends:
+
+``quantize``        float activations → unsigned integers (one layer's params)
+``pad_channels``    zero-point padding of thin layers (hoisted to compile time)
+``bitserial_conv``  LUT bit-serial convolution in the raw ``Σ q·w`` domain
+``bitserial_linear``LUT bit-serial fully-connected layer (raw domain)
+``dequantize``      affine epilogue back to the real domain (scale, zero-point
+                    correction, bias; BatchNorm folds in here)
+``requantize``      dequantize *fused with the next layer's quantize*: the
+                    activations stay integer across chains of compressed layers
+``batchnorm``       frozen-statistics affine normalisation (float)
+``activation``      relu / relu6
+``pool``            max / avg / global-avg pooling
+``flatten``, ``add``, ``conv``, ``linear``  float glue and uncompressed layers
+
+Optimization passes (things the per-layer engine of PR 1 structurally could
+not do, because each layer only ever saw its own inputs):
+
+* :func:`fold_batchnorm` — fold a BatchNorm that consumes a bit-serial
+  epilogue into the epilogue's per-filter ``α·acc + β``.
+* :func:`fuse_requantize` — elide back-to-back ``dequantize → quantize``
+  pairs (walking through exactly-commuting relu/relu6/max-pool ops) so the
+  epilogue emits the next layer's integer activations directly; the folded
+  relu becomes an integer clip at the zero point.
+
+Backends (``Executor(program, backend=...)``):
+
+* ``"plan"`` — compiled :mod:`repro.core.kernel_plan` kernels with the fused
+  epilogue; the fast path.
+* ``"reference"`` — the original tap-loop kernels with the explicit legacy
+  epilogue association; the bit-exact oracle.
+* ``"cost"`` — registered by :mod:`repro.mcu.executor`: replays the program
+  through the MCU cycle model instead of computing activations.
+
+Numerics: an *unoptimized* program on the ``plan`` backend executes the exact
+same compiled plans, in the exact same float association, as the per-layer
+engine — bit-exact.  The optimization passes change only the float
+association of the epilogue (BatchNorm scale folded into ``α``, the next
+scale's reciprocal folded before rounding); integer-domain relu/max-pool are
+exactly equivalent, so optimized outputs match the legacy path to float
+rounding (~1e-12 relative), with a vanishing chance of single-LSB
+requantization flips at rounding boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitserial import bitserial_conv2d_reference, bitserial_linear_reference
+from repro.core.graph import NetworkGraph, lower_model
+from repro.core.kernel_plan import compile_conv_plan, compile_linear_plan
+from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
+from repro.core.lut import LookupTable
+from repro.core.tracing import LayerTrace
+from repro.nn import Module
+from repro.nn import functional as F
+from repro.quantization.quantizer import QuantParams
+
+
+# ---------------------------------------------------------------------------
+# IR
+# ---------------------------------------------------------------------------
+@dataclass(eq=False)
+class ProgramOp:
+    """One typed op of a compiled network program.
+
+    ``attrs`` holds everything needed to execute the op without the source
+    module (so serialized programs round-trip); ``module`` is kept when
+    available for trace reconstruction and the MCU cost backend's
+    compression-policy decisions.
+    """
+
+    kind: str
+    inputs: Tuple[int, ...]
+    output: int
+    name: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    module: Optional[Module] = None
+    in_shape: Tuple[int, ...] = ()
+    out_shape: Tuple[int, ...] = ()
+
+
+@dataclass
+class NetworkProgram:
+    """A compressed model lowered to a linear IR of typed ops.
+
+    ``lut`` is ``None`` for *structural* programs (compiled without
+    calibration, e.g. for the MCU cost model); data execution requires a
+    bound program (``lut`` set and every ``quantize`` op carrying params).
+    """
+
+    ops: List[ProgramOp]
+    input_id: int
+    output_id: int
+    num_buffers: int
+    input_shape: Tuple[int, ...]
+    lut: Optional[LookupTable] = None
+    act_bitwidth: int = 8
+    optimized: bool = False
+
+    @property
+    def bound(self) -> bool:
+        return self.lut is not None
+
+    def kinds(self) -> List[str]:
+        return [op.kind for op in self.ops]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    # -- geometry ---------------------------------------------------------------
+    def layer_traces(self) -> List[LayerTrace]:
+        """Per-layer geometry of every conv/linear op, as :class:`LayerTrace`.
+
+        This is the IR-derived replacement for :func:`repro.core.tracing.
+        trace_model`'s dummy-forward walk; the MCU estimators consume it.
+        """
+        traces = [t for t in (op_layer_trace(op) for op in self.ops) if t is not None]
+        if traces:
+            first_conv = next((t for t in traces if t.kind == "conv"), traces[0])
+            first_conv.is_first = True
+        return traces
+
+    def describe(self) -> str:
+        """Human-readable op listing (one line per op)."""
+        lines = [
+            f"NetworkProgram(input={self.input_shape}, ops={len(self.ops)}, "
+            f"optimized={self.optimized}, bound={self.bound})"
+        ]
+        for op in self.ops:
+            ins = ",".join(f"b{i}" for i in op.inputs)
+            extra = ""
+            if op.kind == "activation":
+                extra = f" fn={op.attrs['fn']}"
+            elif op.kind == "pool":
+                extra = f" {op.attrs['pool']}"
+            elif op.kind in ("bitserial_conv", "conv"):
+                extra = f" k={op.attrs['kernel_size']} s={op.attrs['stride']}"
+            lines.append(
+                f"  {op.kind:<16} {ins} -> b{op.output}  {op.out_shape}{extra}"
+                + (f"  [{op.name}]" if op.name else "")
+            )
+        return "\n".join(lines)
+
+
+def op_layer_trace(op: ProgramOp) -> Optional[LayerTrace]:
+    """The :class:`LayerTrace` of one conv/linear program op (else ``None``).
+
+    Works without the source module (loaded programs), reconstructing the
+    weight shape from the op geometry; ``is_first`` is left to the caller.
+    """
+    if op.kind in ("conv", "bitserial_conv"):
+        c = int(op.attrs.get("in_channels", op.in_shape[0]))
+        f, oh, ow = op.out_shape
+        k = int(op.attrs["kernel_size"])
+        groups = int(op.attrs.get("groups", 1))
+        if op.module is not None:
+            weight_shape = tuple(op.module.weight.shape)
+        elif op.attrs.get("weight") is not None:
+            weight_shape = tuple(op.attrs["weight"].shape)
+        else:
+            weight_shape = (f, c // groups, k, k)
+        return LayerTrace(
+            name=op.name,
+            kind="conv",
+            in_channels=c,
+            out_channels=f,
+            kernel_size=k,
+            stride=int(op.attrs["stride"]),
+            padding=int(op.attrs["padding"]),
+            groups=groups,
+            input_hw=op.in_shape[1:],
+            output_hw=(oh, ow),
+            weight_shape=weight_shape,
+            has_bias=op.attrs.get("bias") is not None,
+            module=op.module,
+        )
+    if op.kind in ("linear", "bitserial_linear"):
+        c = int(op.attrs.get("in_channels", op.in_shape[0]))
+        f = int(op.out_shape[0])
+        if op.module is not None:
+            weight_shape = tuple(op.module.weight.shape)
+        elif op.attrs.get("weight") is not None:
+            weight_shape = tuple(op.attrs["weight"].shape)
+        else:
+            weight_shape = (f, c)
+        return LayerTrace(
+            name=op.name,
+            kind="linear",
+            in_channels=c,
+            out_channels=f,
+            kernel_size=1,
+            stride=1,
+            padding=0,
+            groups=1,
+            input_hw=(1, 1),
+            output_hw=(1, 1),
+            weight_shape=weight_shape,
+            has_bias=op.attrs.get("bias") is not None,
+            module=op.module,
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Typing: generic graph ops -> executable IR
+# ---------------------------------------------------------------------------
+def _layer_w_sums(lut: LookupTable, indices: np.ndarray) -> np.ndarray:
+    """Per-filter pool-vector sums for the zero-point correction."""
+    gathered = lut.pool_vector_sums()[indices]
+    return gathered.reshape(indices.shape[0], -1).sum(axis=1)
+
+
+def _type_graph(
+    graph: NetworkGraph,
+    lut: Optional[LookupTable],
+    activation_params: Optional[Dict[int, QuantParams]],
+) -> Tuple[List[ProgramOp], int, int]:
+    """Expand generic graph ops into typed program ops with fresh buffers."""
+    ops: List[ProgramOp] = []
+    remap: Dict[int, int] = {graph.input_id: 0}
+    next_buffer = 1
+
+    def new_buffer() -> int:
+        nonlocal next_buffer
+        buf = next_buffer
+        next_buffer += 1
+        return buf
+
+    def emit(kind, inputs, name, attrs, module, in_shape, out_shape) -> int:
+        out = new_buffer()
+        ops.append(
+            ProgramOp(
+                kind=kind,
+                inputs=tuple(inputs),
+                output=out,
+                name=name,
+                attrs=attrs,
+                module=module,
+                in_shape=tuple(in_shape),
+                out_shape=tuple(out_shape),
+            )
+        )
+        return out
+
+    for gop in graph.ops:
+        ins = tuple(remap[i] for i in gop.inputs)
+        module = gop.module
+        if gop.kind == "conv" and isinstance(module, WeightPoolConv2d):
+            params = activation_params[id(module)] if activation_params else None
+            buf = emit(
+                "quantize", ins, gop.name, {"params": params}, None,
+                gop.in_shape, gop.in_shape,
+            )
+            shape = gop.in_shape
+            expected = module.indices.shape[1] * module.pool.group_size
+            if expected != shape[0]:
+                # Thin layer padded up to the group size: the channel check is
+                # resolved here, at compile time, so the hot path never pads
+                # (or even tests) when the shapes already agree.
+                pad_shape = (expected,) + tuple(shape[1:])
+                buf = emit(
+                    "pad_channels", (buf,), gop.name,
+                    {"pad": expected - shape[0],
+                     "value": params.zero_point if params else 0},
+                    None, shape, pad_shape,
+                )
+                shape = pad_shape
+            bias = module.bias.data if module.bias is not None else None
+            raw = emit(
+                "bitserial_conv", (buf,), gop.name,
+                {"indices": module.indices, "stride": module.stride,
+                 "padding": module.padding, "kernel_size": module.kernel_size,
+                 "groups": 1, "in_channels": module.in_channels,
+                 "params": params, "bias": bias},
+                module, shape, gop.out_shape,
+            )
+            remap[gop.output] = emit(
+                "dequantize", (raw,), gop.name,
+                {"params": params, "bias": bias,
+                 "w_sums": _layer_w_sums(lut, module.indices) if lut else None,
+                 "bn": None},
+                None, gop.out_shape, gop.out_shape,
+            )
+        elif gop.kind == "linear" and isinstance(module, WeightPoolLinear):
+            params = activation_params[id(module)] if activation_params else None
+            buf = emit(
+                "quantize", ins, gop.name, {"params": params}, None,
+                gop.in_shape, gop.in_shape,
+            )
+            bias = module.bias.data if module.bias is not None else None
+            raw = emit(
+                "bitserial_linear", (buf,), gop.name,
+                {"indices": module.indices, "in_channels": module.in_features,
+                 "params": params, "bias": bias},
+                module, gop.in_shape, gop.out_shape,
+            )
+            remap[gop.output] = emit(
+                "dequantize", (raw,), gop.name,
+                {"params": params, "bias": bias,
+                 "w_sums": _layer_w_sums(lut, module.indices) if lut else None,
+                 "bn": None},
+                None, gop.out_shape, gop.out_shape,
+            )
+        elif gop.kind == "conv":
+            remap[gop.output] = emit(
+                "conv", ins, gop.name,
+                {"weight": module.weight.data,
+                 "bias": module.bias.data if module.bias is not None else None,
+                 "stride": module.stride, "padding": module.padding,
+                 "kernel_size": module.kernel_size, "groups": module.groups,
+                 "in_channels": module.in_channels},
+                module, gop.in_shape, gop.out_shape,
+            )
+        elif gop.kind == "linear":
+            remap[gop.output] = emit(
+                "linear", ins, gop.name,
+                {"weight": module.weight.data,
+                 "bias": module.bias.data if module.bias is not None else None,
+                 "in_channels": module.in_features},
+                module, gop.in_shape, gop.out_shape,
+            )
+        elif gop.kind == "batchnorm":
+            # Snapshot the frozen statistics: programs are inference
+            # artifacts; recompile after touching BN parameters or stats.
+            remap[gop.output] = emit(
+                "batchnorm", ins, gop.name,
+                {"mean": module.running_mean.copy(),
+                 "inv_std": 1.0 / np.sqrt(module.running_var + module.eps),
+                 "gamma": module.gamma.data.copy(),
+                 "beta": module.beta.data.copy()},
+                module, gop.in_shape, gop.out_shape,
+            )
+        elif gop.kind in ("activation", "pool", "flatten", "add"):
+            remap[gop.output] = emit(
+                gop.kind, ins, gop.name, dict(gop.attrs), module,
+                gop.in_shape, gop.out_shape,
+            )
+        else:  # pragma: no cover - the builder rejects unknown kinds already
+            raise ValueError(f"cannot type graph op kind '{gop.kind}'")
+
+    return ops, remap[graph.output_id], next_buffer
+
+
+# ---------------------------------------------------------------------------
+# Optimization passes
+# ---------------------------------------------------------------------------
+def _consumer_map(ops: List[ProgramOp]) -> Dict[int, List[ProgramOp]]:
+    consumers: Dict[int, List[ProgramOp]] = {}
+    for op in ops:
+        for buf in op.inputs:
+            consumers.setdefault(buf, []).append(op)
+    return consumers
+
+
+def fold_batchnorm(program: NetworkProgram) -> int:
+    """Fold BatchNorm ops into the preceding bit-serial epilogue.
+
+    ``bn(deq(acc)) = bn_scale·(α·acc + β) + bn_shift`` collapses into a
+    per-filter ``α', β'`` on the dequantize/requantize op, deleting one full
+    float pass over the activations per compressed conv.  Returns the number
+    of BatchNorms folded.
+    """
+    _require_bound(program)
+    consumers = _consumer_map(program.ops)
+    removed = []
+    for op in program.ops:
+        if op.kind != "dequantize" or len(op.out_shape) != 3:
+            continue
+        users = consumers.get(op.output, [])
+        if len(users) != 1 or users[0].kind != "batchnorm" or op.output == program.output_id:
+            continue
+        bn = users[0]
+        scale = bn.attrs["gamma"] * bn.attrs["inv_std"]
+        shift = bn.attrs["beta"] - bn.attrs["mean"] * scale
+        op.attrs["bn"] = (scale, shift)
+        op.output = bn.output
+        op.out_shape = bn.out_shape
+        removed.append(bn)
+    program.ops = [op for op in program.ops if op not in removed]
+    return len(removed)
+
+
+def _quant_level(value: float, params: QuantParams) -> int:
+    """The integer level ``quantize(value)`` maps to."""
+    q = int(np.round(value / params.scale)) + params.zero_point
+    return int(np.clip(q, params.qmin, params.qmax))
+
+
+def fuse_requantize(program: NetworkProgram) -> int:
+    """Elide ``dequantize → … → quantize`` chains into fused requantization.
+
+    Walks forward from each dequantize through single-consumer ops that
+    commute exactly with the (monotone) round/clip of quantization — relu,
+    relu6, non-overlapping max pooling — and, when the chain ends in a
+    ``quantize`` op, rewrites the dequantize into a ``requantize`` whose
+    epilogue emits the next layer's integer activations directly.  The relu
+    becomes the requantize clip's lower bound (the zero point represents
+    exactly 0), relu6 caps the upper bound, and max pools run on the integer
+    buffers.  Returns the number of pairs elided.
+    """
+    _require_bound(program)
+    consumers = _consumer_map(program.ops)
+    substitute: Dict[int, int] = {}
+    removed: List[ProgramOp] = []
+    fused = 0
+    for op in program.ops:
+        if op.kind != "dequantize":
+            continue
+        chain: List[ProgramOp] = []
+        cursor = op
+        quant: Optional[ProgramOp] = None
+        while True:
+            if cursor.output == program.output_id:
+                break
+            users = consumers.get(cursor.output, [])
+            if len(users) != 1:
+                break
+            nxt = users[0]
+            if nxt.kind == "activation" and nxt.attrs.get("fn") in ("relu", "relu6"):
+                chain.append(nxt)
+                cursor = nxt
+            elif nxt.kind == "pool" and nxt.attrs.get("pool") == "max":
+                chain.append(nxt)
+                cursor = nxt
+            elif nxt.kind == "flatten":
+                chain.append(nxt)
+                cursor = nxt
+            elif nxt.kind == "quantize":
+                quant = nxt
+                break
+            else:
+                break
+        if quant is None:
+            continue
+        out_params: QuantParams = quant.attrs["params"]
+        clip_lo, clip_hi = out_params.qmin, out_params.qmax
+        for link in chain:
+            if link.kind != "activation":
+                continue
+            clip_lo = max(clip_lo, out_params.zero_point)
+            if link.attrs["fn"] == "relu6":
+                clip_hi = min(clip_hi, _quant_level(6.0, out_params))
+            removed.append(link)
+            substitute[link.output] = link.inputs[0]
+        for link in chain:
+            if link.kind == "pool":
+                link.attrs["integer"] = True
+        op.kind = "requantize"
+        op.attrs["out_params"] = out_params
+        op.attrs["clip_lo"] = clip_lo
+        op.attrs["clip_hi"] = clip_hi
+        removed.append(quant)
+        substitute[quant.output] = quant.inputs[0]
+        fused += 1
+
+    if not fused:
+        return 0
+    program.ops = [op for op in program.ops if op not in removed]
+
+    def resolve(buf: int) -> int:
+        while buf in substitute:
+            buf = substitute[buf]
+        return buf
+
+    for op in program.ops:
+        op.inputs = tuple(resolve(buf) for buf in op.inputs)
+    program.output_id = resolve(program.output_id)
+    return fused
+
+
+def dedupe_quantize(program: NetworkProgram) -> int:
+    """Common-subexpression-eliminate duplicate quantize ops.
+
+    Two consumers of the same buffer (e.g. a downsample block's ``conv1`` and
+    its shortcut) calibrate on the same tensor and freeze identical
+    parameters; their quantize ops are the same computation.  Keeps the first,
+    rewires the rest.  Returns the number of ops removed.
+    """
+    _require_bound(program)
+    seen: Dict[tuple, ProgramOp] = {}
+    substitute: Dict[int, int] = {}
+    removed = []
+    for op in program.ops:
+        if op.kind != "quantize":
+            continue
+        key = (op.inputs, op.attrs["params"])
+        kept = seen.get(key)
+        if kept is None:
+            seen[key] = op
+        else:
+            substitute[op.output] = kept.output
+            removed.append(op)
+    if not removed:
+        return 0
+    program.ops = [op for op in program.ops if op not in removed]
+    for op in program.ops:
+        op.inputs = tuple(substitute.get(buf, buf) for buf in op.inputs)
+    return len(removed)
+
+
+def fold_activation_into_quantize(program: NetworkProgram) -> int:
+    """Delete relu/relu6 ops whose every consumer is a quantize op.
+
+    Rounding is monotone, so ``quantize(relu(x)) == clip(quantize(x), z, ·)``
+    exactly; the activation becomes the quantize op's clip bounds (the zero
+    point represents exactly 0).  Returns the number of activations folded.
+    """
+    _require_bound(program)
+    consumers = _consumer_map(program.ops)
+    substitute: Dict[int, int] = {}
+    removed = []
+    for op in program.ops:
+        if op.kind != "activation" or op.attrs.get("fn") not in ("relu", "relu6"):
+            continue
+        if op.output == program.output_id:
+            continue
+        users = consumers.get(op.output, [])
+        if not users or any(user.kind != "quantize" for user in users):
+            continue
+        for quant in users:
+            params: QuantParams = quant.attrs["params"]
+            quant.attrs["clip_lo"] = max(
+                quant.attrs.get("clip_lo", params.qmin), params.zero_point
+            )
+            if op.attrs["fn"] == "relu6":
+                quant.attrs["clip_hi"] = min(
+                    quant.attrs.get("clip_hi", params.qmax), _quant_level(6.0, params)
+                )
+        substitute[op.output] = op.inputs[0]
+        removed.append(op)
+    if not removed:
+        return 0
+    program.ops = [op for op in program.ops if op not in removed]
+    for op in program.ops:
+        op.inputs = tuple(substitute.get(buf, buf) for buf in op.inputs)
+    return len(removed)
+
+
+# ---------------------------------------------------------------------------
+# Compilation entry point
+# ---------------------------------------------------------------------------
+def compile_network(
+    model: Module,
+    input_shape: Tuple[int, ...],
+    lut: Optional[LookupTable] = None,
+    activation_params: Optional[Dict[int, QuantParams]] = None,
+    act_bitwidth: int = 8,
+    optimize: bool = True,
+) -> NetworkProgram:
+    """Lower ``model`` to a :class:`NetworkProgram` for a ``(C, H, W)`` input.
+
+    With ``lut`` and ``activation_params`` (from a calibrated engine) the
+    program is *bound* — executable through :class:`Executor`.  Without them
+    the program is structural only (geometry + op stream), which is what the
+    MCU cost backend consumes.  ``optimize`` applies the BatchNorm-folding and
+    requantize-fusion passes (bound programs only; a structural program keeps
+    the canonical op stream so cost attribution stays per-layer).
+    """
+    if (lut is None) != (activation_params is None):
+        raise ValueError("lut and activation_params must be provided together")
+    graph = lower_model(model, input_shape)
+    ops, output_id, num_buffers = _type_graph(graph, lut, activation_params)
+    program = NetworkProgram(
+        ops=ops,
+        input_id=0,
+        output_id=output_id,
+        num_buffers=num_buffers,
+        input_shape=tuple(input_shape),
+        lut=lut,
+        act_bitwidth=act_bitwidth,
+        optimized=False,
+    )
+    if optimize and program.bound:
+        fold_batchnorm(program)
+        fuse_requantize(program)
+        dedupe_quantize(program)
+        fold_activation_into_quantize(program)
+        program.optimized = True
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Execution: buffer pool + backends
+# ---------------------------------------------------------------------------
+class _BufferPool:
+    """Free-list of released activation buffers, keyed by (shape, dtype).
+
+    The executor returns dead intermediate buffers here and elementwise ops
+    take their outputs from it, so steady-state batch execution allocates
+    (almost) nothing after the first batch of each shape.  Each free list is
+    capped: ops that allocate their own outputs (kernels, pools) release a
+    buffer per run without ever taking one back, and an uncapped list would
+    grow by that buffer every batch for the life of the executor.
+    """
+
+    _MAX_FREE_PER_KEY = 4
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+
+    def take(self, shape: Tuple[int, ...], dtype) -> Optional[np.ndarray]:
+        stack = self._free.get((tuple(shape), np.dtype(dtype).str))
+        return stack.pop() if stack else None
+
+    def take_like(self, array: np.ndarray) -> np.ndarray:
+        out = self.take(array.shape, array.dtype)
+        return out if out is not None else np.empty_like(array)
+
+    def give(self, array: np.ndarray) -> None:
+        stack = self._free.setdefault((array.shape, array.dtype.str), [])
+        if len(stack) < self._MAX_FREE_PER_KEY:
+            stack.append(array)
+
+
+@dataclass
+class Step:
+    """One bound executable step of a backend schedule."""
+
+    fn: Callable[..., np.ndarray]
+    inputs: Tuple[int, ...]
+    output: int
+    view: bool = False  # output may alias the input (reshape); don't pool it
+
+
+def _require_bound(program: NetworkProgram) -> None:
+    if not program.bound:
+        raise RuntimeError(
+            "program is structural (compiled without lut/activation_params); "
+            "calibrate an engine and compile() it to execute data"
+        )
+
+
+def _input_validated(producers: Dict[int, ProgramOp], buf: int) -> bool:
+    """True when the producer chain guarantees in-range unsigned integers."""
+    while True:
+        op = producers.get(buf)
+        if op is None:
+            return False
+        if op.kind in ("quantize", "requantize"):
+            return True  # clipped to the representable range on write
+        if op.kind in ("pad_channels", "flatten") or (
+            op.kind == "pool" and op.attrs.get("integer")
+        ):
+            buf = op.inputs[0]
+            continue
+        return False
+
+
+def _epilogue_terms(op: ProgramOp, epilogue: ProgramOp):
+    """Compose the epilogue's ``α`` (scalar or per-filter) and ``β``.
+
+    ``raw = table_scale·acc`` is the kernel output; the legacy epilogue
+    ``scale·(raw − z·Σw) + bias``, an optional folded BatchNorm affine, and an
+    optional fused requantization ``round(·/s₂) + z₂`` all compose into one
+    ``α·acc + β`` (plus a clip for requantize).
+    """
+    params: QuantParams = op.attrs["params"]
+    w_sums = epilogue.attrs["w_sums"]
+    alpha = params.scale
+    beta = -params.scale * params.zero_point * np.asarray(w_sums, dtype=np.float64)
+    bias = epilogue.attrs.get("bias")
+    if bias is not None:
+        beta = beta + np.asarray(bias, dtype=np.float64)
+    bn = epilogue.attrs.get("bn")
+    if bn is not None:
+        bn_scale, bn_shift = bn
+        alpha = alpha * np.asarray(bn_scale, dtype=np.float64)
+        beta = beta * bn_scale + bn_shift
+    requant = None
+    if epilogue.kind == "requantize":
+        out_params: QuantParams = epilogue.attrs["out_params"]
+        alpha = alpha / out_params.scale
+        beta = beta / out_params.scale + out_params.zero_point
+        out_dtype = np.dtype(np.uint8 if out_params.bitwidth <= 8 else np.uint16)
+        requant = (
+            float(epilogue.attrs["clip_lo"]),
+            float(epilogue.attrs["clip_hi"]),
+            out_dtype,
+        )
+    return alpha, np.asarray(beta, dtype=np.float64), requant
+
+
+def _compile_op_plan(program: NetworkProgram, op: ProgramOp, epilogue: ProgramOp):
+    """Compile the kernel plan executing ``op`` fused with its epilogue.
+
+    Optimized programs additionally compile convolutions with the padding
+    hoist (border work replaced by compile-time constants); unoptimized
+    programs use the exact per-layer-engine compile path so the plan backend
+    stays bit-exact with the legacy runtime.
+    """
+    params: QuantParams = op.attrs["params"]
+    indices = op.attrs["indices"]
+    hoist = program.optimized
+    simple = epilogue.kind == "dequantize" and epilogue.attrs.get("bn") is None
+    # For the simple epilogue this is the exact compile path (same arguments,
+    # same float association) as the per-layer engine, so unoptimized programs
+    # stay bit-exact with the legacy plan runtime; optimized programs add only
+    # the padding hoist (documented float-order tolerance).
+    if op.kind == "bitserial_conv":
+        plan = compile_conv_plan(
+            indices,
+            program.lut,
+            stride=op.attrs["stride"],
+            padding=op.attrs["padding"],
+            act_bitwidth=params.bitwidth,
+            pad_value=params.zero_point,
+            scale=params.scale if simple else None,
+            zero_point=params.zero_point if simple else 0,
+            bias=op.attrs.get("bias") if simple else None,
+            hoist_padding=hoist,
+        )
+        if simple:
+            return plan
+        target = plan
+    else:
+        plan = compile_linear_plan(
+            indices,
+            program.lut,
+            act_bitwidth=params.bitwidth,
+            scale=params.scale if simple else None,
+            zero_point=params.zero_point if simple else 0,
+            bias=op.attrs.get("bias") if simple else None,
+        )
+        if simple:
+            return plan
+        target = plan.conv_plan
+    alpha, beta, requant = _epilogue_terms(op, epilogue)
+    # target.alpha currently holds the raw table scale; fold the composed α in.
+    target.alpha = target.alpha * alpha
+    target.beta = beta
+    target.requant = requant
+    return plan
+
+
+def _exec_generic(op: ProgramOp, program: NetworkProgram, pool: _BufferPool,
+                  active_bits: Optional[int] = None) -> Callable:
+    """Executor for every op kind shared between the plan/reference backends."""
+    kind = op.kind
+    attrs = op.attrs
+    if kind == "quantize":
+        params: QuantParams = attrs["params"]
+        out_dtype = np.dtype(np.uint8 if params.bitwidth <= 8 else np.uint16)
+        # Clip bounds absorb folded relu/relu6 ops (monotone rounding).
+        clip_lo = attrs.get("clip_lo", params.qmin)
+        clip_hi = attrs.get("clip_hi", params.qmax)
+
+        def fn(x):
+            q = x / params.scale
+            np.rint(q, out=q)
+            q += params.zero_point
+            np.clip(q, clip_lo, clip_hi, out=q)
+            return q.astype(out_dtype, copy=False)
+
+        return fn
+    if kind == "pad_channels":
+        pad, value = attrs["pad"], attrs["value"]
+        width = ((0, 0), (0, pad)) + ((0, 0),) * (len(op.out_shape) - 1)
+        return lambda x: np.pad(x, width[: x.ndim], mode="constant", constant_values=value)
+    if kind in ("dequantize", "requantize"):
+        params = attrs["params"]
+        w_sums = np.asarray(attrs["w_sums"], dtype=np.float64)
+        shape = (1, -1, 1, 1) if len(op.out_shape) == 3 else (1, -1)
+        bias = attrs.get("bias")
+        bn = attrs.get("bn")
+        out_params = attrs.get("out_params")
+        clip = (attrs.get("clip_lo"), attrs.get("clip_hi"))
+
+        def fn(raw):
+            # Legacy float association: the reference oracle's epilogue.
+            out = params.scale * (raw - params.zero_point * w_sums.reshape(shape))
+            if bias is not None:
+                out = out + np.asarray(bias).reshape(shape[1:] if len(shape) == 2 else shape)
+            if bn is not None:
+                out = bn[0].reshape(shape) * out + bn[1].reshape(shape)
+            if out_params is not None:
+                q = np.round(out / out_params.scale)
+                q += out_params.zero_point
+                np.clip(q, clip[0], clip[1], out=q)
+                out = q.astype(np.uint8 if out_params.bitwidth <= 8 else np.uint16, copy=False)
+            return out
+
+        return fn
+    if kind == "batchnorm":
+        mean = attrs["mean"].reshape(1, -1, 1, 1)
+        inv_std = attrs["inv_std"].reshape(1, -1, 1, 1)
+        gamma = attrs["gamma"].reshape(1, -1, 1, 1)
+        beta = attrs["beta"].reshape(1, -1, 1, 1)
+
+        def fn(x):
+            out = pool.take(x.shape, x.dtype)
+            if out is None:
+                out = np.empty_like(x)
+            # Same association as BatchNorm2d.forward in eval mode.
+            np.subtract(x, mean, out=out)
+            np.multiply(out, inv_std, out=out)
+            np.multiply(out, gamma, out=out)
+            np.add(out, beta, out=out)
+            return out
+
+        return fn
+    if kind == "activation":
+        if attrs["fn"] == "relu6":
+            def fn(x):
+                out = pool.take(x.shape, x.dtype)
+                return np.clip(x, 0.0, 6.0, out=out) if out is not None else np.clip(x, 0.0, 6.0)
+            return fn
+
+        def fn(x):
+            out = pool.take(x.shape, x.dtype)
+            if out is None:
+                return np.maximum(x, x.dtype.type(0))
+            return np.maximum(x, x.dtype.type(0), out=out)
+
+        return fn
+    if kind == "pool":
+        variant = attrs["pool"]
+        if variant == "global_avg":
+            return lambda x: x.mean(axis=(2, 3))
+        k = attrs["kernel"]
+        if variant == "max":
+            return lambda x: x.reshape(
+                x.shape[0], x.shape[1], x.shape[2] // k, k, x.shape[3] // k, k
+            ).max(axis=(3, 5))
+        return lambda x: x.reshape(
+            x.shape[0], x.shape[1], x.shape[2] // k, k, x.shape[3] // k, k
+        ).mean(axis=(3, 5))
+    if kind == "flatten":
+        return lambda x: x.reshape(x.shape[0], -1)
+    if kind == "add":
+        def fn(x, y):
+            out = pool.take(x.shape, x.dtype)
+            if out is None:
+                return x + y
+            return np.add(x, y, out=out)
+
+        return fn
+    if kind == "conv":
+        weight, bias = attrs["weight"], attrs["bias"]
+        stride, padding, groups = attrs["stride"], attrs["padding"], attrs["groups"]
+        return lambda x: F.conv2d_forward(x, weight, bias, stride, padding, groups)[0]
+    if kind == "linear":
+        weight, bias = attrs["weight"], attrs["bias"]
+        if bias is None:
+            return lambda x: x @ weight.T
+        return lambda x: x @ weight.T + bias
+    if kind == "bitserial_conv":
+        params = attrs["params"]
+        return lambda x: bitserial_conv2d_reference(
+            x,
+            attrs["indices"],
+            program.lut,
+            stride=attrs["stride"],
+            padding=attrs["padding"],
+            act_bitwidth=params.bitwidth,
+            active_bits=active_bits,
+            pad_value=params.zero_point,
+        )
+    if kind == "bitserial_linear":
+        params = attrs["params"]
+        return lambda x: bitserial_linear_reference(
+            x,
+            attrs["indices"],
+            program.lut,
+            act_bitwidth=params.bitwidth,
+            active_bits=active_bits,
+        )
+    raise ValueError(f"no executor for op kind '{kind}'")
+
+
+# Per-image working-set budget steering the executor's batch tiling: chosen
+# so one layer's stage-1 partials (+ scratch) of a micro-batch stay cache-
+# resident, which measurably beats streaming a whole large batch per layer.
+_TILE_BUDGET_BYTES = 2 << 20
+
+
+def _stage1_bytes_per_image(op: ProgramOp, plan) -> int:
+    """Stage-1 working set (pv + scratch) of one image for a bit-serial op."""
+    conv_plan = getattr(plan, "conv_plan", plan)
+    c, h, w = (op.in_shape + (1, 1))[:3]
+    if conv_plan.padding and not conv_plan.hoist_padding:
+        h, w = h + 2 * conv_plan.padding, w + 2 * conv_plan.padding
+    groups = max(conv_plan.in_channels // conv_plan.group_size, 1)
+    width = conv_plan.tables.shape[-1]
+    return 2 * groups * h * w * width * conv_plan.partial_dtype.itemsize
+
+
+def _bind_plan(program: NetworkProgram, executor: "Executor",
+               active_bits: Optional[int] = None) -> List[Step]:
+    """Schedule with compiled kernel plans; fuses each bit-serial op with its
+    dequantize/requantize epilogue into a single plan call, and sizes the
+    executor's batch tile so the largest layer's working set stays in cache."""
+    _require_bound(program)
+    producers = {op.output: op for op in program.ops}
+    consumers = _consumer_map(program.ops)
+    steps: List[Step] = []
+    fused: set = set()
+    peak_per_image = 0
+    for op in program.ops:
+        if id(op) in fused:
+            continue
+        if op.kind in ("bitserial_conv", "bitserial_linear"):
+            users = consumers.get(op.output, [])
+            if len(users) != 1 or users[0].kind not in ("dequantize", "requantize"):
+                raise RuntimeError(
+                    f"bit-serial op '{op.name}' has no epilogue op to fuse with"
+                )
+            epilogue = users[0]
+            plan = _compile_op_plan(program, op, epilogue)
+            validated = _input_validated(producers, op.inputs[0])
+            peak_per_image = max(peak_per_image, _stage1_bytes_per_image(op, plan))
+            steps.append(
+                Step(
+                    fn=lambda x, _plan=plan, _v=validated: _plan(
+                        x, active_bits=active_bits, validated=_v
+                    ),
+                    inputs=op.inputs,
+                    output=epilogue.output,
+                )
+            )
+            fused.add(id(epilogue))
+        else:
+            steps.append(
+                Step(
+                    fn=_exec_generic(op, program, executor.pool, active_bits),
+                    inputs=op.inputs,
+                    output=op.output,
+                    view=op.kind == "flatten",
+                )
+            )
+    # Auto-tile only optimized programs: micro-batching is per-sample exact
+    # for every op we emit, but BLAS reorders the float convs' reductions
+    # with batch size, and the unoptimized program is the bit-exact oracle.
+    if executor.tile is None and peak_per_image and program.optimized:
+        executor.tile = int(np.clip(_TILE_BUDGET_BYTES // peak_per_image, 1, 64))
+    return steps
+
+
+def _bind_reference(program: NetworkProgram, executor: "Executor",
+                    active_bits: Optional[int] = None) -> List[Step]:
+    """Schedule with the original tap-loop kernels and explicit epilogues."""
+    _require_bound(program)
+    return [
+        Step(
+            fn=_exec_generic(op, program, executor.pool, active_bits),
+            inputs=op.inputs,
+            output=op.output,
+            view=op.kind == "flatten",
+        )
+        for op in program.ops
+    ]
+
+
+BACKENDS: Dict[str, Callable] = {}
+
+
+def register_backend(name: str, bind: Callable) -> None:
+    """Register an executor backend: ``bind(program, executor, **options)``.
+
+    ``bind`` returns the step schedule and may attach backend-specific results
+    to the executor (the MCU ``cost`` backend records per-layer cycles).
+    """
+    BACKENDS[name] = bind
+
+
+register_backend("plan", _bind_plan)
+register_backend("reference", _bind_reference)
+
+
+class Executor:
+    """Runs a bound :class:`NetworkProgram` batch-wise through a backend.
+
+    Buffers are reference-counted and recycled through a shape-keyed pool, so
+    repeated batches reuse the same allocations; the program input is never
+    pooled and the output is always a fresh array.
+    """
+
+    def __init__(
+        self,
+        program: NetworkProgram,
+        backend: str = "plan",
+        tile: Optional[int] = None,
+        **options,
+    ):
+        if backend not in BACKENDS:
+            known = ", ".join(sorted(BACKENDS))
+            hint = " (the 'cost' backend registers on `import repro.mcu`)" if backend == "cost" else ""
+            raise KeyError(f"unknown backend '{backend}'; registered: {known}{hint}")
+        self.program = program
+        self.backend = backend
+        self.pool = _BufferPool()
+        # Batch tile: incoming batches are split into micro-batches of this
+        # size and run through the whole program tile-by-tile, keeping the
+        # inter-layer working set cache-resident.  Ops treat samples
+        # independently, so tiling is bit-exact.  ``None`` lets the backend
+        # choose (the plan backend sizes it from the largest layer's stage-1
+        # footprint); pass 0 to disable.
+        self.tile = tile
+        self._steps = BACKENDS[backend](program, self, **options)
+        self._refcounts: Dict[int, int] = {}
+        for step in self._steps:
+            for buf in step.inputs:
+                self._refcounts[buf] = self._refcounts.get(buf, 0) + 1
+        self._refcounts[program.output_id] = (
+            self._refcounts.get(program.output_id, 0) + 1
+        )
+        # Never recycle the caller's input, nor buffers a reshape view borrows.
+        self._no_pool = {program.input_id}
+        for step in self._steps:
+            if step.view:
+                self._no_pool.update(step.inputs)
+                self._no_pool.add(step.output)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute one batch (tiled into micro-batches) and return the output."""
+        x = np.asarray(x)
+        if self.tile and x.shape[0] > self.tile:
+            return np.concatenate(
+                [self._run_tile(x[i : i + self.tile]) for i in range(0, x.shape[0], self.tile)]
+            )
+        return self._run_tile(x)
+
+    def _run_tile(self, x: np.ndarray) -> np.ndarray:
+        buffers: Dict[int, np.ndarray] = {self.program.input_id: np.asarray(x)}
+        remaining = dict(self._refcounts)
+        for step in self._steps:
+            args = [buffers[buf] for buf in step.inputs]
+            buffers[step.output] = step.fn(*args)
+            for buf in step.inputs:
+                remaining[buf] -= 1
+                if remaining[buf] == 0:
+                    dead = buffers.pop(buf)
+                    if buf not in self._no_pool:
+                        self.pool.give(dead)
+        return buffers[self.program.output_id]
+
+    predict = run
+
+    def evaluate(self, loader) -> float:
+        """Top-1 accuracy over a data loader."""
+        correct = 0
+        total = 0
+        for inputs, targets in loader:
+            logits = self.run(inputs)
+            correct += int((logits.argmax(axis=1) == targets).sum())
+            total += len(targets)
+        if total == 0:
+            raise ValueError("evaluation loader produced no samples")
+        return correct / total

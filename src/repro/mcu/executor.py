@@ -5,16 +5,34 @@ CMSIS-style 8-bit baseline or with the weight-pool bit-serial kernel; the
 estimator reports per-layer and total cycles, the wall-clock latency at the
 device clock, and whether the deployment fits the device's flash (the paper
 marks networks that do not fit with "/").
+
+Since the whole-network compiler landed, the estimators consume the same
+:class:`~repro.core.program.NetworkProgram` IR the inference executor runs:
+the model is lowered once (structurally — no calibration needed) and a
+``cost`` executor backend replays the program through the cycle model,
+charging each ``conv``/``linear``/``bitserial_*`` op from the device's
+:class:`~repro.mcu.device.CycleCosts`.  Models without lowering hooks fall
+back to the legacy ``trace_model`` walk.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.policy import CompressionPolicy
-from repro.core.storage import analyze_model_storage, lut_storage_bits
+from repro.core.program import (
+    Executor,
+    NetworkProgram,
+    Step,
+    compile_network,
+    op_layer_trace,
+    register_backend,
+)
+from repro.core.storage import analyze_model_storage
 from repro.core.tracing import LayerTrace, trace_model
 from repro.mcu.device import MCUDevice
 from repro.mcu.kernels.bitserial import (
@@ -94,6 +112,151 @@ def _activation_sram_bytes(traces: List[LayerTrace]) -> float:
     return peak
 
 
+# ---------------------------------------------------------------------------
+# The "cost" executor backend: replay the program through the cycle model
+# ---------------------------------------------------------------------------
+def _layer_cycles(
+    trace: LayerTrace,
+    compressed: bool,
+    device: MCUDevice,
+    config: BitSerialKernelConfig,
+) -> float:
+    if compressed and trace.kind == "conv":
+        return bitserial_conv_cycles(trace, config, device)
+    if compressed and trace.kind == "linear":
+        return bitserial_linear_cycles(trace, config, device)
+    if trace.kind == "conv":
+        return cmsis_conv_cycles(trace, device)
+    return cmsis_linear_cycles(trace, device)
+
+
+def _bind_cost(
+    program: NetworkProgram,
+    executor: Executor,
+    device: MCUDevice = None,
+    config: Optional[BitSerialKernelConfig] = None,
+    policy: Optional[CompressionPolicy] = None,
+    mode: str = "weight_pool",
+    active_bits: Optional[int] = None,
+) -> List[Step]:
+    """Bind the ``cost`` backend: per-op cycle attribution, shape-only steps.
+
+    Ops already typed as ``bitserial_*`` (actually-compressed layers) are
+    charged with the bit-serial kernel model; float ``conv``/``linear`` ops
+    are charged hypothetically per the compression ``policy`` (how the
+    full-size Table 7 networks are evaluated without materialising the
+    compression).  ``mode="cmsis"`` charges everything as the 8-bit baseline.
+    The cycle model is data-independent, so the per-layer report is available
+    right after binding (``executor.layer_latencies``) without running data;
+    running the executor propagates zero-filled activations of the right
+    shape, which lets cost replays participate in executor pipelines.
+    ``active_bits`` (forwarded by the engine to every backend) is folded into
+    the kernel config's activation bitwidth, the knob the cycle model prices.
+    """
+    if device is None:
+        raise ValueError("the cost backend needs device=<MCUDevice>")
+    config = config or BitSerialKernelConfig()
+    if active_bits is not None and active_bits != config.activation_bitwidth:
+        config = replace(config, activation_bitwidth=active_bits)
+    policy = policy or CompressionPolicy(group_size=config.group_size)
+
+    latencies: List[LayerLatency] = []
+    steps: List[Step] = []
+    first_conv_seen = False
+    for op in program.ops:
+        trace = op_layer_trace(op)
+        if trace is not None:
+            trace.is_first = not first_conv_seen and trace.kind == "conv"
+            if trace.kind == "conv":
+                first_conv_seen = True
+            if mode == "cmsis":
+                compressed = False
+            elif op.kind.startswith("bitserial"):
+                compressed = True
+            else:
+                compressed = policy.eligible(trace)
+            latencies.append(
+                LayerLatency(
+                    name=trace.name,
+                    kind=trace.kind,
+                    compressed=compressed,
+                    cycles=_layer_cycles(trace, compressed, device, config),
+                    macs=trace.macs,
+                )
+            )
+        out_shape = op.out_shape
+        steps.append(
+            Step(
+                fn=lambda *args, _shape=out_shape: np.zeros(
+                    (args[0].shape[0],) + _shape
+                ),
+                inputs=op.inputs,
+                output=op.output,
+            )
+        )
+    executor.layer_latencies = latencies
+    executor.total_cycles = sum(layer.cycles for layer in latencies)
+    return steps
+
+
+register_backend("cost", _bind_cost)
+
+
+def _program_or_none(model: Module, input_shape: Tuple[int, int, int]) -> Optional[NetworkProgram]:
+    """Structurally lower ``model``; ``None`` when it has no lowering hooks."""
+    try:
+        return compile_network(model, input_shape, optimize=False)
+    except NotImplementedError:
+        return None
+
+
+def _legacy_trace_latencies(
+    traces: List[LayerTrace],
+    device: MCUDevice,
+    config: BitSerialKernelConfig,
+    policy: CompressionPolicy,
+    mode: str,
+) -> List[LayerLatency]:
+    """Fallback cycle attribution for models that cannot be lowered."""
+    layers = []
+    for trace in traces:
+        if mode == "cmsis":
+            compressed = False
+        elif isinstance(trace.module, (WeightPoolConv2d, WeightPoolLinear)):
+            compressed = True
+        else:
+            compressed = policy.eligible(trace)
+        layers.append(
+            LayerLatency(
+                name=trace.name,
+                kind=trace.kind,
+                compressed=compressed,
+                cycles=_layer_cycles(trace, compressed, device, config),
+                macs=trace.macs,
+            )
+        )
+    return layers
+
+
+def _network_latencies(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    device: MCUDevice,
+    config: BitSerialKernelConfig,
+    policy: CompressionPolicy,
+    mode: str,
+) -> Tuple[List[LayerLatency], List[LayerTrace]]:
+    """Per-layer cycles + traces, via the program IR when the model lowers."""
+    program = _program_or_none(model, input_shape)
+    if program is None:
+        traces = trace_model(model, input_shape)
+        return _legacy_trace_latencies(traces, device, config, policy, mode), traces
+    executor = Executor(
+        program, backend="cost", device=device, config=config, policy=policy, mode=mode
+    )
+    return executor.layer_latencies, program.layer_traces()
+
+
 def estimate_cmsis_network(
     model: Module,
     input_shape: Tuple[int, int, int],
@@ -101,25 +264,12 @@ def estimate_cmsis_network(
     network_name: str = "network",
 ) -> NetworkLatencyReport:
     """Latency of the 8-bit CMSIS-style deployment of ``model`` on ``device``."""
-    traces = trace_model(model, input_shape)
-    layers = []
-    total_weight_bytes = 0.0
-    for trace in traces:
-        cycles = (
-            cmsis_conv_cycles(trace, device)
-            if trace.kind == "conv"
-            else cmsis_linear_cycles(trace, device)
-        )
-        layers.append(
-            LayerLatency(
-                name=trace.name,
-                kind=trace.kind,
-                compressed=False,
-                cycles=cycles,
-                macs=trace.macs,
-            )
-        )
-        total_weight_bytes += trace.weight_params + trace.bias_params
+    config = BitSerialKernelConfig()
+    policy = CompressionPolicy(group_size=config.group_size)
+    layers, traces = _network_latencies(
+        model, input_shape, device, config, policy, mode="cmsis"
+    )
+    total_weight_bytes = sum(t.weight_params + t.bias_params for t in traces)
     return NetworkLatencyReport(
         network=network_name,
         device=device,
@@ -141,38 +291,16 @@ def estimate_weight_pool_network(
     """Latency of the weight-pool bit-serial deployment of ``model`` on ``device``.
 
     ``model`` may already contain weight-pool layers (then the actual layer
-    types decide what is compressed) or be an uncompressed model (then
-    ``policy`` decides hypothetically, which is how the full-size Table 7
-    networks are evaluated without materialising the compression).
+    types — ``bitserial_*`` ops after lowering — decide what is compressed) or
+    be an uncompressed model (then ``policy`` decides hypothetically, which is
+    how the full-size Table 7 networks are evaluated without materialising the
+    compression).
     """
     config = config or BitSerialKernelConfig()
     policy = policy or CompressionPolicy(group_size=config.group_size)
-    traces = trace_model(model, input_shape)
-
-    layers = []
-    for trace in traces:
-        module = trace.module
-        if isinstance(module, (WeightPoolConv2d, WeightPoolLinear)):
-            compressed = True
-        else:
-            compressed = policy.eligible(trace)
-        if compressed and trace.kind == "conv":
-            cycles = bitserial_conv_cycles(trace, config, device)
-        elif compressed and trace.kind == "linear":
-            cycles = bitserial_linear_cycles(trace, config, device)
-        elif trace.kind == "conv":
-            cycles = cmsis_conv_cycles(trace, device)
-        else:
-            cycles = cmsis_linear_cycles(trace, device)
-        layers.append(
-            LayerLatency(
-                name=trace.name,
-                kind=trace.kind,
-                compressed=compressed,
-                cycles=cycles,
-                macs=trace.macs,
-            )
-        )
+    layers, traces = _network_latencies(
+        model, input_shape, device, config, policy, mode="weight_pool"
+    )
 
     storage = analyze_model_storage(
         model,

@@ -46,6 +46,11 @@ class ConvBNReLU(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return self.conv.backward(self.bn.backward(self.act.backward(grad_output)))
 
+    def lower_into(self, builder, x: int) -> int:
+        x = builder.lower(self.conv, x, "conv")
+        x = builder.lower(self.bn, x, "bn")
+        return builder.lower(self.act, x, "act")
+
 
 class BasicBlock(Module):
     """ResNet basic block: two 3x3 convolutions with an identity/projection shortcut."""
@@ -100,6 +105,16 @@ class BasicBlock(Module):
         grad_residual = self.shortcut.backward(grad_sum)
         return grad_main + grad_residual
 
+    def lower_into(self, builder, x: int) -> int:
+        main = builder.lower(self.conv1, x, "conv1")
+        main = builder.lower(self.bn1, main, "bn1")
+        main = builder.lower(self.relu1, main, "relu1")
+        main = builder.lower(self.conv2, main, "conv2")
+        main = builder.lower(self.bn2, main, "bn2")
+        residual = builder.lower(self.shortcut, x, "shortcut")
+        out = builder.add("add", main, residual)
+        return builder.lower(self.relu2, out, "relu2")
+
 
 class InvertedResidual(Module):
     """MobileNet-v2 inverted residual block.
@@ -151,3 +166,12 @@ class InvertedResidual(Module):
         if self.use_residual:
             grad = grad + grad_output
         return grad
+
+    def lower_into(self, builder, x: int) -> int:
+        out = builder.lower(self.expand, x, "expand")
+        out = builder.lower(self.depthwise, out, "depthwise")
+        out = builder.lower(self.project_conv, out, "project_conv")
+        out = builder.lower(self.project_bn, out, "project_bn")
+        if self.use_residual:
+            out = builder.add("add", out, x)
+        return out

@@ -93,6 +93,13 @@ class MobileNetV2(Module):
         grad = self.blocks.backward(grad)
         return self.stem.backward(grad)
 
+    def lower_into(self, builder, x: int) -> int:
+        x = builder.lower(self.stem, x, "stem")
+        x = builder.lower(self.blocks, x, "blocks")
+        x = builder.lower(self.head, x, "head")
+        x = builder.lower(self.pool, x, "pool")
+        return builder.lower(self.classifier, x, "classifier")
+
 
 # Truncated settings for the fast experiment presets: three stages only.
 TINY_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (

@@ -79,6 +79,12 @@ class ResNet(Module):
         grad = self.blocks.backward(grad)
         return self.stem.backward(grad)
 
+    def lower_into(self, builder, x: int) -> int:
+        x = builder.lower(self.stem, x, "stem")
+        x = builder.lower(self.blocks, x, "blocks")
+        x = builder.lower(self.pool, x, "pool")
+        return builder.lower(self.classifier, x, "classifier")
+
 
 def resnet18(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
              rng: SeedLike = None) -> ResNet:

@@ -68,3 +68,7 @@ class TinyConv(Module):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return self.features.backward(self.classifier.backward(grad_output))
+
+    def lower_into(self, builder, x: int) -> int:
+        x = builder.lower(self.features, x, "features")
+        return builder.lower(self.classifier, x, "classifier")

@@ -23,6 +23,9 @@ class ReLU(Module):
             raise RuntimeError("backward() called before forward()")
         return grad_output * self._mask
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("activation", x, module=self, fn="relu")
+
 
 class ReLU6(Module):
     """ReLU clipped at 6, as used by MobileNet-v2.
@@ -44,6 +47,9 @@ class ReLU6(Module):
             raise RuntimeError("backward() called before forward()")
         return grad_output * self._mask
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("activation", x, module=self, fn="relu6")
+
 
 class Identity(Module):
     """No-op layer, useful as a placeholder (e.g. an absent shortcut projection)."""
@@ -53,3 +59,6 @@ class Identity(Module):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output
+
+    def lower_into(self, builder, x: int) -> int:
+        return x  # no-op: pass the input buffer through

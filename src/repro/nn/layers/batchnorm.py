@@ -86,6 +86,9 @@ class BatchNorm2d(Module):
         )
         return grad_x
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("batchnorm", x, module=self)
+
     def fold_into_conv_scale_shift(self):
         """Return per-channel ``(scale, shift)`` equivalent to this BN in eval mode.
 

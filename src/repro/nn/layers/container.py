@@ -41,6 +41,11 @@ class Sequential(Module):
             x = module(x)
         return x
 
+    def lower_into(self, builder, x: int) -> int:
+        for name in self._order:
+            x = builder.lower(self._modules[name], x, name)
+        return x
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         for module in reversed(list(self)):
             grad_output = module.backward(grad_output)

@@ -104,6 +104,9 @@ class Conv2d(Module):
             self.bias.accumulate_grad(grad_b)
         return grad_x
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("conv", x, module=self)
+
     def output_shape(self, input_hw: tuple) -> tuple:
         """Spatial output shape for an ``(H, W)`` input."""
         h, w = input_hw

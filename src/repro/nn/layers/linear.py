@@ -54,5 +54,8 @@ class Linear(Module):
             self.bias.accumulate_grad(grad_output.sum(axis=0))
         return grad_output @ self.weight.data
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("linear", x, module=self)
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"Linear({self.in_features}, {self.out_features}, bias={self.has_bias})"

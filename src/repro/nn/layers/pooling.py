@@ -48,6 +48,9 @@ class MaxPool2d(Module):
         )
         return grad_x
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("pool", x, module=self, pool="max", kernel=self.kernel_size)
+
 
 class AvgPool2d(Module):
     """Non-overlapping average pooling (kernel == stride)."""
@@ -72,6 +75,9 @@ class AvgPool2d(Module):
         grad = np.repeat(np.repeat(grad_output, k, axis=2), k, axis=3)
         return grad / (k * k)
 
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("pool", x, module=self, pool="avg", kernel=self.kernel_size)
+
 
 class GlobalAvgPool2d(Module):
     """Average over all spatial positions, producing ``(N, C)`` features."""
@@ -90,3 +96,6 @@ class GlobalAvgPool2d(Module):
         n, c, h, w = self._x_shape
         grad = grad_output.reshape(n, c, 1, 1) / (h * w)
         return np.broadcast_to(grad, self._x_shape).copy()
+
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("pool", x, module=self, pool="global_avg")

@@ -22,3 +22,6 @@ class Flatten(Module):
         if self._x_shape is None:
             raise RuntimeError("backward() called before forward()")
         return grad_output.reshape(self._x_shape)
+
+    def lower_into(self, builder, x: int) -> int:
+        return builder.add("flatten", x, module=self)

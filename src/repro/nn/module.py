@@ -140,6 +140,22 @@ class Module:
             raise KeyError(f"no buffer named '{name}'")
         self._buffers[name] = np.asarray(value, dtype=np.float64)
 
+    # -- lowering ------------------------------------------------------------
+    def lower_into(self, builder, x: int) -> int:
+        """Emit this module's ops into a network graph builder.
+
+        ``builder`` is a :class:`repro.core.graph.GraphBuilder` (duck-typed so
+        ``repro.nn`` stays independent of ``repro.core``); ``x`` is the buffer
+        id holding this module's input.  Implementations call ``builder.add``
+        for primitive ops and ``builder.lower`` for children, and return the
+        buffer id of their output.  Modules without a hook cannot take part in
+        whole-network compilation (callers fall back to eager execution).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement lower_into(); "
+            "the model cannot be compiled to a network program"
+        )
+
     # -- forward / backward -------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError(

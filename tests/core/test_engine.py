@@ -117,3 +117,116 @@ class TestBitSerialInferenceEngine:
         )
         with pytest.raises(RuntimeError):
             engine.set_activation_bitwidth(4)
+
+    def test_recalibration_refreshes_input_shape(self, engine):
+        """Regression: a second calibrate() must re-record the data shape."""
+        assert engine.input_shape == (3, 32, 32)
+        rng = np.random.default_rng(5)
+        small = DataLoader(
+            ArrayDataset(rng.normal(size=(16, 3, 16, 16)), rng.integers(0, 10, 16)),
+            batch_size=8,
+        )
+        engine.calibrate(small)
+        assert engine.input_shape == (3, 16, 16)
+        out = engine.predict(rng.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_compile_returns_program_and_predict_delegates(self, engine):
+        from repro.core import NetworkProgram
+
+        program = engine.compile()
+        assert isinstance(program, NetworkProgram)
+        assert program.bound
+        x = np.random.default_rng(11).normal(size=(2, 3, 32, 32))
+        out = engine.predict(x)  # graph path: runtimes never installed
+        assert out.shape == (2, 10)
+        assert all(layer.runtime is None for layer in engine.layers)
+
+
+class TestSetActivationBitwidthActiveBits:
+    """Regression: set_activation_bitwidth used to silently reset active_bits."""
+
+    def test_valid_active_bits_preserved(self, compressed_small_model, calibration_loader):
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model,
+            compressed_small_model.pool,
+            EngineConfig(activation_bitwidth=8, active_bits=3, calibration_batches=2),
+        )
+        engine.calibrate(calibration_loader)
+        engine.set_activation_bitwidth(6)
+        assert engine.config.active_bits == 3
+
+    def test_invalid_active_bits_warns_and_resets(
+        self, compressed_small_model, calibration_loader
+    ):
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model,
+            compressed_small_model.pool,
+            EngineConfig(activation_bitwidth=8, active_bits=6, calibration_batches=2),
+        )
+        engine.calibrate(calibration_loader)
+        with pytest.warns(UserWarning, match="active_bits"):
+            engine.set_activation_bitwidth(4)
+        assert engine.config.active_bits is None
+        # The resulting config stays valid and executable.
+        x = np.random.default_rng(12).normal(size=(2, 3, 32, 32))
+        assert np.all(np.isfinite(engine.predict(x)))
+
+
+class TestEngineLifecycle:
+    """Runtime install/uninstall safety of the legacy (oracle) paths."""
+
+    def test_evaluate_float_restores_installed_runtime(self, engine, calibration_loader):
+        with engine:
+            installed = [layer.runtime for layer in engine.layers]
+            accuracy = engine.evaluate_float(calibration_loader)
+            assert 0.0 <= accuracy <= 1.0
+            assert [layer.runtime for layer in engine.layers] == installed
+        assert all(layer.runtime is None for layer in engine.layers)
+
+    def test_evaluate_float_restores_runtime_after_exception(self, engine):
+        class ExplodingLoader:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+        with engine:
+            installed = [layer.runtime for layer in engine.layers]
+            with pytest.raises(RuntimeError, match="boom"):
+                engine.evaluate_float(ExplodingLoader())
+            assert [layer.runtime for layer in engine.layers] == installed
+
+    def test_legacy_evaluate_uninstalls_after_loader_exception(self, engine):
+        from dataclasses import replace
+
+        class ExplodingLoader:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+        engine.config = replace(engine.config, use_graph=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.evaluate(ExplodingLoader())
+        assert all(layer.runtime is None for layer in engine.layers)
+
+    def test_calibrate_uninstalls_after_loader_exception(
+        self, compressed_small_model
+    ):
+        class ExplodingLoader:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model, compressed_small_model.pool
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.calibrate(ExplodingLoader())
+        assert all(layer.runtime is None for layer in engine.layers)
+
+    def test_enter_before_calibrate_raises_and_installs_nothing(
+        self, compressed_small_model
+    ):
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model, compressed_small_model.pool
+        )
+        with pytest.raises(RuntimeError):
+            engine.__enter__()
+        assert all(layer.runtime is None for layer in engine.layers)

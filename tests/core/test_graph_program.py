@@ -1,0 +1,356 @@
+"""Tests for whole-network lowering, the program IR, passes, and the executor."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.mcu  # noqa: F401  (registers the 'cost' executor backend)
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    EngineConfig,
+    Executor,
+    compress_model,
+    compile_network,
+    load_program,
+    lower_model,
+    package_from_program,
+    save_program,
+)
+from repro.mcu import MC_LARGE, BitSerialKernelConfig, estimate_weight_pool_network
+from repro.models import create_model
+from repro.nn import DataLoader
+from repro.nn.data.dataset import ArrayDataset
+
+
+def _loader(seed=0, n=32, channels=3):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(n, channels, 32, 32))
+    targets = rng.integers(0, 10, size=n)
+    return DataLoader(ArrayDataset(inputs, targets), batch_size=16)
+
+
+def _calibrated_engine(model_name, seed=0, lut_bitwidth=None, model_kwargs=None,
+                       **policy_kwargs):
+    model = create_model(
+        model_name, num_classes=10, in_channels=3, rng=seed, **(model_kwargs or {})
+    )
+    result = compress_model(
+        model, (3, 32, 32), pool_size=16,
+        policy=CompressionPolicy(group_size=8, **policy_kwargs), seed=seed,
+    )
+    engine = BitSerialInferenceEngine(
+        result.model,
+        result.pool,
+        EngineConfig(activation_bitwidth=8, lut_bitwidth=lut_bitwidth, calibration_batches=2),
+    )
+    engine.calibrate(_loader(seed))
+    return engine
+
+
+class TestLowering:
+    def test_resnet_graph_has_residual_adds(self):
+        model = create_model("resnet14_tiny", num_classes=10, rng=0)
+        graph = lower_model(model, (3, 32, 32))
+        kinds = graph.kinds()
+        assert kinds.count("add") == 6  # one per BasicBlock
+        assert kinds.count("conv") == 14 + 1  # 14 block/shortcut convs + stem
+        assert kinds[-1] == "linear"  # classifier last
+
+    def test_shape_inference_rejects_channel_mismatch(self):
+        model = create_model("resnet_s_tiny", num_classes=10, in_channels=3, rng=0)
+        with pytest.raises(ValueError):
+            lower_model(model, (4, 32, 32))
+
+    def test_unsupported_module_raises_not_implemented(self):
+        from repro.nn import Module
+
+        class Opaque(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(NotImplementedError):
+            lower_model(Opaque(), (3, 32, 32))
+
+
+class TestCompile:
+    def test_unbound_program_is_structural(self, compressed_small_model):
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        assert not program.bound
+        assert program.count("bitserial_conv") > 0
+        with pytest.raises(RuntimeError):
+            Executor(program, backend="plan")
+
+    def test_lut_without_params_rejected(self, compressed_small_model, small_pool):
+        from repro.core import build_lut
+
+        with pytest.raises(ValueError):
+            compile_network(
+                compressed_small_model.model, (3, 32, 32), lut=build_lut(small_pool)
+            )
+
+    def test_optimize_folds_batchnorm_and_fuses_requantize(self):
+        engine = _calibrated_engine("resnet14_tiny")
+        plain = engine.compile(optimize=False)
+        optimized = engine.compile(optimize=True)
+        # Every BatchNorm behind a compressed conv folds into the epilogue;
+        # only the (uncompressed) stem's BN survives.
+        assert plain.count("batchnorm") == 15
+        assert optimized.count("batchnorm") == 1
+        # conv1 -> bn1 -> relu1 -> conv2 chains elide their dequantize/quantize
+        # pair, one per BasicBlock; CSE merges the downsample blocks' duplicate
+        # (conv1, shortcut) quantizes of the same buffer.
+        assert optimized.count("requantize") == 6
+        assert optimized.count("quantize") == plain.count("quantize") - 6 - 2
+        # Folded relu2s before the downsample stages disappear entirely.
+        assert optimized.count("activation") < plain.count("activation")
+
+    def test_traces_match_dummy_forward_tracing(self):
+        from repro.core import trace_model
+
+        model = create_model("mobilenetv2_tiny", num_classes=10, rng=0)
+        program = compile_network(model, (3, 32, 32))
+        legacy = trace_model(model, (3, 32, 32))
+        derived = program.layer_traces()
+        assert len(derived) == len(legacy)
+        for got, want in zip(derived, legacy):
+            assert (got.kind, got.in_channels, got.out_channels) == (
+                want.kind, want.in_channels, want.out_channels
+            )
+            assert (got.input_hw, got.output_hw) == (want.input_hw, want.output_hw)
+            assert got.is_first == want.is_first
+            assert got.macs == want.macs
+
+    def test_describe_lists_ops(self):
+        engine = _calibrated_engine("resnet_s_tiny")
+        text = engine.compile().describe()
+        assert "bitserial_conv" in text and "requantize" in text
+
+
+@pytest.mark.parametrize("model_name", ["resnet14_tiny", "mobilenetv2_tiny"])
+class TestExecutorEquivalence:
+    """Property tests of the acceptance criterion: graph executor vs legacy."""
+
+    def test_unoptimized_plan_backend_bit_exact(self, model_name):
+        engine = _calibrated_engine(model_name)  # full-precision LUT
+        x = np.random.default_rng(1).normal(size=(4, 3, 32, 32))
+        engine.config = replace(engine.config, use_graph=False)
+        legacy = engine.predict(x)
+        engine.config = replace(engine.config, use_graph=True, graph_optimize=False)
+        graph = engine.predict(x)
+        np.testing.assert_array_equal(graph, legacy)
+
+    def test_optimized_plan_backend_within_tolerance(self, model_name):
+        engine = _calibrated_engine(model_name)
+        x = np.random.default_rng(2).normal(size=(4, 3, 32, 32))
+        engine.config = replace(engine.config, use_graph=False)
+        legacy = engine.predict(x)
+        engine.config = replace(engine.config, use_graph=True, graph_optimize=True)
+        optimized = engine.predict(x)
+        # Documented float-association tolerance of the fusion passes.
+        scale = max(float(np.abs(legacy).max()), 1e-12)
+        assert np.abs(optimized - legacy).max() < 1e-9 * scale
+        assert np.array_equal(optimized.argmax(axis=1), legacy.argmax(axis=1))
+
+    def test_reference_backend_matches_legacy_reference(self, model_name):
+        engine = _calibrated_engine(model_name)
+        x = np.random.default_rng(3).normal(size=(2, 3, 32, 32))
+        engine.config = replace(
+            engine.config, use_kernel_plans=False, use_graph=False
+        )
+        legacy = engine.predict(x)
+        engine.config = replace(engine.config, use_graph=True, graph_optimize=False)
+        graph = engine.predict(x)
+        np.testing.assert_array_equal(graph, legacy)
+
+    def test_quantized_lut_identical_predictions(self, model_name):
+        engine = _calibrated_engine(model_name, lut_bitwidth=8)
+        loader = _loader(seed=7, n=16)
+        graph_acc = engine.evaluate(loader)
+        engine.config = replace(engine.config, use_graph=False)
+        legacy_acc = engine.evaluate(loader)
+        assert graph_acc == legacy_acc
+
+
+class TestExecutorDetails:
+    def test_unknown_backend_raises(self):
+        engine = _calibrated_engine("resnet_s_tiny")
+        with pytest.raises(KeyError):
+            Executor(engine.compile(), backend="no-such-backend")
+
+    def test_executor_reuses_released_buffers(self):
+        engine = _calibrated_engine("resnet_s_tiny")
+        executor = engine._executor()
+        x = np.random.default_rng(4).normal(size=(2, 3, 32, 32))
+        first = executor.run(x)
+        assert executor.pool._free, "released buffers should populate the pool"
+        second = executor.run(x)
+        np.testing.assert_array_equal(first, second)
+
+    def test_buffer_pool_is_bounded_across_runs(self):
+        """Regression: free lists must not grow by one dead buffer per batch."""
+        engine = _calibrated_engine("resnet_s_tiny")
+        executor = engine._executor()
+        from repro.core.program import _BufferPool
+
+        x = np.random.default_rng(4).normal(size=(4, 3, 32, 32))
+        cap = _BufferPool._MAX_FREE_PER_KEY
+        for _ in range(cap + 2):
+            executor.run(x)
+        sizes = {key: len(stack) for key, stack in executor.pool._free.items()}
+        assert all(size <= cap for size in sizes.values())
+        for _ in range(5):
+            executor.run(x)
+        after = {key: len(stack) for key, stack in executor.pool._free.items()}
+        assert after == sizes
+
+    def test_linear_only_model_falls_back_to_legacy_runtime(self):
+        """Regression: non-(C,H,W) models must keep working through predict."""
+        from repro.core import BitSerialInferenceEngine, EngineConfig
+        from repro.core.layers import WeightPoolLinear
+        from repro.core.weight_pool import WeightPool
+        from repro.nn import Linear, Module, ReLU
+
+        class MLP(Module):
+            def __init__(self, pool):
+                super().__init__()
+                self.fc1 = WeightPoolLinear(32, 16, pool, rng=0)
+                self.act = ReLU()
+                self.fc2 = Linear(16, 10, rng=1)
+
+            def forward(self, x):
+                return self.fc2(self.act(self.fc1(x)))
+
+        rng = np.random.default_rng(0)
+        pool = WeightPool(vectors=rng.normal(size=(16, 8)))
+        model = MLP(pool)
+        inputs = rng.normal(size=(32, 32))
+        targets = rng.integers(0, 10, size=32)
+        loader = DataLoader(ArrayDataset(inputs, targets), batch_size=16)
+        engine = BitSerialInferenceEngine(
+            model, pool, EngineConfig(lut_bitwidth=8, calibration_batches=2)
+        )
+        engine.calibrate(loader)
+        out = engine.predict(rng.normal(size=(4, 32)))
+        assert out.shape == (4, 10)
+        assert 0.0 <= engine.evaluate(loader) <= 1.0
+
+    def test_padded_thin_layers_execute_and_match_legacy(self):
+        # A width multiplier producing 5-channel convolutions with group size
+        # 8 forces zero-point channel padding; the program materialises the
+        # pad as an explicit compile-time op instead of a per-batch check.
+        engine = _calibrated_engine(
+            "tinyconv", model_kwargs={"width_mult": 0.15},
+            pad_channels=True, compress_first_layer=False,
+        )
+        program = engine.compile(optimize=False)
+        assert program.count("pad_channels") > 0
+        x = np.random.default_rng(5).normal(size=(2, 3, 32, 32))
+        engine.config = replace(engine.config, use_graph=False)
+        legacy = engine.predict(x)
+        engine.config = replace(engine.config, use_graph=True, graph_optimize=False)
+        np.testing.assert_array_equal(engine.predict(x), legacy)
+        engine.config = replace(engine.config, graph_optimize=True)
+        optimized = engine.predict(x)
+        scale = max(float(np.abs(legacy).max()), 1e-12)
+        assert np.abs(optimized - legacy).max() < 1e-9 * scale
+
+    def test_active_bits_truncation_through_graph(self):
+        engine = _calibrated_engine("resnet_s_tiny")
+        x = np.random.default_rng(6).normal(size=(2, 3, 32, 32))
+        full = engine.predict(x)
+        engine.config = replace(engine.config, active_bits=4)
+        engine._invalidate_compiled()
+        truncated = engine.predict(x)
+        assert not np.allclose(full, truncated)
+
+
+class TestProgramSerialization:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        engine = _calibrated_engine("resnet14_tiny", lut_bitwidth=8)
+        program = engine.compile()
+        x = np.random.default_rng(8).normal(size=(2, 3, 32, 32))
+        expected = engine.predict(x)
+        path = tmp_path / "program.npz"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.kinds() == program.kinds()
+        out = Executor(loaded, backend="plan").run(x)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_loaded_program_needs_no_modules(self, tmp_path):
+        engine = _calibrated_engine("resnet_s_tiny", lut_bitwidth=8)
+        path = tmp_path / "program.npz"
+        save_program(engine.compile(), path)
+        loaded = load_program(path)
+        assert all(op.module is None for op in loaded.ops)
+        traces = loaded.layer_traces()
+        assert any(t.kind == "conv" for t in traces)
+
+    def test_structural_program_cannot_serialize(self, compressed_small_model, tmp_path):
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        with pytest.raises(ValueError):
+            save_program(program, tmp_path / "x.npz")
+
+    def test_package_from_program_matches_flash_contents(self):
+        engine = _calibrated_engine("resnet_s_tiny", lut_bitwidth=8)
+        program = engine.compile()
+        package = package_from_program(program, "resnet_s_tiny")
+        assert len(package.layers) == len(program.layer_traces())
+        compressed = package.compressed_layers
+        assert len(compressed) == program.count("bitserial_conv") + program.count(
+            "bitserial_linear"
+        )
+        # Packed indices round-trip through the artifact.
+        bitserial_ops = [
+            op for op in program.ops if op.kind.startswith("bitserial")
+        ]
+        for artifact, op in zip(compressed, bitserial_ops):
+            np.testing.assert_array_equal(artifact.unpack_indices(), op.attrs["indices"])
+            assert artifact.activation_scale == op.attrs["params"].scale
+        assert package.flash_bytes > 0
+
+
+class TestCostBackend:
+    def test_cost_backend_reports_layer_cycles(self, compressed_small_model):
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        executor = Executor(
+            program,
+            backend="cost",
+            device=MC_LARGE,
+            config=BitSerialKernelConfig(pool_size=16),
+        )
+        assert executor.total_cycles > 0
+        compressed = [l for l in executor.layer_latencies if l.compressed]
+        assert len(compressed) == program.count("bitserial_conv") + program.count(
+            "bitserial_linear"
+        )
+
+    def test_cost_backend_agrees_with_estimator(self, compressed_small_model):
+        config = BitSerialKernelConfig(pool_size=16)
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        executor = Executor(program, backend="cost", device=MC_LARGE, config=config)
+        report = estimate_weight_pool_network(
+            compressed_small_model.model, (3, 32, 32), MC_LARGE, config
+        )
+        assert executor.total_cycles == pytest.approx(report.total_cycles)
+
+    def test_cost_backend_accepts_engine_options(self, compressed_small_model):
+        """Regression: the engine forwards active_bits to every backend bind."""
+        config = BitSerialKernelConfig(pool_size=16)
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        full = Executor(program, backend="cost", device=MC_LARGE, config=config)
+        truncated = Executor(
+            program, backend="cost", device=MC_LARGE, config=config, active_bits=4
+        )
+        assert truncated.total_cycles < full.total_cycles
+
+    def test_cost_backend_run_propagates_shapes(self, compressed_small_model):
+        program = compile_network(compressed_small_model.model, (3, 32, 32))
+        executor = Executor(
+            program, backend="cost", device=MC_LARGE,
+            config=BitSerialKernelConfig(pool_size=16),
+        )
+        out = executor.run(np.zeros((3, 3, 32, 32)))
+        assert out.shape == (3, 10)

@@ -291,10 +291,15 @@ class TestEnginePlanPath:
     def test_plan_cache_invalidated_on_bitwidth_change(
         self, compressed_small_model, calibration_loader
     ):
+        from dataclasses import replace
+
         engine = BitSerialInferenceEngine(
             compressed_small_model.model,
             compressed_small_model.pool,
-            EngineConfig(activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2),
+            EngineConfig(
+                activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2,
+                use_graph=False,  # exercise the per-layer plan cache directly
+            ),
         )
         engine.calibrate(calibration_loader)
         x = np.random.default_rng(10).normal(size=(2, 3, 32, 32))
@@ -309,3 +314,58 @@ class TestEnginePlanPath:
         engine.set_lut_bitwidth(4)
         assert not engine._plans
         assert np.all(np.isfinite(out4))
+        # The whole-network executor cache invalidates on the same events.
+        engine.config = replace(engine.config, use_graph=True)
+        engine.predict(x)
+        assert engine._executors
+        engine.set_activation_bitwidth(6)
+        assert not engine._executors
+
+
+class TestPaddingHoist:
+    """The network compiler's padding-hoist variant against the base plan.
+
+    `_pool_partials_grouped` / `_border_constants` / `_reduce_taps_hoisted`
+    deliberately mirror the base stage-1/stage-2 loops; this sweep is the
+    guard that keeps the two pipelines from drifting apart.
+    """
+
+    CONFIGS = [
+        (16, 12, 3, 1, 1, 8),   # C, H, kernel, stride, padding, filters
+        (8, 16, 3, 2, 1, 20),   # strided, precompute mode (F > S)
+        (16, 9, 3, 3, 2, 4),    # stride 3, wide padding
+        (8, 8, 1, 1, 0, 5),     # pointwise, no padding
+        (8, 10, 5, 1, 2, 30),   # 5x5 kernel
+    ]
+
+    @pytest.mark.parametrize("lut_bitwidth", [None, 8])
+    def test_hoisted_plan_matches_base_plan(self, lut_bitwidth):
+        rng = np.random.default_rng(0)
+        pool = WeightPool(vectors=rng.normal(size=(16, 8)))
+        lut = build_lut(pool)
+        if lut_bitwidth is not None:
+            lut = lut.quantize(lut_bitwidth)
+        for channels, size, kernel, stride, padding, filters in self.CONFIGS:
+            indices = rng.integers(0, 16, size=(filters, channels // 8, kernel, kernel))
+            zero_point = 7 if padding else 0
+            kwargs = dict(
+                stride=stride,
+                padding=padding,
+                act_bitwidth=8,
+                pad_value=zero_point,
+                scale=0.1,
+                zero_point=zero_point,
+                bias=rng.normal(size=filters),
+            )
+            base = compile_conv_plan(indices, lut, **kwargs)
+            hoisted = compile_conv_plan(indices, lut, hoist_padding=True, **kwargs)
+            q_x = rng.integers(0, 256, size=(3, channels, size, size))
+            for active_bits in (None, 4):
+                want = base(q_x, active_bits=active_bits)
+                got = hoisted(q_x, active_bits=active_bits)
+                if lut_bitwidth is not None:
+                    # Integer accumulation: the hoist is exactly equivalent.
+                    np.testing.assert_array_equal(got, want)
+                else:
+                    # Float tables: only the tap-sum order differs.
+                    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
