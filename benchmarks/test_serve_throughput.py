@@ -1,0 +1,229 @@
+"""Serving throughput benchmark: dynamic batching vs. single-sample execution.
+
+Drives ``repro.serve.InferenceServer`` on the ResNet-14 / CIFAR-10 preset
+with concurrent closed-loop clients issuing single-sample ``predict`` calls
+— the request shape of an online model server — and sweeps the offered load
+across dynamic-batching policies (and, with enough cores, the process worker
+pool), recording per-policy p50/p99 latency and images/s next to two
+reference points:
+
+* **sequential** — batch-1 ``Executor.run`` calls in a loop (what serving
+  single requests without a batcher costs);
+* **executor_batch** — raw batched ``Executor.evaluate`` over the test set
+  (the offline upper bound a single executor can reach).
+
+The asserted speedup over sequential execution is hardware-aware, because
+the two levers scale differently:
+
+* **batch coalescing** amortizes per-op dispatch and bit-encode setup — it
+  always helps, but is bounded by ``executor_batch / sequential`` (~1.2× for
+  this kernel, whose per-pixel gather work is batch-size-independent);
+* **process workers** multiply throughput by the core count — on a ≥4-core
+  machine the combination clears the headline **3×** target.
+
+So the default target is 3.0 with ≥4 cores, else 1.0 (the batcher must at
+least match sequential throughput while it is adding batching value —
+``mean_batch`` and the latency distribution are recorded to show it).
+``REPRO_SERVE_SPEEDUP_TARGET`` overrides either default.  The full sweep is
+written to ``BENCH_serve.json`` at the repository root.
+``REPRO_SERVE_BENCH_FAST=1`` (the CI smoke mode) shrinks the image count
+and the policy sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_scale  # noqa: F401  (scale fixture)
+
+from repro.core import EngineConfig
+from repro.experiments.common import calibrated_engine, compress_and_finetune, pretrained_model
+from repro.experiments.common import test_loader_for as held_out_loader_for
+from repro.serve import BatchPolicy, InferenceServer, ModelRepository
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+CPUS = os.cpu_count() or 1
+SPEEDUP_TARGET = float(
+    os.environ.get("REPRO_SERVE_SPEEDUP_TARGET", "3.0" if CPUS >= 4 else "1.0")
+)
+FAST = os.environ.get("REPRO_SERVE_BENCH_FAST", "") not in ("", "0")
+
+CLIENTS = 8
+
+
+def _policy_sweep():
+    """(label, policy, worker_mode, workers) rows of the offered-load sweep."""
+    rows = [
+        ("no_coalescing", BatchPolicy(max_batch_size=1, max_delay_ms=0.0), "thread", 1),
+        ("batch8_2ms", BatchPolicy(max_batch_size=8, max_delay_ms=2.0), "thread", 1),
+        ("batch16_3ms", BatchPolicy(max_batch_size=16, max_delay_ms=3.0), "thread", 1),
+    ]
+    if CPUS >= 2:
+        workers = min(CPUS, 4)
+        rows.append(
+            (
+                f"batch16_3ms_{workers}procs",
+                BatchPolicy(max_batch_size=16, max_delay_ms=3.0),
+                "process",
+                workers,
+            )
+        )
+    if FAST:
+        # CI smoke: keep one coalescing policy per worker mode, so the
+        # process-worker path (spawn, artifact load, IPC) stays exercised.
+        keep = {"batch16_3ms"} | {row[0] for row in rows if row[2] == "process"}
+        rows = [row for row in rows if row[0] in keep]
+    return rows
+
+
+def _closed_loop_clients(server, name, samples, num_clients):
+    """``num_clients`` threads issue blocking single-sample predicts; returns
+    (labels, wall_seconds)."""
+    labels = np.empty(len(samples), dtype=np.int64)
+    cursor = iter(range(len(samples)))
+    lock = threading.Lock()
+
+    def client():
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            labels[index] = int(np.argmax(server.predict(name, samples[index], timeout=300.0)))
+
+    threads = [threading.Thread(target=client, daemon=True) for _ in range(num_clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return labels, time.perf_counter() - start
+
+
+def test_serve_throughput(scale, tmp_path):
+    pretrained = pretrained_model("resnet14", "cifar10", scale, seed=0)
+    result, _ = compress_and_finetune(pretrained, scale, finetune=False, seed=0)
+    engine = calibrated_engine(
+        result,
+        pretrained,
+        scale,
+        config=EngineConfig(lut_bitwidth=8, calibration_batches=scale.calibration_batches),
+    )
+    loader = held_out_loader_for(pretrained, scale)
+    samples, targets = [], []
+    for inputs, batch_targets in loader:
+        samples.extend(np.asarray(inputs))
+        targets.extend(np.asarray(batch_targets))
+    if FAST:
+        samples, targets = samples[:64], targets[:64]
+    samples = np.stack(samples)
+    targets = np.asarray(targets)
+    images = len(samples)
+
+    repository = ModelRepository(tmp_path / "repo")
+    repository.publish(engine.compile(), "resnet14")
+
+    # -- reference points -----------------------------------------------------
+    executor = engine._executor()
+    executor.run(samples[:2])  # warm-up: compile the kernel plans
+    start = time.perf_counter()
+    sequential_labels = np.array(
+        [int(np.argmax(executor.run(sample[None]))) for sample in samples]
+    )
+    sequential_s = time.perf_counter() - start
+    sequential_acc = float((sequential_labels == targets).mean())
+
+    start = time.perf_counter()
+    batch_labels = np.argmax(executor.run(samples), axis=1)
+    executor_batch_s = time.perf_counter() - start
+    executor_batch_acc = float((batch_labels == targets).mean())
+
+    # -- offered-load sweep over batching policies ------------------------------
+    sweep = []
+    for label, policy, worker_mode, workers in _policy_sweep():
+        server = InferenceServer(
+            repository, policy=policy, workers=workers, worker_mode=worker_mode
+        )
+        try:
+            # Warm-up outside the timed window: builds the pipeline and
+            # compiles each worker's plans.
+            warm_count = max(2 * policy.max_batch_size, 2 * workers)
+            warm = [
+                server.predict_async("resnet14", samples[i % images])
+                for i in range(warm_count)
+            ]
+            for future in warm:
+                future.result(timeout=600.0)
+            labels, seconds = _closed_loop_clients(server, "resnet14", samples, CLIENTS)
+            stats = server.stats("resnet14")
+        finally:
+            server.close()
+        sweep.append(
+            {
+                "policy": label,
+                "max_batch_size": policy.max_batch_size,
+                "max_delay_ms": policy.max_delay_ms,
+                "worker_mode": worker_mode,
+                "workers": workers,
+                "clients": CLIENTS,
+                "images_per_second": round(images / seconds, 2),
+                "p50_ms": stats["latency"]["p50_ms"],
+                "p99_ms": stats["latency"]["p99_ms"],
+                "mean_batch": stats["batches"]["mean_size"],
+                "max_queue_depth": stats["queue"]["max_depth"],
+                "accuracy": round(float((labels == targets).mean()), 4),
+                "label_flips_vs_sequential": int((labels != sequential_labels).sum()),
+            }
+        )
+
+    best = max(sweep, key=lambda row: row["images_per_second"])
+    speedup = best["images_per_second"] / (images / sequential_s)
+    record = {
+        "benchmark": "serve_throughput",
+        "network": "resnet14",
+        "dataset": "cifar10",
+        "scale": scale.name,
+        "fast_mode": FAST,
+        "cpus": CPUS,
+        "images": images,
+        "sequential_images_per_second": round(images / sequential_s, 2),
+        "sequential_accuracy": round(sequential_acc, 4),
+        "executor_batch_images_per_second": round(images / executor_batch_s, 2),
+        "executor_batch_accuracy": round(executor_batch_acc, 4),
+        "policies": sweep,
+        "best_policy": best["policy"],
+        "speedup_vs_sequential": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    # Equal accuracy: micro-batching is per-sample exact for every compiled
+    # op; only the float stem conv's BLAS reduction order varies with batch
+    # size, so at most a prediction on a rounding boundary may flip.
+    for row in sweep:
+        assert abs(row["accuracy"] - sequential_acc) <= 1.0 / images + 1e-12, (
+            f"policy {row['policy']} changed accuracy: "
+            f"{row['accuracy']} vs sequential {sequential_acc}"
+        )
+    # The batcher must actually coalesce under concurrent load ...
+    assert any(row["mean_batch"] > 1.5 for row in sweep), (
+        "no policy formed real batches under 8 concurrent clients"
+    )
+    # ... and clear the hardware-aware throughput target.
+    assert speedup >= SPEEDUP_TARGET, (
+        f"dynamic batcher sustains only {speedup:.2f}x the sequential "
+        f"single-sample throughput (target {SPEEDUP_TARGET}x on {CPUS} cpus)"
+    )
+
+
+def test_serve_throughput_scale_fixture(scale):
+    """The benchmark honours REPRO_BENCH_SCALE like every other benchmark."""
+    assert scale.name == bench_scale().name

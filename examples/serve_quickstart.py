@@ -1,0 +1,135 @@
+"""Serve a compiled model: export → repository → batched server → HTTP.
+
+This walks the deployment path documented in docs/SERVING.md:
+
+1. train + weight-pool-compress a small CNN (as in quickstart.py),
+2. calibrate a bit-serial engine and compile the whole-network program,
+3. publish the compiled artifact into an on-disk ModelRepository,
+4. serve it with InferenceServer (dynamic micro-batching over a worker
+   pool) and compare served predictions against the offline executor,
+5. start the stdlib HTTP front end, issue a few JSON requests against it,
+   and print the equivalent curl commands plus the serving stats.
+
+Run with:  python examples/serve_quickstart.py           (full demo)
+           python examples/serve_quickstart.py --fast    (CI smoke)
+           python examples/serve_quickstart.py --serve   (keep serving)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.core import BitSerialInferenceEngine, CompressionPolicy, EngineConfig, compress_model
+from repro.datasets import SyntheticCIFAR10, make_classification_split
+from repro.models import create_model
+from repro.nn import DataLoader, SGD, TrainConfig, Trainer
+from repro.serve import BatchPolicy, InferenceServer, ModelRepository, serve_http
+
+
+def main(seed: int = 0, fast: bool = False, port: int = 0, serve: bool = False) -> None:
+    # ------------------------------------------------- 1. train + compress
+    per_class = (8, 6) if fast else (30, 20)
+    train_ds, test_ds = make_classification_split(
+        SyntheticCIFAR10,
+        train_per_class=per_class[0],
+        test_per_class=per_class[1],
+        seed=seed,
+        noise_std=0.5,
+    )
+    train_loader = DataLoader(train_ds, batch_size=32, shuffle=True, rng=seed)
+    model_name = "tinyconv_tiny" if fast else "tinyconv"
+    model = create_model(model_name, num_classes=10, in_channels=3, rng=seed)
+    print(f"Pretraining {model_name} ...")
+    Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9)).fit(
+        train_loader, TrainConfig(epochs=1 if fast else 3)
+    )
+    result = compress_model(
+        model, train_ds.input_shape, pool_size=64,
+        policy=CompressionPolicy(group_size=8), seed=seed,
+    )
+
+    # ------------------------------------- 2. calibrate + compile the program
+    engine = BitSerialInferenceEngine(
+        result.model, result.pool,
+        EngineConfig(activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2),
+    )
+    engine.calibrate(train_loader)
+    program = engine.compile()
+    print(f"Compiled program: {len(program.ops)} ops, metadata {program.metadata()['op_counts']}")
+
+    # ------------------------------------------- 3. publish into a repository
+    repo_root = tempfile.mkdtemp(prefix="model-repo-")
+    repository = ModelRepository(repo_root)
+    version = repository.publish(program, "tinyconv")
+    print(f"Published tinyconv v{version} under {repo_root}")
+
+    # ------------------------------------------------- 4. serve programmatic
+    server = InferenceServer(
+        repository, policy=BatchPolicy(max_batch_size=16, max_delay_ms=2.0), workers=1
+    )
+    samples = np.stack([test_ds[i][0] for i in range(min(len(test_ds), 32))])
+    targets = np.array([test_ds[i][1] for i in range(len(samples))])
+    futures = [server.predict_async("tinyconv", sample) for sample in samples]
+    served = np.stack([future.result(timeout=300.0) for future in futures])
+    offline = engine.predict(samples)
+    agree = float((served.argmax(axis=1) == offline.argmax(axis=1)).mean())
+    accuracy = float((served.argmax(axis=1) == targets).mean())
+    print(f"Served {len(samples)} single-sample requests: accuracy {accuracy:.1%}, "
+          f"agreement with offline executor {agree:.1%}")
+
+    # ------------------------------------------------------ 5. HTTP front end
+    front = serve_http(server, port=port)
+    url = front.url
+    print(f"HTTP front end listening on {url}")
+    with urllib.request.urlopen(f"{url}/healthz", timeout=30.0) as response:
+        print("GET /healthz ->", response.read().decode())
+    with urllib.request.urlopen(f"{url}/v1/models", timeout=30.0) as response:
+        print("GET /v1/models ->", response.read().decode())
+    request = urllib.request.Request(
+        f"{url}/v1/models/tinyconv/predict",
+        data=json.dumps({"inputs": samples[0].tolist()}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=300.0) as response:
+        payload = json.loads(response.read())
+    print(f"POST /v1/models/tinyconv/predict -> argmax {int(np.argmax(payload['outputs']))} "
+          f"(model {payload['model']} v{payload['version']})")
+    print()
+    print("Stats:", json.dumps(server.stats("tinyconv"), indent=2))
+    print()
+    print("Try it yourself:")
+    print(f"  curl {url}/v1/models/tinyconv/stats")
+    print(f"  curl -X POST {url}/v1/models/tinyconv/predict "
+          "-H 'Content-Type: application/json' -d '{\"inputs\": [[[0.0, ...]]]}'")
+
+    if serve:
+        print("Serving until Ctrl-C ...")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+    front.close()
+    server.close()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="tiny-scale smoke run (used by CI): smaller model, data, epochs",
+    )
+    parser.add_argument("--port", type=int, default=0,
+                        help="HTTP port (0 binds an ephemeral port)")
+    parser.add_argument("--serve", action="store_true",
+                        help="keep the HTTP front end running until Ctrl-C")
+    args = parser.parse_args()
+    main(seed=args.seed, fast=args.fast, port=args.port, serve=args.serve)

@@ -14,6 +14,9 @@ Resource Constrained Processors" (Li & Gupta, MLSys 2022):
   compression and the bit-serial lookup-table execution engine.
 * :mod:`repro.mcu` — a Cortex-M3 cycle-cost simulator standing in for the
   STM32 Nucleo boards used in the paper's runtime evaluation.
+* :mod:`repro.serve` — a model server for compiled network programs:
+  versioned on-disk repository, async dynamic micro-batching, thread/process
+  worker pools, and a stdlib HTTP front end (see ``docs/SERVING.md``).
 * :mod:`repro.baselines` — CMSIS-NN-style int8 baseline and binarized
   networks.
 * :mod:`repro.analysis` / :mod:`repro.experiments` — evaluation utilities and

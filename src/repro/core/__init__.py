@@ -71,6 +71,7 @@ from repro.core.kernel_plan import (
 from repro.core.graph import GraphBuilder, GraphOp, NetworkGraph, lower_model
 from repro.core.program import (
     Executor,
+    IR_OP_KINDS,
     NetworkProgram,
     ProgramOp,
     compile_network,
@@ -87,10 +88,12 @@ from repro.core.storage import (
 )
 from repro.core.export import (
     DeploymentPackage,
+    ProgramFormatError,
     build_deployment_package,
     emit_c_header,
     load_program,
     package_from_program,
+    read_program_metadata,
     save_program,
 )
 from repro.core.tracing import LayerTrace, trace_model
@@ -133,6 +136,7 @@ __all__ = [
     "NetworkGraph",
     "lower_model",
     "Executor",
+    "IR_OP_KINDS",
     "NetworkProgram",
     "ProgramOp",
     "compile_network",
@@ -148,6 +152,8 @@ __all__ = [
     "emit_c_header",
     "save_program",
     "load_program",
+    "read_program_metadata",
+    "ProgramFormatError",
     "package_from_program",
     "LayerTrace",
     "trace_model",

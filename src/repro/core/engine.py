@@ -378,6 +378,26 @@ class BitSerialInferenceEngine:
         executor = self._executor(optimize=optimize, backend=backend, input_shape=input_shape)
         return executor.program
 
+    def export(
+        self,
+        path,
+        optimize: Optional[bool] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> NetworkProgram:
+        """Compile the network and persist it as a program artifact.
+
+        Convenience wrapper around :meth:`compile` +
+        :func:`repro.core.export.save_program`: the written ``.npz`` is the
+        deployment artifact a :class:`repro.serve.ModelRepository` serves
+        (``repository.publish(engine.compile(), name)`` is the equivalent
+        two-step spelling).  Returns the compiled program.
+        """
+        from repro.core.export import save_program  # engine is imported by export
+
+        program = self.compile(optimize=optimize, input_shape=input_shape)
+        save_program(program, path)
+        return program
+
     def _executor(
         self,
         optimize: Optional[bool] = None,

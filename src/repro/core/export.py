@@ -25,9 +25,20 @@ deployment artifact:
   ``.npz`` archive and reconstruct it exactly — a loaded program executes
   bit-identically to the original through the graph
   :class:`~repro.core.program.Executor`, with no model object required;
+* :func:`read_program_metadata` — the artifact's JSON header only (op
+  counts, shapes, LUT geometry) without touching the arrays, so model
+  repositories can list artifacts cheaply;
 * :func:`package_from_program` — build the MCU flash
   :class:`DeploymentPackage` straight from the IR, so the host-side executor
   artifact and the firmware image share one source of truth.
+
+Program artifacts are versioned: :data:`PROGRAM_SCHEMA_VERSION` is written
+into every archive and checked on load, so a non-program file or an
+artifact written by an unsupported schema version raises
+:class:`ProgramFormatError` (naming the offending path and both versions)
+instead of failing deep inside deserialization.  The supported set is
+:data:`SUPPORTED_PROGRAM_SCHEMAS` — v1 (the pre-versioning format) still
+loads because v2 is purely additive.
 
 The package size reported here is what the MCU cost model's flash-fit check
 uses conceptually (indices + LUT + uncompressed layers), so the two agree.
@@ -280,6 +291,44 @@ def build_deployment_package(
 # ---------------------------------------------------------------------------
 # Compiled-program serialization (the executor-side deployment artifact)
 # ---------------------------------------------------------------------------
+#: Schema version written into every program artifact.  Version 1 is the
+#: original (implicitly unversioned) format of the first compiled-program
+#: release; version 2 adds the explicit ``schema`` field and the embedded
+#: metadata summary.  Bump this whenever the archive layout changes
+#: incompatibly.
+PROGRAM_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_program` can read.  v2 is purely additive
+#: over v1, so v1 artifacts (no ``schema`` field) still load; unknown
+#: versions raise :class:`ProgramFormatError`.
+SUPPORTED_PROGRAM_SCHEMAS = (1, PROGRAM_SCHEMA_VERSION)
+
+
+class ProgramFormatError(ValueError):
+    """A program artifact is unreadable: wrong schema version or not a
+    program archive at all.  The message always names the offending path."""
+
+
+def _program_header(path: Path, data) -> Dict:
+    """Parse and schema-check the ``__program__`` JSON header of an archive."""
+    if "__program__" not in data:
+        raise ProgramFormatError(
+            f"'{path}' is not a compiled-program artifact "
+            "(missing the '__program__' header; was it written by "
+            "save_program()?)"
+        )
+    meta = json.loads(str(data["__program__"]))
+    schema = meta.get("schema", 1)
+    if schema not in SUPPORTED_PROGRAM_SCHEMAS:
+        supported = ", ".join(str(v) for v in SUPPORTED_PROGRAM_SCHEMAS)
+        raise ProgramFormatError(
+            f"'{path}' was written with program schema version {schema}, but "
+            f"this build reads version(s) {supported}; re-export the program "
+            "with the matching repro version"
+        )
+    return meta
+
+
 def _encode_attrs(attrs: Dict, prefix: str, arrays: Dict[str, np.ndarray]) -> Dict:
     """Split op attrs into a JSON-able description + named npz arrays."""
     meta: Dict[str, Dict] = {}
@@ -346,7 +395,11 @@ def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
     The archive is self-contained: the op stream (with folded epilogues and
     quantization parameters), the LUT, and the float weights of uncompressed
     layers.  :func:`load_program` reconstructs a program whose executor output
-    is bit-identical to the original's.
+    is bit-identical to the original's.  The archive carries
+    :data:`PROGRAM_SCHEMA_VERSION` plus the program's
+    :meth:`~repro.core.program.NetworkProgram.metadata` summary, which
+    :func:`read_program_metadata` (and model repositories built on it) read
+    without touching the arrays.
     """
     if not program.bound:
         raise ValueError("only bound programs (with a LUT) can be serialized")
@@ -367,6 +420,8 @@ def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
             }
         )
     meta = {
+        "schema": PROGRAM_SCHEMA_VERSION,
+        "metadata": program.metadata(),
         "input_shape": list(program.input_shape),
         "input_id": int(program.input_id),
         "output_id": int(program.output_id),
@@ -391,9 +446,12 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
 
     The loaded program carries no module references — it executes purely from
     the serialized op attributes (indices, LUT, epilogue terms, weights).
+    Raises :class:`ProgramFormatError` (naming ``path``) when the file is not
+    a program artifact or was written by an unsupported schema version.
     """
-    data = np.load(Path(path), allow_pickle=False)
-    meta = json.loads(str(data["__program__"]))
+    path = Path(path)
+    data = np.load(path, allow_pickle=False)
+    meta = _program_header(path, data)
     lut_meta = meta["lut"]
     lut = LookupTable(
         values=data["__lut_values__"],
@@ -427,6 +485,55 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
         act_bitwidth=meta["act_bitwidth"],
         optimized=meta["optimized"],
     )
+
+
+def read_program_metadata(path: Union[str, Path]) -> Dict:
+    """Read a program artifact's metadata summary without loading arrays.
+
+    Returns the dict :meth:`NetworkProgram.metadata` produced at save time
+    (input/output shapes, op counts, activation bitwidth, LUT geometry, …)
+    plus ``schema`` and ``file_bytes``.  ``.npz`` members load lazily, so
+    this only decompresses the small JSON header — cheap enough for a model
+    repository to call on every artifact it lists.  Raises
+    :class:`ProgramFormatError` on non-program or wrong-schema files.
+    """
+    path = Path(path)
+    data = np.load(path, allow_pickle=False)
+    meta = _program_header(path, data)
+    summary = dict(meta.get("metadata") or _metadata_from_header(meta))
+    summary["schema"] = meta.get("schema", 1)
+    summary["file_bytes"] = path.stat().st_size
+    return summary
+
+
+def _metadata_from_header(meta: Dict) -> Dict:
+    """Derive the metadata summary from a v1 header (no embedded summary).
+
+    Everything needed lives in the JSON: op kinds/shapes, buffer counts, and
+    the LUT geometry — still no array loads.
+    """
+    op_counts: Dict[str, int] = {}
+    output_shape = list(meta["input_shape"])
+    for op_meta in meta["ops"]:
+        op_counts[op_meta["kind"]] = op_counts.get(op_meta["kind"], 0) + 1
+        if op_meta["output"] == meta["output_id"]:
+            output_shape = list(op_meta["out_shape"])
+    lut_meta = meta["lut"]
+    return {
+        "input_shape": list(meta["input_shape"]),
+        "output_shape": output_shape,
+        "num_ops": len(meta["ops"]),
+        "num_buffers": int(meta["num_buffers"]),
+        "op_counts": op_counts,
+        "act_bitwidth": int(meta["act_bitwidth"]),
+        "optimized": bool(meta["optimized"]),
+        "bound": True,  # only bound programs are ever serialized
+        "lut": {
+            "pool_size": int(lut_meta["pool_size"]),
+            "group_size": int(lut_meta["group_size"]),
+            "bitwidth": lut_meta["bitwidth"],
+        },
+    }
 
 
 def package_from_program(

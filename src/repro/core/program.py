@@ -68,6 +68,27 @@ from repro.quantization.quantizer import QuantParams
 # ---------------------------------------------------------------------------
 # IR
 # ---------------------------------------------------------------------------
+#: Every op kind a :class:`NetworkProgram` can contain.  This is the
+#: canonical list: the typing stage only emits these, the executors only
+#: accept these, and ``docs/ARCHITECTURE.md`` documents each one (a docs test
+#: keeps the table in sync with this tuple).
+IR_OP_KINDS: Tuple[str, ...] = (
+    "quantize",
+    "pad_channels",
+    "bitserial_conv",
+    "bitserial_linear",
+    "dequantize",
+    "requantize",
+    "batchnorm",
+    "activation",
+    "pool",
+    "flatten",
+    "add",
+    "conv",
+    "linear",
+)
+
+
 @dataclass(eq=False)
 class ProgramOp:
     """One typed op of a compiled network program.
@@ -115,6 +136,43 @@ class NetworkProgram:
 
     def count(self, kind: str) -> int:
         return sum(1 for op in self.ops if op.kind == kind)
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        """Per-sample shape of the program output buffer."""
+        for op in self.ops:
+            if op.output == self.output_id:
+                return tuple(op.out_shape)
+        return tuple(self.input_shape)  # degenerate identity program
+
+    def metadata(self) -> Dict[str, Any]:
+        """Cheap JSON-able summary of the program (no arrays).
+
+        This is what a model repository stores next to the serialized
+        artifact so that listing/choosing models never has to open the
+        ``.npz``; :func:`repro.core.export.read_program_metadata` derives the
+        same keys from a saved artifact's JSON header.
+        """
+        op_counts: Dict[str, int] = {}
+        for op in self.ops:
+            op_counts[op.kind] = op_counts.get(op.kind, 0) + 1
+        meta: Dict[str, Any] = {
+            "input_shape": list(self.input_shape),
+            "output_shape": list(self.output_shape),
+            "num_ops": len(self.ops),
+            "num_buffers": int(self.num_buffers),
+            "op_counts": op_counts,
+            "act_bitwidth": int(self.act_bitwidth),
+            "optimized": bool(self.optimized),
+            "bound": self.bound,
+        }
+        if self.lut is not None:
+            meta["lut"] = {
+                "pool_size": int(self.lut.pool_size),
+                "group_size": int(self.lut.group_size),
+                "bitwidth": self.lut.bitwidth,
+            }
+        return meta
 
     # -- geometry ---------------------------------------------------------------
     def layer_traces(self) -> List[LayerTrace]:

@@ -1,0 +1,65 @@
+"""Model serving for compiled network programs.
+
+This package turns the offline compile pipeline (calibrate → lower →
+optimize → :class:`~repro.core.program.Executor`) into a request-serving
+system — the deployment story of ``docs/SERVING.md``:
+
+* :class:`ModelRepository` (:mod:`repro.serve.repository`) — on-disk store of
+  :func:`~repro.core.export.save_program` artifacts, versioned by name, with
+  LRU-cached loading and atomic hot-swap publishing.
+* :class:`DynamicBatcher` / :class:`BatchPolicy` (:mod:`repro.serve.batcher`)
+  — coalesce single-sample requests into executor-sized batches under a
+  max-batch / max-delay policy.
+* :class:`ThreadWorkerPool` / :class:`ProcessWorkerPool`
+  (:mod:`repro.serve.workers`) — shard batches across workers, each owning
+  its own executor (any registered backend); a crashed process worker fails
+  its in-flight requests instead of hanging them.
+* :class:`InferenceServer` (:mod:`repro.serve.server`) — the programmatic
+  API tying the above together, with per-model latency/throughput/queue
+  stats (:mod:`repro.serve.stats`).
+* :func:`serve_http` (:mod:`repro.serve.http`) — a stdlib JSON-over-HTTP
+  front end.
+
+Quickstart::
+
+    from repro.serve import InferenceServer, ModelRepository, serve_http
+
+    repo = ModelRepository("model-repo")
+    repo.publish(engine.compile(), "resnet14")      # or engine.export(path)
+
+    server = InferenceServer(repo)
+    logits = server.predict("resnet14", image)       # batched under the hood
+
+    front = serve_http(server, port=8080)            # curl-able; see docs
+"""
+
+from repro.serve.batcher import BatcherClosed, BatchPolicy, DynamicBatcher, QueueFull
+from repro.serve.http import HttpFrontEnd, serve_http
+from repro.serve.repository import LoadedModel, ModelNotFound, ModelRepository
+from repro.serve.server import InferenceServer
+from repro.serve.stats import LatencyWindow, ModelStats
+from repro.serve.workers import (
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerCrashed,
+    WorkerError,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatcherClosed",
+    "DynamicBatcher",
+    "QueueFull",
+    "HttpFrontEnd",
+    "serve_http",
+    "LoadedModel",
+    "ModelNotFound",
+    "ModelRepository",
+    "InferenceServer",
+    "LatencyWindow",
+    "ModelStats",
+    "ProcessWorkerPool",
+    "ThreadWorkerPool",
+    "WorkerCrashed",
+    "WorkerError",
+]

@@ -1,0 +1,234 @@
+"""Dynamic micro-batching: coalesce single-sample requests into batches.
+
+The serving hot path accepts one sample per request, but the executor's
+throughput comes from batched kernels (one bit-encode amortized over the
+batch, BLAS-shaped float ops).  :class:`DynamicBatcher` bridges the two with
+the classic dynamic-batching policy:
+
+* a request arriving at an empty queue opens a new batch window;
+* the window closes — and the batch dispatches — as soon as **either** the
+  batch reaches ``max_batch_size`` **or** ``max_delay_ms`` has elapsed since
+  the window opened (so a lone request never waits longer than the latency
+  budget);
+* results scatter back to per-request futures in submission order.
+
+The batcher is asynchronous end to end: ``submit`` returns a
+:class:`concurrent.futures.Future` immediately, batches dispatch to the
+worker pool's ``submit`` (itself returning a future), and completion
+callbacks resolve the per-request futures — the collector thread never blocks
+on inference, so batch k+1 forms while batch k executes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.stats import ModelStats
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic batching window.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Hard cap on samples per dispatched batch (the executor batch size).
+        1 disables coalescing — every request is its own batch.
+    max_delay_ms:
+        Longest a request may wait for co-batched company.  The first
+        request of a window starts the clock; when it expires the batch
+        flushes at whatever size it reached.  0 flushes immediately.
+    max_queue:
+        Backpressure bound: ``submit`` raises :class:`QueueFull` once this
+        many requests are waiting in the queue, instead of buffering
+        unboundedly under overload.  (Up to ``max_batch_size`` further
+        requests may sit in the batch currently forming, so the total
+        buffered is bounded by ``max_queue + max_batch_size``.)
+    """
+
+    max_batch_size: int = 16
+    max_delay_ms: float = 2.0
+    max_queue: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+class QueueFull(RuntimeError):
+    """The batcher's request queue hit ``BatchPolicy.max_queue``."""
+
+
+class BatcherClosed(RuntimeError):
+    """submit() after close()."""
+
+
+@dataclass
+class _Pending:
+    sample: np.ndarray
+    future: Future
+    arrival: float
+
+
+_SHUTDOWN = object()
+
+
+class DynamicBatcher:
+    """Coalesces submitted samples into batches dispatched to a worker pool.
+
+    ``dispatch`` receives a stacked ``(B, *sample_shape)`` array and returns
+    a future resolving to the ``(B, ...)`` output (a worker pool's
+    ``submit``).  Per-request latency (arrival → scatter) and batch sizes are
+    recorded into ``stats`` when given.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[np.ndarray], "Future"],
+        policy: Optional[BatchPolicy] = None,
+        stats: Optional[ModelStats] = None,
+        name: str = "batcher",
+    ):
+        self.dispatch = dispatch
+        self.policy = policy or BatchPolicy()
+        self.stats = stats
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        # Orders submit() against close(): once the shutdown sentinel is in
+        # the queue no further request can be enqueued behind it, so every
+        # accepted future is guaranteed to flush.
+        self._submit_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}-collector", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side -----------------------------------------------------------
+    def submit(self, sample: np.ndarray) -> Future:
+        """Enqueue one sample; the future resolves to its output row."""
+        future: Future = Future()
+        pending = _Pending(np.asarray(sample), future, time.perf_counter())
+        with self._submit_lock:
+            if self._closed:
+                raise BatcherClosed("batcher is closed")
+            # Depth check under the submit lock: concurrent submitters
+            # cannot all pass at max_queue - 1, so the documented bound
+            # holds exactly for the queue itself.
+            depth = self._queue.qsize()
+            if depth >= self.policy.max_queue:
+                raise QueueFull(
+                    f"request queue at capacity ({self.policy.max_queue}); "
+                    "shed load or raise BatchPolicy.max_queue"
+                )
+            if self.stats is not None:
+                self.stats.record_submit(queue_depth=depth + 1)
+            self._queue.put(pending)
+        return future
+
+    def queue_depth(self) -> int:
+        """Requests waiting to be batched (excludes dispatched batches)."""
+        return self._queue.qsize()
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, flush what is queued, stop the thread.
+
+        Requests already submitted still dispatch; their futures resolve
+        through the worker pool's completion callbacks as usual.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout)
+
+    # -- collector thread --------------------------------------------------------
+    def _run(self) -> None:
+        max_delay = self.policy.max_delay_ms / 1e3
+        running = True
+        while running:
+            head = self._queue.get()
+            if head is _SHUTDOWN:
+                break
+            pending: List[_Pending] = [head]
+            deadline = head.arrival + max_delay
+            while len(pending) < self.policy.max_batch_size:
+                timeout = deadline - time.perf_counter()
+                try:
+                    # An already-expired deadline (the collector fell behind
+                    # the offered load) still drains whatever is queued right
+                    # now: under backlog the batches must grow toward
+                    # max_batch_size, not collapse to size 1.
+                    nxt = (
+                        self._queue.get_nowait()
+                        if timeout <= 0
+                        else self._queue.get(timeout=timeout)
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    running = False
+                    break
+                pending.append(nxt)
+            self._flush(pending)
+
+    def _flush(self, pending: List[_Pending]) -> None:
+        if self.stats is not None:
+            self.stats.record_batch(len(pending))
+        try:
+            # stack() is inside the guard: mismatched sample shapes must fail
+            # the batch's requests, not kill the collector thread.
+            batch = np.stack([p.sample for p in pending])
+            batch_future = self.dispatch(batch)
+        except Exception as exc:  # bad samples, or dispatch refused (pool dead)
+            self._scatter_error(pending, exc)
+            return
+        batch_future.add_done_callback(lambda f: self._scatter(pending, f))
+
+    def _scatter(self, pending: List[_Pending], batch_future: Future) -> None:
+        exc = batch_future.exception()
+        if exc is not None:
+            self._scatter_error(pending, exc)
+            return
+        outputs = batch_future.result()
+        now = time.perf_counter()
+        for i, p in enumerate(pending):
+            if self.stats is not None:
+                self.stats.record_done(now - p.arrival, ok=True)
+            _resolve(p.future, result=outputs[i])
+
+    def _scatter_error(self, pending: List[_Pending], exc: BaseException) -> None:
+        now = time.perf_counter()
+        for p in pending:
+            if self.stats is not None:
+                self.stats.record_done(now - p.arrival, ok=False)
+            _resolve(p.future, error=exc)
+
+
+def _resolve(future: Future, result=None, error: Optional[BaseException] = None) -> None:
+    """Set a request future's outcome, tolerating client-side cancellation.
+
+    A caller may cancel() its future while the request waits in the batching
+    window; setting a cancelled future raises InvalidStateError, and letting
+    that escape the scatter loop would strand every later request in the
+    same batch.
+    """
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass

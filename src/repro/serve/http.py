@@ -1,0 +1,190 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.server.InferenceServer`.
+
+A thin JSON-over-HTTP adapter (no third-party dependencies: plain
+``http.server`` with a threading server, one thread per connection) exposing:
+
+========  ==============================  =========================================
+Method    Path                            Meaning
+========  ==============================  =========================================
+GET       ``/healthz``                    liveness probe
+GET       ``/v1/models``                  published models and versions
+GET       ``/v1/models/<name>``           program metadata (``?version=N``)
+GET       ``/v1/models/<name>/stats``     latency/throughput/queue stats
+POST      ``/v1/models/<name>/predict``   run inference (``?version=N``)
+========  ==============================  =========================================
+
+``predict`` accepts ``{"inputs": <nested list>}`` holding either one sample
+(shape = the program's input shape) or a batch (one extra leading axis).
+Batch rows are submitted to the dynamic batcher individually, so concurrent
+HTTP clients coalesce into shared executor batches exactly like programmatic
+ones.  See ``docs/SERVING.md`` for a curl-able quickstart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.serve.batcher import QueueFull
+from repro.serve.repository import ModelNotFound
+from repro.serve.server import InferenceServer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The inference server is attached to the HTTP server object.
+    @property
+    def inference(self) -> InferenceServer:
+        return self.server.inference  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep pytest/CI output clean; stats cover observability
+
+    # -- plumbing ----------------------------------------------------------------
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _route(self) -> Tuple[list, Optional[int]]:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        version = None
+        if "version" in query:
+            try:
+                version = int(query["version"][0])
+            except ValueError:
+                raise ValueError(f"version must be an integer, got {query['version'][0]!r}")
+        return parts, version
+
+    # -- handlers ----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            parts, version = self._route()
+        except ValueError as exc:
+            return self._error(400, str(exc))
+        try:
+            if parts == ["healthz"]:
+                return self._send_json({"status": "ok"})
+            if parts == ["v1", "models"]:
+                return self._send_json({"models": self.inference.models()})
+            if len(parts) == 3 and parts[:2] == ["v1", "models"]:
+                return self._send_json(self.inference.metadata(parts[2], version))
+            if len(parts) == 4 and parts[:2] == ["v1", "models"] and parts[3] == "stats":
+                return self._send_json(self.inference.stats(parts[2], version))
+        except ModelNotFound as exc:
+            return self._error(404, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        # Drain the body unconditionally and first: on a keep-alive
+        # connection, replying without reading Content-Length bytes leaves
+        # them in rfile to be misparsed as the next request line.
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length)
+        except ValueError:
+            self.close_connection = True  # unknown body length; cannot reuse
+            return self._error(400, "Content-Length must be an integer")
+        try:
+            parts, version = self._route()
+        except ValueError as exc:
+            return self._error(400, str(exc))
+        if not (len(parts) == 4 and parts[:2] == ["v1", "models"] and parts[3] == "predict"):
+            return self._error(404, f"no route for POST {self.path}")
+        name = parts[2]
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError(f"expected a JSON object, got {type(payload).__name__}")
+            inputs = np.asarray(payload["inputs"], dtype=np.float64)
+            if "version" in payload and version is None:
+                version = int(payload["version"])
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return self._error(
+                400, f"body must be a JSON object with an 'inputs' array: {exc}"
+            )
+        try:
+            # One pipeline resolution serves the whole request (single
+            # sample, or batch rows coalescing in the dynamic-batching
+            # window) and names the version that actually served it.
+            served_version, outputs, batched = self.inference.predict_request(
+                name, inputs, version
+            )
+        except ModelNotFound as exc:
+            return self._error(404, str(exc))
+        except QueueFull as exc:
+            return self._error(503, str(exc))
+        except ValueError as exc:
+            return self._error(400, str(exc))
+        except Exception as exc:
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        self._send_json(
+            {
+                "model": name,
+                "version": served_version,
+                "batched": batched,
+                "outputs": outputs.tolist(),
+            }
+        )
+
+
+class HttpFrontEnd:
+    """A running HTTP front end; ``close()`` (or the context manager) stops it."""
+
+    def __init__(self, inference: InferenceServer, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.inference = inference  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound (port 0 picks an ephemeral one)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "HttpFrontEnd":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def serve_http(
+    inference: InferenceServer, host: str = "127.0.0.1", port: int = 8080
+) -> HttpFrontEnd:
+    """Start the HTTP front end on (host, port); port 0 binds an ephemeral port.
+
+    Returns the running :class:`HttpFrontEnd` (it serves from a daemon
+    thread; call ``close()`` to stop).
+    """
+    return HttpFrontEnd(inference, host=host, port=port)

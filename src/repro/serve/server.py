@@ -1,0 +1,382 @@
+"""The inference server: repository-backed, batched, multi-worker serving.
+
+:class:`InferenceServer` composes the serve stack:
+
+* a :class:`~repro.serve.repository.ModelRepository` supplies compiled
+  :class:`~repro.core.program.NetworkProgram` artifacts by name/version
+  (latest version wins when none is requested — publishing a new version
+  hot-swaps traffic on the next request);
+* per served (name, version) a *pipeline* is built lazily: a worker pool
+  (threads in-process, or OS processes loading the artifact themselves)
+  behind a :class:`~repro.serve.batcher.DynamicBatcher`, plus
+  :class:`~repro.serve.stats.ModelStats`;
+* ``predict`` / ``predict_async`` submit single samples through the batcher;
+  ``predict_batch`` sends a pre-formed batch straight to the worker pool
+  (bulk clients should not pay the coalescing delay they do not need).
+
+The programmatic API is thread-safe; the stdlib HTTP front end
+(:func:`repro.serve.http.serve_http`) is a thin JSON adapter over it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.program import Executor, NetworkProgram
+from repro.serve.batcher import BatcherClosed, BatchPolicy, DynamicBatcher
+from repro.serve.repository import ModelRepository
+from repro.serve.stats import ModelStats
+from repro.serve.workers import ProcessWorkerPool, ThreadWorkerPool
+
+
+class _Pipeline:
+    """The serving machinery of one (name, version): pool + batcher + stats.
+
+    Thread mode holds the deserialized program (each worker thread builds its
+    own executor from it); process mode holds only the artifact path — the
+    worker processes load the program themselves, so the parent never pays
+    (or duplicates) the deserialization.
+    """
+
+    def __init__(
+        self,
+        server: "InferenceServer",
+        name: str,
+        version: int,
+        path: Path,
+        input_shape: Tuple[int, ...],
+        program: Optional[NetworkProgram],
+    ):
+        self.name = name
+        self.version = version
+        self.path = path
+        self.input_shape = tuple(input_shape)
+        self.program = program
+        # An explicitly requested (pinned) version is exempt from hot-swap
+        # retirement; set by the server on pinned lookups.
+        self.pinned = False
+        self.stats = ModelStats(queue_depth_fn=lambda: self.batcher.queue_depth())
+        if server.worker_mode == "process":
+            self.pool = ProcessWorkerPool(
+                path,
+                backend=server.backend,
+                num_workers=server.workers,
+                mp_context=server.mp_context,
+            )
+        else:
+            # Each worker thread builds its own executor: executors are
+            # single-threaded objects (plan caches, buffer pools).
+            backend = server.backend
+            self.pool = ThreadWorkerPool(
+                lambda: Executor(program, backend=backend),
+                num_workers=server.workers,
+                name=f"serve-{name}-v{version}",
+            )
+        self.batcher = DynamicBatcher(
+            self.pool.submit,
+            policy=server.policy,
+            stats=self.stats,
+            name=f"{name}-v{version}",
+        )
+
+    def close(self) -> None:
+        self.batcher.close()
+        self.pool.close()
+
+
+class InferenceServer:
+    """Serve compiled network programs with dynamic batching.
+
+    Parameters
+    ----------
+    repository:
+        A :class:`ModelRepository` (or a path, which constructs one).
+    policy:
+        Dynamic batching policy shared by every served model.
+    workers:
+        Worker count per served model version.
+    worker_mode:
+        ``"thread"`` (default; in-process executors) or ``"process"``
+        (each worker is an OS process loading the artifact itself).
+    backend:
+        Executor backend for every pipeline (``plan`` / ``reference`` /
+        ``cost`` — any registered name).
+    mp_context:
+        Start method for process workers (``fork``/``spawn``), ``None`` for
+        the platform default.
+    """
+
+    def __init__(
+        self,
+        repository: Union[ModelRepository, str],
+        policy: Optional[BatchPolicy] = None,
+        workers: int = 1,
+        worker_mode: str = "thread",
+        backend: str = "plan",
+        mp_context: Optional[str] = None,
+    ):
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
+        self.repository = (
+            repository if isinstance(repository, ModelRepository) else ModelRepository(repository)
+        )
+        self.policy = policy or BatchPolicy()
+        self.workers = workers
+        self.worker_mode = worker_mode
+        self.backend = backend
+        self.mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pipelines: Dict[Tuple[str, int], _Pipeline] = {}
+        self._closed = False
+
+    # -- pipelines ---------------------------------------------------------------
+    def _pipeline(self, name: str, version: Optional[int] = None) -> _Pipeline:
+        """The pipeline for (name, version-or-latest), building it on demand.
+
+        With ``version=None`` the latest published version is re-resolved on
+        every call (a directory listing), which is what makes hot-swap work:
+        publish version N+1 and the very next request builds its pipeline and
+        drains the old one.  An explicitly pinned version is marked and never
+        retired by hot-swap; its pipeline lives until ``close()``.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        pinned = version is not None
+        if pinned:
+            # Fast path: a pinned, already-built pipeline needs no disk I/O.
+            with self._lock:
+                pipeline = self._pipelines.get((name, version))
+                if pipeline is not None:
+                    pipeline.pinned = True
+                    return pipeline
+        name, version, path = self.repository.resolve(name, version)
+        key = (name, version)
+        with self._lock:
+            pipeline = self._pipelines.get(key)
+            if pipeline is not None:
+                if pinned:
+                    pipeline.pinned = True
+                return pipeline
+        # Build outside the lock: artifact deserialization and worker spawns
+        # are slow and must not stall traffic to already-built pipelines.  A
+        # concurrent build of the same key is resolved by re-checking on
+        # insert (the loser is closed before it ever saw a request).
+        if self.worker_mode == "process":
+            # Workers load the artifact themselves; the parent only needs
+            # the path and the input shape (header-only read).
+            meta = self.repository.metadata(name, version)
+            candidate = _Pipeline(
+                self, name, version, path, tuple(meta["input_shape"]), None
+            )
+        else:
+            loaded = self.repository.get(name, version)
+            candidate = _Pipeline(
+                self, name, version, loaded.path,
+                tuple(loaded.program.input_shape), loaded.program,
+            )
+        retired: List[_Pipeline] = []
+        loser: Optional[_Pipeline] = None
+        with self._lock:
+            if self._closed:
+                loser = candidate
+                pipeline = None
+            else:
+                pipeline = self._pipelines.get(key)
+                if pipeline is None:
+                    pipeline = candidate
+                    self._pipelines[key] = pipeline
+                else:
+                    loser = candidate
+                if pinned:
+                    pipeline.pinned = True
+                for k in list(self._pipelines):
+                    old = self._pipelines[k]
+                    if k[0] == name and k[1] < version and not old.pinned:
+                        retired.append(self._pipelines.pop(k))
+        if loser is not None:
+            loser.close()
+        # Retire superseded versions on a background thread: close() drains
+        # the old queue (accepted requests still resolve), which can take as
+        # long as the backlog — the request that happened to trigger the
+        # hot-swap must not stall for it.
+        for old in retired:
+            threading.Thread(
+                target=old.close, name=f"retire-{old.name}-v{old.version}", daemon=True
+            ).start()
+        if pipeline is None:
+            raise RuntimeError("server is closed")
+        return pipeline
+
+    def serving(self) -> List[Tuple[str, int]]:
+        """(name, version) pairs with a live pipeline."""
+        with self._lock:
+            return sorted(self._pipelines)
+
+    # -- inference ---------------------------------------------------------------
+    def predict_async(
+        self, name: str, sample: np.ndarray, version: Optional[int] = None
+    ) -> Future:
+        """Submit one sample; the future resolves to its output row.
+
+        The sample shape is validated here, before coalescing, so one
+        malformed request fails alone instead of failing the batch it would
+        have joined.
+        """
+        sample = np.asarray(sample)
+        for attempt in (0, 1):
+            pipeline = self._pipeline(name, version)
+            if sample.shape != pipeline.input_shape:
+                raise ValueError(
+                    f"sample shape {sample.shape} does not match model "
+                    f"'{name}' input shape {pipeline.input_shape}"
+                )
+            try:
+                return pipeline.batcher.submit(sample)
+            except BatcherClosed:
+                # Lost the race against a concurrent hot-swap retirement;
+                # the retired pipeline is already out of the table, so the
+                # retry resolves to the replacement.
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def predict(
+        self,
+        name: str,
+        sample: np.ndarray,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking single-sample inference through the dynamic batcher."""
+        return self.predict_async(name, sample, version).result(timeout=timeout)
+
+    def predict_batch(
+        self,
+        name: str,
+        batch: np.ndarray,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Run a pre-formed batch directly on the worker pool (no coalescing).
+
+        Counts each row as a request in the model's stats (submitted,
+        completed/failed, latency), so bulk traffic shows up consistently
+        next to batched single-sample traffic.
+        """
+        batch = np.asarray(batch)
+        pipeline = self._pipeline(name, version)
+        stats = pipeline.stats
+        stats.record_submit(count=len(batch))
+        stats.record_batch(len(batch))
+        start = time.perf_counter()
+        try:
+            outputs = pipeline.pool.submit(batch).result(timeout=timeout)
+        except BaseException:
+            stats.record_done(time.perf_counter() - start, ok=False, count=len(batch))
+            raise
+        stats.record_done(time.perf_counter() - start, ok=True, count=len(batch))
+        return outputs
+
+    # -- introspection -----------------------------------------------------------
+    def models(self) -> Dict[str, List[int]]:
+        """Published models and versions (from the repository)."""
+        return self.repository.list_models()
+
+    def metadata(self, name: str, version: Optional[int] = None) -> Dict:
+        """Cheap program metadata of a published model version."""
+        return self.repository.metadata(name, version)
+
+    def predict_request(
+        self,
+        name: str,
+        inputs: np.ndarray,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, np.ndarray, bool]:
+        """Serve one request body: a single sample or a batch of them.
+
+        ``inputs`` either has the model's input shape (one sample) or one
+        extra leading axis (a batch whose rows join the dynamic-batching
+        window individually).  One pipeline resolution covers validation,
+        inference, and the reported version, so the returned
+        ``(version, outputs, batched)`` names the version that served —
+        this is the HTTP front end's request path.  Raises
+        :class:`ValueError` on a shape that matches neither form.
+
+        If a hot-swap retires the pipeline mid-submission, rows already
+        accepted still resolve on the retiring pipeline (its close() drains
+        them) and only the remaining rows continue on the replacement — no
+        row is inferred twice.  The reported version is then the
+        replacement's (the one that served the request's tail).
+        """
+        inputs = np.asarray(inputs)
+        futures: List[Future] = []
+        for attempt in (0, 1):
+            pipeline = self._pipeline(name, version)
+            expected = pipeline.input_shape
+            if inputs.shape == expected:
+                rows, batched = inputs[None], False
+            elif inputs.ndim == len(expected) + 1 and inputs.shape[1:] == expected:
+                rows, batched = inputs, True
+            else:
+                raise ValueError(
+                    f"inputs shape {inputs.shape} matches neither the model's "
+                    f"input shape {expected} nor a batch of it"
+                )
+            try:
+                while len(futures) < len(rows):
+                    futures.append(pipeline.batcher.submit(rows[len(futures)]))
+            except BatcherClosed:
+                if attempt:  # see predict_async: hot-swap retirement race
+                    raise
+                continue
+            outputs = np.stack([future.result(timeout=timeout) for future in futures])
+            return pipeline.version, outputs if batched else outputs[0], batched
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def stats(self, name: str, version: Optional[int] = None) -> Dict:
+        """Stats snapshot for (name, version-or-latest).
+
+        Read-only: never builds a pipeline.  A model that has served no
+        traffic reports zeroed counters (the name/version must still exist —
+        unknown models raise :class:`ModelNotFound`).
+        """
+        name, version, _ = self.repository.resolve(name, version)
+        with self._lock:
+            pipeline = self._pipelines.get((name, version))
+        if pipeline is None:
+            return ModelStats().snapshot()
+        return pipeline.stats.snapshot()
+
+    def snapshot(self) -> Dict:
+        """Stats snapshots of every live pipeline, keyed ``name/version``."""
+        with self._lock:
+            pipelines = dict(self._pipelines)
+        return {
+            f"{name}/{version}": pipeline.stats.snapshot()
+            for (name, version), pipeline in sorted(pipelines.items())
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and stop every pipeline; further predicts raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pipelines = list(self._pipelines.values())
+            self._pipelines.clear()
+        for pipeline in pipelines:
+            pipeline.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

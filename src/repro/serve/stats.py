@@ -1,0 +1,140 @@
+"""Serving metrics: per-request latency, batching behaviour, queue depth.
+
+Every served model owns one :class:`ModelStats`.  The dynamic batcher and the
+server feed it from their worker/callback threads; :meth:`ModelStats.snapshot`
+renders a JSON-able summary (the HTTP front end's ``/stats`` endpoint and the
+throughput benchmark both consume it).  All updates take a single lock, and a
+latency reservoir keeps only the most recent observations, so the cost per
+request is constant and the memory bounded regardless of uptime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Sliding window of the last ``capacity`` latency observations (seconds).
+
+    Percentiles are computed over the window on demand; recording is O(1).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._values = deque(maxlen=capacity)
+
+    def record(self, seconds: float, count: int = 1) -> None:
+        """Record an observation (``count`` > 1 weights it as that many
+        requests, e.g. one timed bulk batch)."""
+        if count == 1:
+            self._values.append(float(seconds))
+        else:
+            self._values.extend(itertools.repeat(float(seconds), count))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the window, 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._values, dtype=np.float64), q))
+
+    def summary_ms(self) -> Dict[str, float]:
+        """Mean/p50/p99/max of the window, in milliseconds."""
+        if not self._values:
+            return {"mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        values = np.fromiter(self._values, dtype=np.float64) * 1e3
+        return {
+            "mean_ms": round(float(values.mean()), 3),
+            "p50_ms": round(float(np.percentile(values, 50)), 3),
+            "p99_ms": round(float(np.percentile(values, 99)), 3),
+            "max_ms": round(float(values.max()), 3),
+        }
+
+
+class ModelStats:
+    """Thread-safe request/batch/latency counters for one served model.
+
+    ``queue_depth_fn`` is an optional gauge (the batcher's live queue size)
+    sampled at snapshot time; the high-water mark is tracked on every submit.
+    """
+
+    def __init__(self, window: int = 4096,
+                 queue_depth_fn: Optional[Callable[[], int]] = None):
+        self._lock = threading.Lock()
+        self._latency = LatencyWindow(window)
+        self.queue_depth_fn = queue_depth_fn
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_samples = 0
+        self.max_batch = 0
+        self.max_queue_depth = 0
+        self._first_submit: Optional[float] = None
+        self._last_done: Optional[float] = None
+
+    # -- recording -----------------------------------------------------------
+    def record_submit(self, queue_depth: int = 0, count: int = 1) -> None:
+        with self._lock:
+            self.submitted += count
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+            if self._first_submit is None:
+                self._first_submit = time.perf_counter()
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_samples += size
+            self.max_batch = max(self.max_batch, size)
+
+    def record_done(self, latency_seconds: float, ok: bool = True, count: int = 1) -> None:
+        """Record ``count`` requests finishing with the same latency (bulk
+        batches are timed once but weighted per row)."""
+        with self._lock:
+            if ok:
+                self.completed += count
+                self._latency.record(latency_seconds, count)
+            else:
+                self.failed += count
+            self._last_done = time.perf_counter()
+
+    # -- reporting -----------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """JSON-able summary of everything recorded so far."""
+        with self._lock:
+            elapsed = (
+                self._last_done - self._first_submit
+                if self._first_submit is not None and self._last_done is not None
+                else 0.0
+            )
+            snap = {
+                "requests": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "in_flight": self.submitted - self.completed - self.failed,
+                },
+                "batches": {
+                    "count": self.batches,
+                    "mean_size": round(self.batched_samples / self.batches, 2)
+                    if self.batches
+                    else 0.0,
+                    "max_size": self.max_batch,
+                },
+                "queue": {
+                    "depth": int(self.queue_depth_fn()) if self.queue_depth_fn else 0,
+                    "max_depth": self.max_queue_depth,
+                },
+                "latency": self._latency.summary_ms(),
+                "throughput_rps": round(self.completed / elapsed, 2) if elapsed > 0 else 0.0,
+            }
+        return snap

@@ -1,0 +1,397 @@
+"""Executor worker pools: shard batches across threads or processes.
+
+Two interchangeable pools sit behind the dynamic batcher; both expose
+``submit(batch) -> Future`` and ``close()``:
+
+* :class:`ThreadWorkerPool` — N threads, each owning its own
+  :class:`~repro.core.program.Executor` built by a factory.  Executors are
+  single-threaded objects (their buffer pools are not shared-safe), so
+  one-executor-per-worker is what makes concurrent batches sound.  NumPy
+  releases the GIL inside the hot kernels, so threads already overlap real
+  work; this is the default and what in-process tests use.
+* :class:`ProcessWorkerPool` — N OS processes, each loading the compiled
+  program artifact from disk (:func:`repro.core.export.load_program`) and
+  building its own executor with any registered backend.  Batches and
+  results cross via queues.  A dead worker is detected by its result-reader
+  thread: every batch in flight on it fails with :class:`WorkerCrashed`
+  (requests get an error, never a hung future) and, with ``respawn=True``,
+  a replacement worker boots from the same artifact.
+
+Batches are assigned to the least-loaded live worker, so a slow worker
+backs up only its own queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+
+class WorkerError(RuntimeError):
+    """The pool cannot execute the batch (closed, or no live workers)."""
+
+
+class WorkerCrashed(WorkerError):
+    """A worker process died while (or before) executing this batch."""
+
+
+class _RemoteError(RuntimeError):
+    """An exception raised inside a worker process, with its traceback."""
+
+
+class ThreadWorkerPool:
+    """N worker threads, each running batches on its own executor.
+
+    ``executor_factory`` is called once per worker, inside the worker thread,
+    so pool construction is cheap and per-worker state (compiled plans,
+    buffer pools) is never shared.
+    """
+
+    def __init__(self, executor_factory: Callable[[], object], num_workers: int = 1,
+                 name: str = "worker"):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._tasks: "queue.Queue" = queue.Queue()
+        self._closed = False
+        # Orders submit() against close(): nothing can land behind the stop
+        # sentinels, so every accepted task is drained before shutdown.
+        self._submit_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(executor_factory,),
+                name=f"{name}-{i}", daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, batch: np.ndarray) -> Future:
+        """Run one batch on some worker; resolves to the stacked outputs."""
+        future: Future = Future()
+        with self._submit_lock:
+            if self._closed:
+                raise WorkerError("worker pool is closed")
+            self._tasks.put((batch, future))
+        return future
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain queued batches, then stop every worker thread."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._threads:
+                self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def _run(self, executor_factory) -> None:
+        try:
+            executor = executor_factory()
+        except Exception as exc:  # surface the build failure on every task
+            executor = None
+            build_error = exc
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            batch, future = task
+            if executor is None:
+                future.set_exception(
+                    WorkerError(f"executor construction failed: {build_error}")
+                )
+                continue
+            try:
+                future.set_result(executor.run(batch))
+            except Exception as exc:
+                future.set_exception(exc)
+
+
+# ---------------------------------------------------------------------------
+# Process pool
+# ---------------------------------------------------------------------------
+def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q):
+    """Worker process entry: load the artifact, serve batches until ``None``.
+
+    Result tuples are ``("ready"|"ok"|"err"|"fatal", job_id, payload)``.
+    Every exception is caught and shipped back as a string — a worker only
+    dies on hard crashes (signal, OOM), which the parent's reader detects.
+    """
+    try:
+        if backend == "cost":
+            import repro.mcu  # noqa: F401  (registers the cost backend)
+        from repro.core.export import load_program
+        from repro.core.program import Executor
+
+        program = load_program(artifact_path)
+        executor = Executor(program, backend=backend, active_bits=active_bits)
+    except BaseException:
+        result_q.put(("fatal", None, traceback.format_exc()))
+        return
+    result_q.put(("ready", None, None))
+    while True:
+        job = task_q.get()
+        if job is None:
+            return
+        job_id, batch = job
+        try:
+            result_q.put(("ok", job_id, executor.run(batch)))
+        except Exception:
+            result_q.put(("err", job_id, traceback.format_exc()))
+
+
+class _ProcessWorker:
+    """One worker process plus its queues, reader thread and in-flight jobs."""
+
+    def __init__(self, pool: "ProcessWorkerPool", index: int):
+        self.pool = pool
+        self.index = index
+        ctx = pool._ctx
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.inflight: Dict[int, Future] = {}
+        self.dead = False
+        self.ready = False  # saw the worker's "ready" handshake
+        self.process = ctx.Process(
+            target=_process_worker_main,
+            args=(
+                str(pool.artifact_path),
+                pool.backend,
+                pool.active_bits,
+                self.task_q,
+                self.result_q,
+            ),
+            daemon=True,
+        )
+        self.process.start()
+        self.reader = threading.Thread(
+            target=self._read_results, name=f"serve-worker-{index}-reader", daemon=True
+        )
+        self.reader.start()
+
+    def _read_results(self) -> None:
+        while True:
+            try:
+                status, job_id, payload = self.result_q.get(timeout=0.2)
+            except queue.Empty:
+                if not self.process.is_alive():
+                    self._mark_dead("worker process exited unexpectedly")
+                    return
+                continue
+            except (EOFError, OSError):
+                self._mark_dead("worker result channel broke")
+                return
+            if status == "ready":
+                self.ready = True
+                continue
+            if status == "fatal":
+                self._mark_dead(f"worker failed to start:\n{payload}")
+                return
+            with self.pool._lock:
+                future = self.inflight.pop(job_id, None)
+            if future is None:
+                continue
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(
+                    _RemoteError(f"batch failed in worker {self.index}:\n{payload}")
+                )
+
+    def _mark_dead(self, reason: str) -> None:
+        with self.pool._lock:
+            self.dead = True
+            doomed = list(self.inflight.values())
+            self.inflight.clear()
+        for future in doomed:
+            future.set_exception(
+                WorkerCrashed(f"worker {self.index} died with the batch in flight ({reason})")
+            )
+        self.pool._on_worker_death(self, reason)
+
+    def stop(self) -> None:
+        try:
+            self.task_q.put(None)
+        except (ValueError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+
+
+class ProcessWorkerPool:
+    """N executor processes serving batches from a compiled program artifact.
+
+    Parameters
+    ----------
+    artifact_path:
+        A ``save_program`` archive; each worker loads it independently (the
+        artifact is the single source of truth — exactly what a
+        :class:`~repro.serve.repository.ModelRepository` stores).
+    backend:
+        Any registered executor backend (``plan`` / ``reference`` / ``cost``).
+    mp_context:
+        Multiprocessing start method; defaults to ``spawn``.  The parent is
+        heavily multithreaded (batcher collectors, HTTP handlers, reader
+        threads) and workers are also respawned *from* a reader thread, so
+        ``fork`` would snapshot arbitrarily-held locks into the child — the
+        classic fork-with-threads deadlock.  Pass ``"fork"`` explicitly only
+        for single-threaded embedding where the faster start matters.
+    respawn:
+        Replace a crashed worker with a fresh one (in-flight batches on the
+        dead worker still fail with :class:`WorkerCrashed`; only subsequent
+        batches reach the replacement).
+    """
+
+    def __init__(
+        self,
+        artifact_path: Union[str, Path],
+        backend: str = "plan",
+        num_workers: int = 1,
+        active_bits: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        respawn: bool = True,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.artifact_path = Path(artifact_path)
+        if not self.artifact_path.exists():
+            raise FileNotFoundError(f"program artifact not found: {self.artifact_path}")
+        self.backend = backend
+        self.active_bits = active_bits
+        self.respawn = respawn
+        self._ctx = multiprocessing.get_context(mp_context or "spawn")
+        self._lock = threading.Lock()
+        self._closed = False
+        self._job_ids = itertools.count()
+        self._last_death: Optional[str] = None
+        # Consecutive replacements that died before their "ready" handshake.
+        # A persistently unstartable worker (artifact deleted, bad backend)
+        # must not become an unbounded process-spawn loop.
+        self._start_failures = 0
+        self._MAX_START_FAILURES = 3
+        # Worker slots currently being respawned: exactly one thread owns a
+        # slot's respawn at a time, so a replacement dying mid-respawn cannot
+        # fork a second, concurrent respawn loop for the same slot.
+        self._respawning: set = set()
+        self._workers: List[_ProcessWorker] = [
+            _ProcessWorker(self, i) for i in range(num_workers)
+        ]
+
+    def submit(self, batch: np.ndarray) -> Future:
+        """Run one batch on the least-loaded live worker."""
+        with self._lock:
+            if self._closed:
+                raise WorkerError("worker pool is closed")
+            live = [w for w in self._workers if not w.dead]
+            if not live:
+                raise WorkerError(
+                    "no live workers"
+                    + (f" (last death: {self._last_death})" if self._last_death else "")
+                )
+            worker = min(live, key=lambda w: len(w.inflight))
+            job_id = next(self._job_ids)
+            future: Future = Future()
+            worker.inflight[job_id] = future
+        try:
+            worker.task_q.put((job_id, np.asarray(batch)))
+        except (ValueError, OSError) as exc:
+            with self._lock:
+                worker.inflight.pop(job_id, None)
+            future.set_exception(WorkerCrashed(f"could not reach worker: {exc}"))
+        return future
+
+    def _on_worker_death(self, worker: _ProcessWorker, reason: str) -> None:
+        with self._lock:
+            self._last_death = reason
+            if self._closed or not self.respawn:
+                return
+            if worker.ready:
+                self._start_failures = 0
+            else:
+                self._start_failures += 1
+                if self._start_failures >= self._MAX_START_FAILURES:
+                    self._last_death = (
+                        f"{reason} (respawn disabled after "
+                        f"{self._start_failures} consecutive start failures)"
+                    )
+                    return
+            try:
+                index = self._workers.index(worker)
+            except ValueError:
+                # A replacement that died before being installed: the thread
+                # that owns the slot's respawn retries (the failure was
+                # counted above).
+                return
+            if index in self._respawning:
+                return  # another thread already owns this slot's respawn
+            self._respawning.add(index)
+            backoff = 0.2 * self._start_failures
+        try:
+            self._respawn_slot(index, backoff)
+        finally:
+            with self._lock:
+                self._respawning.discard(index)
+
+    def _respawn_slot(self, index: int, backoff: float) -> None:
+        """Spawn replacements into ``index`` until one survives startup or
+        the start-failure cap / close() stops the loop."""
+        while True:
+            if backoff:
+                time.sleep(backoff)
+            try:
+                replacement = _ProcessWorker(self, index)
+            except Exception as exc:  # spawn itself failed (fd/memory limits)
+                with self._lock:
+                    self._start_failures += 1
+                    self._last_death = f"respawn failed: {exc}"
+                    if self._start_failures >= self._MAX_START_FAILURES or self._closed:
+                        return
+                    backoff = 0.2 * self._start_failures
+                continue
+            with self._lock:
+                if self._closed:
+                    doomed = replacement
+                else:
+                    self._workers[index] = replacement
+                    doomed = None
+            if doomed is not None:
+                doomed.stop()
+                return
+            if not replacement.dead:
+                # Healthy so far.  If it dies from here on, its reader's
+                # death handler finds the slot un-owned and respawns anew.
+                return
+            # Died between construction and installation (its death handler
+            # saw it uninstalled, counted the failure, and left the slot to
+            # us); check the cap and try again.
+            with self._lock:
+                if self._start_failures >= self._MAX_START_FAILURES or self._closed:
+                    return
+                backoff = 0.2 * max(self._start_failures, 1)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current worker processes (dead ones excluded)."""
+        with self._lock:
+            return [w.process.pid for w in self._workers if not w.dead]
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop every worker process (queued batches are drained first)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        for worker in workers:
+            worker.stop()

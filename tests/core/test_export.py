@@ -1,13 +1,21 @@
-"""Tests for deployment-package export (indices packing, persistence, C header)."""
+"""Tests for deployment-package export (indices packing, persistence, C header)
+and the versioned compiled-program artifact format."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core import analyze_model_storage
 from repro.core.export import (
+    PROGRAM_SCHEMA_VERSION,
     DeploymentPackage,
+    ProgramFormatError,
     build_deployment_package,
     emit_c_header,
+    load_program,
+    read_program_metadata,
+    save_program,
 )
 
 
@@ -100,6 +108,116 @@ class TestPersistence:
                 np.testing.assert_array_equal(
                     restored.unpack_indices(), original.unpack_indices()
                 )
+
+
+@pytest.fixture()
+def bound_program(compressed_small_model):
+    """A small calibrated program for artifact-format tests."""
+    from repro.core import BitSerialInferenceEngine, EngineConfig
+    from repro.nn import DataLoader
+    from repro.nn.data.dataset import ArrayDataset
+
+    rng = np.random.default_rng(0)
+    loader = DataLoader(
+        ArrayDataset(rng.normal(size=(16, 3, 32, 32)), rng.integers(0, 10, size=16)),
+        batch_size=16,
+    )
+    engine = BitSerialInferenceEngine(
+        compressed_small_model.model,
+        compressed_small_model.pool,
+        EngineConfig(lut_bitwidth=8, calibration_batches=1),
+    )
+    engine.calibrate(loader)
+    return engine.compile()
+
+
+class TestProgramArtifactFormat:
+    def test_artifact_carries_current_schema(self, bound_program, tmp_path):
+        path = tmp_path / "program.npz"
+        save_program(bound_program, path)
+        header = json.loads(str(np.load(path)["__program__"]))
+        assert header["schema"] == PROGRAM_SCHEMA_VERSION
+        assert load_program(path).kinds() == bound_program.kinds()
+
+    def test_metadata_read_is_cheap_and_matches_program(self, bound_program, tmp_path):
+        path = tmp_path / "program.npz"
+        save_program(bound_program, path)
+        meta = read_program_metadata(path)
+        expected = bound_program.metadata()
+        assert meta["op_counts"] == expected["op_counts"]
+        assert meta["input_shape"] == expected["input_shape"]
+        assert meta["output_shape"] == [10]
+        assert meta["optimized"] is True
+        assert meta["schema"] == PROGRAM_SCHEMA_VERSION
+        assert meta["file_bytes"] == path.stat().st_size
+        assert meta["lut"] == {"pool_size": 16, "group_size": 8, "bitwidth": 8}
+
+    def test_wrong_schema_version_raises_with_path_and_versions(
+        self, bound_program, tmp_path
+    ):
+        path = tmp_path / "old.npz"
+        save_program(bound_program, path)
+        data = dict(np.load(path).items())
+        header = json.loads(str(data["__program__"]))
+        header["schema"] = 99
+        data["__program__"] = np.array(json.dumps(header))
+        np.savez(path, **data)
+        for reader in (load_program, read_program_metadata):
+            with pytest.raises(ProgramFormatError) as err:
+                reader(path)
+            message = str(err.value)
+            assert "old.npz" in message
+            assert "99" in message and str(PROGRAM_SCHEMA_VERSION) in message
+
+    def test_unversioned_legacy_artifact_still_loads(self, bound_program, tmp_path):
+        """v2 is purely additive: v1 archives (no schema field, no embedded
+        metadata) load, and the metadata reader derives the summary from
+        the header."""
+        path = tmp_path / "legacy.npz"
+        save_program(bound_program, path)
+        data = dict(np.load(path).items())
+        header = json.loads(str(data["__program__"]))
+        del header["schema"]  # the pre-versioning format
+        del header["metadata"]
+        data["__program__"] = np.array(json.dumps(header))
+        np.savez(path, **data)
+        assert load_program(path).kinds() == bound_program.kinds()
+        meta = read_program_metadata(path)
+        assert meta["schema"] == 1
+        assert meta["op_counts"] == bound_program.metadata()["op_counts"]
+        assert meta["output_shape"] == [10]
+
+    def test_non_program_archive_raises_format_error_not_keyerror(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        np.savez(path, weights=np.zeros((3, 3)))
+        for reader in (load_program, read_program_metadata):
+            with pytest.raises(ProgramFormatError, match="weights.npz"):
+                reader(path)
+
+    def test_engine_export_writes_a_servable_artifact(
+        self, bound_program, compressed_small_model, tmp_path
+    ):
+        from repro.core import BitSerialInferenceEngine, EngineConfig, Executor
+        from repro.nn import DataLoader
+        from repro.nn.data.dataset import ArrayDataset
+
+        rng = np.random.default_rng(1)
+        loader = DataLoader(
+            ArrayDataset(rng.normal(size=(16, 3, 32, 32)), rng.integers(0, 10, size=16)),
+            batch_size=16,
+        )
+        engine = BitSerialInferenceEngine(
+            compressed_small_model.model,
+            compressed_small_model.pool,
+            EngineConfig(lut_bitwidth=8, calibration_batches=1),
+        )
+        engine.calibrate(loader)
+        path = tmp_path / "exported.npz"
+        program = engine.export(path)
+        batch = rng.normal(size=(4, 3, 32, 32))
+        reloaded = Executor(load_program(path), backend="plan").run(batch)
+        np.testing.assert_allclose(reloaded, engine.predict(batch), rtol=1e-9, atol=1e-12)
+        assert program.bound
 
 
 class TestCHeader:

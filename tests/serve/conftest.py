@@ -1,0 +1,82 @@
+"""Shared fixtures for the serving tests.
+
+One small compressed model is calibrated and compiled once per session; every
+test builds its own throwaway :class:`ModelRepository` from the saved artifact
+(an artifact copy is cheap, and repositories are mutated by publish/hot-swap
+tests, so sharing one would couple test order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    EngineConfig,
+    NetworkProgram,
+    compress_model,
+    save_program,
+)
+from repro.models import create_model
+from repro.nn import DataLoader
+from repro.nn.data.dataset import ArrayDataset
+from repro.serve import ModelRepository
+
+
+@dataclass
+class ServedModel:
+    """The session's compiled model: engine, programs, artifact, test data."""
+
+    engine: BitSerialInferenceEngine
+    program: NetworkProgram  # optimized
+    program_unoptimized: NetworkProgram
+    artifact: Path  # save_program(program)
+    batch: np.ndarray  # (N, 3, 32, 32) held-out samples
+    expected: np.ndarray  # engine.predict(batch)
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return tuple(self.program.input_shape)
+
+
+@pytest.fixture(scope="session")
+def served(tmp_path_factory) -> ServedModel:
+    model = create_model("resnet_s_tiny", num_classes=10, in_channels=3, rng=0)
+    result = compress_model(
+        model, (3, 32, 32), pool_size=16,
+        policy=CompressionPolicy(group_size=8), seed=0,
+    )
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(32, 3, 32, 32))
+    targets = rng.integers(0, 10, size=32)
+    loader = DataLoader(ArrayDataset(inputs, targets), batch_size=16)
+    engine = BitSerialInferenceEngine(
+        result.model, result.pool, EngineConfig(lut_bitwidth=8, calibration_batches=2)
+    )
+    engine.calibrate(loader)
+    program = engine.compile(optimize=True)
+    artifact = tmp_path_factory.mktemp("artifact") / "resnet_s.npz"
+    save_program(program, artifact)
+    batch = rng.normal(size=(12, 3, 32, 32))
+    return ServedModel(
+        engine=engine,
+        program=program,
+        program_unoptimized=engine.compile(optimize=False),
+        artifact=artifact,
+        batch=batch,
+        expected=engine.predict(batch),
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path, served) -> ModelRepository:
+    """A fresh repository with the session model published as resnet_s v1."""
+    repository = ModelRepository(tmp_path / "repo", capacity=4)
+    repository.publish_artifact(served.artifact, "resnet_s")
+    return repository

@@ -1,0 +1,191 @@
+"""Tests for the dynamic micro-batcher (no model needed: fake dispatchers)."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve import BatcherClosed, BatchPolicy, DynamicBatcher, QueueFull
+from repro.serve.stats import ModelStats
+
+
+class RecordingDispatch:
+    """Dispatch stub: doubles the batch, records every batch size."""
+
+    def __init__(self, block_event: threading.Event = None):
+        self.batch_sizes = []
+        self.block_event = block_event
+
+    def __call__(self, batch: np.ndarray) -> Future:
+        if self.block_event is not None:
+            self.block_event.wait(timeout=10.0)
+        self.batch_sizes.append(len(batch))
+        future = Future()
+        future.set_result(batch * 2.0)
+        return future
+
+
+class FailingDispatch:
+    def __call__(self, batch: np.ndarray) -> Future:
+        future = Future()
+        future.set_exception(RuntimeError("backend exploded"))
+        return future
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch_size=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_delay_ms=-1)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_queue=0)
+
+
+def test_full_batch_flushes_without_waiting_for_the_deadline():
+    dispatch = RecordingDispatch()
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=4, max_delay_ms=10_000.0)
+    )
+    try:
+        start = time.perf_counter()
+        futures = [batcher.submit(np.full(3, i, dtype=float)) for i in range(4)]
+        results = [f.result(timeout=5.0) for f in futures]
+        elapsed = time.perf_counter() - start
+        # Hitting max_batch_size closed the window: nowhere near the 10 s cap.
+        assert elapsed < 2.0
+        assert dispatch.batch_sizes == [4]
+        for i, out in enumerate(results):
+            np.testing.assert_array_equal(out, np.full(3, 2.0 * i))
+    finally:
+        batcher.close()
+
+
+def test_partial_batch_flushes_on_timeout():
+    dispatch = RecordingDispatch()
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=100, max_delay_ms=50.0)
+    )
+    try:
+        start = time.perf_counter()
+        futures = [batcher.submit(np.zeros(2)) for _ in range(3)]
+        for f in futures:
+            f.result(timeout=5.0)
+        elapsed = time.perf_counter() - start
+        assert dispatch.batch_sizes == [3]  # one batch, flushed by the deadline
+        assert 0.045 <= elapsed < 5.0  # waited for the window, not forever
+    finally:
+        batcher.close()
+
+
+def test_results_scatter_to_the_right_requests():
+    dispatch = RecordingDispatch()
+    batcher = DynamicBatcher(dispatch, BatchPolicy(max_batch_size=8, max_delay_ms=20.0))
+    try:
+        futures = {
+            i: batcher.submit(np.full((2, 2), float(i))) for i in range(13)
+        }
+        for i, future in futures.items():
+            np.testing.assert_array_equal(
+                future.result(timeout=5.0), np.full((2, 2), 2.0 * i)
+            )
+        assert sum(dispatch.batch_sizes) == 13
+        assert max(dispatch.batch_sizes) <= 8
+    finally:
+        batcher.close()
+
+
+def test_dispatch_error_propagates_to_every_request_in_the_batch():
+    stats = ModelStats()
+    batcher = DynamicBatcher(
+        FailingDispatch(), BatchPolicy(max_batch_size=4, max_delay_ms=5.0), stats=stats
+    )
+    try:
+        futures = [batcher.submit(np.zeros(1)) for _ in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                future.result(timeout=5.0)
+        snap = stats.snapshot()
+        assert snap["requests"]["failed"] == 3
+        assert snap["requests"]["completed"] == 0
+    finally:
+        batcher.close()
+
+
+def test_queue_full_backpressure():
+    release = threading.Event()
+    dispatch = RecordingDispatch(block_event=release)
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=1, max_delay_ms=0.0, max_queue=2)
+    )
+    try:
+        first = batcher.submit(np.zeros(1))  # collector takes it, blocks in dispatch
+        time.sleep(0.05)
+        backlog = [batcher.submit(np.zeros(1)) for _ in range(2)]  # fills the queue
+        with pytest.raises(QueueFull):
+            batcher.submit(np.zeros(1))
+        release.set()
+        for future in [first, *backlog]:
+            future.result(timeout=5.0)
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_cancelled_future_does_not_strand_batch_mates():
+    """Cancelling one coalesced request must not hang the others."""
+    release = threading.Event()
+    dispatch = RecordingDispatch(block_event=release)
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=3, max_delay_ms=1000.0)
+    )
+    try:
+        doomed = batcher.submit(np.zeros(1))
+        survivors = [batcher.submit(np.ones(1)) for _ in range(2)]  # fills the batch
+        assert doomed.cancel() or doomed.done()  # cancel while dispatch is blocked
+        release.set()
+        for future in survivors:
+            np.testing.assert_array_equal(future.result(timeout=5.0), np.full(1, 2.0))
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_submit_after_close_raises():
+    batcher = DynamicBatcher(RecordingDispatch(), BatchPolicy())
+    batcher.close()
+    with pytest.raises(BatcherClosed):
+        batcher.submit(np.zeros(1))
+
+
+def test_close_flushes_queued_requests():
+    dispatch = RecordingDispatch()
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=100, max_delay_ms=10_000.0)
+    )
+    futures = [batcher.submit(np.zeros(1)) for _ in range(3)]
+    batcher.close()  # shutdown closes the window early and flushes
+    for future in futures:
+        np.testing.assert_array_equal(future.result(timeout=5.0), np.zeros(1))
+    assert dispatch.batch_sizes == [3]
+
+
+def test_stats_record_batches_latency_and_queue_depth():
+    stats = ModelStats()
+    batcher = DynamicBatcher(
+        RecordingDispatch(), BatchPolicy(max_batch_size=4, max_delay_ms=5.0), stats=stats
+    )
+    try:
+        futures = [batcher.submit(np.zeros(1)) for _ in range(8)]
+        for future in futures:
+            future.result(timeout=5.0)
+        snap = stats.snapshot()
+        assert snap["requests"]["submitted"] == 8
+        assert snap["requests"]["completed"] == 8
+        assert snap["batches"]["count"] >= 2
+        assert snap["batches"]["max_size"] <= 4
+        assert snap["latency"]["p99_ms"] >= snap["latency"]["p50_ms"] > 0
+        assert snap["throughput_rps"] > 0
+    finally:
+        batcher.close()

@@ -1,0 +1,121 @@
+"""Tests for the on-disk model repository (layout, LRU, hot-swap)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import load_program
+from repro.serve import ModelNotFound, ModelRepository
+from repro.serve.repository import ARTIFACT_NAME, METADATA_NAME
+
+
+class TestLayoutAndPublish:
+    def test_publish_creates_versioned_layout(self, repo, served):
+        version = repo.publish(served.program, "resnet_s")  # second version
+        assert version == 2
+        assert repo.list_models() == {"resnet_s": [1, 2]}
+        leaf = repo.root / "resnet_s" / "2"
+        assert (leaf / ARTIFACT_NAME).exists()
+        assert (leaf / METADATA_NAME).exists()
+
+    def test_metadata_sidecar_matches_program(self, repo, served):
+        meta = repo.metadata("resnet_s")
+        assert meta["name"] == "resnet_s"
+        assert meta["version"] == 1
+        assert tuple(meta["input_shape"]) == served.input_shape
+        assert meta["op_counts"] == served.program.metadata()["op_counts"]
+        # The sidecar is valid standalone JSON (no numpy types leaked in).
+        raw = (repo.root / "resnet_s" / "1" / METADATA_NAME).read_text()
+        assert json.loads(raw)["num_ops"] == len(served.program.ops)
+
+    def test_versions_are_immutable(self, repo, served):
+        with pytest.raises(FileExistsError):
+            repo.publish(served.program, "resnet_s", version=1)
+        with pytest.raises(FileExistsError):
+            repo.publish_artifact(served.artifact, "resnet_s", version=1)
+
+    def test_invalid_names_rejected(self, repo):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                repo.versions(bad)
+
+    def test_unknown_model_and_version_raise_model_not_found(self, repo):
+        with pytest.raises(ModelNotFound):
+            repo.resolve("nope")
+        with pytest.raises(ModelNotFound):
+            repo.resolve("resnet_s", version=9)
+
+
+class TestResolveAndLoad:
+    def test_resolve_defaults_to_latest(self, repo, served):
+        repo.publish(served.program_unoptimized, "resnet_s")
+        name, version, path = repo.resolve("resnet_s")
+        assert (name, version) == ("resnet_s", 2)
+        assert path == repo.root / "resnet_s" / "2" / ARTIFACT_NAME
+        assert repo.metadata("resnet_s")["optimized"] is False  # v2 wins
+        assert repo.metadata("resnet_s", version=1)["optimized"] is True
+
+    def test_loaded_program_executes_identically(self, repo, served):
+        from repro.core import Executor
+
+        loaded = repo.get("resnet_s")
+        assert loaded.key == ("resnet_s", 1)
+        out = Executor(loaded.program, backend="plan").run(served.batch)
+        np.testing.assert_allclose(out, served.expected, rtol=1e-9, atol=1e-12)
+
+    def test_get_caches_and_counts_loads(self, repo):
+        first = repo.get("resnet_s")
+        second = repo.get("resnet_s")
+        assert first is second
+        assert repo.loads == 1
+
+
+class TestLRUEviction:
+    def test_capacity_bounds_cache(self, tmp_path, served):
+        repo = ModelRepository(tmp_path / "repo", capacity=2)
+        for name in ("a", "b", "c"):
+            repo.publish_artifact(served.artifact, name)
+        repo.get("a")
+        repo.get("b")
+        repo.get("c")  # evicts a
+        assert repo.cached == [("b", 1), ("c", 1)]
+        assert repo.evictions == 1
+        repo.get("b")  # refreshes b's recency
+        repo.get("a")  # reload; evicts c
+        assert repo.cached == [("b", 1), ("a", 1)]
+        assert repo.loads == 4
+
+    def test_evicted_loaded_model_keeps_working(self, tmp_path, served):
+        """Eviction drops the cache entry, not programs held by callers."""
+        from repro.core import Executor
+
+        repo = ModelRepository(tmp_path / "repo", capacity=1)
+        repo.publish_artifact(served.artifact, "a")
+        repo.publish_artifact(served.artifact, "b")
+        held = repo.get("a")
+        repo.get("b")  # evicts a from the cache
+        assert repo.cached == [("b", 1)]
+        out = Executor(held.program, backend="plan").run(served.batch[:2])
+        np.testing.assert_allclose(out, served.expected[:2], rtol=1e-9, atol=1e-12)
+
+    def test_manual_evict(self, repo):
+        repo.get("resnet_s")
+        assert repo.evict("resnet_s") == 1
+        assert repo.cached == []
+        assert repo.evict("resnet_s") == 0
+
+
+class TestArtifactValidation:
+    def test_publish_artifact_rejects_non_program_files(self, tmp_path, repo):
+        from repro.core import ProgramFormatError
+
+        junk = tmp_path / "junk.npz"
+        np.savez(junk, values=np.zeros(3))
+        with pytest.raises(ProgramFormatError, match="junk.npz"):
+            repo.publish_artifact(junk, "junk")
+        assert "junk" not in repo.list_models()
+
+    def test_published_artifact_roundtrips_via_load_program(self, repo, served):
+        program = load_program(repo.artifact_path("resnet_s"))
+        assert program.kinds() == served.program.kinds()

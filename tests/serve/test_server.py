@@ -1,0 +1,313 @@
+"""End-to-end tests for InferenceServer, worker pools, and the HTTP front end."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    ModelRepository,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerError,
+    serve_http,
+)
+
+
+# ---------------------------------------------------------------------------
+# Worker pools
+# ---------------------------------------------------------------------------
+class FakeExecutor:
+    def run(self, batch):
+        return batch + 1.0
+
+
+class TestThreadWorkerPool:
+    def test_runs_batches_on_own_executors(self):
+        built = []
+        pool = ThreadWorkerPool(lambda: built.append(1) or FakeExecutor(), num_workers=3)
+        try:
+            futures = [pool.submit(np.full(2, i, dtype=float)) for i in range(6)]
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(future.result(timeout=5.0), np.full(2, i + 1.0))
+            assert len(built) == 3  # one executor per worker, not per batch
+        finally:
+            pool.close()
+
+    def test_executor_exception_surfaces_on_the_future(self):
+        class Exploding:
+            def run(self, batch):
+                raise ValueError("bad batch")
+
+        pool = ThreadWorkerPool(Exploding, num_workers=1)
+        try:
+            with pytest.raises(ValueError, match="bad batch"):
+                pool.submit(np.zeros(1)).result(timeout=5.0)
+        finally:
+            pool.close()
+
+    def test_submit_after_close_raises(self):
+        pool = ThreadWorkerPool(FakeExecutor, num_workers=1)
+        pool.close()
+        with pytest.raises(WorkerError):
+            pool.submit(np.zeros(1))
+
+
+class TestProcessWorkerPool:
+    def test_workers_load_artifact_and_match_reference(self, served):
+        pool = ProcessWorkerPool(served.artifact, num_workers=2)
+        try:
+            futures = [pool.submit(served.batch[i : i + 4]) for i in range(0, 12, 4)]
+            out = np.concatenate([f.result(timeout=120.0) for f in futures])
+            np.testing.assert_allclose(out, served.expected, rtol=1e-9, atol=1e-12)
+            assert len(pool.worker_pids()) == 2
+        finally:
+            pool.close()
+
+    def test_in_worker_exception_is_a_per_request_error(self, served):
+        pool = ProcessWorkerPool(served.artifact, num_workers=1)
+        try:
+            bad = np.zeros((2, 5, 5))  # wrong rank/channels for the program
+            with pytest.raises(RuntimeError, match="worker"):
+                pool.submit(bad).result(timeout=120.0)
+            # The worker survived the exception: good batches still run.
+            good = pool.submit(served.batch[:2]).result(timeout=120.0)
+            np.testing.assert_allclose(good, served.expected[:2], rtol=1e-9, atol=1e-12)
+        finally:
+            pool.close()
+
+    def test_worker_crash_fails_requests_instead_of_hanging(self, served):
+        pool = ProcessWorkerPool(served.artifact, num_workers=1, respawn=False)
+        try:
+            # Warm up: the worker is up and serving.
+            pool.submit(served.batch[:1]).result(timeout=120.0)
+            pool._workers[0].process.kill()
+            # Whether the death is noticed before or after assignment, the
+            # request must resolve to an error — never hang.
+            deadline = time.perf_counter() + 30.0
+            saw_error = False
+            while time.perf_counter() < deadline:
+                try:
+                    future = pool.submit(served.batch[:1])
+                except WorkerError:
+                    saw_error = True  # pool already marked the worker dead
+                    break
+                try:
+                    future.result(timeout=30.0)
+                except WorkerError:
+                    saw_error = True  # in-flight batch failed with WorkerCrashed
+                    break
+                time.sleep(0.05)
+            assert saw_error
+        finally:
+            pool.close()
+
+    def test_crashed_worker_respawns_and_serves_again(self, served):
+        pool = ProcessWorkerPool(served.artifact, num_workers=1, respawn=True)
+        try:
+            pool.submit(served.batch[:1]).result(timeout=120.0)
+            old_pids = pool.worker_pids()
+            pool._workers[0].process.kill()
+            deadline = time.perf_counter() + 60.0
+            out = None
+            while time.perf_counter() < deadline:
+                try:
+                    out = pool.submit(served.batch[:2]).result(timeout=120.0)
+                    break
+                except WorkerError:
+                    time.sleep(0.1)  # death noticed, replacement still booting
+            assert out is not None, "pool never recovered after the crash"
+            np.testing.assert_allclose(out, served.expected[:2], rtol=1e-9, atol=1e-12)
+            assert pool.worker_pids() != old_pids
+        finally:
+            pool.close()
+
+    def test_missing_artifact_rejected_immediately(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ProcessWorkerPool(tmp_path / "nope.npz")
+
+
+# ---------------------------------------------------------------------------
+# InferenceServer
+# ---------------------------------------------------------------------------
+class TestInferenceServer:
+    def test_single_sample_predictions_match_engine(self, repo, served):
+        with InferenceServer(
+            repo, policy=BatchPolicy(max_batch_size=8, max_delay_ms=3.0), workers=2
+        ) as server:
+            futures = [server.predict_async("resnet_s", s) for s in served.batch]
+            out = np.stack([f.result(timeout=60.0) for f in futures])
+            np.testing.assert_allclose(out, served.expected, rtol=1e-9, atol=1e-12)
+            snap = server.stats("resnet_s")
+            assert snap["requests"]["completed"] == len(served.batch)
+            assert snap["batches"]["count"] >= 2  # actually coalesced
+
+    def test_predict_batch_bypasses_the_batcher(self, repo, served):
+        with InferenceServer(repo) as server:
+            out = server.predict_batch("resnet_s", served.batch)
+            np.testing.assert_allclose(out, served.expected, rtol=1e-9, atol=1e-12)
+            snap = server.stats("resnet_s")
+            # Rows are counted as requests (consistent stats for bulk
+            # traffic), but nothing ever entered the batcher's queue.
+            assert snap["requests"]["submitted"] == len(served.batch)
+            assert snap["requests"]["completed"] == len(served.batch)
+            assert snap["batches"] == {"count": 1, "mean_size": 12.0, "max_size": 12}
+            assert snap["queue"]["max_depth"] == 0
+            assert snap["latency"]["p50_ms"] > 0
+
+    def test_wrong_sample_shape_fails_alone(self, repo, served):
+        with InferenceServer(repo) as server:
+            with pytest.raises(ValueError, match="input shape"):
+                server.predict("resnet_s", np.zeros((5, 5)))
+            # The pipeline is intact; well-formed requests still serve.
+            out = server.predict("resnet_s", served.batch[0], timeout=60.0)
+            np.testing.assert_allclose(out, served.expected[0], rtol=1e-9, atol=1e-12)
+
+    def test_explicit_version_pins_the_pipeline(self, repo, served):
+        repo.publish(served.program_unoptimized, "resnet_s")  # v2 = latest
+        with InferenceServer(repo) as server:
+            out = server.predict("resnet_s", served.batch[0], version=1, timeout=60.0)
+            np.testing.assert_allclose(out, served.expected[0], rtol=1e-9, atol=1e-12)
+            assert server.serving() == [("resnet_s", 1)]
+
+    def test_hot_swap_on_publish_switches_and_retires_old_pipeline(self, repo, served):
+        with InferenceServer(repo) as server:
+            server.predict("resnet_s", served.batch[0], timeout=60.0)
+            assert server.serving() == [("resnet_s", 1)]
+            repo.publish(served.program_unoptimized, "resnet_s")  # hot-swap to v2
+            out = server.predict("resnet_s", served.batch[0], timeout=60.0)
+            assert server.serving() == [("resnet_s", 2)]  # v1 pipeline retired
+            # The unoptimized program matches the legacy float association;
+            # predictions agree with the optimized path to float tolerance.
+            np.testing.assert_allclose(out, served.expected[0], rtol=1e-6, atol=1e-8)
+
+    def test_pinned_version_survives_hot_swap(self, repo, served):
+        with InferenceServer(repo) as server:
+            # Pin v1 explicitly, then swap latest to v2: the pinned pipeline
+            # must keep serving (only unpinned stale versions retire).
+            server.predict("resnet_s", served.batch[0], version=1, timeout=60.0)
+            repo.publish(served.program_unoptimized, "resnet_s")
+            server.predict("resnet_s", served.batch[0], timeout=60.0)  # builds v2
+            assert server.serving() == [("resnet_s", 1), ("resnet_s", 2)]
+            out = server.predict("resnet_s", served.batch[1], version=1, timeout=60.0)
+            np.testing.assert_allclose(out, served.expected[1], rtol=1e-9, atol=1e-12)
+
+    def test_repository_eviction_with_requests_in_flight(self, tmp_path, served):
+        """A capacity-1 repository serving two models: building model B's
+        pipeline evicts A's cache entry while A still serves requests."""
+        repo = ModelRepository(tmp_path / "repo", capacity=1)
+        repo.publish_artifact(served.artifact, "model_a")
+        repo.publish_artifact(served.artifact, "model_b")
+        with InferenceServer(
+            repo, policy=BatchPolicy(max_batch_size=4, max_delay_ms=20.0)
+        ) as server:
+            in_flight = [server.predict_async("model_a", s) for s in served.batch[:4]]
+            server.predict("model_b", served.batch[0], timeout=60.0)  # evicts model_a
+            assert repo.cached == [("model_b", 1)]
+            out = np.stack([f.result(timeout=60.0) for f in in_flight])
+            np.testing.assert_allclose(out, served.expected[:4], rtol=1e-9, atol=1e-12)
+            # And model_a keeps serving post-eviction: its pipeline owns the program.
+            again = server.predict("model_a", served.batch[5], timeout=60.0)
+            np.testing.assert_allclose(again, served.expected[5], rtol=1e-9, atol=1e-12)
+
+    def test_process_worker_mode_serves_from_the_artifact(self, repo, served):
+        with InferenceServer(
+            repo,
+            policy=BatchPolicy(max_batch_size=6, max_delay_ms=5.0),
+            workers=1,
+            worker_mode="process",
+        ) as server:
+            futures = [server.predict_async("resnet_s", s) for s in served.batch[:6]]
+            out = np.stack([f.result(timeout=120.0) for f in futures])
+            np.testing.assert_allclose(out, served.expected[:6], rtol=1e-9, atol=1e-12)
+
+    def test_closed_server_rejects_requests(self, repo, served):
+        server = InferenceServer(repo)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.predict("resnet_s", served.batch[0])
+
+    def test_invalid_worker_mode_rejected(self, repo):
+        with pytest.raises(ValueError):
+            InferenceServer(repo, worker_mode="fiber")
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def http_server(repo):
+    server = InferenceServer(repo, policy=BatchPolicy(max_batch_size=8, max_delay_ms=3.0))
+    front = serve_http(server, port=0)
+    yield front
+    front.close()
+    server.close()
+
+
+def _get(url, path):
+    with urllib.request.urlopen(url + path, timeout=60.0) as response:
+        return json.loads(response.read())
+
+
+def _post(url, path, payload):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120.0) as response:
+        return json.loads(response.read())
+
+
+class TestHttpFrontEnd:
+    def test_health_models_and_metadata(self, http_server):
+        url = http_server.url
+        assert _get(url, "/healthz") == {"status": "ok"}
+        assert _get(url, "/v1/models") == {"models": {"resnet_s": [1]}}
+        meta = _get(url, "/v1/models/resnet_s")
+        assert meta["input_shape"] == [3, 32, 32]
+
+    def test_predict_single_and_batch(self, http_server, served):
+        url = http_server.url
+        single = _post(
+            url, "/v1/models/resnet_s/predict", {"inputs": served.batch[0].tolist()}
+        )
+        assert single["model"] == "resnet_s" and single["version"] == 1
+        assert single["batched"] is False
+        np.testing.assert_allclose(
+            np.asarray(single["outputs"]), served.expected[0], rtol=1e-9, atol=1e-12
+        )
+        batch = _post(
+            url, "/v1/models/resnet_s/predict", {"inputs": served.batch[:3].tolist()}
+        )
+        assert batch["batched"] is True
+        np.testing.assert_allclose(
+            np.asarray(batch["outputs"]), served.expected[:3], rtol=1e-9, atol=1e-12
+        )
+        stats = _get(url, "/v1/models/resnet_s/stats")
+        assert stats["requests"]["completed"] == 4
+
+    def test_unknown_model_is_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(http_server.url, "/v1/models/ghost/predict", {"inputs": [1.0]})
+        assert err.value.code == 404
+
+    def test_bad_shape_is_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(
+                http_server.url,
+                "/v1/models/resnet_s/predict",
+                {"inputs": [[1.0, 2.0]]},
+            )
+        assert err.value.code == 400
+
+    def test_missing_inputs_is_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(http_server.url, "/v1/models/resnet_s/predict", {"x": 1})
+        assert err.value.code == 400
