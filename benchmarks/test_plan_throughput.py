@@ -1,0 +1,149 @@
+"""Throughput benchmark: ahead-of-time execution plan vs. the pooled executor.
+
+Measures end-to-end ``Executor.evaluate`` on the ResNet-14 / CIFAR-10 preset
+through the same optimized :class:`NetworkProgram` twice — once with the
+ahead-of-time execution plan (static arena, fused elementwise steps, plan
+specializations, shard pool) and once through PR 2's pooled executor
+(``memory_plan=False``, the refcounted buffer-pool path kept as the
+fallback) — and asserts the planned executor is at least 1.2× faster while
+predicting bitwise-identically.  It also asserts the static arena is
+smaller than the pooled executor's *measured* peak (live buffers plus free
+lists), and, on machines with ≥ 2 CPUs, that sharding a large batch across
+the arena pool beats the single-shard plan.  Results are written to
+``BENCH_plan.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_scale
+
+from repro.core import EngineConfig, Executor
+from repro.experiments.common import calibrated_engine, compress_and_finetune, pretrained_model
+from repro.experiments.common import test_loader_for as held_out_loader_for
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_plan.json"
+# Overridable for noisy shared CI runners; the committed record's margin is
+# well above the 1.2x acceptance floor.
+SPEEDUP_TARGET = float(os.environ.get("REPRO_PLAN_SPEEDUP_TARGET", "1.2"))
+SHARD_TARGET = float(os.environ.get("REPRO_PLAN_SHARD_TARGET", "1.15"))
+FAST = os.environ.get("REPRO_PLAN_BENCH_FAST", "") not in ("", "0")
+
+
+def _timed_evaluate_pair(pooled, planned, loader, rounds):
+    """Interleaved best-of-N timing so machine-state drift hits both sides."""
+    accuracies = {}
+    best = {"pooled": float("inf"), "planned": float("inf")}
+    for name, executor in (("pooled", pooled), ("planned", planned)):
+        accuracies[name] = executor.evaluate(loader)  # warm-up + accuracy
+    for _ in range(rounds):
+        for name, executor in (("pooled", pooled), ("planned", planned)):
+            start = time.perf_counter()
+            executor.evaluate(loader)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return accuracies, best
+
+
+def test_plan_throughput(scale):
+    pretrained = pretrained_model("resnet14", "cifar10", scale, seed=0)
+    result, _ = compress_and_finetune(pretrained, scale, finetune=False, seed=0)
+    engine = calibrated_engine(
+        result,
+        pretrained,
+        scale,
+        config=EngineConfig(lut_bitwidth=8, calibration_batches=scale.calibration_batches),
+    )
+    loader = held_out_loader_for(pretrained, scale)
+    images = sum(len(targets) for _, targets in loader)
+    program = engine.compile(optimize=True)
+
+    planned = Executor(program)
+    assert planned.exec_plan is not None
+    pooled = Executor(program, memory_plan=False, tile=planned.exec_plan.tile)
+
+    # Correctness first: the planned executor runs the same ufunc sequence
+    # into preallocated memory — outputs must be bitwise identical.
+    x = np.stack([loader.dataset[i][0] for i in range(min(24, images))])
+    np.testing.assert_array_equal(planned.run(x), pooled.run(x))
+
+    rounds = 1 if FAST else 4
+    accuracies, seconds = _timed_evaluate_pair(pooled, planned, loader, rounds)
+    speedup = seconds["pooled"] / seconds["planned"]
+    assert accuracies["planned"] == accuracies["pooled"], (
+        "planned and pooled executors disagree on predictions"
+    )
+
+    # Peak memory: the static arena vs. the pooled executor's measured peak
+    # (live buffers + pool free lists) at the same tile, after steady state.
+    tracked = Executor(program, memory_plan=False, tile=planned.exec_plan.tile,
+                       track_memory=True)
+    tile_batch = x[: planned.exec_plan.tile]
+    for _ in range(3):
+        tracked.run(tile_batch)
+    arena_bytes = planned.plan_info["arena_bytes"]
+    pooled_peak = tracked.peak_pool_bytes
+
+    # Shard scaling: measured on a large batch; asserted only with >= 2 CPUs
+    # (a single core cannot promise parallel speedup).
+    cpus = os.cpu_count() or 1
+    shard_speedup = None
+    if planned.n_shards > 1:
+        big = np.concatenate([x] * max(1, 128 // len(x)))
+        serial = Executor(program, n_shards=1)
+        for executor in (serial, planned):
+            executor.run(big)
+        best = {"serial": float("inf"), "sharded": float("inf")}
+        for _ in range(rounds + 1):
+            for name, executor in (("serial", serial), ("sharded", planned)):
+                start = time.perf_counter()
+                executor.run(big)
+                best[name] = min(best[name], time.perf_counter() - start)
+        shard_speedup = best["serial"] / best["sharded"]
+
+    record = {
+        "benchmark": "plan_throughput",
+        "network": "resnet14",
+        "dataset": "cifar10",
+        "scale": scale.name,
+        "images": images,
+        "cpus": cpus,
+        "program_ops": len(program.ops),
+        "plan": dict(planned.plan_info),
+        "pooled_peak_bytes": int(pooled_peak),
+        "arena_bytes": int(arena_bytes),
+        "pooled_seconds": round(seconds["pooled"], 4),
+        "planned_seconds": round(seconds["planned"], 4),
+        "pooled_images_per_second": round(images / seconds["pooled"], 2),
+        "planned_images_per_second": round(images / seconds["planned"], 2),
+        "speedup": round(speedup, 2),
+        "shard_speedup": round(shard_speedup, 2) if shard_speedup else None,
+        "accuracy": round(float(accuracies["planned"]), 4),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert 0 < arena_bytes < pooled_peak, (
+        f"static arena ({arena_bytes} B) should beat the pooled executor's "
+        f"measured peak ({pooled_peak} B)"
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"planned executor is only {speedup:.2f}x faster than the pooled "
+        f"executor (target {SPEEDUP_TARGET}x)"
+    )
+    if shard_speedup is not None and cpus >= 2:
+        assert shard_speedup >= SHARD_TARGET, (
+            f"{planned.n_shards}-shard execution is only {shard_speedup:.2f}x "
+            f"over serial on {cpus} CPUs (target {SHARD_TARGET}x)"
+        )
+
+
+def test_plan_throughput_scale_fixture(scale):
+    """The benchmark honours REPRO_BENCH_SCALE like every other benchmark."""
+    assert scale.name == bench_scale().name

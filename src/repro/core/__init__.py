@@ -69,6 +69,13 @@ from repro.core.kernel_plan import (
     compile_linear_plan,
 )
 from repro.core.graph import GraphBuilder, GraphOp, NetworkGraph, lower_model
+from repro.core.memory_plan import (
+    ExecutionPlan,
+    PlanUnsupported,
+    ShardRuntime,
+    compile_execution_plan,
+    validate_arena_plan,
+)
 from repro.core.program import (
     Executor,
     IR_OP_KINDS,
@@ -136,13 +143,18 @@ __all__ = [
     "NetworkGraph",
     "lower_model",
     "Executor",
+    "ExecutionPlan",
     "IR_OP_KINDS",
     "NetworkProgram",
+    "PlanUnsupported",
     "ProgramOp",
+    "ShardRuntime",
+    "compile_execution_plan",
     "compile_network",
     "fold_batchnorm",
     "fuse_requantize",
     "register_backend",
+    "validate_arena_plan",
     "StorageReport",
     "analyze_model_storage",
     "lut_storage_bits",

@@ -26,8 +26,14 @@ deployment artifact:
   bit-identically to the original through the graph
   :class:`~repro.core.program.Executor`, with no model object required;
 * :func:`read_program_metadata` — the artifact's JSON header only (op
-  counts, shapes, LUT geometry) without touching the arrays, so model
-  repositories can list artifacts cheaply;
+  counts, shapes, LUT geometry, and — when an ahead-of-time
+  :class:`~repro.core.program.Executor` was built before saving — the
+  planner's ``execution_plan`` counters: arena bytes, steps fused, shard
+  count) without touching the arrays, so model repositories can list
+  artifacts cheaply.  Execution plans themselves are *derived* state:
+  :func:`load_program` reconstructs the IR and the next executor re-plans
+  it, bitwise-identically to the original (covered by the planner's
+  round-trip tests);
 * :func:`package_from_program` — build the MCU flash
   :class:`DeploymentPackage` straight from the IR, so the host-side executor
   artifact and the firmware image share one source of truth.

@@ -47,6 +47,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+import sys
+
 from repro.core.bitserial import active_bit_positions, bit_vector_values, _validate_unsigned
 from repro.core.lut import LookupTable
 from repro.nn.functional import conv_output_size
@@ -55,6 +57,32 @@ from repro.utils.bits import min_uint_dtype
 # Upper bound on the size of any single temporary materialised during
 # execution; batches and taps are processed in chunks that fit this budget.
 _GATHER_BUDGET_BYTES = 64 << 20
+
+# 8×8 bit-matrix transpose constants (Hacker's Delight §7-3): with the 8
+# bytes of one channel group viewed as a little-endian uint64 ``x``,
+# ``(((x >> j) & LANES) * GATHER) >> 56`` collects bit ``j`` of every
+# channel into one byte — the group's LUT address for bit position ``j``.
+_BIT_LANES = np.uint64(0x0101010101010101)
+_BIT_GATHER = np.uint64(0x0102040810204080)
+
+
+def scratch_buf(scratch: Optional[dict], name: str, shape, dtype) -> np.ndarray:
+    """A reusable work buffer from ``scratch``, or a fresh allocation.
+
+    ``scratch`` is a caller-owned dict keyed by ``(name, shape, dtype)``; the
+    graph executor hands every kernel-plan step a per-shard dict so repeated
+    batches of the same geometry never re-allocate their gather temporaries
+    (pool partials, tap scratch, accumulators).  ``None`` (the per-layer
+    engine path) allocates exactly as before.  Buffers come back
+    *uninitialised* — callers must fully overwrite or ``fill`` them.
+    """
+    if scratch is None:
+        return np.empty(shape, dtype=dtype)
+    key = (name, tuple(shape), np.dtype(dtype).str)
+    buf = scratch.get(key)
+    if buf is None:
+        buf = scratch[key] = np.empty(shape, dtype=dtype)
+    return buf
 
 
 def _compile_tables(
@@ -151,9 +179,30 @@ class ConvKernelPlan:
     # per-batch pad copy.  Changes only the float *order* of the tap sum, so
     # the per-layer engine keeps it off to preserve PR 1 bit-exactness.
     hoist_padding: bool = False
+    # Compile-time per-group row offsets folding the group axis into the
+    # direct-mode gather rows (hoisted out of ``_pool_partials``, which used
+    # to rebuild this arange on every batch).
+    row_offsets: Optional[np.ndarray] = None
+    # Stage-2 schedule: "fused" gathers every kernel position's columns in
+    # one wide ``np.take`` per channel group (PR 2's choice, fewest kernel
+    # launches); "per_tap" gathers one kernel position at a time into a
+    # small buffer that stays cache-hot across the strided adds.  The
+    # accumulation order over (group, tap) is identical, so both schedules
+    # produce bitwise-equal results; the ahead-of-time execution planner
+    # (which fixes the micro-batch tile and supplies reusable scratch at
+    # compile time — the regime where the narrow gather measures fastest)
+    # selects "per_tap" for the plans it manages.
+    tap_gather: str = "fused"
+    # Address encoder: "packbits" (PR 1's unpackbits/packbits bit-matrix
+    # transpose) or "bitmul" (the uint64 mask-multiply transpose, ~16× faster
+    # for full 8-channel groups; identical addresses).  Another ahead-of-time
+    # planner specialization — the pooled path keeps PR 2's execution.
+    encoder: str = "packbits"
 
     # -- stage 1: per-pixel bit-serial pool partials ---------------------------
-    def _encode_addresses(self, q_x: np.ndarray, pad: bool = True) -> np.ndarray:
+    def _encode_addresses(
+        self, q_x: np.ndarray, pad: bool = True, scratch: Optional[dict] = None
+    ) -> np.ndarray:
         """Per-bit LUT addresses ``(G, N, Hp, Wp, M)`` of the (padded) image.
 
         For the paper's configuration (group size and activation bitwidth both
@@ -162,24 +211,61 @@ class ConvKernelPlan:
         the generic :func:`~repro.core.bitserial.bit_vector_values` encoder.
         Inputs are range-validated by ``__call__`` before this runs.
         ``pad=False`` (the padding-hoist pipeline) encodes the raw image.
+        With a ``scratch`` dict, the dtype-compaction and layout copies land
+        in reused buffers instead of fresh per-call allocations (the
+        unpackbits/packbits temporaries have no ``out=`` form and remain).
         """
         n = q_x.shape[0]
         fast = self.group_size <= 8 and self.act_bitwidth <= 8
         if fast and q_x.dtype != np.uint8:
-            q_x = q_x.astype(np.uint8)
+            q8 = scratch_buf(scratch, "q8", q_x.shape, np.uint8)
+            np.copyto(q8, q_x, casting="unsafe")
+            q_x = q8
         if pad and self.padding:
-            q_x = np.pad(
-                q_x,
-                ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
-                mode="constant",
-                constant_values=self.pad_value,
-            )
+            p = self.padding
+            padded_shape = q_x.shape[:2] + (q_x.shape[2] + 2 * p, q_x.shape[3] + 2 * p)
+            if scratch is None:
+                q_x = np.pad(
+                    q_x,
+                    ((0, 0), (0, 0), (p,) * 2, (p,) * 2),
+                    mode="constant",
+                    constant_values=self.pad_value,
+                )
+            else:
+                padded = scratch_buf(scratch, "padded", padded_shape, q_x.dtype)
+                padded.fill(self.pad_value)
+                padded[:, :, p:-p, p:-p] = q_x
+                q_x = padded
         hp, wp = q_x.shape[2], q_x.shape[3]
         groups = self.in_channels // self.group_size
         grouped = q_x.reshape(n, groups, self.group_size, hp, wp).transpose(1, 0, 3, 4, 2)
         if not fast:
             return bit_vector_values(grouped, self.act_bitwidth)
-        grouped = np.ascontiguousarray(grouped)  # (G, N, Hp, Wp, g) uint8
+        if scratch is None:
+            grouped = np.ascontiguousarray(grouped)  # (G, N, Hp, Wp, g) uint8
+        else:
+            contig = scratch_buf(scratch, "grouped", grouped.shape, np.uint8)
+            np.copyto(contig, grouped)
+            grouped = contig
+        if (
+            self.encoder == "bitmul"
+            and self.group_size == 8
+            and sys.byteorder == "little"
+        ):
+            # uint64 bit-matrix transpose: one shift/and/multiply/shift pass
+            # per bit position over the group words, no 8× bit expansion.
+            words = grouped.view(np.uint64)[..., 0]  # (G, N, Hp, Wp)
+            addresses = scratch_buf(
+                scratch, "addr", grouped.shape[:-1] + (self.act_bitwidth,), np.uint8
+            )
+            lane = scratch_buf(scratch, "addr_lane", words.shape, np.uint64)
+            for j in range(self.act_bitwidth):
+                np.right_shift(words, np.uint64(j), out=lane)
+                np.bitwise_and(lane, _BIT_LANES, out=lane)
+                np.multiply(lane, _BIT_GATHER, out=lane)  # wraps mod 2^64 by design
+                np.right_shift(lane, np.uint64(56), out=lane)
+                addresses[..., j] = lane
+            return addresses
         # The per-group addresses are the 8×8 bit-matrix transpose of the
         # group bytes: one unpackbits (byte → its 8 bits, little-endian) and
         # one packbits across the *group* axis (element i → address bit i)
@@ -190,7 +276,9 @@ class ConvKernelPlan:
             addresses = addresses[..., : self.act_bitwidth]
         return addresses
 
-    def _pool_partials(self, q_x: np.ndarray, bit_positions: List[int]) -> np.ndarray:
+    def _pool_partials(
+        self, q_x: np.ndarray, bit_positions: List[int], scratch: Optional[dict] = None
+    ) -> np.ndarray:
         """Shift-accumulated LUT partials per padded pixel and channel group.
 
         Returns ``pv`` of shape ``(G, N, Hp, Wp, W)`` where
@@ -199,7 +287,7 @@ class ConvKernelPlan:
         activation group at one pixel.  Computed once per pixel; the
         convolution windows gather from it without touching bits again.
         """
-        addresses = self._encode_addresses(q_x)
+        addresses = self._encode_addresses(q_x, scratch=scratch)
         groups, n, hp, wp, _ = addresses.shape
         width = self.tables.shape[-1]
 
@@ -207,27 +295,31 @@ class ConvKernelPlan:
             # Fold the group axis into the row index so every bit pass is one
             # flat row-gather (tables are stored (M, G, 2^g, W) contiguous).
             flat_tables = self.tables.reshape(self.act_bitwidth, -1, width)
-            offset_dtype = min_uint_dtype((groups << self.group_size) - 1)
-            rows = addresses.astype(offset_dtype)
-            rows += (
-                np.arange(groups, dtype=offset_dtype) << self.group_size
-            ).reshape(groups, 1, 1, 1, 1)
+            offsets = self.row_offsets
+            if offsets is None:  # plans compiled before the hoist landed
+                offsets = (
+                    np.arange(groups, dtype=min_uint_dtype((groups << self.group_size) - 1))
+                    << self.group_size
+                ).reshape(groups, 1, 1, 1, 1)
+            rows = scratch_buf(scratch, "rows", addresses.shape, offsets.dtype)
+            np.copyto(rows, addresses, casting="unsafe")
+            rows += offsets
         else:
             flat_tables = self.tables
             rows = addresses
 
-        pv = np.empty((groups, n, hp, wp, width), dtype=self.partial_dtype)
+        pv = scratch_buf(scratch, "pv", (groups, n, hp, wp, width), self.partial_dtype)
         if self.partial_dtype == self.tables.dtype:
             # Gather straight into the accumulator / a reused scratch buffer.
-            scratch: Optional[np.ndarray] = None
+            gather: Optional[np.ndarray] = None
             for i, j in enumerate(bit_positions):
                 if i == 0:
                     np.take(flat_tables[j], rows[..., j], axis=0, out=pv)
                 else:
-                    if scratch is None:
-                        scratch = np.empty_like(pv)
-                    np.take(flat_tables[j], rows[..., j], axis=0, out=scratch)
-                    pv += scratch
+                    if gather is None:
+                        gather = scratch_buf(scratch, "pv_gather", pv.shape, pv.dtype)
+                    np.take(flat_tables[j], rows[..., j], axis=0, out=gather)
+                    pv += gather
         else:
             # Mixed dtypes (e.g. int32 tables, int64 partials): gather, widen, add.
             pv.fill(0)
@@ -236,7 +328,14 @@ class ConvKernelPlan:
         return pv
 
     # -- stage 2: windowed tap reduction ---------------------------------------
-    def _reduce_taps(self, pv: np.ndarray, oh: int, ow: int, stride: int) -> np.ndarray:
+    def _reduce_taps(
+        self,
+        pv: np.ndarray,
+        oh: int,
+        ow: int,
+        stride: int,
+        scratch_dict: Optional[dict] = None,
+    ) -> np.ndarray:
         """Bit-free gather of each filter's column, then strided window sums.
 
         Per (channel group, kernel position), one contiguous ``np.take`` into
@@ -247,8 +346,9 @@ class ConvKernelPlan:
         groups, n, hp, wp, _ = pv.shape
         kh, kw = self.kernel
         f = self.num_filters
-        acc = np.zeros((n, oh, ow, f), dtype=self.acc_dtype)
-        scratch = np.empty((n, hp * wp, f), dtype=pv.dtype)
+        acc = scratch_buf(scratch_dict, "tap_acc", (n, oh, ow, f), self.acc_dtype)
+        acc.fill(0)
+        scratch = scratch_buf(scratch_dict, "tap_cols", (n, hp * wp, f), pv.dtype)
         image = scratch.reshape(n, hp, wp, f)
         for g in range(groups):
             flat = pv[g].reshape(n, hp * wp, -1)
@@ -263,7 +363,9 @@ class ConvKernelPlan:
         return acc.transpose(0, 3, 1, 2)
 
     # -- padding-hoist pipeline (network-compiler variant) ---------------------
-    def _pool_partials_grouped(self, q_x: np.ndarray, bit_positions: List[int]) -> np.ndarray:
+    def _pool_partials_grouped(
+        self, q_x: np.ndarray, bit_positions: List[int], scratch: Optional[dict] = None
+    ) -> np.ndarray:
         """Stage-1 partials of the *unpadded* image, gathered per channel group.
 
         Same per-element arithmetic (and dtype) as :meth:`_pool_partials`, but
@@ -271,11 +373,11 @@ class ConvKernelPlan:
         group-offset row tensor: each group gathers straight through its own
         sub-table slice.
         """
-        addresses = self._encode_addresses(q_x, pad=False)
+        addresses = self._encode_addresses(q_x, pad=False, scratch=scratch)
         groups, n, h, w, _ = addresses.shape
         width = self.tables.shape[-1]
-        pv = np.empty((groups, n, h, w, width), dtype=self.partial_dtype)
-        scratch: Optional[np.ndarray] = None
+        pv = scratch_buf(scratch, "pv", (groups, n, h, w, width), self.partial_dtype)
+        gather: Optional[np.ndarray] = None
         for g in range(groups):
             tables_g = self.tables[:, g] if self.mode == "direct" else self.tables
             if self.partial_dtype == self.tables.dtype:
@@ -283,10 +385,10 @@ class ConvKernelPlan:
                     if i == 0:
                         np.take(tables_g[j], addresses[g, ..., j], axis=0, out=pv[g])
                     else:
-                        if scratch is None:
-                            scratch = np.empty(pv.shape[1:], dtype=pv.dtype)
-                        np.take(tables_g[j], addresses[g, ..., j], axis=0, out=scratch)
-                        pv[g] += scratch
+                        if gather is None:
+                            gather = scratch_buf(scratch, "pv_gather", pv.shape[1:], pv.dtype)
+                        np.take(tables_g[j], addresses[g, ..., j], axis=0, out=gather)
+                        pv[g] += gather
             else:
                 pv[g].fill(0)
                 for j in bit_positions:
@@ -360,7 +462,13 @@ class ConvKernelPlan:
         return border
 
     def _reduce_taps_hoisted(
-        self, pv: np.ndarray, oh: int, ow: int, stride: int, bit_positions: List[int]
+        self,
+        pv: np.ndarray,
+        oh: int,
+        ow: int,
+        stride: int,
+        bit_positions: List[int],
+        scratch_dict: Optional[dict] = None,
     ) -> np.ndarray:
         """Tap reduction over unpadded partials + cached border terms.
 
@@ -371,28 +479,54 @@ class ConvKernelPlan:
         groups, n, h, w, _ = pv.shape
         kh, kw = self.kernel
         f = self.num_filters
-        acc = np.zeros((n, oh, ow, f), dtype=self.acc_dtype)
-        # One gather per channel group covering every kernel position at once
-        # (the per-tap loop then adds strided views) — identical traffic to
-        # per-tap gathers but KH·KW× fewer kernel launches, which dominates at
-        # the executor's cache-sized micro-batches.
-        scratch = np.empty((n, h * w, kh * kw * f), dtype=pv.dtype)
-        taps = scratch.reshape(n, h, w, kh * kw, f)
-        for g in range(groups):
-            flat = pv[g].reshape(n, h * w, -1)
-            np.take(flat, self.group_cols[g], axis=-1, out=scratch)
-            for k in range(kh * kw):
-                ki, kj = divmod(k, kw)
-                y0, y1, x0, x1 = self._tap_bounds(ki, kj, h, w, oh, ow, stride)
-                if y0 < y1 and x0 < x1:
+        acc = scratch_buf(scratch_dict, "tap_acc", (n, oh, ow, f), self.acc_dtype)
+        acc.fill(0)
+        if self.tap_gather == "per_tap":
+            # One narrow gather per (group, kernel position): the (N, H·W, F)
+            # column buffer stays cache-resident across the strided adds,
+            # which measures faster than the wide gather at the planner's
+            # fixed micro-batch tiles.  Same (g, k) accumulation order as the
+            # fused schedule — bitwise-equal results.
+            cols = scratch_buf(scratch_dict, "tap_col", (n, h * w, f), pv.dtype)
+            image = cols.reshape(n, h, w, f)
+            for g in range(groups):
+                flat = pv[g].reshape(n, h * w, -1)
+                for k in range(kh * kw):
+                    ki, kj = divmod(k, kw)
+                    y0, y1, x0, x1 = self._tap_bounds(ki, kj, h, w, oh, ow, stride)
+                    if y0 >= y1 or x0 >= x1:
+                        continue
+                    np.take(
+                        flat, self.group_cols[g, k * f : (k + 1) * f], axis=-1, out=cols
+                    )
                     ys = y0 * stride + ki - self.padding
                     xs = x0 * stride + kj - self.padding
-                    acc[:, y0:y1, x0:x1] += taps[
+                    acc[:, y0:y1, x0:x1] += image[
                         :,
                         ys : ys + (y1 - y0) * stride : stride,
                         xs : xs + (x1 - x0) * stride : stride,
-                        k,
                     ]
+        else:
+            # One gather per channel group covering every kernel position at
+            # once (the per-tap loop then adds strided views) — KH·KW× fewer
+            # kernel launches; PR 2's schedule, kept for the pooled path.
+            scratch = scratch_buf(scratch_dict, "tap_cols", (n, h * w, kh * kw * f), pv.dtype)
+            taps = scratch.reshape(n, h, w, kh * kw, f)
+            for g in range(groups):
+                flat = pv[g].reshape(n, h * w, -1)
+                np.take(flat, self.group_cols[g], axis=-1, out=scratch)
+                for k in range(kh * kw):
+                    ki, kj = divmod(k, kw)
+                    y0, y1, x0, x1 = self._tap_bounds(ki, kj, h, w, oh, ow, stride)
+                    if y0 < y1 and x0 < x1:
+                        ys = y0 * stride + ki - self.padding
+                        xs = x0 * stride + kj - self.padding
+                        acc[:, y0:y1, x0:x1] += taps[
+                            :,
+                            ys : ys + (y1 - y0) * stride : stride,
+                            xs : xs + (x1 - x0) * stride : stride,
+                            k,
+                        ]
         if self.padding:
             acc += self._border_tensor(h, w, oh, ow, stride, bit_positions)[None]
         return acc.transpose(0, 3, 1, 2)
@@ -413,6 +547,8 @@ class ConvKernelPlan:
         q_x: np.ndarray,
         active_bits: Optional[int] = None,
         validated: bool = False,
+        out: Optional[np.ndarray] = None,
+        scratch: Optional[dict] = None,
     ) -> np.ndarray:
         """Execute the plan on unsigned-integer activations.
 
@@ -420,6 +556,14 @@ class ConvKernelPlan:
         graph executor passes it for buffers whose producer (a clipped
         quantize/requantize op) guarantees in-range unsigned values, removing
         one full pass over the activations per layer.
+
+        ``out`` (shape ``(N, F, OH, OW)``, the epilogue's output dtype)
+        receives the result in place — the arena executor passes a view into
+        its planned arena.  The input is fully consumed before ``out`` is
+        first written, so ``out`` may safely reuse ``q_x``'s storage.
+        ``scratch`` (see :func:`scratch_buf`) recycles every internal
+        temporary across calls; both default to the allocate-per-call
+        behaviour and change nothing numerically.
         """
         if not validated:
             q_x = np.asarray(q_x, dtype=np.int64)
@@ -444,33 +588,60 @@ class ConvKernelPlan:
             # so drop the others before the bit-serial stage.
             q_x = q_x[:, :, ::stride, ::stride]
             stride = 1
-        acc = np.empty((n, self.num_filters, oh, ow), dtype=self.acc_dtype)
+        acc = scratch_buf(scratch, "acc", (n, self.num_filters, oh, ow), self.acc_dtype)
         chunk = self._batch_chunk(h + 2 * self.padding, w + 2 * self.padding)
         for n0 in range(0, n, chunk):
             n1 = min(n, n0 + chunk)
             if self.hoist_padding:
-                pv = self._pool_partials_grouped(q_x[n0:n1], bit_positions)
-                acc[n0:n1] = self._reduce_taps_hoisted(pv, oh, ow, stride, bit_positions)
+                pv = self._pool_partials_grouped(q_x[n0:n1], bit_positions, scratch)
+                acc[n0:n1] = self._reduce_taps_hoisted(
+                    pv, oh, ow, stride, bit_positions, scratch
+                )
             else:
-                pv = self._pool_partials(q_x[n0:n1], bit_positions)
-                acc[n0:n1] = self._reduce_taps(pv, oh, ow, stride)
+                pv = self._pool_partials(q_x[n0:n1], bit_positions, scratch)
+                acc[n0:n1] = self._reduce_taps(pv, oh, ow, stride, scratch)
+        return self._apply_epilogue(acc, out, scratch)
 
+    def _apply_epilogue(
+        self, acc: np.ndarray, out: Optional[np.ndarray], scratch: Optional[dict]
+    ) -> np.ndarray:
+        """``α·acc + β`` (+ requant clip), into ``out`` when provided.
+
+        The ``out`` path runs the exact same ufunc sequence as the
+        allocate-per-call path (multiply/add/rint/clip and one final cast),
+        so results are bitwise identical either way.
+        """
         alpha = self.alpha
         if np.ndim(alpha):  # per-filter alpha (BatchNorm folded into the epilogue)
-            out = acc * np.asarray(alpha, dtype=np.float64).reshape(1, -1, 1, 1)
-        elif self.integer or alpha != 1.0:
-            out = acc * alpha
+            alpha = np.asarray(alpha, dtype=np.float64).reshape(1, -1, 1, 1)
+            scale = True
         else:
-            out = acc.astype(np.float64, copy=False)
+            scale = self.integer or alpha != 1.0
+        if out is not None:
+            # Float math lands in `out` directly when `out` is the float
+            # result; fused requantization rounds in a float scratch and
+            # casts into `out` at the end.
+            res = out if self.requant is None else scratch_buf(scratch, "epi", acc.shape, np.float64)
+            if scale:
+                np.multiply(acc, alpha, out=res)
+            else:
+                np.copyto(res, acc)
+        elif scale:
+            res = acc * alpha  # fresh product; `acc` may live in scratch
+        else:
+            # With a scratch dict `acc` is a reused buffer the next call
+            # overwrites — the result must not alias it.
+            res = acc.astype(np.float64, copy=scratch is not None)
         if self.beta is not None:
-            # In place: `out` is this call's accumulator (or a fresh product).
-            np.add(out, self.beta.reshape(1, -1, 1, 1), out=out)
+            np.add(res, self.beta.reshape(1, -1, 1, 1), out=res)
         if self.requant is not None:
             lo, hi, dtype = self.requant
-            np.rint(out, out=out)
-            np.clip(out, lo, hi, out=out)
-            out = out.astype(dtype, copy=False)
-        return out
+            np.rint(res, out=res)
+            np.clip(res, lo, hi, out=res)
+            if out is None:
+                return res.astype(dtype, copy=False)
+            np.copyto(out, res, casting="unsafe")
+        return res if out is None else out
 
 
 def compile_conv_plan(
@@ -558,6 +729,16 @@ def compile_conv_plan(
         local.transpose(1, 2, 3, 0).reshape(groups, kh * kw * f)
     ).astype(np.intp)
 
+    # Direct-mode row offsets folding the group axis into the flat gather
+    # rows: purely a function of the layer geometry, so built here instead of
+    # on every batch.
+    row_offsets = None
+    if mode == "direct":
+        offset_dtype = min_uint_dtype((groups << lut.group_size) - 1)
+        row_offsets = (
+            np.arange(groups, dtype=offset_dtype) << lut.group_size
+        ).reshape(groups, 1, 1, 1, 1)
+
     return ConvKernelPlan(
         group_size=lut.group_size,
         act_bitwidth=act_bitwidth,
@@ -577,6 +758,7 @@ def compile_conv_plan(
         alpha=alpha,
         beta=beta,
         hoist_padding=hoist_padding,
+        row_offsets=row_offsets,
     )
 
 
@@ -595,6 +777,8 @@ class LinearKernelPlan:
         q_x: np.ndarray,
         active_bits: Optional[int] = None,
         validated: bool = False,
+        out: Optional[np.ndarray] = None,
+        scratch: Optional[dict] = None,
     ) -> np.ndarray:
         if not validated:
             q_x = np.asarray(q_x, dtype=np.int64)
@@ -606,12 +790,14 @@ class LinearKernelPlan:
                 f"indices expect {self.conv_plan.in_channels} inputs, "
                 f"activations have {in_features}"
             )
-        out = self.conv_plan(
+        res = self.conv_plan(
             q_x.reshape(n, in_features, 1, 1),
             active_bits=active_bits,
             validated=validated,
+            out=None if out is None else out.reshape(n, -1, 1, 1),
+            scratch=scratch,
         )
-        return out.reshape(n, self.conv_plan.num_filters)
+        return res.reshape(n, self.conv_plan.num_filters)
 
 
 def compile_linear_plan(

@@ -49,6 +49,9 @@ requantization flips at rounding boundaries.
 
 from __future__ import annotations
 
+import os
+import queue
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -126,6 +129,12 @@ class NetworkProgram:
     lut: Optional[LookupTable] = None
     act_bitwidth: int = 8
     optimized: bool = False
+    # Planner/runtime counters of the most recent ahead-of-time
+    # :class:`Executor` built for this program (arena bytes, steps fused,
+    # shard count); ``None`` until one is built.  Surfaced by
+    # :meth:`metadata` so bench records, saved artifacts and the serve
+    # ``/stats`` payload all report the same numbers.
+    plan_counters: Optional[Dict[str, Any]] = None
 
     @property
     def bound(self) -> bool:
@@ -172,6 +181,8 @@ class NetworkProgram:
                 "group_size": int(self.lut.group_size),
                 "bitwidth": self.lut.bitwidth,
             }
+        if self.plan_counters is not None:
+            meta["execution_plan"] = dict(self.plan_counters)
         return meta
 
     # -- geometry ---------------------------------------------------------------
@@ -681,12 +692,22 @@ class _BufferPool:
 
 @dataclass
 class Step:
-    """One bound executable step of a backend schedule."""
+    """One bound executable step of a backend schedule.
+
+    ``op``/``plan``/``validated`` carry the compile-time context the
+    ahead-of-time planner (:mod:`repro.core.memory_plan`) needs to retarget
+    the schedule at preallocated arena memory: the IR op that produced the
+    step, the compiled kernel plan of fused bit-serial steps, and whether
+    the plan input is produced pre-validated.
+    """
 
     fn: Callable[..., np.ndarray]
     inputs: Tuple[int, ...]
     output: int
     view: bool = False  # output may alias the input (reshape); don't pool it
+    op: Optional[ProgramOp] = None
+    plan: Optional[object] = None
+    validated: bool = False
 
 
 def _require_bound(program: NetworkProgram) -> None:
@@ -982,6 +1003,9 @@ def _bind_plan(program: NetworkProgram, executor: "Executor",
                     ),
                     inputs=op.inputs,
                     output=epilogue.output,
+                    op=op,
+                    plan=plan,
+                    validated=validated,
                 )
             )
             fused.add(id(epilogue))
@@ -992,6 +1016,7 @@ def _bind_plan(program: NetworkProgram, executor: "Executor",
                     inputs=op.inputs,
                     output=op.output,
                     view=op.kind == "flatten",
+                    op=op,
                 )
             )
     # Auto-tile only optimized programs: micro-batching is per-sample exact
@@ -1012,6 +1037,7 @@ def _bind_reference(program: NetworkProgram, executor: "Executor",
             inputs=op.inputs,
             output=op.output,
             view=op.kind == "flatten",
+            op=op,
         )
         for op in program.ops
     ]
@@ -1033,12 +1059,64 @@ register_backend("plan", _bind_plan)
 register_backend("reference", _bind_reference)
 
 
+def _chunk_bounds(n: int, k: int, tile: int) -> List[Tuple[int, int]]:
+    """Split ``n`` samples into ``k`` contiguous chunks of whole tiles.
+
+    Chunk boundaries land on tile multiples, so the micro-batches every
+    shard executes are the *same* tiles a serial run would execute — the
+    float convs' BLAS reductions see identical batches and the sharded
+    result stays bitwise identical for every shard count.
+    """
+    tiles = -(-n // tile)
+    base, extra = divmod(tiles, k)
+    bounds = []
+    start = 0
+    for i in range(k):
+        size = (base + (1 if i < extra else 0)) * tile
+        bounds.append((start, min(start + size, n)))
+        start += size
+    return bounds
+
+
+def _default_shard_count() -> int:
+    """Shard count the executor picks when ``n_shards`` is unset: one worker
+    per core up to a modest cap, serial on single-core machines."""
+    cpus = os.cpu_count() or 1
+    return 1 if cpus < 2 else min(cpus, 8)
+
+
 class Executor:
     """Runs a bound :class:`NetworkProgram` batch-wise through a backend.
 
-    Buffers are reference-counted and recycled through a shape-keyed pool, so
-    repeated batches reuse the same allocations; the program input is never
-    pooled and the output is always a fresh array.
+    Optimized plan-backend programs execute through an **ahead-of-time
+    execution plan** (:mod:`repro.core.memory_plan`): elementwise glue fused
+    into single steps, every intermediate placed at a fixed offset of a
+    preallocated arena, and large batches split across a pool of per-shard
+    arenas on worker threads (NumPy releases the GIL in the hot kernels;
+    single-core machines stay serial).  ``run`` is thread-safe on this path —
+    concurrent callers share the shard pool.
+
+    The refcounted, shape-keyed buffer pool remains the fallback — and the
+    path for unoptimized/reference programs, whose bit-exactness contract
+    against the per-layer engine predates the planner.
+
+    Parameters
+    ----------
+    tile:
+        Micro-batch size; ``None`` lets the backend choose (the plan backend
+        sizes it so the largest layer's stage-1 working set stays
+        cache-resident), 0 disables tiling on the pooled path.
+    n_shards:
+        Worker arenas for the planned path; ``None`` picks one per core
+        (capped at 8, 1 on single-core machines).
+    memory_plan:
+        Force the ahead-of-time plan on (raises
+        :class:`~repro.core.memory_plan.PlanUnsupported` when the program
+        cannot be planned) or off (always pool).  Defaults to planning
+        exactly the optimized plan-backend programs.
+    track_memory:
+        Record ``peak_pool_bytes`` (live buffers + pool free lists) while
+        running on the pooled path — benchmark instrumentation.
     """
 
     def __init__(
@@ -1046,6 +1124,9 @@ class Executor:
         program: NetworkProgram,
         backend: str = "plan",
         tile: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        memory_plan: Optional[bool] = None,
+        track_memory: bool = False,
         **options,
     ):
         if backend not in BACKENDS:
@@ -1062,6 +1143,8 @@ class Executor:
         # choose (the plan backend sizes it from the largest layer's stage-1
         # footprint); pass 0 to disable.
         self.tile = tile
+        self.track_memory = track_memory
+        self.peak_pool_bytes = 0
         self._steps = BACKENDS[backend](program, self, **options)
         self._refcounts: Dict[int, int] = {}
         for step in self._steps:
@@ -1077,9 +1160,71 @@ class Executor:
                 self._no_pool.update(step.inputs)
                 self._no_pool.add(step.output)
 
+        # -- ahead-of-time execution plan (arena + fused steps + shards) ----
+        explicit_plan = memory_plan is True
+        if memory_plan is None:
+            memory_plan = backend == "plan" and program.bound and program.optimized
+        self.exec_plan = None
+        self.plan_info: Optional[Dict[str, Any]] = None
+        self._runtime_q: Optional[queue.LifoQueue] = None
+        self._shard_threads = None
+        self._shard_lock = threading.Lock()
+        self.max_shards_used = 0
+        if memory_plan:
+            from repro.core.memory_plan import PlanUnsupported, compile_execution_plan
+
+            plan_tile = self.tile if self.tile else 64
+            try:
+                self.exec_plan = compile_execution_plan(
+                    program,
+                    self._steps,
+                    tile=plan_tile,
+                    active_bits=options.get("active_bits"),
+                )
+            except PlanUnsupported:
+                # Auto-selected planning falls back to the buffer pool; an
+                # explicit request surfaces why the program cannot be planned.
+                if explicit_plan:
+                    raise
+        if self.exec_plan is not None:
+            from repro.core.memory_plan import ShardRuntime
+
+            self.n_shards = max(
+                1, n_shards if n_shards is not None else _default_shard_count()
+            )
+            self._runtime_q = queue.LifoQueue()
+            for _ in range(self.n_shards):
+                self._runtime_q.put(ShardRuntime(self.exec_plan))
+            self.plan_info = dict(self.exec_plan.counters)
+            self.plan_info["n_shards"] = self.n_shards
+            self.plan_info["backend"] = backend
+            program.plan_counters = dict(self.plan_info)
+        else:
+            self.n_shards = max(1, n_shards or 1)
+
+    @property
+    def thread_safe(self) -> bool:
+        """True when concurrent ``run`` calls are safe (planned path only)."""
+        return self.exec_plan is not None
+
+    def close(self) -> None:
+        """Shut down the shard worker threads (idempotent; runs still work
+        serially afterwards on a fresh pool if called again)."""
+        with self._shard_lock:
+            threads, self._shard_threads = self._shard_threads, None
+        if threads is not None:
+            threads.shutdown(wait=True)
+
     def run(self, x: np.ndarray) -> np.ndarray:
-        """Execute one batch (tiled into micro-batches) and return the output."""
+        """Execute one batch and return the output.
+
+        The planned path writes every shard's result into one preallocated
+        output slice, so assembly is deterministic and the result is
+        bitwise identical to a serial run.
+        """
         x = np.asarray(x)
+        if self.exec_plan is not None and x.ndim == len(self.program.input_shape) + 1:
+            return self._run_planned(x)
         if self.tile and x.shape[0] > self.tile:
             return np.concatenate(
                 [self._run_tile(x[i : i + self.tile]) for i in range(0, x.shape[0], self.tile)]
@@ -1098,7 +1243,98 @@ class Executor:
                     dead = buffers.pop(buf)
                     if buf not in self._no_pool:
                         self.pool.give(dead)
+            if self.track_memory:
+                live = sum(arr.nbytes for arr in buffers.values())
+                pooled = sum(
+                    arr.nbytes for stack in self.pool._free.values() for arr in stack
+                )
+                self.peak_pool_bytes = max(self.peak_pool_bytes, live + pooled)
         return buffers[self.program.output_id]
+
+    # -- planned execution ---------------------------------------------------
+    def _run_planned(self, x: np.ndarray) -> np.ndarray:
+        plan = self.exec_plan
+        if x.dtype != np.float64:
+            # The plan's buffer specs are typed for float64 inputs (what the
+            # data loaders produce); convert other inputs up front.
+            x = np.ascontiguousarray(x, dtype=np.float64)
+        n = x.shape[0]
+        out = np.empty((n,) + plan.out_shape, dtype=plan.out_dtype)
+        if n == 0:
+            return out
+        runtimes = [self._runtime_q.get()]
+        try:
+            if self.n_shards > 1 and n > plan.tile:
+                # Grab whatever other shards are idle right now — concurrent
+                # run() calls share the pool, each taking what is free.
+                want = min(self.n_shards, -(-n // plan.tile))
+                while len(runtimes) < want:
+                    try:
+                        runtimes.append(self._runtime_q.get_nowait())
+                    except queue.Empty:
+                        break
+            k = len(runtimes)
+            self.max_shards_used = max(self.max_shards_used, k)
+            if k == 1:
+                self._run_chunk(runtimes[0], x, out)
+            else:
+                bounds = _chunk_bounds(n, k, plan.tile)
+                threads = self._shard_pool()
+                futures = [
+                    threads.submit(self._run_chunk, rt, x[a:b], out[a:b])
+                    for rt, (a, b) in zip(runtimes[1:], bounds[1:])
+                ]
+                a, b = bounds[0]
+                errors: List[BaseException] = []
+                try:
+                    self._run_chunk(runtimes[0], x[a:b], out[a:b])
+                except BaseException as exc:
+                    errors.append(exc)
+                # Wait for *every* chunk before surfacing an error: a
+                # runtime must never return to the pool while its worker
+                # thread is still executing on it.
+                for future in futures:
+                    try:
+                        future.result()
+                    except BaseException as exc:
+                        errors.append(exc)
+                if errors:
+                    raise errors[0]
+        finally:
+            for rt in runtimes:
+                self._runtime_q.put(rt)
+        return out
+
+    def _shard_pool(self):
+        with self._shard_lock:
+            if self._shard_threads is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._shard_threads = ThreadPoolExecutor(
+                    max_workers=self.n_shards, thread_name_prefix="executor-shard"
+                )
+            return self._shard_threads
+
+    def _run_chunk(self, runtime, x: np.ndarray, out: np.ndarray) -> None:
+        tile = self.exec_plan.tile
+        for i in range(0, x.shape[0], tile):
+            self._run_planned_tile(runtime, x[i : i + tile], out[i : i + tile])
+
+    def _run_planned_tile(self, runtime, x: np.ndarray, out: np.ndarray) -> None:
+        plan = self.exec_plan
+        n = x.shape[0]
+        buffers: List[Optional[np.ndarray]] = [None] * self.program.num_buffers
+        buffers[plan.input_id] = x
+        for step in plan.steps:
+            args = [buffers[buf] for buf in step.inputs]
+            placement = step.placement
+            if placement == "arena":
+                o = runtime.view(step.output, n)
+            elif placement == "output":
+                o = out
+            else:  # view / heap allocate or alias internally
+                o = None
+            buffers[step.output] = step.fn(args, o, runtime)
 
     predict = run
 

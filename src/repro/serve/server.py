@@ -70,20 +70,64 @@ class _Pipeline:
                 mp_context=server.mp_context,
             )
         else:
-            # Each worker thread builds its own executor: executors are
+            # One shared, internally-sharded executor when the program plans
+            # ahead of time (its run() is thread-safe: worker threads check
+            # shard arenas out of the executor's pool); otherwise each worker
+            # thread builds its own executor — buffer-pooled executors are
             # single-threaded objects (plan caches, buffer pools).
             backend = server.backend
-            self.pool = ThreadWorkerPool(
-                lambda: Executor(program, backend=backend),
-                num_workers=server.workers,
-                name=f"serve-{name}-v{version}",
-            )
+            probe = Executor(program, backend=backend)
+            if probe.thread_safe:
+                self.pool = ThreadWorkerPool(
+                    lambda: probe,
+                    num_workers=server.workers,
+                    name=f"serve-{name}-v{version}",
+                    shared=True,
+                )
+            else:
+                # Per-worker executors; the probe is not wasted — the first
+                # worker to ask adopts it instead of binding a second time.
+                spare = [probe]
+
+                def factory():
+                    try:
+                        return spare.pop()
+                    except IndexError:
+                        return Executor(program, backend=backend)
+
+                self.pool = ThreadWorkerPool(
+                    factory,
+                    num_workers=server.workers,
+                    name=f"serve-{name}-v{version}",
+                )
         self.batcher = DynamicBatcher(
             self.pool.submit,
             policy=server.policy,
             stats=self.stats,
             name=f"{name}-v{version}",
         )
+
+    def plan_info(self) -> Optional[Dict]:
+        """Planner/runtime counters of this pipeline's executor(s), if any.
+
+        Thread mode reads the shared executor directly; process mode reports
+        what a worker sent back in its ready handshake (``None`` until one
+        has).  The same counters appear in
+        :meth:`repro.core.program.NetworkProgram.metadata`, so bench records
+        and the ``/stats`` endpoint agree.
+        """
+        executor = getattr(self.pool, "shared_executor", None)
+        if executor is not None and getattr(executor, "plan_info", None):
+            info = dict(executor.plan_info)
+            info["max_shards_used"] = int(getattr(executor, "max_shards_used", 0))
+            info["workers"] = len(getattr(self.pool, "_threads", ())) or 1
+            return info
+        info = getattr(self.pool, "plan_info", None)
+        if info:
+            info = dict(info)
+            info["workers"] = len(getattr(self.pool, "_workers", ())) or 1
+            return info
+        return None
 
     def close(self) -> None:
         self.batcher.close()
@@ -352,14 +396,24 @@ class InferenceServer:
             pipeline = self._pipelines.get((name, version))
         if pipeline is None:
             return ModelStats().snapshot()
-        return pipeline.stats.snapshot()
+        return self._pipeline_snapshot(pipeline)
+
+    @staticmethod
+    def _pipeline_snapshot(pipeline: _Pipeline) -> Dict:
+        """One pipeline's stats, with the executor's planner counters
+        (arena bytes, steps fused, shards) attached when it has them."""
+        snap = pipeline.stats.snapshot()
+        plan_info = pipeline.plan_info()
+        if plan_info:
+            snap["executor"] = plan_info
+        return snap
 
     def snapshot(self) -> Dict:
         """Stats snapshots of every live pipeline, keyed ``name/version``."""
         with self._lock:
             pipelines = dict(self._pipelines)
         return {
-            f"{name}/{version}": pipeline.stats.snapshot()
+            f"{name}/{version}": self._pipeline_snapshot(pipeline)
             for (name, version), pipeline in sorted(pipelines.items())
         }
 

@@ -3,19 +3,28 @@
 Two interchangeable pools sit behind the dynamic batcher; both expose
 ``submit(batch) -> Future`` and ``close()``:
 
-* :class:`ThreadWorkerPool` — N threads, each owning its own
-  :class:`~repro.core.program.Executor` built by a factory.  Executors are
-  single-threaded objects (their buffer pools are not shared-safe), so
-  one-executor-per-worker is what makes concurrent batches sound.  NumPy
-  releases the GIL inside the hot kernels, so threads already overlap real
-  work; this is the default and what in-process tests use.
+* :class:`ThreadWorkerPool` — N threads.  With ``shared=True`` (what the
+  server uses for planned executors) the factory builds **one**
+  :class:`~repro.core.program.Executor` whose shard pool all worker threads
+  share: each concurrently-submitted batch checks out whatever shard
+  arenas are idle, so a single large batch can still fan out across cores
+  while concurrent batches divide the pool between them.  Without sharing
+  (the default, and the fallback for non-thread-safe executors) each worker
+  owns its own executor built by the factory — buffer-pooled executors are
+  single-threaded objects.  NumPy releases the GIL inside the hot kernels,
+  so threads overlap real work either way.
 * :class:`ProcessWorkerPool` — N OS processes, each loading the compiled
   program artifact from disk (:func:`repro.core.export.load_program`) and
   building its own executor with any registered backend.  Batches and
-  results cross via queues.  A dead worker is detected by its result-reader
-  thread: every batch in flight on it fails with :class:`WorkerCrashed`
-  (requests get an error, never a hung future) and, with ``respawn=True``,
-  a replacement worker boots from the same artifact.
+  results cross through per-worker :mod:`multiprocessing.shared_memory`
+  rings — fixed slots the parent copies a batch into and the worker reads
+  zero-copy (and symmetrically for results) — falling back to pickled
+  queue payloads when a slot is unavailable or an array does not fit, so
+  the ring is purely a fast path.  A dead worker is detected by its
+  result-reader thread: every batch in flight on it fails with
+  :class:`WorkerCrashed` (requests get an error, never a hung future) and,
+  with ``respawn=True``, a replacement worker boots from the same artifact
+  with fresh rings.
 
 Batches are assigned to the least-loaded live worker, so a slow worker
 backs up only its own queue.
@@ -30,8 +39,9 @@ import threading
 import time
 import traceback
 from concurrent.futures import Future
+from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,15 +59,20 @@ class _RemoteError(RuntimeError):
 
 
 class ThreadWorkerPool:
-    """N worker threads, each running batches on its own executor.
+    """N worker threads running batches on per-worker or one shared executor.
 
-    ``executor_factory`` is called once per worker, inside the worker thread,
-    so pool construction is cheap and per-worker state (compiled plans,
-    buffer pools) is never shared.
+    By default ``executor_factory`` is called once per worker, inside the
+    worker thread, so pool construction is cheap and per-worker state
+    (compiled plans, buffer pools) is never shared.  With ``shared=True``
+    the factory is called once, in the constructor, and every worker runs
+    batches on the same executor — sound only for thread-safe executors
+    (planned executors whose ``run`` checks shard arenas out of a pool); a
+    shared executor without ``thread_safe=True`` is serialized behind a
+    lock so misconfiguration degrades to correct-but-serial.
     """
 
     def __init__(self, executor_factory: Callable[[], object], num_workers: int = 1,
-                 name: str = "worker"):
+                 name: str = "worker", shared: bool = False):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self._tasks: "queue.Queue" = queue.Queue()
@@ -65,6 +80,12 @@ class ThreadWorkerPool:
         # Orders submit() against close(): nothing can land behind the stop
         # sentinels, so every accepted task is drained before shutdown.
         self._submit_lock = threading.Lock()
+        self.shared_executor = None
+        self._shared_run_lock: Optional[threading.Lock] = None
+        if shared:
+            self.shared_executor = executor_factory()
+            if not getattr(self.shared_executor, "thread_safe", False):
+                self._shared_run_lock = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._run, args=(executor_factory,),
@@ -94,13 +115,21 @@ class ThreadWorkerPool:
                 self._tasks.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout)
+        if self.shared_executor is not None:
+            close = getattr(self.shared_executor, "close", None)
+            if close is not None:
+                close()
 
     def _run(self, executor_factory) -> None:
-        try:
-            executor = executor_factory()
-        except Exception as exc:  # surface the build failure on every task
-            executor = None
-            build_error = exc
+        build_error = None
+        if self.shared_executor is not None:
+            executor = self.shared_executor
+        else:
+            try:
+                executor = executor_factory()
+            except Exception as exc:  # surface the build failure on every task
+                executor = None
+                build_error = exc
         while True:
             task = self._tasks.get()
             if task is None:
@@ -112,21 +141,93 @@ class ThreadWorkerPool:
                 )
                 continue
             try:
-                future.set_result(executor.run(batch))
+                if self._shared_run_lock is not None:
+                    with self._shared_run_lock:
+                        result = executor.run(batch)
+                else:
+                    result = executor.run(batch)
+                future.set_result(result)
             except Exception as exc:
                 future.set_exception(exc)
 
 
 # ---------------------------------------------------------------------------
-# Process pool
+# Process pool: shared-memory rings + worker process
 # ---------------------------------------------------------------------------
-def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q):
+class _ShmRing:
+    """Fixed-size slots in one :class:`multiprocessing.shared_memory` segment.
+
+    The ring itself is dumb storage — slot ownership is coordinated through
+    the pool's existing task/result queues (the parent owns the free lists
+    of its input rings; each worker owns the free list of its output ring),
+    so no extra synchronisation primitives cross the process boundary.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, slots: int, slot_bytes: int):
+        self.shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "_ShmRing":
+        shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        return cls(shm, slots, slot_bytes)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "_ShmRing":
+        # Workers are multiprocessing children, so they inherit the parent's
+        # resource tracker: attaching re-registers the same name in the same
+        # tracker (a set — no-op) and the parent's unlink() deregisters it
+        # exactly once.  No per-process unregister gymnastics needed.
+        return cls(shared_memory.SharedMemory(name=name), slots, slot_bytes)
+
+    def view(self, slot: int, shape: Tuple[int, ...], dtype_str: str) -> np.ndarray:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64))
+        offset = slot * self.slot_bytes
+        return np.frombuffer(
+            self.shm.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+
+    def write(self, slot: int, array: np.ndarray) -> Tuple[int, Tuple[int, ...], str]:
+        view = self.view(slot, array.shape, array.dtype.str)
+        view[...] = array
+        return slot, tuple(array.shape), array.dtype.str
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _ring_payload(ring: Optional[_ShmRing], free: List[int], array: np.ndarray):
+    """Encode ``array`` for the queue: a shm slot descriptor, or the array
+    itself when the ring is absent/full/too small (the always-correct
+    fallback path)."""
+    if ring is not None and free and array.nbytes <= ring.slot_bytes:
+        slot = free.pop()
+        return ("shm", ring.write(slot, np.ascontiguousarray(array)))
+    return ("raw", array)
+
+
+def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q, rings):
     """Worker process entry: load the artifact, serve batches until ``None``.
 
-    Result tuples are ``("ready"|"ok"|"err"|"fatal", job_id, payload)``.
-    Every exception is caught and shipped back as a string — a worker only
-    dies on hard crashes (signal, OOM), which the parent's reader detects.
+    Result tuples are ``("ready"|"ok"|"err"|"fatal", job_id, payload,
+    freed_input_slot)``.  Batches and results ride the shared-memory rings
+    when a slot is free (``payload = ("shm", (slot, shape, dtype))``), and
+    fall back to pickled arrays otherwise.  Every exception is caught and
+    shipped back as a string — a worker only dies on hard crashes (signal,
+    OOM), which the parent's reader detects.
     """
+    in_ring = out_ring = None
     try:
         if backend == "cost":
             import repro.mcu  # noqa: F401  (registers the cost backend)
@@ -135,23 +236,45 @@ def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q):
 
         program = load_program(artifact_path)
         executor = Executor(program, backend=backend, active_bits=active_bits)
+        if rings is not None:
+            in_name, out_name, slots, slot_bytes = rings
+            in_ring = _ShmRing.attach(in_name, slots, slot_bytes)
+            out_ring = _ShmRing.attach(out_name, slots, slot_bytes)
     except BaseException:
-        result_q.put(("fatal", None, traceback.format_exc()))
+        result_q.put(("fatal", None, traceback.format_exc(), None))
         return
-    result_q.put(("ready", None, None))
-    while True:
-        job = task_q.get()
-        if job is None:
-            return
-        job_id, batch = job
-        try:
-            result_q.put(("ok", job_id, executor.run(batch)))
-        except Exception:
-            result_q.put(("err", job_id, traceback.format_exc()))
+    result_q.put(("ready", None, getattr(executor, "plan_info", None), None))
+    free_out = list(range(out_ring.slots)) if out_ring is not None else []
+    try:
+        while True:
+            message = task_q.get()
+            if message is None:
+                return
+            if message[0] == "free":  # parent finished reading a result slot
+                free_out.append(message[1])
+                continue
+            _, job_id, payload = message
+            in_slot: Optional[int] = None
+            try:
+                if payload[0] == "shm":
+                    in_slot, shape, dtype_str = payload[1]
+                    batch = in_ring.view(in_slot, shape, dtype_str)
+                else:
+                    batch = payload[1]
+                result = executor.run(batch)
+                out_payload = _ring_payload(out_ring, free_out, result)
+                result_q.put(("ok", job_id, out_payload, in_slot))
+            except Exception:
+                result_q.put(("err", job_id, traceback.format_exc(), in_slot))
+    finally:
+        if in_ring is not None:
+            in_ring.close()
+        if out_ring is not None:
+            out_ring.close()
 
 
 class _ProcessWorker:
-    """One worker process plus its queues, reader thread and in-flight jobs."""
+    """One worker process plus its queues, rings, reader and in-flight jobs."""
 
     def __init__(self, pool: "ProcessWorkerPool", index: int):
         self.pool = pool
@@ -162,6 +285,28 @@ class _ProcessWorker:
         self.inflight: Dict[int, Future] = {}
         self.dead = False
         self.ready = False  # saw the worker's "ready" handshake
+        # Shared-memory rings: parent copies batches into in_ring slots the
+        # worker reads zero-copy; results come back through out_ring.  The
+        # parent owns in_free (under the pool lock); freed result slots are
+        # returned to the worker via ("free", slot) task messages.
+        self.in_ring: Optional[_ShmRing] = None
+        self.out_ring: Optional[_ShmRing] = None
+        self.in_free: List[int] = []
+        rings_desc = None
+        if pool.shm_slot_bytes:
+            try:
+                self.in_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
+                self.out_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
+                self.in_free = list(range(pool.shm_slots))
+                rings_desc = (
+                    self.in_ring.shm.name,
+                    self.out_ring.shm.name,
+                    pool.shm_slots,
+                    pool.shm_slot_bytes,
+                )
+            except OSError:
+                # No usable /dev/shm: run on pickled queue payloads alone.
+                self._destroy_rings()
         self.process = ctx.Process(
             target=_process_worker_main,
             args=(
@@ -170,6 +315,7 @@ class _ProcessWorker:
                 pool.active_bits,
                 self.task_q,
                 self.result_q,
+                rings_desc,
             ),
             daemon=True,
         )
@@ -179,10 +325,29 @@ class _ProcessWorker:
         )
         self.reader.start()
 
+    def _destroy_rings(self) -> None:
+        for ring in (self.in_ring, self.out_ring):
+            if ring is not None:
+                ring.close()
+                ring.unlink()
+        self.in_ring = self.out_ring = None
+        self.in_free = []
+
+    def _decode_result(self, payload) -> np.ndarray:
+        if payload[0] == "shm":
+            slot, shape, dtype_str = payload[1]
+            result = np.array(self.out_ring.view(slot, shape, dtype_str))
+            try:
+                self.task_q.put(("free", slot))
+            except (ValueError, OSError):
+                pass  # worker going down; slot accounting dies with it
+            return result
+        return payload[1]
+
     def _read_results(self) -> None:
         while True:
             try:
-                status, job_id, payload = self.result_q.get(timeout=0.2)
+                status, job_id, payload, in_slot = self.result_q.get(timeout=0.2)
             except queue.Empty:
                 if not self.process.is_alive():
                     self._mark_dead("worker process exited unexpectedly")
@@ -193,16 +358,25 @@ class _ProcessWorker:
                 return
             if status == "ready":
                 self.ready = True
+                if payload is not None:
+                    self.pool.plan_info = payload
                 continue
             if status == "fatal":
                 self._mark_dead(f"worker failed to start:\n{payload}")
                 return
             with self.pool._lock:
                 future = self.inflight.pop(job_id, None)
+                if in_slot is not None:
+                    self.in_free.append(in_slot)
             if future is None:
                 continue
             if status == "ok":
-                future.set_result(payload)
+                try:
+                    future.set_result(self._decode_result(payload))
+                except Exception as exc:  # corrupt descriptor; fail the batch
+                    future.set_exception(
+                        _RemoteError(f"worker {self.index} returned an unreadable result: {exc}")
+                    )
             else:
                 future.set_exception(
                     _RemoteError(f"batch failed in worker {self.index}:\n{payload}")
@@ -217,6 +391,7 @@ class _ProcessWorker:
             future.set_exception(
                 WorkerCrashed(f"worker {self.index} died with the batch in flight ({reason})")
             )
+        self._destroy_rings()
         self.pool._on_worker_death(self, reason)
 
     def stop(self) -> None:
@@ -228,6 +403,7 @@ class _ProcessWorker:
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout=2.0)
+        self._destroy_rings()
 
 
 class ProcessWorkerPool:
@@ -252,6 +428,11 @@ class ProcessWorkerPool:
         Replace a crashed worker with a fresh one (in-flight batches on the
         dead worker still fail with :class:`WorkerCrashed`; only subsequent
         batches reach the replacement).
+    use_shared_memory:
+        Pass batches/results through per-worker shared-memory rings instead
+        of pickling arrays over the queues (pickling remains the fallback
+        for oversized arrays or a momentarily-full ring).  Slot geometry
+        derives from the artifact's input/output shapes.
     """
 
     def __init__(
@@ -262,6 +443,9 @@ class ProcessWorkerPool:
         active_bits: Optional[int] = None,
         mp_context: Optional[str] = None,
         respawn: bool = True,
+        use_shared_memory: bool = True,
+        shm_slots: int = 4,
+        shm_slot_bytes: Optional[int] = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -271,6 +455,16 @@ class ProcessWorkerPool:
         self.backend = backend
         self.active_bits = active_bits
         self.respawn = respawn
+        # Planner counters reported by a worker's ready handshake (all
+        # workers load the same artifact, so any worker's answer serves).
+        self.plan_info: Optional[Dict] = None
+        self.shm_slots = shm_slots
+        self.shm_slot_bytes = 0
+        if use_shared_memory:
+            if shm_slot_bytes is not None:
+                self.shm_slot_bytes = int(shm_slot_bytes)
+            else:
+                self.shm_slot_bytes = self._default_slot_bytes()
         self._ctx = multiprocessing.get_context(mp_context or "spawn")
         self._lock = threading.Lock()
         self._closed = False
@@ -289,8 +483,28 @@ class ProcessWorkerPool:
             _ProcessWorker(self, i) for i in range(num_workers)
         ]
 
+    def _default_slot_bytes(self) -> int:
+        """Ring slot size from the artifact header: room for a 64-row batch
+        of the larger of the program's input/output, clamped to [1, 32] MiB."""
+        try:
+            from repro.core.export import read_program_metadata
+
+            meta = read_program_metadata(self.artifact_path)
+            sample = max(
+                int(np.prod(meta["input_shape"], dtype=np.int64)),
+                int(np.prod(meta["output_shape"], dtype=np.int64)),
+            )
+            return int(np.clip(64 * sample * 8, 1 << 20, 32 << 20))
+        except Exception:
+            return 1 << 20
+
     def submit(self, batch: np.ndarray) -> Future:
-        """Run one batch on the least-loaded live worker."""
+        """Run one batch on the least-loaded live worker.
+
+        The batch rides the worker's shared-memory ring when a slot is free
+        and it fits; otherwise it is pickled through the task queue.
+        """
+        batch = np.asarray(batch)
         with self._lock:
             if self._closed:
                 raise WorkerError("worker pool is closed")
@@ -304,11 +518,31 @@ class ProcessWorkerPool:
             job_id = next(self._job_ids)
             future: Future = Future()
             worker.inflight[job_id] = future
+            in_ring = worker.in_ring
+            slot: Optional[int] = None
+            if (
+                in_ring is not None
+                and worker.in_free
+                and batch.nbytes <= in_ring.slot_bytes
+            ):
+                slot = worker.in_free.pop()
+        payload = ("raw", batch)
+        if slot is not None:
+            try:
+                payload = ("shm", in_ring.write(slot, np.ascontiguousarray(batch)))
+            except Exception:
+                # Ring torn down under us (worker died between the liveness
+                # check and the write): return the slot and fall back to the
+                # pickled path — the queue put below settles the future.
+                with self._lock:
+                    worker.in_free.append(slot)
         try:
-            worker.task_q.put((job_id, np.asarray(batch)))
+            worker.task_q.put(("job", job_id, payload))
         except (ValueError, OSError) as exc:
             with self._lock:
                 worker.inflight.pop(job_id, None)
+                if payload[0] == "shm":
+                    worker.in_free.append(slot)
             future.set_exception(WorkerCrashed(f"could not reach worker: {exc}"))
         return future
 

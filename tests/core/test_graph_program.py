@@ -180,8 +180,11 @@ class TestExecutorDetails:
             Executor(engine.compile(), backend="no-such-backend")
 
     def test_executor_reuses_released_buffers(self):
+        # The buffer pool is the fallback path: optimized plan programs
+        # execute through the ahead-of-time arena plan, so the pool is
+        # exercised by explicitly opting out of it.
         engine = _calibrated_engine("resnet_s_tiny")
-        executor = engine._executor()
+        executor = Executor(engine.compile(), memory_plan=False)
         x = np.random.default_rng(4).normal(size=(2, 3, 32, 32))
         first = executor.run(x)
         assert executor.pool._free, "released buffers should populate the pool"
@@ -191,7 +194,7 @@ class TestExecutorDetails:
     def test_buffer_pool_is_bounded_across_runs(self):
         """Regression: free lists must not grow by one dead buffer per batch."""
         engine = _calibrated_engine("resnet_s_tiny")
-        executor = engine._executor()
+        executor = Executor(engine.compile(), memory_plan=False)
         from repro.core.program import _BufferPool
 
         x = np.random.default_rng(4).normal(size=(4, 3, 32, 32))

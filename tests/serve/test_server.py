@@ -57,6 +57,41 @@ class TestThreadWorkerPool:
         with pytest.raises(WorkerError):
             pool.submit(np.zeros(1))
 
+    def test_shared_mode_builds_one_executor(self, served):
+        from repro.core import Executor
+
+        built = []
+        def factory():
+            built.append(1)
+            return Executor(served.program)
+
+        pool = ThreadWorkerPool(factory, num_workers=3, shared=True)
+        try:
+            assert len(built) == 1  # one executor, its shard pool shared
+            assert pool.shared_executor.thread_safe
+            futures = [pool.submit(served.batch) for _ in range(4)]
+            for future in futures:
+                np.testing.assert_allclose(
+                    future.result(timeout=120.0), served.expected,
+                    rtol=1e-9, atol=1e-12,
+                )
+        finally:
+            pool.close()
+
+    def test_shared_mode_serializes_unsafe_executors(self):
+        # A shared executor without thread_safe=True degrades to
+        # correct-but-serial behind a lock instead of racing.
+        pool = ThreadWorkerPool(FakeExecutor, num_workers=2, shared=True)
+        try:
+            assert pool._shared_run_lock is not None
+            futures = [pool.submit(np.full(2, i, dtype=float)) for i in range(4)]
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=5.0), np.full(2, i + 1.0)
+                )
+        finally:
+            pool.close()
+
 
 class TestProcessWorkerPool:
     def test_workers_load_artifact_and_match_reference(self, served):
@@ -130,6 +165,60 @@ class TestProcessWorkerPool:
     def test_missing_artifact_rejected_immediately(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             ProcessWorkerPool(tmp_path / "nope.npz")
+
+    def test_shared_memory_ring_recycles_slots(self, served):
+        pool = ProcessWorkerPool(served.artifact, num_workers=1)
+        try:
+            worker = pool._workers[0]
+            assert worker.in_ring is not None, "rings should be on by default"
+            slots = pool.shm_slots
+            # More in-flight batches than slots: the ring must recycle (and
+            # the pickle fallback absorb the overflow) without losing jobs.
+            futures = [pool.submit(served.batch) for _ in range(3 * slots)]
+            for future in futures:
+                np.testing.assert_allclose(
+                    future.result(timeout=120.0), served.expected,
+                    rtol=1e-9, atol=1e-12,
+                )
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                with pool._lock:
+                    if sorted(worker.in_free) == list(range(slots)):
+                        break
+                time.sleep(0.02)
+            with pool._lock:
+                assert sorted(worker.in_free) == list(range(slots)), (
+                    "input ring slots must all return to the free list"
+                )
+            assert pool.plan_info and pool.plan_info["arena_bytes"] > 0
+        finally:
+            pool.close()
+
+    def test_ring_and_pickle_paths_agree(self, served):
+        with_ring = ProcessWorkerPool(served.artifact, num_workers=1)
+        without = ProcessWorkerPool(
+            served.artifact, num_workers=1, use_shared_memory=False
+        )
+        try:
+            assert without._workers[0].in_ring is None
+            a = with_ring.submit(served.batch).result(timeout=120.0)
+            b = without.submit(served.batch).result(timeout=120.0)
+            np.testing.assert_array_equal(a, b)
+        finally:
+            with_ring.close()
+            without.close()
+
+    def test_oversized_batch_falls_back_to_pickle(self, served):
+        pool = ProcessWorkerPool(
+            served.artifact, num_workers=1, shm_slot_bytes=1024  # tiny slots
+        )
+        try:
+            out = pool.submit(served.batch).result(timeout=120.0)
+            np.testing.assert_allclose(
+                out, served.expected, rtol=1e-9, atol=1e-12
+            )
+        finally:
+            pool.close()
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +381,12 @@ class TestHttpFrontEnd:
         )
         stats = _get(url, "/v1/models/resnet_s/stats")
         assert stats["requests"]["completed"] == 4
+        # The serving pipeline shares one planned executor: its arena/fusion
+        # counters surface in the stats payload (same numbers as
+        # NetworkProgram.metadata()["execution_plan"]).
+        assert stats["executor"]["arena_bytes"] > 0
+        assert stats["executor"]["steps_fused"] > 0
+        assert stats["executor"]["workers"] >= 1
 
     def test_unknown_model_is_404(self, http_server):
         with pytest.raises(urllib.error.HTTPError) as err:
