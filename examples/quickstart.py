@@ -5,9 +5,11 @@ This walks the full pipeline of the paper on a laptop-sized problem:
 1. train a small CNN on a synthetic CIFAR-10-like task,
 2. compress it with a shared z-dimension weight pool (paper §3),
 3. fine-tune the pool-index assignment (paper Figure 2),
-4. compile it to a whole-network program (calibrate → lower → optimize) and
-   execute it with the bit-serial graph executor at 8-bit and 4-bit
-   activations (paper §3.1–3.3),
+4. compile it through the pass-manager pipeline (calibrate → lower → graph
+   passes → memory plan → autotune; the 8-bit build runs at level O3 and
+   prints the pipeline report — passes run, ops before/after, arena bytes,
+   autotune picks) and execute it with the bit-serial graph executor at
+   8-bit and 4-bit activations (paper §3.1–3.3),
 5. report compression ratio, accuracy, and estimated microcontroller latency.
 
 Run with:  python examples/quickstart.py          (full demo)
@@ -28,6 +30,7 @@ from repro.core import (
     analyze_model_storage,
     compress_model,
     finetune_compressed_model,
+    format_pipeline_report,
 )
 from repro.datasets import SyntheticCIFAR10, make_classification_split
 from repro.mcu import MC_LARGE, BitSerialKernelConfig, estimate_cmsis_network, estimate_weight_pool_network
@@ -88,7 +91,14 @@ def main(seed: int = 0, fast: bool = False) -> None:
         engine = BitSerialInferenceEngine(
             result.model,
             result.pool,
-            EngineConfig(activation_bitwidth=act_bits, lut_bitwidth=8, calibration_batches=2),
+            EngineConfig(
+                activation_bitwidth=act_bits,
+                lut_bitwidth=8,
+                calibration_batches=2,
+                # The 8-bit deployment build compiles at the top pipeline
+                # level: graph passes + arena plan + kernel autotuning.
+                opt_level="O3" if act_bits == 8 else None,
+            ),
         )
         engine.calibrate(train_loader)
         program = engine.compile()
@@ -99,6 +109,7 @@ def main(seed: int = 0, fast: bool = False) -> None:
                 f" bit-serial, {program.count('requantize')} requantize-fused, "
                 f"{program.count('batchnorm')} BN left unfolded)"
             )
+            print(format_pipeline_report(program))
         acc = engine.evaluate(test_loader)
         wp_latency = estimate_weight_pool_network(
             result.model,

@@ -28,9 +28,11 @@ Whole-network compilation (the graph pipeline):
 * :mod:`repro.core.graph` — lower a model to a flat dataflow graph via the
   per-module ``lower_into`` hooks.
 * :mod:`repro.core.program` — type the graph into a :class:`NetworkProgram`
-  IR, optimize it (BatchNorm folding, requantize fusion), and execute it
-  batch-wise through a multi-backend :class:`Executor` (``plan`` /
-  ``reference`` / MCU ``cost``).
+  IR and execute it batch-wise through a multi-backend :class:`Executor`
+  (``plan`` / ``reference`` / MCU ``cost``).
+* :mod:`repro.core.pipeline` — the pass-manager pipeline: registered
+  optimization passes at ordered levels (``O0``–``O3``), an IR verifier,
+  and the ``O3`` compile-time kernel autotuner.
 * :func:`repro.core.export.save_program` / ``load_program`` — the compiled
   program as a serializable deployment artifact.
 
@@ -76,14 +78,29 @@ from repro.core.memory_plan import (
     compile_execution_plan,
     validate_arena_plan,
 )
+from repro.core.pipeline import (
+    OPT_LEVELS,
+    PASS_REGISTRY,
+    Pass,
+    PassManager,
+    PipelineReport,
+    VerificationError,
+    autotune_schedule,
+    dedupe_quantize,
+    fold_activation_into_quantize,
+    fold_batchnorm,
+    format_pipeline_report,
+    fuse_requantize,
+    register_pass,
+    registered_passes,
+    verify_program,
+)
 from repro.core.program import (
     Executor,
     IR_OP_KINDS,
     NetworkProgram,
     ProgramOp,
     compile_network,
-    fold_batchnorm,
-    fuse_requantize,
     register_backend,
 )
 from repro.core.engine import BitSerialInferenceEngine, EngineConfig
@@ -146,15 +163,28 @@ __all__ = [
     "ExecutionPlan",
     "IR_OP_KINDS",
     "NetworkProgram",
+    "OPT_LEVELS",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassManager",
+    "PipelineReport",
     "PlanUnsupported",
     "ProgramOp",
     "ShardRuntime",
+    "VerificationError",
+    "autotune_schedule",
     "compile_execution_plan",
     "compile_network",
+    "dedupe_quantize",
+    "fold_activation_into_quantize",
     "fold_batchnorm",
+    "format_pipeline_report",
     "fuse_requantize",
     "register_backend",
+    "register_pass",
+    "registered_passes",
     "validate_arena_plan",
+    "verify_program",
     "StorageReport",
     "analyze_model_storage",
     "lut_storage_bits",

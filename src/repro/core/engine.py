@@ -44,6 +44,7 @@ from repro.core.bitserial import bitserial_conv2d_reference, bitserial_linear_re
 from repro.core.kernel_plan import compile_conv_plan, compile_linear_plan
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable, build_lut
+from repro.core.pipeline import OPT_LEVELS
 from repro.core.program import Executor, NetworkProgram, compile_network
 from repro.core.weight_pool import WeightPool
 from repro.nn import DataLoader, Module
@@ -79,6 +80,12 @@ class EngineConfig:
     # False compiles the canonical op stream, which executes the exact same
     # plans in the exact same float association as the per-layer path.
     graph_optimize: bool = True
+    # Pipeline optimization level (one of repro.core.pipeline.OPT_LEVELS,
+    # "O0".."O3").  None derives the level from ``graph_optimize`` ("O2" /
+    # "O0", the pre-pass-manager behaviour); an explicit level wins over
+    # ``graph_optimize``.  "O3" additionally autotunes kernel variants and
+    # tile/shard choices at compile time (bitwise-identical outputs).
+    opt_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.activation_bitwidth <= 8:
@@ -89,6 +96,11 @@ class EngineConfig:
             raise ValueError(f"lut_bitwidth must be in [2, 16], got {self.lut_bitwidth}")
         if self.active_bits is not None and not 1 <= self.active_bits <= self.activation_bitwidth:
             raise ValueError("active_bits must be in [1, activation_bitwidth]")
+        if self.opt_level is not None and self.opt_level not in OPT_LEVELS:
+            raise ValueError(
+                f"unknown optimization level {self.opt_level!r}; valid levels: "
+                f"{', '.join(OPT_LEVELS)}"
+            )
 
 
 class _CalibrationRuntime:
@@ -366,16 +378,22 @@ class BitSerialInferenceEngine:
         optimize: Optional[bool] = None,
         backend: Optional[str] = None,
         input_shape: Optional[Tuple[int, ...]] = None,
+        level: Optional[str] = None,
     ) -> NetworkProgram:
         """Lower the calibrated model into a :class:`NetworkProgram`.
 
         Builds (and caches) the matching graph :class:`Executor`; ``predict``
-        and ``evaluate`` delegate to it.  ``optimize``/``backend`` default to
-        the engine config (``graph_optimize``; plan vs reference kernels per
-        ``use_kernel_plans``); ``input_shape`` defaults to the shape recorded
-        during calibration.
+        and ``evaluate`` delegate to it.  The pipeline optimization ``level``
+        (``O0``–``O3``) defaults to the engine config (``opt_level`` when
+        set, else ``graph_optimize`` → ``O2``/``O0``); an explicit boolean
+        ``optimize`` keeps its legacy meaning (``O2``/``O0``).  ``backend``
+        defaults to plan vs reference kernels per ``use_kernel_plans``;
+        ``input_shape`` to the shape recorded during calibration.  Unknown
+        level names raise :class:`ValueError` listing the valid choices.
         """
-        executor = self._executor(optimize=optimize, backend=backend, input_shape=input_shape)
+        executor = self._executor(
+            optimize=optimize, backend=backend, input_shape=input_shape, level=level
+        )
         return executor.program
 
     def export(
@@ -383,6 +401,7 @@ class BitSerialInferenceEngine:
         path,
         optimize: Optional[bool] = None,
         input_shape: Optional[Tuple[int, ...]] = None,
+        level: Optional[str] = None,
     ) -> NetworkProgram:
         """Compile the network and persist it as a program artifact.
 
@@ -390,23 +409,38 @@ class BitSerialInferenceEngine:
         :func:`repro.core.export.save_program`: the written ``.npz`` is the
         deployment artifact a :class:`repro.serve.ModelRepository` serves
         (``repository.publish(engine.compile(), name)`` is the equivalent
-        two-step spelling).  Returns the compiled program.
+        two-step spelling).  The artifact header carries the pipeline level
+        and per-pass reports.  Returns the compiled program.
         """
         from repro.core.export import save_program  # engine is imported by export
 
-        program = self.compile(optimize=optimize, input_shape=input_shape)
+        program = self.compile(optimize=optimize, input_shape=input_shape, level=level)
         save_program(program, path)
         return program
+
+    def _resolve_level(
+        self, optimize: Optional[bool], level: Optional[str]
+    ) -> str:
+        """The pipeline level for a compile request (explicit level wins,
+        then the legacy ``optimize`` boolean, then the engine config)."""
+        if level is not None:
+            return level
+        if optimize is not None:
+            return "O2" if optimize else "O0"
+        if self.config.opt_level is not None:
+            return self.config.opt_level
+        return "O2" if self.config.graph_optimize else "O0"
 
     def _executor(
         self,
         optimize: Optional[bool] = None,
         backend: Optional[str] = None,
         input_shape: Optional[Tuple[int, ...]] = None,
+        level: Optional[str] = None,
     ) -> Executor:
         if not self._calibrated:
             raise RuntimeError("calibrate() must be called before compiling the network")
-        optimize = self.config.graph_optimize if optimize is None else optimize
+        level = self._resolve_level(optimize, level)
         backend = backend or ("plan" if self.config.use_kernel_plans else "reference")
         input_shape = tuple(input_shape or self.input_shape or ())
         if len(input_shape) != 3:
@@ -414,7 +448,7 @@ class BitSerialInferenceEngine:
                 "input shape unknown; calibrate with (N, C, H, W) batches or "
                 "pass input_shape explicitly"
             )
-        key = (backend, optimize, input_shape, self.config.active_bits)
+        key = (backend, level, input_shape, self.config.active_bits)
         executor = self._executors.get(key)
         if executor is None:
             program = compile_network(
@@ -423,7 +457,7 @@ class BitSerialInferenceEngine:
                 lut=self.lut,
                 activation_params=self.activation_params,
                 act_bitwidth=self.config.activation_bitwidth,
-                optimize=optimize,
+                level=level,
             )
             executor = Executor(program, backend=backend, active_bits=self.config.active_bits)
             self._executors[key] = executor

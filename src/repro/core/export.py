@@ -26,11 +26,12 @@ deployment artifact:
   bit-identically to the original through the graph
   :class:`~repro.core.program.Executor`, with no model object required;
 * :func:`read_program_metadata` — the artifact's JSON header only (op
-  counts, shapes, LUT geometry, and — when an ahead-of-time
-  :class:`~repro.core.program.Executor` was built before saving — the
-  planner's ``execution_plan`` counters: arena bytes, steps fused, shard
-  count) without touching the arrays, so model repositories can list
-  artifacts cheaply.  Execution plans themselves are *derived* state:
+  counts, shapes, LUT geometry, the pipeline's optimization level and
+  per-pass reports (``pipeline``/``opt_level``), and — when an
+  ahead-of-time :class:`~repro.core.program.Executor` was built before
+  saving — the planner's ``execution_plan`` counters: arena bytes, steps
+  fused, shard count, autotune decisions) without touching the arrays, so
+  model repositories can list artifacts cheaply.  Execution plans themselves are *derived* state:
   :func:`load_program` reconstructs the IR and the next executor re-plans
   it, bitwise-identically to the original (covered by the planner's
   round-trip tests);
@@ -434,6 +435,8 @@ def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
         "num_buffers": int(program.num_buffers),
         "act_bitwidth": int(program.act_bitwidth),
         "optimized": bool(program.optimized),
+        "opt_level": program.opt_level,
+        "pipeline": program.pipeline_report,
         "lut": {
             "pool_size": int(program.lut.pool_size),
             "group_size": int(program.lut.group_size),
@@ -490,6 +493,8 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
         lut=lut,
         act_bitwidth=meta["act_bitwidth"],
         optimized=meta["optimized"],
+        opt_level=meta.get("opt_level"),
+        pipeline_report=meta.get("pipeline"),
     )
 
 

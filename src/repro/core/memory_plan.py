@@ -727,8 +727,11 @@ def _specialize_kernel_plans(steps, active_bits) -> None:
         if plan is None:
             continue
         conv_plan = getattr(plan, "conv_plan", plan)
-        conv_plan.tap_gather = "per_tap"
-        conv_plan.encoder = "bitmul"
+        if not getattr(conv_plan, "_autotuned", False):
+            # The heuristic defaults (O2); the O3 autotuner measured its own
+            # winners and marked the plan — leave those alone.
+            conv_plan.tap_gather = "per_tap"
+            conv_plan.encoder = "bitmul"
         if not (conv_plan.hoist_padding and conv_plan.padding):
             continue
         op = step.op

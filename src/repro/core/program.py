@@ -19,14 +19,13 @@ optimizes it with graph-level passes, and runs it through a batched
 ``flatten``, ``add``, ``conv``, ``linear``  float glue and uncompressed layers
 
 Optimization passes (things the per-layer engine of PR 1 structurally could
-not do, because each layer only ever saw its own inputs):
-
-* :func:`fold_batchnorm` — fold a BatchNorm that consumes a bit-serial
-  epilogue into the epilogue's per-filter ``α·acc + β``.
-* :func:`fuse_requantize` — elide back-to-back ``dequantize → quantize``
-  pairs (walking through exactly-commuting relu/relu6/max-pool ops) so the
-  epilogue emits the next layer's integer activations directly; the folded
-  relu becomes an integer clip at the zero point.
+not do, because each layer only ever saw its own inputs) live in
+:mod:`repro.core.pipeline` as *registered passes* run by a
+:class:`~repro.core.pipeline.PassManager` at an ordered optimization level
+(``O0`` reference lowering … ``O3`` autotuned); :func:`compile_network`
+drives the graph stage and the :class:`Executor` the schedule/tune stages.
+The pipeline's IR verifier runs between passes in debug mode and once at
+every compile exit.
 
 Backends (``Executor(program, backend=...)``):
 
@@ -49,6 +48,7 @@ requantization flips at rounding boundaries.
 
 from __future__ import annotations
 
+import copy
 import os
 import queue
 import threading
@@ -62,6 +62,16 @@ from repro.core.graph import NetworkGraph, lower_model
 from repro.core.kernel_plan import compile_conv_plan, compile_linear_plan
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable
+from repro.core.pipeline import (
+    PassManager,
+    _consumer_map,
+    _require_bound,
+    autotune_schedule,
+    level_enables,
+    persistable_autotune,
+    record_stage_report,
+    recorded_autotune,
+)
 from repro.core.tracing import LayerTrace
 from repro.nn import Module
 from repro.nn import functional as F
@@ -135,10 +145,25 @@ class NetworkProgram:
     # :meth:`metadata` so bench records, saved artifacts and the serve
     # ``/stats`` payload all report the same numbers.
     plan_counters: Optional[Dict[str, Any]] = None
+    # The optimization level this program was compiled at (one of
+    # :data:`repro.core.pipeline.OPT_LEVELS`) and the JSON-able
+    # :class:`~repro.core.pipeline.PipelineReport` the pass manager
+    # attached; ``None`` only for artifacts predating the pass manager.
+    opt_level: Optional[str] = None
+    pipeline_report: Optional[Dict[str, Any]] = None
 
     @property
     def bound(self) -> bool:
         return self.lut is not None
+
+    @property
+    def effective_opt_level(self) -> str:
+        """The program's optimization level, inferring pre-pass-manager
+        artifacts from their ``optimized`` flag (optimized meant the graph
+        passes *and* the ahead-of-time planner, i.e. today's ``O2``)."""
+        if self.opt_level is not None:
+            return self.opt_level
+        return "O2" if self.optimized else "O0"
 
     def kinds(self) -> List[str]:
         return [op.kind for op in self.ops]
@@ -173,8 +198,11 @@ class NetworkProgram:
             "op_counts": op_counts,
             "act_bitwidth": int(self.act_bitwidth),
             "optimized": bool(self.optimized),
+            "opt_level": self.effective_opt_level,
             "bound": self.bound,
         }
+        if self.pipeline_report is not None:
+            meta["pipeline"] = copy.deepcopy(self.pipeline_report)
         if self.lut is not None:
             meta["lut"] = {
                 "pool_size": int(self.lut.pool_size),
@@ -420,201 +448,6 @@ def _type_graph(
 
 
 # ---------------------------------------------------------------------------
-# Optimization passes
-# ---------------------------------------------------------------------------
-def _consumer_map(ops: List[ProgramOp]) -> Dict[int, List[ProgramOp]]:
-    consumers: Dict[int, List[ProgramOp]] = {}
-    for op in ops:
-        for buf in op.inputs:
-            consumers.setdefault(buf, []).append(op)
-    return consumers
-
-
-def fold_batchnorm(program: NetworkProgram) -> int:
-    """Fold BatchNorm ops into the preceding bit-serial epilogue.
-
-    ``bn(deq(acc)) = bn_scale·(α·acc + β) + bn_shift`` collapses into a
-    per-filter ``α', β'`` on the dequantize/requantize op, deleting one full
-    float pass over the activations per compressed conv.  Returns the number
-    of BatchNorms folded.
-    """
-    _require_bound(program)
-    consumers = _consumer_map(program.ops)
-    removed = []
-    for op in program.ops:
-        if op.kind != "dequantize" or len(op.out_shape) != 3:
-            continue
-        users = consumers.get(op.output, [])
-        if len(users) != 1 or users[0].kind != "batchnorm" or op.output == program.output_id:
-            continue
-        bn = users[0]
-        scale = bn.attrs["gamma"] * bn.attrs["inv_std"]
-        shift = bn.attrs["beta"] - bn.attrs["mean"] * scale
-        op.attrs["bn"] = (scale, shift)
-        op.output = bn.output
-        op.out_shape = bn.out_shape
-        removed.append(bn)
-    program.ops = [op for op in program.ops if op not in removed]
-    return len(removed)
-
-
-def _quant_level(value: float, params: QuantParams) -> int:
-    """The integer level ``quantize(value)`` maps to."""
-    q = int(np.round(value / params.scale)) + params.zero_point
-    return int(np.clip(q, params.qmin, params.qmax))
-
-
-def fuse_requantize(program: NetworkProgram) -> int:
-    """Elide ``dequantize → … → quantize`` chains into fused requantization.
-
-    Walks forward from each dequantize through single-consumer ops that
-    commute exactly with the (monotone) round/clip of quantization — relu,
-    relu6, non-overlapping max pooling — and, when the chain ends in a
-    ``quantize`` op, rewrites the dequantize into a ``requantize`` whose
-    epilogue emits the next layer's integer activations directly.  The relu
-    becomes the requantize clip's lower bound (the zero point represents
-    exactly 0), relu6 caps the upper bound, and max pools run on the integer
-    buffers.  Returns the number of pairs elided.
-    """
-    _require_bound(program)
-    consumers = _consumer_map(program.ops)
-    substitute: Dict[int, int] = {}
-    removed: List[ProgramOp] = []
-    fused = 0
-    for op in program.ops:
-        if op.kind != "dequantize":
-            continue
-        chain: List[ProgramOp] = []
-        cursor = op
-        quant: Optional[ProgramOp] = None
-        while True:
-            if cursor.output == program.output_id:
-                break
-            users = consumers.get(cursor.output, [])
-            if len(users) != 1:
-                break
-            nxt = users[0]
-            if nxt.kind == "activation" and nxt.attrs.get("fn") in ("relu", "relu6"):
-                chain.append(nxt)
-                cursor = nxt
-            elif nxt.kind == "pool" and nxt.attrs.get("pool") == "max":
-                chain.append(nxt)
-                cursor = nxt
-            elif nxt.kind == "flatten":
-                chain.append(nxt)
-                cursor = nxt
-            elif nxt.kind == "quantize":
-                quant = nxt
-                break
-            else:
-                break
-        if quant is None:
-            continue
-        out_params: QuantParams = quant.attrs["params"]
-        clip_lo, clip_hi = out_params.qmin, out_params.qmax
-        for link in chain:
-            if link.kind != "activation":
-                continue
-            clip_lo = max(clip_lo, out_params.zero_point)
-            if link.attrs["fn"] == "relu6":
-                clip_hi = min(clip_hi, _quant_level(6.0, out_params))
-            removed.append(link)
-            substitute[link.output] = link.inputs[0]
-        for link in chain:
-            if link.kind == "pool":
-                link.attrs["integer"] = True
-        op.kind = "requantize"
-        op.attrs["out_params"] = out_params
-        op.attrs["clip_lo"] = clip_lo
-        op.attrs["clip_hi"] = clip_hi
-        removed.append(quant)
-        substitute[quant.output] = quant.inputs[0]
-        fused += 1
-
-    if not fused:
-        return 0
-    program.ops = [op for op in program.ops if op not in removed]
-
-    def resolve(buf: int) -> int:
-        while buf in substitute:
-            buf = substitute[buf]
-        return buf
-
-    for op in program.ops:
-        op.inputs = tuple(resolve(buf) for buf in op.inputs)
-    program.output_id = resolve(program.output_id)
-    return fused
-
-
-def dedupe_quantize(program: NetworkProgram) -> int:
-    """Common-subexpression-eliminate duplicate quantize ops.
-
-    Two consumers of the same buffer (e.g. a downsample block's ``conv1`` and
-    its shortcut) calibrate on the same tensor and freeze identical
-    parameters; their quantize ops are the same computation.  Keeps the first,
-    rewires the rest.  Returns the number of ops removed.
-    """
-    _require_bound(program)
-    seen: Dict[tuple, ProgramOp] = {}
-    substitute: Dict[int, int] = {}
-    removed = []
-    for op in program.ops:
-        if op.kind != "quantize":
-            continue
-        key = (op.inputs, op.attrs["params"])
-        kept = seen.get(key)
-        if kept is None:
-            seen[key] = op
-        else:
-            substitute[op.output] = kept.output
-            removed.append(op)
-    if not removed:
-        return 0
-    program.ops = [op for op in program.ops if op not in removed]
-    for op in program.ops:
-        op.inputs = tuple(substitute.get(buf, buf) for buf in op.inputs)
-    return len(removed)
-
-
-def fold_activation_into_quantize(program: NetworkProgram) -> int:
-    """Delete relu/relu6 ops whose every consumer is a quantize op.
-
-    Rounding is monotone, so ``quantize(relu(x)) == clip(quantize(x), z, ·)``
-    exactly; the activation becomes the quantize op's clip bounds (the zero
-    point represents exactly 0).  Returns the number of activations folded.
-    """
-    _require_bound(program)
-    consumers = _consumer_map(program.ops)
-    substitute: Dict[int, int] = {}
-    removed = []
-    for op in program.ops:
-        if op.kind != "activation" or op.attrs.get("fn") not in ("relu", "relu6"):
-            continue
-        if op.output == program.output_id:
-            continue
-        users = consumers.get(op.output, [])
-        if not users or any(user.kind != "quantize" for user in users):
-            continue
-        for quant in users:
-            params: QuantParams = quant.attrs["params"]
-            quant.attrs["clip_lo"] = max(
-                quant.attrs.get("clip_lo", params.qmin), params.zero_point
-            )
-            if op.attrs["fn"] == "relu6":
-                quant.attrs["clip_hi"] = min(
-                    quant.attrs.get("clip_hi", params.qmax), _quant_level(6.0, params)
-                )
-        substitute[op.output] = op.inputs[0]
-        removed.append(op)
-    if not removed:
-        return 0
-    program.ops = [op for op in program.ops if op not in removed]
-    for op in program.ops:
-        op.inputs = tuple(substitute.get(buf, buf) for buf in op.inputs)
-    return len(removed)
-
-
-# ---------------------------------------------------------------------------
 # Compilation entry point
 # ---------------------------------------------------------------------------
 def compile_network(
@@ -624,18 +457,34 @@ def compile_network(
     activation_params: Optional[Dict[int, QuantParams]] = None,
     act_bitwidth: int = 8,
     optimize: bool = True,
+    level: Optional[str] = None,
+    passes: Optional[List[str]] = None,
+    debug: Optional[bool] = None,
 ) -> NetworkProgram:
     """Lower ``model`` to a :class:`NetworkProgram` for a ``(C, H, W)`` input.
 
     With ``lut`` and ``activation_params`` (from a calibrated engine) the
     program is *bound* — executable through :class:`Executor`.  Without them
     the program is structural only (geometry + op stream), which is what the
-    MCU cost backend consumes.  ``optimize`` applies the BatchNorm-folding and
-    requantize-fusion passes (bound programs only; a structural program keeps
-    the canonical op stream so cost attribution stays per-layer).
+    MCU cost backend consumes.
+
+    The optimization pipeline is driven by the
+    :class:`~repro.core.pipeline.PassManager`: ``level`` picks one of the
+    ordered optimization levels (:data:`~repro.core.pipeline.OPT_LEVELS`,
+    ``O0``–``O3``); the legacy ``optimize`` flag maps to ``O2``/``O0`` when
+    no level is given.  ``passes`` optionally restricts the graph stage to
+    an explicit pass selection.  Unknown level or pass names raise
+    :class:`ValueError` listing the valid choices — misconfiguration fails
+    at compile time instead of silently falling through to defaults.  Graph
+    passes rewrite bound programs only (a structural program keeps the
+    canonical op stream so cost attribution stays per-layer); the pipeline's
+    IR verifier runs on both and its report is attached to the program.
     """
     if (lut is None) != (activation_params is None):
         raise ValueError("lut and activation_params must be provided together")
+    if level is None:
+        level = "O2" if optimize else "O0"
+    manager = PassManager(level=level, passes=passes, debug=debug)
     graph = lower_model(model, input_shape)
     ops, output_id, num_buffers = _type_graph(graph, lut, activation_params)
     program = NetworkProgram(
@@ -648,12 +497,7 @@ def compile_network(
         act_bitwidth=act_bitwidth,
         optimized=False,
     )
-    if optimize and program.bound:
-        fold_batchnorm(program)
-        fuse_requantize(program)
-        dedupe_quantize(program)
-        fold_activation_into_quantize(program)
-        program.optimized = True
+    manager.run(program)
     return program
 
 
@@ -708,14 +552,6 @@ class Step:
     op: Optional[ProgramOp] = None
     plan: Optional[object] = None
     validated: bool = False
-
-
-def _require_bound(program: NetworkProgram) -> None:
-    if not program.bound:
-        raise RuntimeError(
-            "program is structural (compiled without lut/activation_params); "
-            "calibrate an engine and compile() it to execute data"
-        )
 
 
 def _input_validated(producers: Dict[int, ProgramOp], buf: int) -> bool:
@@ -1142,6 +978,7 @@ class Executor:
         # independently, so tiling is bit-exact.  ``None`` lets the backend
         # choose (the plan backend sizes it from the largest layer's stage-1
         # footprint); pass 0 to disable.
+        requested_tile = tile  # None = tunable by the O3 autotuner
         self.tile = tile
         self.track_memory = track_memory
         self.peak_pool_bytes = 0
@@ -1161,11 +998,22 @@ class Executor:
                 self._no_pool.add(step.output)
 
         # -- ahead-of-time execution plan (arena + fused steps + shards) ----
+        # The schedule ("memory_plan") and tune ("autotune") pipeline stages
+        # run here, gated by the program's optimization level: O2 enables the
+        # arena plan, O3 additionally autotunes kernel variants and the
+        # tile/shard choices before planning.
+        level = program.effective_opt_level
         explicit_plan = memory_plan is True
         if memory_plan is None:
-            memory_plan = backend == "plan" and program.bound and program.optimized
+            memory_plan = (
+                backend == "plan"
+                and program.bound
+                and program.optimized
+                and level_enables(level, "O2")
+            )
         self.exec_plan = None
         self.plan_info: Optional[Dict[str, Any]] = None
+        self.autotune: Optional[Dict[str, Any]] = None
         self._runtime_q: Optional[queue.LifoQueue] = None
         self._shard_threads = None
         self._shard_lock = threading.Lock()
@@ -1174,6 +1022,31 @@ class Executor:
             from repro.core.memory_plan import PlanUnsupported, compile_execution_plan
 
             plan_tile = self.tile if self.tile else 64
+            requested_shards = n_shards
+            bound_tile = self.tile  # the backend's heuristic (or caller) tile
+            if (
+                backend == "plan"
+                and program.bound
+                and program.optimized
+                and level_enables(level, "O3")
+            ):
+                # A previous bind's recorded winners (this session or a
+                # loaded artifact's header) replay deterministically with no
+                # timing runs; only a first-ever bind micro-benchmarks.
+                self.autotune = autotune_schedule(
+                    program,
+                    self._steps,
+                    default_tile=plan_tile,
+                    active_bits=options.get("active_bits"),
+                    tune_tile=requested_tile is None,
+                    tune_shards=n_shards is None,
+                    fixed_shards=n_shards,
+                    recorded=recorded_autotune(program),
+                )
+                if requested_tile is None:
+                    self.tile = plan_tile = int(self.autotune["tile"]["chosen"])
+                if n_shards is None:
+                    n_shards = int(self.autotune["n_shards"]["chosen"])
             try:
                 self.exec_plan = compile_execution_plan(
                     program,
@@ -1183,9 +1056,52 @@ class Executor:
                 )
             except PlanUnsupported:
                 # Auto-selected planning falls back to the buffer pool; an
-                # explicit request surfaces why the program cannot be planned.
+                # explicit request surfaces why the program cannot be
+                # planned.  The pooled fallback keeps PR 2's execution, so
+                # every tuned decision rolls back: the tile/shard choices,
+                # and the kernel-plan specializations the tuner already
+                # applied in place (bitwise-identical either way, but the
+                # pooled path is the A/B baseline and must stay canonical).
                 if explicit_plan:
                     raise
+                if self.autotune is not None:
+                    for step in self._steps:
+                        plan = getattr(step, "plan", None)
+                        if plan is None:
+                            continue
+                        conv_plan = getattr(plan, "conv_plan", plan)
+                        if getattr(conv_plan, "_autotuned", False):
+                            conv_plan.tap_gather = "fused"
+                            conv_plan.encoder = "packbits"
+                            conv_plan._autotuned = False
+                self.autotune = None
+                self.tile = bound_tile
+                n_shards = requested_shards
+            else:
+                # Record the schedule/tune stages only once they are live.
+                if self.autotune is not None:
+                    record_stage_report(
+                        program,
+                        {
+                            "name": "autotune",
+                            "stage": "tune",
+                            "counters": {
+                                "layers_tuned": self.autotune["layers_tuned"],
+                                "trials": self.autotune["trials"],
+                                "tile": self.autotune["tile"]["chosen"],
+                                "n_shards": self.autotune["n_shards"]["chosen"],
+                            },
+                            "decisions": persistable_autotune(self.autotune),
+                        },
+                    )
+                record_stage_report(
+                    program,
+                    {
+                        "name": "memory_plan",
+                        "stage": "schedule",
+                        "counters": dict(self.exec_plan.counters),
+                    },
+                )
         if self.exec_plan is not None:
             from repro.core.memory_plan import ShardRuntime
 
@@ -1198,6 +1114,8 @@ class Executor:
             self.plan_info = dict(self.exec_plan.counters)
             self.plan_info["n_shards"] = self.n_shards
             self.plan_info["backend"] = backend
+            if self.autotune is not None:
+                self.plan_info["autotune"] = self.autotune
             program.plan_counters = dict(self.plan_info)
         else:
             self.n_shards = max(1, n_shards or 1)

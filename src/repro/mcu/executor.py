@@ -203,9 +203,14 @@ register_backend("cost", _bind_cost)
 
 
 def _program_or_none(model: Module, input_shape: Tuple[int, int, int]) -> Optional[NetworkProgram]:
-    """Structurally lower ``model``; ``None`` when it has no lowering hooks."""
+    """Structurally lower ``model``; ``None`` when it has no lowering hooks.
+
+    Cost replays run the pipeline at ``O0`` (reference lowering): the
+    canonical op stream keeps cycle attribution per-layer, and the
+    pipeline's IR verifier still checks the lowered program.
+    """
     try:
-        return compile_network(model, input_shape, optimize=False)
+        return compile_network(model, input_shape, level="O0")
     except NotImplementedError:
         return None
 

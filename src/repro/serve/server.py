@@ -52,12 +52,16 @@ class _Pipeline:
         path: Path,
         input_shape: Tuple[int, ...],
         program: Optional[NetworkProgram],
+        pipeline_report: Optional[Dict] = None,
     ):
         self.name = name
         self.version = version
         self.path = path
         self.input_shape = tuple(input_shape)
         self.program = program
+        # The compile pipeline's report (level, per-pass counters) from the
+        # artifact metadata; surfaced under the ``pipeline`` key of /stats.
+        self.pipeline_report = pipeline_report
         # An explicitly requested (pinned) version is exempt from hot-swap
         # retirement; set by the server on pinned lookups.
         self.pinned = False
@@ -216,13 +220,15 @@ class InferenceServer:
             # the path and the input shape (header-only read).
             meta = self.repository.metadata(name, version)
             candidate = _Pipeline(
-                self, name, version, path, tuple(meta["input_shape"]), None
+                self, name, version, path, tuple(meta["input_shape"]), None,
+                pipeline_report=meta.get("pipeline"),
             )
         else:
             loaded = self.repository.get(name, version)
             candidate = _Pipeline(
                 self, name, version, loaded.path,
                 tuple(loaded.program.input_shape), loaded.program,
+                pipeline_report=(loaded.metadata or {}).get("pipeline"),
             )
         retired: List[_Pipeline] = []
         loser: Optional[_Pipeline] = None
@@ -401,11 +407,18 @@ class InferenceServer:
     @staticmethod
     def _pipeline_snapshot(pipeline: _Pipeline) -> Dict:
         """One pipeline's stats, with the executor's planner counters
-        (arena bytes, steps fused, shards) attached when it has them."""
+        (arena bytes, steps fused, shards) and the compile pipeline's
+        report (optimization level, per-pass counters, verifier runs)
+        attached when it has them."""
         snap = pipeline.stats.snapshot()
         plan_info = pipeline.plan_info()
         if plan_info:
             snap["executor"] = plan_info
+        report = pipeline.pipeline_report
+        if report is None and pipeline.program is not None:
+            report = pipeline.program.pipeline_report
+        if report:
+            snap["pipeline"] = report
         return snap
 
     def snapshot(self) -> Dict:

@@ -6,6 +6,9 @@ Two invariants the docs promise:
   ``repro.core.program`` defines (the op reference table has one row per
   kind in ``IR_OP_KINDS``), so the table cannot silently drift from the
   compiler;
+* ``docs/ARCHITECTURE.md`` documents **every registered compiler pass**
+  (one row per ``PASS_REGISTRY`` entry: name, stage, level, counters) and
+  every optimization level, so the pass-manager table cannot drift either;
 * every relative markdown link in ``README.md`` and ``docs/*.md`` resolves
   to a real file (the CI link-checker step runs exactly this module).
 """
@@ -15,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import IR_OP_KINDS
+from repro.core import IR_OP_KINDS, OPT_LEVELS, PASS_REGISTRY
 from repro.core.program import NetworkProgram
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -60,6 +63,44 @@ class TestArchitectureOpReference:
         program = compile_network(compressed_small_model.model, (3, 32, 32))
         assert isinstance(program, NetworkProgram)
         assert set(program.metadata()["op_counts"]) <= set(IR_OP_KINDS)
+
+
+class TestPassManagerReference:
+    """The §3 pass table tracks the live registry, like the IR op table."""
+
+    def test_every_registered_pass_has_a_table_row(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        missing = []
+        for name, pass_ in PASS_REGISTRY.items():
+            row = re.search(rf"^\|\s*`{re.escape(name)}`\s*\|(.*)$", text, re.MULTILINE)
+            if row is None:
+                missing.append(name)
+                continue
+            # The row must name the pass's stage and gating level.
+            assert pass_.stage in row.group(1), (
+                f"pass '{name}' row does not state its stage '{pass_.stage}'"
+            )
+            assert pass_.level in row.group(1), (
+                f"pass '{name}' row does not state its level '{pass_.level}'"
+            )
+        assert not missing, (
+            f"docs/ARCHITECTURE.md pass table is missing rows for: {missing}"
+        )
+
+    def test_every_pass_counter_is_documented(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for name, pass_ in PASS_REGISTRY.items():
+            for counter in pass_.counters:
+                assert f"`{counter}`" in text, (
+                    f"pass '{name}' counter '{counter}' is not documented"
+                )
+
+    def test_every_optimization_level_is_documented(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for level in OPT_LEVELS:
+            assert re.search(rf"^\|\s*`{level}`\s*\|", text, re.MULTILINE), (
+                f"optimization level '{level}' has no row in the levels table"
+            )
 
 
 class TestMarkdownLinks:

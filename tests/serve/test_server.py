@@ -387,6 +387,12 @@ class TestHttpFrontEnd:
         assert stats["executor"]["arena_bytes"] > 0
         assert stats["executor"]["steps_fused"] > 0
         assert stats["executor"]["workers"] >= 1
+        # The compile pipeline's report travels with the artifact and
+        # surfaces under /stats too: level, per-pass counters, verifier runs.
+        assert stats["pipeline"]["level"] == "O2"
+        assert stats["pipeline"]["verifier_runs"] >= 1
+        pass_names = [p["name"] for p in stats["pipeline"]["passes"]]
+        assert "fold_batchnorm" in pass_names
 
     def test_unknown_model_is_404(self, http_server):
         with pytest.raises(urllib.error.HTTPError) as err:
