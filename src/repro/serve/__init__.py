@@ -17,8 +17,16 @@ system — the deployment story of ``docs/SERVING.md``:
 * :class:`InferenceServer` (:mod:`repro.serve.server`) — the programmatic
   API tying the above together, with per-model latency/throughput/queue
   stats (:mod:`repro.serve.stats`).
+* :class:`AdmissionController` / :class:`CircuitBreaker` /
+  :class:`ResilientDispatcher` (:mod:`repro.serve.admission`) — overload
+  safety: load shedding before queueing, per-model circuit breaking, and
+  bounded crash retries with exponential backoff.
+* :class:`FaultPlan` (:mod:`repro.serve.faults`) — deterministic seeded
+  fault injection (worker crashes, slowdowns, queue stalls, corrupt
+  artifacts) for chaos testing; a no-op unless explicitly enabled.
 * :func:`serve_http` (:mod:`repro.serve.http`) — a stdlib JSON-over-HTTP
-  front end.
+  front end with an overload-aware status-code contract (429/503/504 +
+  ``Retry-After``).
 
 Quickstart::
 
@@ -33,12 +41,30 @@ Quickstart::
     front = serve_http(server, port=8080)            # curl-able; see docs
 """
 
-from repro.serve.batcher import BatcherClosed, BatchPolicy, DynamicBatcher, QueueFull
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.serve.batcher import (
+    BatcherClosed,
+    BatchPolicy,
+    DeadlineExceeded,
+    DynamicBatcher,
+    QueueFull,
+)
+from repro.serve.faults import FaultPlan, FaultSession, FaultSpec, InjectedFault
 from repro.serve.http import HttpFrontEnd, serve_http
 from repro.serve.repository import LoadedModel, ModelNotFound, ModelRepository
-from repro.serve.server import InferenceServer
-from repro.serve.stats import LatencyWindow, ModelStats
+from repro.serve.server import InferenceServer, ServerClosed
+from repro.serve.stats import LatencyWindow, ModelStats, ServerStats
 from repro.serve.workers import (
+    NoLiveWorkers,
     ProcessWorkerPool,
     ThreadWorkerPool,
     WorkerCrashed,
@@ -46,18 +72,34 @@ from repro.serve.workers import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "ResilientDispatcher",
+    "RetryPolicy",
     "BatchPolicy",
     "BatcherClosed",
+    "DeadlineExceeded",
     "DynamicBatcher",
     "QueueFull",
+    "FaultPlan",
+    "FaultSession",
+    "FaultSpec",
+    "InjectedFault",
     "HttpFrontEnd",
     "serve_http",
     "LoadedModel",
     "ModelNotFound",
     "ModelRepository",
     "InferenceServer",
+    "ServerClosed",
     "LatencyWindow",
     "ModelStats",
+    "ServerStats",
+    "NoLiveWorkers",
     "ProcessWorkerPool",
     "ThreadWorkerPool",
     "WorkerCrashed",

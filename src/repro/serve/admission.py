@@ -1,0 +1,506 @@
+"""Admission control, retries, and circuit breaking for the serving stack.
+
+Three cooperating mechanisms turn overload and worker failure from collapse
+modes into bounded, observable behaviour:
+
+* :class:`AdmissionController` — the gatekeeper *in front of* the batcher
+  queue.  It sheds excess load (queue depth, concurrency budget, priority
+  class) with a structured :class:`AdmissionRejected` **before** the request
+  ever occupies a queue slot, so saturation shows up as a flat goodput
+  plateau plus an explicit shed rate instead of unbounded latency.
+* :class:`CircuitBreaker` — a per-model state machine (``closed`` → ``open``
+  on repeated worker crashes → ``half_open`` probe → ``closed``) that stops
+  traffic from hammering a pool whose workers keep dying (e.g. a poisoned
+  artifact), and lets a single probe batch discover recovery.
+* :class:`ResilientDispatcher` — wraps a worker pool's ``submit`` with
+  bounded retries (exponential backoff + seeded jitter) for transient
+  infrastructure failures (:class:`~repro.serve.workers.WorkerCrashed`,
+  :class:`~repro.serve.workers.NoLiveWorkers`).  In-batch *application*
+  errors are never retried — a batch that deterministically raises would
+  fail again, and retrying it would just double the damage.
+
+All three are clock-injectable (``clock=``/``timer=``) so the chaos suite
+drives them deterministically with a fake clock; all counters they produce
+flow into :class:`~repro.serve.stats.ModelStats`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.serve.workers import NoLiveWorkers, WorkerCrashed
+
+# Failures the dispatcher may retry: the worker infrastructure broke, not
+# the batch.  Everything else propagates on the first attempt.
+RETRIABLE_ERRORS = (WorkerCrashed, NoLiveWorkers)
+
+
+class AdmissionRejected(RuntimeError):
+    """The request was shed before queueing.
+
+    Attributes
+    ----------
+    reason:
+        ``"queue_depth"`` / ``"concurrency"`` / ``"priority"`` /
+        ``"circuit_open"`` — the shed counter it increments.
+    retry_after_s:
+        Client backoff hint (the HTTP front end renders it as a
+        ``Retry-After`` header).
+    http_status:
+        Status the HTTP front end should use: 429 for priority-class sheds
+        (client should slow down), 503 for hard saturation and open
+        breakers (server cannot take the work right now).
+    """
+
+    def __init__(self, message: str, reason: str, retry_after_s: float = 1.0,
+                 http_status: int = 503):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.http_status = http_status
+
+
+class CircuitOpen(AdmissionRejected):
+    """Shed because the model's circuit breaker is open."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message, reason="circuit_open",
+                         retry_after_s=retry_after_s, http_status=503)
+
+
+# ---------------------------------------------------------------------------
+# Admission policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-model load-shedding policy, applied before the batcher queue.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Shed once this many requests wait in the batcher queue.  ``None``
+        leaves backpressure to ``BatchPolicy.max_queue`` alone (which
+        raises :class:`~repro.serve.batcher.QueueFull` *after* occupying
+        the submit path; this bound sheds *before*).
+    max_concurrency:
+        Budget of admitted-but-unfinished requests; ``None`` = unlimited.
+    priority_thresholds:
+        Optional priority classes: maps class name → the fraction of
+        ``max_queue_depth`` that class may fill.  A request of class ``c``
+        is shed (HTTP 429) once ``queue_depth >= max_queue_depth *
+        thresholds[c]`` — lower fractions shed earlier, so background
+        traffic yields queue room to interactive traffic under load.
+        Unknown/absent classes use 1.0 (shed only at the hard bound).
+    default_priority:
+        Class assigned to requests that do not name one.
+    retry_after_s:
+        Backoff hint attached to sheds.
+    """
+
+    max_queue_depth: Optional[int] = None
+    max_concurrency: Optional[int] = None
+    priority_thresholds: Mapping[str, float] = field(default_factory=dict)
+    default_priority: str = "default"
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        for name, fraction in self.priority_thresholds.items():
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"priority threshold for {name!r} must be in (0, 1], got {fraction}"
+                )
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` in front of one pipeline.
+
+    ``admit(priority, count)`` either reserves ``count`` slots of the
+    concurrency budget and returns, or raises :class:`AdmissionRejected`
+    (recording the shed).  Every admitted request must eventually
+    :meth:`release` its slot — the server wires that into the request
+    future's done-callback, so crashes and deadline failures release too.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy],
+        queue_depth_fn: Callable[[], int],
+        stats=None,
+        breaker: Optional["CircuitBreaker"] = None,
+    ):
+        self.policy = policy or AdmissionPolicy()
+        self.queue_depth_fn = queue_depth_fn
+        self.stats = stats
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self.inflight = 0
+
+    def _shed(self, message: str, reason: str, http_status: int = 503) -> None:
+        if self.stats is not None:
+            self.stats.record_shed(reason)
+        raise AdmissionRejected(
+            message, reason=reason,
+            retry_after_s=self.policy.retry_after_s, http_status=http_status,
+        )
+
+    def admit(self, priority: Optional[str] = None, count: int = 1) -> None:
+        """Admit ``count`` requests or raise :class:`AdmissionRejected`."""
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow_request():
+            if self.stats is not None:
+                self.stats.record_shed("circuit_open")
+            raise CircuitOpen(
+                f"circuit breaker is open (worker pool failing): {breaker.last_failure}",
+                retry_after_s=breaker.time_to_probe(),
+            )
+        policy = self.policy
+        with self._lock:
+            if policy.max_concurrency is not None and (
+                self.inflight + count > policy.max_concurrency
+            ):
+                self._shed(
+                    f"concurrency budget exhausted ({self.inflight} in flight, "
+                    f"budget {policy.max_concurrency})",
+                    reason="concurrency",
+                )
+            if policy.max_queue_depth is not None:
+                depth = self.queue_depth_fn()
+                if depth >= policy.max_queue_depth:
+                    self._shed(
+                        f"queue depth {depth} at admission bound "
+                        f"{policy.max_queue_depth}",
+                        reason="queue_depth",
+                    )
+                cls = priority or policy.default_priority
+                fraction = policy.priority_thresholds.get(cls, 1.0)
+                bound = policy.max_queue_depth * fraction
+                if fraction < 1.0 and depth >= bound:
+                    self._shed(
+                        f"priority class {cls!r} sheds at queue depth {depth} "
+                        f"(its bound is {bound:.0f} of {policy.max_queue_depth})",
+                        reason="priority",
+                        http_status=429,
+                    )
+            self.inflight += count
+        if self.stats is not None:
+            self.stats.record_admitted(count)
+
+    def release(self, count: int = 1) -> None:
+        with self._lock:
+            self.inflight = max(0, self.inflight - count)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "inflight": self.inflight,
+                "max_concurrency": self.policy.max_concurrency,
+                "max_queue_depth": self.policy.max_queue_depth,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open, how long to stay open, and how to probe.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive dispatch failures (worker crashes / pool exhaustion)
+        that open the breaker.
+    reset_timeout_s:
+        How long an open breaker waits before allowing half-open probes.
+    half_open_probes:
+        Concurrent probe batches allowed in half-open state; the first
+        success closes the breaker, any failure re-opens it.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 5.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {self.failure_threshold}")
+        if self.reset_timeout_s < 0:
+            raise ValueError(f"reset_timeout_s must be >= 0, got {self.reset_timeout_s}")
+        if self.half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {self.half_open_probes}")
+
+
+class CircuitBreaker:
+    """closed → open → half_open → closed, driven by dispatch outcomes.
+
+    * ``closed`` — traffic flows; ``failure_threshold`` *consecutive*
+      failures transition to ``open`` (any success resets the count).
+    * ``open`` — everything fails fast until ``reset_timeout_s`` elapses,
+      then the next dispatch becomes a half-open probe.
+    * ``half_open`` — up to ``half_open_probes`` batches may dispatch;
+      the first success closes the breaker, any failure re-opens it (and
+      restarts the reset clock).
+
+    ``clock`` is injectable for deterministic tests; ``on_transition(old,
+    new)`` feeds the stats counters.  All methods are thread-safe.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.last_failure: Optional[str] = None
+
+    def _transition(self, new: str) -> None:
+        old, self._state = self._state, new
+        if old != new and self.on_transition is not None:
+            self.on_transition(old, new)
+
+    def _maybe_half_open(self) -> None:
+        """open → half_open once the reset timeout has elapsed (lock held)."""
+        if self._state == self.OPEN and (
+            self.clock() - self._opened_at >= self.policy.reset_timeout_s
+        ):
+            self._probes_inflight = 0
+            self._transition(self.HALF_OPEN)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def time_to_probe(self) -> float:
+        """Seconds until an open breaker would admit a probe (0 if not open)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(
+                0.0, self.policy.reset_timeout_s - (self.clock() - self._opened_at)
+            )
+
+    def allow_request(self) -> bool:
+        """Admission-level gate: shed requests only while hard-open."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != self.OPEN
+
+    def allow_dispatch(self) -> bool:
+        """Dispatch-level gate; in half-open, grants probe slots."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_inflight < self.policy.half_open_probes:
+                    self._probes_inflight += 1
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state == self.HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._transition(self.CLOSED)
+
+    def record_failure(self, reason: Optional[str] = None) -> None:
+        with self._lock:
+            if reason:
+                self.last_failure = reason
+            if self._state == self.HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._opened_at = self.clock()
+                self._transition(self.OPEN)
+                return
+            self._failures += 1
+            if self._state == self.CLOSED and (
+                self._failures >= self.policy.failure_threshold
+            ):
+                self._opened_at = self.clock()
+                self._transition(self.OPEN)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "last_failure": self.last_failure,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Bounded retry dispatch
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter for crashed batches.
+
+    ``delay(attempt)`` for attempt ``k`` (0-based retry index) is
+    ``min(cap, base * multiplier**k)`` scaled by a jitter factor drawn
+    uniformly from ``[1 - jitter, 1]`` — full delays bunch retries into
+    thundering herds; jitter spreads them.  ``seed`` pins the jitter
+    stream for deterministic tests (``None`` seeds from entropy).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def budget_s(self) -> float:
+        """Worst-case total backoff across all retries (no jitter)."""
+        return sum(
+            min(self.backoff_cap_s, self.backoff_base_s * self.backoff_multiplier ** k)
+            for k in range(self.max_retries)
+        )
+
+
+class ResilientDispatcher:
+    """``pool.submit`` with bounded retry behind an optional circuit breaker.
+
+    Call it like the pool's ``submit``: ``dispatcher(batch) -> Future``.
+    The returned future resolves to the batch output; on a retriable
+    failure (:data:`RETRIABLE_ERRORS`) the batch is re-dispatched — to
+    whichever workers survive, per the pool's own least-loaded routing —
+    after an exponential-backoff delay, up to ``RetryPolicy.max_retries``
+    times.  Each attempt's outcome feeds the breaker; an open breaker
+    fails the batch fast with :class:`CircuitOpen` instead of dispatching.
+
+    ``timer(delay, fn)`` schedules the delayed retry (a daemon
+    :class:`threading.Timer` by default; tests inject an immediate or
+    virtual-time runner).
+    """
+
+    def __init__(
+        self,
+        submit: Callable[..., Future],
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        stats=None,
+        timer: Optional[Callable[[float, Callable[[], None]], None]] = None,
+    ):
+        self.submit = submit
+        self.retry = retry or RetryPolicy(max_retries=0)
+        self.breaker = breaker
+        self.stats = stats
+        self.timer = timer or self._default_timer
+        self._rng = random.Random(self.retry.seed)
+        self._rng_lock = threading.Lock()
+
+    @staticmethod
+    def _default_timer(delay: float, fn: Callable[[], None]) -> None:
+        if delay <= 0:
+            fn()
+            return
+        timer = threading.Timer(delay, fn)
+        timer.daemon = True
+        timer.start()
+
+    def _delay(self, attempt: int) -> float:
+        policy = self.retry
+        delay = min(
+            policy.backoff_cap_s,
+            policy.backoff_base_s * policy.backoff_multiplier ** attempt,
+        )
+        if policy.jitter > 0 and delay > 0:
+            with self._rng_lock:
+                delay *= 1.0 - policy.jitter * self._rng.random()
+        return delay
+
+    def __call__(self, batch) -> Future:
+        outer: Future = Future()
+        self._attempt(batch, outer, attempt=0)
+        return outer
+
+    def _attempt(self, batch, outer: Future, attempt: int) -> None:
+        if outer.cancelled():
+            return
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow_dispatch():
+            self._resolve_error(
+                outer,
+                CircuitOpen(
+                    "circuit breaker is open "
+                    f"(last failure: {breaker.last_failure})",
+                    retry_after_s=breaker.time_to_probe(),
+                ),
+            )
+            return
+        try:
+            inner = self.submit(batch)
+        except Exception as exc:
+            self._on_failure(batch, outer, attempt, exc)
+            return
+        inner.add_done_callback(
+            lambda f: self._on_done(batch, outer, attempt, f)
+        )
+
+    def _on_done(self, batch, outer: Future, attempt: int, inner: Future) -> None:
+        exc = inner.exception()
+        if exc is None:
+            if self.breaker is not None:
+                self.breaker.record_success()
+            self._resolve_result(outer, inner.result())
+            return
+        self._on_failure(batch, outer, attempt, exc)
+
+    def _on_failure(self, batch, outer: Future, attempt: int, exc: BaseException) -> None:
+        retriable = isinstance(exc, RETRIABLE_ERRORS)
+        if retriable and self.breaker is not None:
+            self.breaker.record_failure(f"{type(exc).__name__}: {exc}")
+        if retriable and attempt < self.retry.max_retries:
+            if self.stats is not None:
+                self.stats.record_retry()
+            delay = self._delay(attempt)
+            self.timer(delay, lambda: self._attempt(batch, outer, attempt + 1))
+            return
+        self._resolve_error(outer, exc)
+
+    @staticmethod
+    def _resolve_result(outer: Future, result) -> None:
+        try:
+            outer.set_result(result)
+        except Exception:  # cancelled mid-flight
+            pass
+
+    @staticmethod
+    def _resolve_error(outer: Future, exc: BaseException) -> None:
+        try:
+            outer.set_exception(exc)
+        except Exception:  # cancelled mid-flight
+            pass

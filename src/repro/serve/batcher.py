@@ -75,11 +75,25 @@ class BatcherClosed(RuntimeError):
     """submit() after close()."""
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline expired before it could be served.
+
+    Raised synchronously by ``submit`` when the deadline is already past,
+    and set on the request future when the deadline expires while the
+    request waits in the queue or the batching window — an expired request
+    is dropped from the forming batch instead of occupying a slot.
+    """
+
+
 @dataclass
 class _Pending:
     sample: np.ndarray
     future: Future
     arrival: float
+    deadline: Optional[float] = None  # absolute time.perf_counter() timestamp
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
 
 _SHUTDOWN = object()
@@ -106,6 +120,7 @@ class DynamicBatcher:
         self.stats = stats
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
+        self._abort_error: Optional[BaseException] = None
         # Orders submit() against close(): once the shutdown sentinel is in
         # the queue no further request can be enqueued behind it, so every
         # accepted future is guaranteed to flush.
@@ -116,10 +131,23 @@ class DynamicBatcher:
         self._thread.start()
 
     # -- client side -----------------------------------------------------------
-    def submit(self, sample: np.ndarray) -> Future:
-        """Enqueue one sample; the future resolves to its output row."""
+    def submit(self, sample: np.ndarray, deadline: Optional[float] = None) -> Future:
+        """Enqueue one sample; the future resolves to its output row.
+
+        ``deadline`` is an absolute :func:`time.perf_counter` timestamp;
+        once it passes, the request fails with :class:`DeadlineExceeded`
+        (synchronously if already expired, otherwise when the collector
+        would have batched it) instead of occupying a batch slot.
+        """
+        arrival = time.perf_counter()
+        if deadline is not None and arrival >= deadline:
+            if self.stats is not None:
+                self.stats.record_deadline_expired()
+            raise DeadlineExceeded(
+                f"deadline expired {arrival - deadline:.3f}s before submission"
+            )
         future: Future = Future()
-        pending = _Pending(np.asarray(sample), future, time.perf_counter())
+        pending = _Pending(np.asarray(sample), future, arrival, deadline)
         with self._submit_lock:
             if self._closed:
                 raise BatcherClosed("batcher is closed")
@@ -141,16 +169,31 @@ class DynamicBatcher:
         """Requests waiting to be batched (excludes dispatched batches)."""
         return self._queue.qsize()
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting requests, flush what is queued, stop the thread.
+    def close(
+        self,
+        timeout: Optional[float] = 10.0,
+        drain: bool = True,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Stop accepting requests, settle what is queued, stop the thread.
 
-        Requests already submitted still dispatch; their futures resolve
-        through the worker pool's completion callbacks as usual.
+        With ``drain=True`` (default) requests already submitted still
+        dispatch; their futures resolve through the worker pool's
+        completion callbacks as usual.  With ``drain=False`` every request
+        still waiting in the queue (or the forming window) fails
+        immediately with ``error`` (default :class:`BatcherClosed`) —
+        deterministic shutdown under load, nothing left to teardown
+        ordering.  Batches already dispatched are unaffected either way.
         """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                # Read by the collector without a lock: set-once before the
+                # sentinel is enqueued, so it is visible by the time the
+                # collector could drain past it.
+                self._abort_error = error or BatcherClosed("batcher is closed")
             self._queue.put(_SHUTDOWN)
         self._thread.join(timeout=timeout)
 
@@ -165,6 +208,8 @@ class DynamicBatcher:
             pending: List[_Pending] = [head]
             deadline = head.arrival + max_delay
             while len(pending) < self.policy.max_batch_size:
+                if self._abort_error is not None:
+                    break  # aborting close: stop forming, fail fast below
                 timeout = deadline - time.perf_counter()
                 try:
                     # An already-expired deadline (the collector fell behind
@@ -182,9 +227,30 @@ class DynamicBatcher:
                     running = False
                     break
                 pending.append(nxt)
+            # Under an aborting close every flush fails its requests with
+            # the abort error, so this loop drains the whole queue (the
+            # sentinel is behind everything) without dispatching anything.
             self._flush(pending)
 
     def _flush(self, pending: List[_Pending]) -> None:
+        abort = self._abort_error
+        if abort is not None:
+            self._scatter_error(pending, abort)
+            return
+        # Expired requests are dropped here — at batch formation — so they
+        # fail fast and never occupy a slot a live request could have used.
+        now = time.perf_counter()
+        expired = [p for p in pending if p.expired(now)]
+        if expired:
+            if self.stats is not None:
+                self.stats.record_deadline_expired(len(expired))
+            self._scatter_error(
+                expired,
+                DeadlineExceeded("deadline expired while waiting in the batch queue"),
+            )
+            pending = [p for p in pending if not p.expired(now)]
+            if not pending:
+                return
         if self.stats is not None:
             self.stats.record_batch(len(pending))
         try:

@@ -1,0 +1,228 @@
+"""Deterministic fault injection for the serving stack.
+
+Production resilience code is exactly the code that never runs in a clean
+test environment: workers do not crash on cue, queues do not stall, and
+artifacts do not corrupt themselves.  This module makes those failures
+*schedulable*.  A :class:`FaultPlan` is a picklable, seeded description of
+faults to inject — it crosses the ``multiprocessing`` boundary into process
+workers unchanged — and each worker incarnation evaluates it through its own
+:class:`FaultSession` (a batch counter, per-spec trigger budgets, and a
+seeded RNG), so a chaos test replays *identically* on every run.
+
+Supported fault kinds (:data:`FAULT_KINDS`):
+
+``crash``
+    The worker dies while holding the batch.  Process workers hard-exit
+    (``os._exit``) — a real SIGKILL-grade death exercising the crash
+    detector, respawn, and retry paths; thread workers raise
+    :class:`~repro.serve.workers.WorkerCrashed` (a simulated transient
+    crash: the thread survives, the batch fails exactly like a real one).
+``slow``
+    The worker sleeps ``delay_ms`` before executing the batch — a degraded
+    replica that makes deadlines and timeout-driven breakers testable.
+``stall``
+    The worker sleeps ``delay_ms`` before even looking at the message — a
+    stalled queue consumer (distinct from ``slow``: the stall applies
+    before any batch decode, so even shared-memory frees back up late).
+``corrupt_artifact``
+    The worker's artifact read fails at load time (process workers only:
+    thread workers receive an already-deserialized program).  Drives the
+    start-failure accounting and the respawn cap.
+
+Every knob is deterministic: ``worker`` selects a pool slot, ``spawn``
+selects an incarnation of that slot (``0`` — the default — targets only the
+first process spawned into the slot, so a respawned replacement is healthy
+and recovery is observable; ``None`` poisons every incarnation), and
+``nth_batch``/``times`` schedule the trigger on the worker's own batch
+ordinals.  ``probability`` draws from the session RNG, which is seeded by
+``(plan.seed, worker, spawn)`` — the same coin flips on every run.
+
+The default everywhere is **no plan** (``None``): the hooks cost one ``is
+None`` check per batch and inject nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+FAULT_KINDS = ("crash", "slow", "stall", "corrupt_artifact")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One schedulable fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    worker:
+        Pool slot index the fault targets; ``None`` matches every worker.
+    spawn:
+        Which incarnation of the slot (0 = the original worker, 1 = its
+        first respawn, ...); ``None`` matches every incarnation.  The
+        default 0 makes "crash once, recover" the easy case to write.
+    nth_batch:
+        1-based batch ordinal *on that worker* the fault triggers on;
+        ``None`` makes every batch a candidate.  Ignored by
+        ``corrupt_artifact`` (which triggers at load time).
+    times:
+        Trigger budget per session; ``None`` is unlimited.
+    delay_ms:
+        Sleep duration for ``slow``/``stall``.
+    probability:
+        Chance a candidate trigger actually fires, drawn from the
+        session's seeded RNG (1.0 = always; still deterministic).
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    spawn: Optional[int] = 0
+    nth_batch: Optional[int] = None
+    times: Optional[int] = 1
+    delay_ms: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 (or None), got {self.times}")
+        if self.nth_batch is not None and self.nth_batch < 1:
+            raise ValueError(f"nth_batch is 1-based, got {self.nth_batch}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable, seeded set of :class:`FaultSpec` entries.
+
+    The plan itself is immutable state-free configuration; all mutable
+    evaluation state (batch counters, budgets, RNG) lives in the
+    :class:`FaultSession` each worker incarnation creates from it — which is
+    what lets one plan object be shared by N workers across process
+    boundaries and still behave deterministically per worker.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    # -- convenience constructors (the common chaos-test shapes) ---------------
+    @staticmethod
+    def crash_on_batch(nth: int, worker: Optional[int] = None, *,
+                       spawn: Optional[int] = 0, times: Optional[int] = 1,
+                       seed: int = 0) -> "FaultPlan":
+        """Crash ``worker`` (or any) on its ``nth`` batch."""
+        return FaultPlan(
+            (FaultSpec("crash", worker=worker, spawn=spawn,
+                       nth_batch=nth, times=times),),
+            seed=seed,
+        )
+
+    @staticmethod
+    def slow_worker(delay_ms: float, worker: Optional[int] = None, *,
+                    spawn: Optional[int] = 0, times: Optional[int] = None,
+                    seed: int = 0) -> "FaultPlan":
+        """Delay every (or the first ``times``) batches on ``worker``."""
+        return FaultPlan(
+            (FaultSpec("slow", worker=worker, spawn=spawn,
+                       times=times, delay_ms=delay_ms),),
+            seed=seed,
+        )
+
+    @staticmethod
+    def corrupt_artifact(worker: Optional[int] = None, *,
+                         spawn: Optional[int] = 0, seed: int = 0) -> "FaultPlan":
+        """Fail the artifact read at worker start (process workers)."""
+        return FaultPlan(
+            (FaultSpec("corrupt_artifact", worker=worker, spawn=spawn),),
+            seed=seed,
+        )
+
+    @staticmethod
+    def queue_stall(delay_ms: float, worker: Optional[int] = None, *,
+                    spawn: Optional[int] = 0, times: Optional[int] = 1,
+                    seed: int = 0) -> "FaultPlan":
+        """Stall the worker's queue consumption for ``delay_ms``."""
+        return FaultPlan(
+            (FaultSpec("stall", worker=worker, spawn=spawn,
+                       times=times, delay_ms=delay_ms),),
+            seed=seed,
+        )
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose plans (left seed wins: one RNG stream per session)."""
+        return FaultPlan(self.specs + tuple(other.specs), seed=self.seed)
+
+    def session(self, worker: int = 0, spawn: int = 0) -> "FaultSession":
+        """Evaluation state for one worker incarnation."""
+        return FaultSession(self, worker=worker, spawn=spawn)
+
+
+class FaultSession:
+    """Per-worker-incarnation evaluation of a :class:`FaultPlan`.
+
+    Workers call :meth:`on_batch` once per batch (and process workers call
+    :meth:`on_artifact_load` once at startup); matching specs come back as a
+    list of actions for the caller to apply in order — sleeps first, crash
+    last, so a ``slow`` + ``crash`` combination observes both.
+    """
+
+    def __init__(self, plan: FaultPlan, worker: int = 0, spawn: int = 0):
+        self.plan = plan
+        self.worker = worker
+        self.spawn = spawn
+        self.batches = 0
+        self._budgets: List[Optional[int]] = [spec.times for spec in plan.specs]
+        self._rng = random.Random(f"{plan.seed}:{worker}:{spawn}")
+
+    def _matches(self, index: int, spec: FaultSpec, *, batch: Optional[int]) -> bool:
+        if spec.worker is not None and spec.worker != self.worker:
+            return False
+        if spec.spawn is not None and spec.spawn != self.spawn:
+            return False
+        if batch is not None and spec.nth_batch is not None and spec.nth_batch != batch:
+            return False
+        budget = self._budgets[index]
+        if budget is not None and budget <= 0:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        if budget is not None:
+            self._budgets[index] = budget - 1
+        return True
+
+    def _fire(self, kinds: Sequence[str], batch: Optional[int]) -> List[FaultSpec]:
+        fired = [
+            spec
+            for index, spec in enumerate(self.plan.specs)
+            if spec.kind in kinds and self._matches(index, spec, batch=batch)
+        ]
+        # Sleeps before the crash: a slow death is still observably slow.
+        order = {"stall": 0, "slow": 1, "crash": 2}
+        fired.sort(key=lambda spec: order.get(spec.kind, 3))
+        return fired
+
+    def on_batch(self) -> List[FaultSpec]:
+        """Advance the batch counter; actions to apply to this batch."""
+        self.batches += 1
+        return self._fire(("stall", "slow", "crash"), batch=self.batches)
+
+    def on_artifact_load(self) -> Optional[FaultSpec]:
+        """The ``corrupt_artifact`` spec to apply at load time, if any."""
+        fired = self._fire(("corrupt_artifact",), batch=None)
+        return fired[0] if fired else None
+
+
+class InjectedFault(RuntimeError):
+    """Raised in place of real I/O when a ``corrupt_artifact`` fault fires."""

@@ -6,7 +6,8 @@ A thin JSON-over-HTTP adapter (no third-party dependencies: plain
 ========  ==============================  =========================================
 Method    Path                            Meaning
 ========  ==============================  =========================================
-GET       ``/healthz``                    liveness probe
+GET       ``/healthz``                    readiness probe (200 ok / 503 degraded)
+GET       ``/stats``                      server-wide per-pipeline stats
 GET       ``/v1/models``                  published models and versions
 GET       ``/v1/models/<name>``           program metadata (``?version=N``)
 GET       ``/v1/models/<name>/stats``     latency/throughput/queue stats
@@ -14,15 +15,23 @@ POST      ``/v1/models/<name>/predict``   run inference (``?version=N``)
 ========  ==============================  =========================================
 
 ``predict`` accepts ``{"inputs": <nested list>}`` holding either one sample
-(shape = the program's input shape) or a batch (one extra leading axis).
+(shape = the program's input shape) or a batch (one extra leading axis), plus
+optional ``"timeout_ms"`` (request deadline; expiry → 504) and ``"priority"``
+(admission class; ``X-Timeout-Ms`` / ``X-Request-Priority`` headers work too).
 Batch rows are submitted to the dynamic batcher individually, so concurrent
 HTTP clients coalesce into shared executor batches exactly like programmatic
-ones.  See ``docs/SERVING.md`` for a curl-able quickstart.
+ones.
+
+Overload and failure status codes: 429 = priority-class load shed (slow
+down), 503 = hard saturation / open circuit breaker / worker crash /
+shutdown (retriable; carries ``Retry-After``), 504 = deadline exceeded.
+See ``docs/SERVING.md`` for the full contract and a curl-able quickstart.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -30,9 +39,16 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from repro.serve.batcher import QueueFull
+from repro.serve.admission import AdmissionRejected
+from repro.serve.batcher import DeadlineExceeded, QueueFull
 from repro.serve.repository import ModelNotFound
-from repro.serve.server import InferenceServer
+from repro.serve.server import InferenceServer, ServerClosed
+from repro.serve.workers import WorkerError
+
+# Backoff hint attached to 503s that do not carry their own (QueueFull,
+# worker crashes, shutdown): long enough to matter, short enough that a
+# retrying client rediscovers a recovered server quickly.
+DEFAULT_RETRY_AFTER_S = 1.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -48,16 +64,26 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep pytest/CI output clean; stats cover observability
 
     # -- plumbing ----------------------------------------------------------------
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200,
+                   retry_after_s: Optional[float] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After is integer seconds; always advise at least 1 so
+            # clients do not hot-loop on a momentary rejection.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _error(self, status: int, message: str,
+               retry_after_s: Optional[float] = None,
+               reason: Optional[str] = None) -> None:
+        payload = {"error": message}
+        if reason is not None:
+            payload["reason"] = reason
+        self._send_json(payload, status=status, retry_after_s=retry_after_s)
 
     def _route(self) -> Tuple[list, Optional[int]]:
         parsed = urlparse(self.path)
@@ -79,7 +105,18 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(400, str(exc))
         try:
             if parts == ["healthz"]:
-                return self._send_json({"status": "ok"})
+                # Readiness-aware: open breakers and saturated queues report
+                # degraded with a 503 so load balancers rotate away; the
+                # payload names the unhealthy models and why.
+                health = self.inference.health()
+                if health["status"] == "ok":
+                    return self._send_json(health)
+                return self._send_json(
+                    health, status=503, retry_after_s=DEFAULT_RETRY_AFTER_S
+                )
+            if parts == ["stats"]:
+                # Server-wide stats: every live pipeline's snapshot.
+                return self._send_json(self.inference.snapshot())
             if parts == ["v1", "models"]:
                 return self._send_json({"models": self.inference.models()})
             if len(parts) == 3 and parts[:2] == ["v1", "models"]:
@@ -116,6 +153,16 @@ class _Handler(BaseHTTPRequestHandler):
             inputs = np.asarray(payload["inputs"], dtype=np.float64)
             if "version" in payload and version is None:
                 version = int(payload["version"])
+            # Deadline: body "timeout_ms" wins over the X-Timeout-Ms header;
+            # priority class: body "priority" over X-Request-Priority.
+            timeout_ms = payload.get("timeout_ms", self.headers.get("X-Timeout-Ms"))
+            if timeout_ms is not None:
+                timeout_ms = float(timeout_ms)
+                if timeout_ms <= 0:
+                    raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+            priority = payload.get("priority", self.headers.get("X-Request-Priority"))
+            if priority is not None and not isinstance(priority, str):
+                raise ValueError(f"priority must be a string, got {priority!r}")
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
             return self._error(
                 400, f"body must be a JSON object with an 'inputs' array: {exc}"
@@ -125,12 +172,38 @@ class _Handler(BaseHTTPRequestHandler):
             # sample, or batch rows coalescing in the dynamic-batching
             # window) and names the version that actually served it.
             served_version, outputs, batched = self.inference.predict_request(
-                name, inputs, version
+                name, inputs, version, priority=priority, timeout_ms=timeout_ms
             )
         except ModelNotFound as exc:
             return self._error(404, str(exc))
+        except AdmissionRejected as exc:
+            # Load shed before queueing: 429 for priority-class sheds (the
+            # client should slow down), 503 for hard saturation and open
+            # breakers — both with a Retry-After backoff hint.
+            return self._error(
+                exc.http_status, str(exc),
+                retry_after_s=exc.retry_after_s, reason=exc.reason,
+            )
         except QueueFull as exc:
-            return self._error(503, str(exc))
+            return self._error(
+                503, str(exc),
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="queue_full",
+            )
+        except DeadlineExceeded as exc:
+            return self._error(504, str(exc), reason="deadline_exceeded")
+        except ServerClosed as exc:
+            return self._error(
+                503, str(exc),
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="server_closed",
+            )
+        except WorkerError as exc:
+            # Worker crashes and pool exhaustion are retriable server-side
+            # failures, not generic 500s: clients should back off and retry
+            # (the pool respawns workers; the breaker guards the meantime).
+            return self._error(
+                503, f"{type(exc).__name__}: {exc}",
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="worker_failure",
+            )
         except ValueError as exc:
             return self._error(400, str(exc))
         except Exception as exc:

@@ -23,16 +23,45 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.program import Executor, NetworkProgram
-from repro.serve.batcher import BatcherClosed, BatchPolicy, DynamicBatcher
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.serve.batcher import (
+    BatcherClosed,
+    BatchPolicy,
+    DeadlineExceeded,
+    DynamicBatcher,
+)
+from repro.serve.faults import FaultPlan
 from repro.serve.repository import ModelRepository
-from repro.serve.stats import ModelStats
+from repro.serve.stats import ModelStats, ServerStats
 from repro.serve.workers import ProcessWorkerPool, ThreadWorkerPool
+
+
+class ServerClosed(RuntimeError):
+    """The request was (or would be) dropped because the server closed.
+
+    Requests still queued in a pipeline's batcher when ``close()`` runs
+    fail with this error — deterministically, before worker-pool teardown —
+    instead of racing the teardown ordering.
+    """
+
+
+# Distinguishes "caller passed None to disable" from "caller said nothing"
+# for the resilience policies that default to enabled.
+_DEFAULT = object()
 
 
 class _Pipeline:
@@ -66,12 +95,22 @@ class _Pipeline:
         # retirement; set by the server on pinned lookups.
         self.pinned = False
         self.stats = ModelStats(queue_depth_fn=lambda: self.batcher.queue_depth())
+        # Per-model circuit breaker: opened by repeated worker crashes (fed
+        # through the resilient dispatcher), surfaced in stats and /healthz.
+        self.breaker: Optional[CircuitBreaker] = None
+        if server.breaker_policy is not None:
+            self.breaker = CircuitBreaker(
+                server.breaker_policy,
+                on_transition=self.stats.record_breaker_transition,
+            )
+            self.stats.breaker_fn = self.breaker.snapshot
         if server.worker_mode == "process":
             self.pool = ProcessWorkerPool(
                 path,
                 backend=server.backend,
                 num_workers=server.workers,
                 mp_context=server.mp_context,
+                fault_plan=server.fault_plan,
             )
         else:
             # One shared, internally-sharded executor when the program plans
@@ -87,6 +126,7 @@ class _Pipeline:
                     num_workers=server.workers,
                     name=f"serve-{name}-v{version}",
                     shared=True,
+                    fault_plan=server.fault_plan,
                 )
             else:
                 # Per-worker executors; the probe is not wasted — the first
@@ -103,12 +143,39 @@ class _Pipeline:
                     factory,
                     num_workers=server.workers,
                     name=f"serve-{name}-v{version}",
+                    fault_plan=server.fault_plan,
                 )
+        # Batches reach the pool through the resilient dispatcher: bounded
+        # retry on worker crashes, gated by the breaker.  With both disabled
+        # the pool's submit is used directly (identical fast path).
+        if server.retry_policy is not None or self.breaker is not None:
+            self.dispatch = ResilientDispatcher(
+                self.pool.submit,
+                retry=server.retry_policy,
+                breaker=self.breaker,
+                stats=self.stats,
+            )
+        else:
+            self.dispatch = self.pool.submit
         self.batcher = DynamicBatcher(
-            self.pool.submit,
+            self.dispatch,
             policy=server.policy,
             stats=self.stats,
             name=f"{name}-v{version}",
+        )
+        # Admission control sits in front of the batcher queue; the breaker
+        # also sheds here (fail-fast while hard-open).  Depth is the
+        # pipeline-wide backlog (queued + batching + in a worker): the
+        # batcher queue itself drains into the pool near-instantly, so its
+        # raw size would never reflect overload.
+        self.admission = AdmissionController(
+            server.admission_policy,
+            queue_depth_fn=self.stats.backlog,
+            stats=self.stats,
+            breaker=self.breaker,
+        )
+        self.stats.queue_capacity = (
+            self.admission.policy.max_queue_depth or server.policy.max_queue
         )
 
     def plan_info(self) -> Optional[Dict]:
@@ -133,8 +200,11 @@ class _Pipeline:
             return info
         return None
 
-    def close(self) -> None:
-        self.batcher.close()
+    def close(self, drain: bool = True, error: Optional[BaseException] = None) -> None:
+        """Stop the pipeline.  ``drain=True`` flushes queued requests
+        through the pool first (hot-swap retirement); ``drain=False`` fails
+        them immediately with ``error`` (server shutdown)."""
+        self.batcher.close(drain=drain, error=error)
         self.pool.close()
 
 
@@ -158,6 +228,25 @@ class InferenceServer:
     mp_context:
         Start method for process workers (``fork``/``spawn``), ``None`` for
         the platform default.
+    admission:
+        Per-model :class:`~repro.serve.admission.AdmissionPolicy` (queue
+        depth / concurrency budget / priority classes); the default policy
+        sheds only while a circuit breaker is hard-open.
+    retry:
+        :class:`~repro.serve.admission.RetryPolicy` for batches that fail
+        with a worker crash — bounded exponential backoff re-dispatch to
+        surviving workers.  Enabled by default; pass ``None`` to disable.
+    breaker:
+        :class:`~repro.serve.admission.BreakerPolicy` for the per-model
+        circuit breaker (closed → open on repeated crashes → half-open
+        probe → closed).  Enabled by default; pass ``None`` to disable.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry one; ``None`` (the
+        default) leaves such requests unbounded.
+    fault_plan:
+        Optional :class:`~repro.serve.faults.FaultPlan` injected into every
+        worker pool — deterministic chaos for tests; ``None`` (the
+        default) injects nothing.
     """
 
     def __init__(
@@ -168,6 +257,11 @@ class InferenceServer:
         worker_mode: str = "thread",
         backend: str = "plan",
         mp_context: Optional[str] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        retry=_DEFAULT,
+        breaker=_DEFAULT,
+        default_deadline_ms: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if worker_mode not in ("thread", "process"):
             raise ValueError(f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
@@ -179,6 +273,16 @@ class InferenceServer:
         self.worker_mode = worker_mode
         self.backend = backend
         self.mp_context = mp_context
+        self.admission_policy = admission or AdmissionPolicy()
+        self.retry_policy: Optional[RetryPolicy] = (
+            RetryPolicy() if retry is _DEFAULT else retry
+        )
+        self.breaker_policy: Optional[BreakerPolicy] = (
+            BreakerPolicy() if breaker is _DEFAULT else breaker
+        )
+        self.default_deadline_ms = default_deadline_ms
+        self.fault_plan = fault_plan
+        self.server_stats = ServerStats()
         self._lock = threading.Lock()
         self._pipelines: Dict[Tuple[str, int], _Pipeline] = {}
         self._closed = False
@@ -194,7 +298,7 @@ class InferenceServer:
         retired by hot-swap; its pipeline lives until ``close()``.
         """
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed("server is closed")
         pinned = version is not None
         if pinned:
             # Fast path: a pinned, already-built pipeline needs no disk I/O.
@@ -260,7 +364,7 @@ class InferenceServer:
                 target=old.close, name=f"retire-{old.name}-v{old.version}", daemon=True
             ).start()
         if pipeline is None:
-            raise RuntimeError("server is closed")
+            raise ServerClosed("server is closed")
         return pipeline
 
     def serving(self) -> List[Tuple[str, int]]:
@@ -269,16 +373,63 @@ class InferenceServer:
             return sorted(self._pipelines)
 
     # -- inference ---------------------------------------------------------------
+    def _resolve_deadline(
+        self, timeout_ms: Optional[float], deadline: Optional[float]
+    ) -> Optional[float]:
+        """Absolute perf_counter deadline from either form (or the server
+        default); an explicit ``deadline`` wins over ``timeout_ms``."""
+        if deadline is not None:
+            return deadline
+        if timeout_ms is None:
+            timeout_ms = self.default_deadline_ms
+        if timeout_ms is None:
+            return None
+        return time.perf_counter() + timeout_ms / 1e3
+
+    @staticmethod
+    def _await(
+        future: Future, timeout: Optional[float], deadline: Optional[float]
+    ):
+        """``future.result`` bounded by the request deadline: a dispatched
+        batch that outlives the deadline fails the *request* with
+        :class:`DeadlineExceeded` instead of blocking on the batch."""
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            timeout = remaining if timeout is None else min(timeout, remaining)
+            if timeout <= 0:
+                timeout = 0
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            if deadline is not None and time.perf_counter() >= deadline:
+                future.cancel()  # drop it from the window if still queued
+                raise DeadlineExceeded(
+                    "request deadline expired while the batch executed"
+                ) from None
+            raise
+
     def predict_async(
-        self, name: str, sample: np.ndarray, version: Optional[int] = None
+        self,
+        name: str,
+        sample: np.ndarray,
+        version: Optional[int] = None,
+        priority: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Future:
         """Submit one sample; the future resolves to its output row.
 
         The sample shape is validated here, before coalescing, so one
         malformed request fails alone instead of failing the batch it would
-        have joined.
+        have joined.  The request passes admission control first (shedding
+        raises :class:`~repro.serve.admission.AdmissionRejected` without
+        queueing anything) and carries its deadline — ``timeout_ms``
+        relative, or ``deadline`` as an absolute ``time.perf_counter``
+        timestamp — into the batcher, where expired requests are dropped
+        from forming batches.
         """
         sample = np.asarray(sample)
+        deadline = self._resolve_deadline(timeout_ms, deadline)
         for attempt in (0, 1):
             pipeline = self._pipeline(name, version)
             if sample.shape != pipeline.input_shape:
@@ -286,14 +437,23 @@ class InferenceServer:
                     f"sample shape {sample.shape} does not match model "
                     f"'{name}' input shape {pipeline.input_shape}"
                 )
+            admission = pipeline.admission
+            admission.admit(priority)
             try:
-                return pipeline.batcher.submit(sample)
+                future = pipeline.batcher.submit(sample, deadline=deadline)
             except BatcherClosed:
                 # Lost the race against a concurrent hot-swap retirement;
                 # the retired pipeline is already out of the table, so the
                 # retry resolves to the replacement.
+                admission.release()
                 if attempt:
                     raise
+                continue
+            except BaseException:
+                admission.release()
+                raise
+            future.add_done_callback(lambda _, a=admission: a.release())
+            return future
         raise AssertionError("unreachable")  # pragma: no cover
 
     def predict(
@@ -302,9 +462,16 @@ class InferenceServer:
         sample: np.ndarray,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Blocking single-sample inference through the dynamic batcher."""
-        return self.predict_async(name, sample, version).result(timeout=timeout)
+        deadline = self._resolve_deadline(timeout_ms, deadline)
+        future = self.predict_async(
+            name, sample, version, priority=priority, deadline=deadline
+        )
+        return self._await(future, timeout, deadline)
 
     def predict_batch(
         self,
@@ -312,24 +479,38 @@ class InferenceServer:
         batch: np.ndarray,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Run a pre-formed batch directly on the worker pool (no coalescing).
 
         Counts each row as a request in the model's stats (submitted,
         completed/failed, latency), so bulk traffic shows up consistently
-        next to batched single-sample traffic.
+        next to batched single-sample traffic.  The batch passes admission
+        (concurrency budget and breaker apply; the queue-depth bound does
+        not, since nothing queues) and dispatches through the resilient
+        dispatcher, so crash retry and the circuit breaker cover bulk
+        traffic too.
         """
         batch = np.asarray(batch)
+        deadline = self._resolve_deadline(timeout_ms, deadline)
         pipeline = self._pipeline(name, version)
+        admission = pipeline.admission
+        admission.admit(priority, count=len(batch))
         stats = pipeline.stats
         stats.record_submit(count=len(batch))
         stats.record_batch(len(batch))
         start = time.perf_counter()
         try:
-            outputs = pipeline.pool.submit(batch).result(timeout=timeout)
+            outputs = self._await(
+                pipeline.dispatch(batch), timeout, deadline
+            )
         except BaseException:
             stats.record_done(time.perf_counter() - start, ok=False, count=len(batch))
             raise
+        finally:
+            admission.release(count=len(batch))
         stats.record_done(time.perf_counter() - start, ok=True, count=len(batch))
         return outputs
 
@@ -348,6 +529,9 @@ class InferenceServer:
         inputs: np.ndarray,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[int, np.ndarray, bool]:
         """Serve one request body: a single sample or a batch of them.
 
@@ -366,6 +550,7 @@ class InferenceServer:
         replacement's (the one that served the request's tail).
         """
         inputs = np.asarray(inputs)
+        deadline = self._resolve_deadline(timeout_ms, deadline)
         futures: List[Future] = []
         for attempt in (0, 1):
             pipeline = self._pipeline(name, version)
@@ -379,14 +564,29 @@ class InferenceServer:
                     f"inputs shape {inputs.shape} matches neither the model's "
                     f"input shape {expected} nor a batch of it"
                 )
+            admission = pipeline.admission
             try:
                 while len(futures) < len(rows):
-                    futures.append(pipeline.batcher.submit(rows[len(futures)]))
+                    # Row-wise admission: a shed mid-request fails the
+                    # request; rows already accepted still resolve (and
+                    # release their budget) through their own futures.
+                    admission.admit(priority)
+                    try:
+                        future = pipeline.batcher.submit(
+                            rows[len(futures)], deadline=deadline
+                        )
+                    except BaseException:
+                        admission.release()
+                        raise
+                    future.add_done_callback(lambda _, a=admission: a.release())
+                    futures.append(future)
             except BatcherClosed:
                 if attempt:  # see predict_async: hot-swap retirement race
                     raise
                 continue
-            outputs = np.stack([future.result(timeout=timeout) for future in futures])
+            outputs = np.stack(
+                [self._await(future, timeout, deadline) for future in futures]
+            )
             return pipeline.version, outputs if batched else outputs[0], batched
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -430,17 +630,37 @@ class InferenceServer:
             for (name, version), pipeline in sorted(pipelines.items())
         }
 
+    def health(self) -> Dict:
+        """Readiness rollup for ``/healthz``: ``ok`` / ``degraded`` / ``closed``.
+
+        Degraded when any live pipeline's circuit breaker is open or its
+        queue is saturated past the admission bound — traffic to that model
+        would be shed, so load balancers should prefer other replicas.
+        """
+        if self._closed:
+            return {"status": "closed", "degraded": [], "models": {}, "totals": {}}
+        return self.server_stats.rollup(self.snapshot())
+
     # -- lifecycle ---------------------------------------------------------------
-    def close(self) -> None:
-        """Flush and stop every pipeline; further predicts raise."""
+    def close(self, drain: bool = False) -> None:
+        """Stop every pipeline; further predicts raise.
+
+        By default (``drain=False``) shutdown is deterministic under load:
+        requests still queued in a batcher fail immediately with
+        :class:`ServerClosed` *before* the worker pools tear down; batches
+        already dispatched to a pool still complete and resolve.  With
+        ``drain=True`` queued requests are flushed through the pools first
+        (shutdown then takes as long as the backlog).
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             pipelines = list(self._pipelines.values())
             self._pipelines.clear()
+        error = None if drain else ServerClosed("server is closed")
         for pipeline in pipelines:
-            pipeline.close()
+            pipeline.close(drain=drain, error=error)
 
     def __enter__(self) -> "InferenceServer":
         return self

@@ -68,10 +68,14 @@ class ModelStats:
     """
 
     def __init__(self, window: int = 4096,
-                 queue_depth_fn: Optional[Callable[[], int]] = None):
+                 queue_depth_fn: Optional[Callable[[], int]] = None,
+                 breaker_fn: Optional[Callable[[], Dict]] = None):
         self._lock = threading.Lock()
         self._latency = LatencyWindow(window)
         self.queue_depth_fn = queue_depth_fn
+        # Gauge for the pipeline's circuit-breaker state (CircuitBreaker
+        # .snapshot), sampled at snapshot time like the queue depth.
+        self.breaker_fn = breaker_fn
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -79,6 +83,17 @@ class ModelStats:
         self.batched_samples = 0
         self.max_batch = 0
         self.max_queue_depth = 0
+        # The queue bound requests are shed/refused at (admission policy's
+        # max_queue_depth, else the batch policy's max_queue); the pipeline
+        # sets it so readiness can reason about saturation.
+        self.queue_capacity: Optional[int] = None
+        # Resilience counters: load shedding, deadline expiry, crash
+        # retries, and breaker state transitions.
+        self.admitted = 0
+        self.shed: Dict[str, int] = {}
+        self.deadline_expired = 0
+        self.retries = 0
+        self.breaker_transitions: Dict[str, int] = {}
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
 
@@ -107,6 +122,42 @@ class ModelStats:
                 self.failed += count
             self._last_done = time.perf_counter()
 
+    def backlog(self) -> int:
+        """Requests accepted but not yet settled (queued, batching, or in a
+        worker) — the pipeline-wide depth admission control sheds on.  The
+        batcher's own queue empties into the worker pool almost instantly
+        (dispatch is non-blocking), so the raw queue size is near zero even
+        under heavy overload; this counter is where the backlog actually
+        shows up."""
+        with self._lock:
+            return max(0, self.submitted - self.completed - self.failed)
+
+    # -- resilience counters ---------------------------------------------------
+    def record_admitted(self, count: int = 1) -> None:
+        with self._lock:
+            self.admitted += count
+
+    def record_shed(self, reason: str, count: int = 1) -> None:
+        """A request was shed before queueing (admission control)."""
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + count
+
+    def record_deadline_expired(self, count: int = 1) -> None:
+        """A request's deadline expired before it could be served."""
+        with self._lock:
+            self.deadline_expired += count
+
+    def record_retry(self, count: int = 1) -> None:
+        """A crashed batch was re-dispatched to surviving workers."""
+        with self._lock:
+            self.retries += count
+
+    def record_breaker_transition(self, old: str, new: str) -> None:
+        """The pipeline's circuit breaker moved between states."""
+        key = f"{old}->{new}"
+        with self._lock:
+            self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
+
     # -- reporting -----------------------------------------------------------
     def snapshot(self) -> Dict:
         """JSON-able summary of everything recorded so far."""
@@ -132,9 +183,96 @@ class ModelStats:
                 },
                 "queue": {
                     "depth": int(self.queue_depth_fn()) if self.queue_depth_fn else 0,
+                    "backlog": max(0, self.submitted - self.completed - self.failed),
                     "max_depth": self.max_queue_depth,
+                    "capacity": self.queue_capacity,
                 },
                 "latency": self._latency.summary_ms(),
                 "throughput_rps": round(self.completed / elapsed, 2) if elapsed > 0 else 0.0,
+                "resilience": {
+                    "admitted": self.admitted,
+                    "shed": dict(self.shed),
+                    "shed_total": sum(self.shed.values()),
+                    "deadline_expired": self.deadline_expired,
+                    "retries": self.retries,
+                    "breaker_transitions": dict(self.breaker_transitions),
+                },
             }
+            breaker_fn = self.breaker_fn
+        if breaker_fn is not None:
+            # Sampled outside the stats lock: the breaker has its own lock
+            # and may call back into stats on a transition.
+            snap["resilience"]["breaker"] = breaker_fn()
         return snap
+
+
+class ServerStats:
+    """Server-wide rollup of per-model snapshots, plus readiness.
+
+    The per-model :class:`ModelStats` hold the raw counters; this class sums
+    the resilience counters across pipelines and derives the readiness
+    answer the ``/healthz`` endpoint reports: a server is ``degraded`` when
+    any pipeline's circuit breaker is open (its pool cannot take traffic)
+    or any queue is saturated past ``saturation_threshold`` of its
+    admission bound (the next request would be shed anyway).
+    """
+
+    def __init__(self, saturation_threshold: float = 0.9):
+        if not 0.0 < saturation_threshold <= 1.0:
+            raise ValueError(
+                f"saturation_threshold must be in (0, 1], got {saturation_threshold}"
+            )
+        self.saturation_threshold = saturation_threshold
+
+    def rollup(self, snapshots: Dict[str, Dict]) -> Dict:
+        """Aggregate ``{name/version: ModelStats.snapshot()}`` into the
+        server-wide health/totals payload."""
+        totals = {
+            "submitted": 0, "completed": 0, "failed": 0,
+            "shed_total": 0, "deadline_expired": 0, "retries": 0,
+            "breaker_transitions": 0,
+        }
+        models: Dict[str, Dict] = {}
+        degraded = []
+        for key, snap in sorted(snapshots.items()):
+            requests = snap.get("requests", {})
+            resilience = snap.get("resilience", {})
+            totals["submitted"] += requests.get("submitted", 0)
+            totals["completed"] += requests.get("completed", 0)
+            totals["failed"] += requests.get("failed", 0)
+            totals["shed_total"] += resilience.get("shed_total", 0)
+            totals["deadline_expired"] += resilience.get("deadline_expired", 0)
+            totals["retries"] += resilience.get("retries", 0)
+            totals["breaker_transitions"] += sum(
+                resilience.get("breaker_transitions", {}).values()
+            )
+            breaker = resilience.get("breaker") or {}
+            breaker_state = breaker.get("state", "closed")
+            queue = snap.get("queue", {})
+            capacity = queue.get("capacity")
+            # Saturation is judged on the pipeline-wide backlog, not just the
+            # batcher queue (which drains into the pool near-instantly).
+            depth = max(queue.get("depth", 0), queue.get("backlog", 0))
+            saturated = bool(
+                capacity and depth >= self.saturation_threshold * capacity
+            )
+            reasons = []
+            if breaker_state == "open":
+                reasons.append("breaker_open")
+            if saturated:
+                reasons.append("queue_saturated")
+            if reasons:
+                degraded.append(key)
+            models[key] = {
+                "ready": not reasons,
+                "reasons": reasons,
+                "breaker": breaker_state,
+                "queue_depth": depth,
+                "queue_capacity": capacity,
+            }
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "models": models,
+            "totals": totals,
+        }

@@ -54,6 +54,15 @@ class WorkerCrashed(WorkerError):
     """A worker process died while (or before) executing this batch."""
 
 
+class NoLiveWorkers(WorkerError):
+    """Every worker in the pool is currently dead (respawn may be underway).
+
+    Distinct from a closed pool: this is a *transient* infrastructure
+    failure the resilience layer may retry (the respawn loop usually brings
+    a replacement up within its backoff), whereas a closed pool is final.
+    """
+
+
 class _RemoteError(RuntimeError):
     """An exception raised inside a worker process, with its traceback."""
 
@@ -72,9 +81,10 @@ class ThreadWorkerPool:
     """
 
     def __init__(self, executor_factory: Callable[[], object], num_workers: int = 1,
-                 name: str = "worker", shared: bool = False):
+                 name: str = "worker", shared: bool = False, fault_plan=None):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.fault_plan = fault_plan
         self._tasks: "queue.Queue" = queue.Queue()
         self._closed = False
         # Orders submit() against close(): nothing can land behind the stop
@@ -88,7 +98,7 @@ class ThreadWorkerPool:
                 self._shared_run_lock = threading.Lock()
         self._threads = [
             threading.Thread(
-                target=self._run, args=(executor_factory,),
+                target=self._run, args=(executor_factory, i),
                 name=f"{name}-{i}", daemon=True,
             )
             for i in range(num_workers)
@@ -120,8 +130,15 @@ class ThreadWorkerPool:
             if close is not None:
                 close()
 
-    def _run(self, executor_factory) -> None:
+    def _run(self, executor_factory, index: int = 0) -> None:
         build_error = None
+        # Thread workers never respawn, so the fault session is always the
+        # slot's first (and only) incarnation.
+        faults = (
+            self.fault_plan.session(worker=index, spawn=0)
+            if self.fault_plan is not None
+            else None
+        )
         if self.shared_executor is not None:
             executor = self.shared_executor
         else:
@@ -141,6 +158,17 @@ class ThreadWorkerPool:
                 )
                 continue
             try:
+                if faults is not None:
+                    for fault in faults.on_batch():
+                        if fault.kind in ("slow", "stall"):
+                            time.sleep(fault.delay_ms / 1e3)
+                        elif fault.kind == "crash":
+                            # A thread cannot die like a process; simulate the
+                            # transient crash the batch would have observed.
+                            raise WorkerCrashed(
+                                f"injected crash on worker {index} "
+                                f"(batch {faults.batches})"
+                            )
                 if self._shared_run_lock is not None:
                     with self._shared_run_lock:
                         result = executor.run(batch)
@@ -217,7 +245,9 @@ def _ring_payload(ring: Optional[_ShmRing], free: List[int], array: np.ndarray):
     return ("raw", array)
 
 
-def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q, rings):
+def _process_worker_main(
+    artifact_path, backend, active_bits, task_q, result_q, rings, fault_state=None
+):
     """Worker process entry: load the artifact, serve batches until ``None``.
 
     Result tuples are ``("ready"|"ok"|"err"|"fatal", job_id, payload,
@@ -226,9 +256,27 @@ def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q, 
     fall back to pickled arrays otherwise.  Every exception is caught and
     shipped back as a string — a worker only dies on hard crashes (signal,
     OOM), which the parent's reader detects.
+
+    ``fault_state`` is an optional ``(FaultPlan, worker_index, spawn)``
+    triple (see :mod:`repro.serve.faults`): ``corrupt_artifact`` faults
+    fire before the artifact read (→ the ``fatal`` startup path), ``crash``
+    hard-exits the process mid-batch (→ the parent's crash detector), and
+    ``slow``/``stall`` sleep deterministically.
     """
+    faults = None
+    if fault_state is not None:
+        plan, worker_index, spawn = fault_state
+        faults = plan.session(worker=worker_index, spawn=spawn)
     in_ring = out_ring = None
     try:
+        if faults is not None:
+            fault = faults.on_artifact_load()
+            if fault is not None:
+                from repro.serve.faults import InjectedFault
+
+                raise InjectedFault(
+                    f"injected corrupt artifact read: {artifact_path}"
+                )
         if backend == "cost":
             import repro.mcu  # noqa: F401  (registers the cost backend)
         from repro.core.export import load_program
@@ -256,6 +304,17 @@ def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q, 
             _, job_id, payload = message
             in_slot: Optional[int] = None
             try:
+                if faults is not None:
+                    for fault in faults.on_batch():
+                        if fault.kind in ("slow", "stall"):
+                            time.sleep(fault.delay_ms / 1e3)
+                        elif fault.kind == "crash":
+                            # A real death, not an exception: the parent must
+                            # find out through its crash detector, exactly as
+                            # it would for a SIGKILL or an OOM kill.
+                            import os
+
+                            os._exit(17)
                 if payload[0] == "shm":
                     in_slot, shape, dtype_str = payload[1]
                     batch = in_ring.view(in_slot, shape, dtype_str)
@@ -276,9 +335,10 @@ def _process_worker_main(artifact_path, backend, active_bits, task_q, result_q, 
 class _ProcessWorker:
     """One worker process plus its queues, rings, reader and in-flight jobs."""
 
-    def __init__(self, pool: "ProcessWorkerPool", index: int):
+    def __init__(self, pool: "ProcessWorkerPool", index: int, spawn: int = 0):
         self.pool = pool
         self.index = index
+        self.spawn = spawn  # incarnation of this slot (respawns increment)
         ctx = pool._ctx
         self.task_q = ctx.Queue()
         self.result_q = ctx.Queue()
@@ -307,6 +367,9 @@ class _ProcessWorker:
             except OSError:
                 # No usable /dev/shm: run on pickled queue payloads alone.
                 self._destroy_rings()
+        fault_state = (
+            (pool.fault_plan, index, spawn) if pool.fault_plan is not None else None
+        )
         self.process = ctx.Process(
             target=_process_worker_main,
             args=(
@@ -316,6 +379,7 @@ class _ProcessWorker:
                 self.task_q,
                 self.result_q,
                 rings_desc,
+                fault_state,
             ),
             daemon=True,
         )
@@ -446,6 +510,7 @@ class ProcessWorkerPool:
         use_shared_memory: bool = True,
         shm_slots: int = 4,
         shm_slot_bytes: Optional[int] = None,
+        fault_plan=None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -455,6 +520,9 @@ class ProcessWorkerPool:
         self.backend = backend
         self.active_bits = active_bits
         self.respawn = respawn
+        # Optional deterministic fault injection (repro.serve.faults); the
+        # picklable plan ships to each worker with its (slot, spawn) identity.
+        self.fault_plan = fault_plan
         # Planner counters reported by a worker's ready handshake (all
         # workers load the same artifact, so any worker's answer serves).
         self.plan_info: Optional[Dict] = None
@@ -479,6 +547,10 @@ class ProcessWorkerPool:
         # slot's respawn at a time, so a replacement dying mid-respawn cannot
         # fork a second, concurrent respawn loop for the same slot.
         self._respawning: set = set()
+        # Incarnation counter per slot: respawns increment it, and fault
+        # plans target (slot, spawn) pairs so "crash once, then recover" is
+        # expressible deterministically.
+        self._spawn_counts: Dict[int, int] = {i: 0 for i in range(num_workers)}
         self._workers: List[_ProcessWorker] = [
             _ProcessWorker(self, i) for i in range(num_workers)
         ]
@@ -510,7 +582,7 @@ class ProcessWorkerPool:
                 raise WorkerError("worker pool is closed")
             live = [w for w in self._workers if not w.dead]
             if not live:
-                raise WorkerError(
+                raise NoLiveWorkers(
                     "no live workers"
                     + (f" (last death: {self._last_death})" if self._last_death else "")
                 )
@@ -584,8 +656,11 @@ class ProcessWorkerPool:
         while True:
             if backoff:
                 time.sleep(backoff)
+            with self._lock:
+                self._spawn_counts[index] = self._spawn_counts.get(index, 0) + 1
+                spawn = self._spawn_counts[index]
             try:
-                replacement = _ProcessWorker(self, index)
+                replacement = _ProcessWorker(self, index, spawn=spawn)
             except Exception as exc:  # spawn itself failed (fd/memory limits)
                 with self._lock:
                     self._start_failures += 1

@@ -1,0 +1,370 @@
+"""Unit tests for admission control, circuit breaking, and retry dispatch.
+
+No model needed: fake queues, clocks, timers, and submit functions drive
+every state machine deterministically.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.serve.stats import ModelStats
+from repro.serve.workers import NoLiveWorkers, WorkerCrashed
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Admission controller
+# ---------------------------------------------------------------------------
+class TestAdmissionController:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(priority_thresholds={"bulk": 0.0})
+        with pytest.raises(ValueError):
+            AdmissionPolicy(priority_thresholds={"bulk": 1.5})
+
+    def test_default_policy_admits_everything(self):
+        ctrl = AdmissionController(None, queue_depth_fn=lambda: 10_000)
+        for _ in range(100):
+            ctrl.admit()
+        assert ctrl.inflight == 100
+
+    def test_queue_depth_bound_sheds(self):
+        depth = [0]
+        stats = ModelStats()
+        ctrl = AdmissionController(
+            AdmissionPolicy(max_queue_depth=4), lambda: depth[0], stats=stats
+        )
+        ctrl.admit()  # depth below bound: admitted
+        depth[0] = 4
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit()
+        assert info.value.reason == "queue_depth"
+        assert info.value.http_status == 503
+        snap = stats.snapshot()["resilience"]
+        assert snap["shed"] == {"queue_depth": 1}
+        assert snap["admitted"] == 1
+
+    def test_concurrency_budget_sheds_and_release_restores(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(max_concurrency=2), queue_depth_fn=lambda: 0
+        )
+        ctrl.admit()
+        ctrl.admit()
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit()
+        assert info.value.reason == "concurrency"
+        ctrl.release()
+        ctrl.admit()  # budget freed
+        assert ctrl.inflight == 2
+
+    def test_priority_class_sheds_early_with_429(self):
+        depth = [5]
+        ctrl = AdmissionController(
+            AdmissionPolicy(max_queue_depth=10, priority_thresholds={"bulk": 0.5}),
+            lambda: depth[0],
+        )
+        ctrl.admit(priority="interactive")  # full bound: still admitted
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(priority="bulk")  # its bound is 5, depth is 5
+        assert info.value.reason == "priority"
+        assert info.value.http_status == 429
+        depth[0] = 4
+        ctrl.admit(priority="bulk")  # below its bound again
+
+    def test_default_priority_class_applies_to_unlabelled_requests(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(
+                max_queue_depth=10,
+                priority_thresholds={"background": 0.2},
+                default_priority="background",
+            ),
+            queue_depth_fn=lambda: 3,
+        )
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit()  # unlabelled → "background", bound 2 < depth 3
+        assert info.value.reason == "priority"
+
+    def test_open_breaker_sheds_at_admission(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1), clock=clock)
+        stats = ModelStats()
+        ctrl = AdmissionController(
+            AdmissionPolicy(), lambda: 0, stats=stats, breaker=breaker
+        )
+        ctrl.admit()  # closed breaker: flows
+        breaker.record_failure("worker 0 died")
+        with pytest.raises(CircuitOpen) as info:
+            ctrl.admit()
+        assert info.value.reason == "circuit_open"
+        assert info.value.http_status == 503
+        assert info.value.retry_after_s == pytest.approx(5.0)  # time_to_probe
+        assert stats.snapshot()["resilience"]["shed"] == {"circuit_open": 1}
+
+    def test_release_never_goes_negative(self):
+        ctrl = AdmissionController(AdmissionPolicy(), queue_depth_fn=lambda: 0)
+        ctrl.release()
+        ctrl.release(count=5)
+        assert ctrl.inflight == 0
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3), clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure("crash")
+        breaker.record_success()  # resets the consecutive count
+        for _ in range(2):
+            breaker.record_failure("crash")
+        assert breaker.state == "closed"
+        breaker.record_failure("crash")
+        assert breaker.state == "open"
+        assert not breaker.allow_request()
+        assert not breaker.allow_dispatch()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_timeout_s=5.0),
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure("crash")
+        assert breaker.state == "open"
+        assert breaker.time_to_probe() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow_request()  # admission lets the probe through
+        assert breaker.allow_dispatch()  # the probe slot
+        assert not breaker.allow_dispatch()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert transitions == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed"),
+        ]
+
+    def test_half_open_probe_failure_reopens_and_restarts_the_clock(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_timeout_s=5.0), clock=clock
+        )
+        breaker.record_failure("crash")
+        clock.advance(5.0)
+        assert breaker.allow_dispatch()  # probe granted
+        breaker.record_failure("probe crashed too")
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert breaker.state == "open"  # the reset clock restarted
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_snapshot_reports_state_and_last_failure(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2), clock=FakeClock())
+        breaker.record_failure("WorkerCrashed: worker 1 died")
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert "worker 1" in snap["last_failure"]
+
+
+# ---------------------------------------------------------------------------
+# Retry policy + resilient dispatcher
+# ---------------------------------------------------------------------------
+class FlakySubmit:
+    """submit() stub failing the first ``failures`` attempts with ``error``."""
+
+    def __init__(self, failures: int, error_type=WorkerCrashed):
+        self.failures = failures
+        self.error_type = error_type
+        self.calls = 0
+
+    def __call__(self, batch) -> Future:
+        self.calls += 1
+        future: Future = Future()
+        if self.calls <= self.failures:
+            future.set_exception(self.error_type(f"attempt {self.calls} failed"))
+        else:
+            future.set_result(np.asarray(batch) * 2.0)
+        return future
+
+
+def immediate_timer(delay, fn):
+    fn()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+
+    def test_budget_is_the_sum_of_capped_backoffs(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_s=1.0, backoff_multiplier=2.0,
+            backoff_cap_s=3.0, jitter=0.0,
+        )
+        assert policy.budget_s() == pytest.approx(1.0 + 2.0 + 3.0)
+
+
+class TestResilientDispatcher:
+    def test_success_passes_straight_through(self):
+        submit = FlakySubmit(failures=0)
+        dispatch = ResilientDispatcher(submit, RetryPolicy(max_retries=2))
+        out = dispatch(np.ones(3)).result(timeout=5.0)
+        np.testing.assert_array_equal(out, np.full(3, 2.0))
+        assert submit.calls == 1
+
+    def test_retries_worker_crash_until_it_succeeds(self):
+        submit = FlakySubmit(failures=2)
+        stats = ModelStats()
+        delays = []
+
+        def timer(delay, fn):
+            delays.append(delay)
+            fn()
+
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=2, seed=0), stats=stats, timer=timer
+        )
+        out = dispatch(np.ones(2)).result(timeout=5.0)
+        np.testing.assert_array_equal(out, np.full(2, 2.0))
+        assert submit.calls == 3
+        assert stats.snapshot()["resilience"]["retries"] == 2
+        # Exponential backoff with jitter in [1 - jitter, 1] of the nominal.
+        assert 0.025 <= delays[0] <= 0.05
+        assert 0.05 <= delays[1] <= 0.10
+
+    def test_exhausted_retries_surface_the_last_error(self):
+        submit = FlakySubmit(failures=10, error_type=NoLiveWorkers)
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=2), timer=immediate_timer
+        )
+        with pytest.raises(NoLiveWorkers):
+            dispatch(np.ones(1)).result(timeout=5.0)
+        assert submit.calls == 3  # initial attempt + 2 retries
+
+    def test_application_errors_are_never_retried(self):
+        submit = FlakySubmit(failures=10, error_type=ValueError)
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=5), timer=immediate_timer
+        )
+        with pytest.raises(ValueError):
+            dispatch(np.ones(1)).result(timeout=5.0)
+        assert submit.calls == 1
+
+    def test_failures_feed_the_breaker_and_open_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2), clock=clock)
+        submit = FlakySubmit(failures=10)
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=1), breaker=breaker,
+            timer=immediate_timer,
+        )
+        with pytest.raises(WorkerCrashed):
+            dispatch(np.ones(1)).result(timeout=5.0)
+        assert breaker.state == "open"  # two attempts = two failures
+        calls_before = submit.calls
+        with pytest.raises(CircuitOpen):
+            dispatch(np.ones(1)).result(timeout=5.0)
+        assert submit.calls == calls_before  # fail-fast: never dispatched
+
+    def test_half_open_probe_closes_the_breaker_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_timeout_s=1.0), clock=clock
+        )
+        submit = FlakySubmit(failures=1)
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=0), breaker=breaker,
+            timer=immediate_timer,
+        )
+        with pytest.raises(WorkerCrashed):
+            dispatch(np.ones(1)).result(timeout=5.0)
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        out = dispatch(np.ones(1)).result(timeout=5.0)  # the probe
+        np.testing.assert_array_equal(out, np.full(1, 2.0))
+        assert breaker.state == "closed"
+
+    def test_retry_jitter_stream_is_deterministic_per_seed(self):
+        def run(seed):
+            delays = []
+            submit = FlakySubmit(failures=3)
+            dispatch = ResilientDispatcher(
+                submit,
+                RetryPolicy(max_retries=3, seed=seed),
+                timer=lambda d, fn: (delays.append(d), fn()),
+            )
+            dispatch(np.ones(1)).result(timeout=5.0)
+            return delays
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_synchronous_submit_exception_is_also_retried(self):
+        calls = [0]
+
+        def submit(batch):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise NoLiveWorkers("respawn in progress")
+            future: Future = Future()
+            future.set_result(batch)
+            return future
+
+        dispatch = ResilientDispatcher(
+            submit, RetryPolicy(max_retries=1), timer=immediate_timer
+        )
+        np.testing.assert_array_equal(
+            dispatch(np.zeros(1)).result(timeout=5.0), np.zeros(1)
+        )
+        assert calls[0] == 2
+
+    def test_concurrent_dispatches_share_the_jitter_rng_safely(self):
+        submit = FlakySubmit(failures=0)
+        dispatch = ResilientDispatcher(submit, RetryPolicy(max_retries=1, seed=0))
+        futures = []
+        threads = [
+            threading.Thread(target=lambda: futures.append(dispatch(np.ones(1))))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        for f in futures:
+            f.result(timeout=5.0)
+        assert submit.calls == 8

@@ -189,3 +189,99 @@ def test_stats_record_batches_latency_and_queue_depth():
         assert snap["throughput_rps"] > 0
     finally:
         batcher.close()
+
+
+# ---------------------------------------------------------------------------
+# Deadlines and aborting close
+# ---------------------------------------------------------------------------
+def test_already_expired_deadline_fails_synchronously():
+    from repro.serve import DeadlineExceeded
+
+    stats = ModelStats()
+    batcher = DynamicBatcher(RecordingDispatch(), BatchPolicy(), stats=stats)
+    try:
+        with pytest.raises(DeadlineExceeded):
+            batcher.submit(np.zeros(1), deadline=time.perf_counter() - 0.01)
+        snap = stats.snapshot()
+        assert snap["resilience"]["deadline_expired"] == 1
+        assert snap["requests"]["submitted"] == 0  # never occupied the queue
+    finally:
+        batcher.close()
+
+
+def test_expired_requests_are_dropped_from_the_forming_batch():
+    from repro.serve import DeadlineExceeded
+
+    release = threading.Event()
+    dispatch = RecordingDispatch(block_event=release)
+    stats = ModelStats()
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=1, max_delay_ms=0.0), stats=stats
+    )
+    try:
+        # The collector is blocked in dispatch; queue a doomed request (its
+        # deadline expires while it waits) next to a healthy one.
+        first = batcher.submit(np.zeros(1))
+        time.sleep(0.05)
+        doomed = batcher.submit(np.zeros(1), deadline=time.perf_counter() + 0.05)
+        healthy = batcher.submit(np.ones(1))
+        time.sleep(0.1)  # the doomed deadline passes while blocked
+        release.set()
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=5.0)
+        np.testing.assert_array_equal(first.result(timeout=5.0), np.zeros(1))
+        np.testing.assert_array_equal(healthy.result(timeout=5.0), np.full(1, 2.0))
+        # The expired request never reached the dispatcher.
+        assert sum(dispatch.batch_sizes) == 2
+        assert stats.snapshot()["resilience"]["deadline_expired"] == 1
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_aborting_close_fails_queued_requests_with_the_given_error():
+    class Boom(RuntimeError):
+        pass
+
+    dispatch = RecordingDispatch()
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=100, max_delay_ms=60_000.0)
+    )
+    futures = [batcher.submit(np.zeros(1)) for _ in range(4)]
+    start = time.perf_counter()
+    batcher.close(drain=False, error=Boom("shutting down"))
+    assert time.perf_counter() - start < 5.0  # no waiting out the window
+    for future in futures:
+        with pytest.raises(Boom, match="shutting down"):
+            future.result(timeout=5.0)
+    assert dispatch.batch_sizes == []  # nothing dispatched
+
+
+def test_aborting_close_defaults_to_batcher_closed():
+    batcher = DynamicBatcher(
+        RecordingDispatch(), BatchPolicy(max_batch_size=100, max_delay_ms=60_000.0)
+    )
+    future = batcher.submit(np.zeros(1))
+    batcher.close(drain=False)
+    with pytest.raises(BatcherClosed):
+        future.result(timeout=5.0)
+
+
+def test_aborting_close_leaves_dispatched_batches_alone():
+    release = threading.Event()
+    dispatch = RecordingDispatch(block_event=release)
+    batcher = DynamicBatcher(
+        dispatch, BatchPolicy(max_batch_size=1, max_delay_ms=0.0)
+    )
+    inflight = batcher.submit(np.zeros(1))  # collector blocks inside dispatch
+    time.sleep(0.05)
+    queued = batcher.submit(np.ones(1))
+    closer = threading.Thread(target=lambda: batcher.close(drain=False))
+    closer.start()
+    release.set()
+    closer.join(timeout=10.0)
+    # The batch that had already reached the dispatcher still resolves
+    # normally; only the queued request fails.
+    np.testing.assert_array_equal(inflight.result(timeout=5.0), np.zeros(1))
+    with pytest.raises(BatcherClosed):
+        queued.result(timeout=5.0)

@@ -357,7 +357,9 @@ def _post(url, path, payload):
 class TestHttpFrontEnd:
     def test_health_models_and_metadata(self, http_server):
         url = http_server.url
-        assert _get(url, "/healthz") == {"status": "ok"}
+        health = _get(url, "/healthz")
+        assert health["status"] == "ok"
+        assert health["degraded"] == []
         assert _get(url, "/v1/models") == {"models": {"resnet_s": [1]}}
         meta = _get(url, "/v1/models/resnet_s")
         assert meta["input_shape"] == [3, 32, 32]
@@ -412,3 +414,203 @@ class TestHttpFrontEnd:
         with pytest.raises(urllib.error.HTTPError) as err:
             _post(http_server.url, "/v1/models/resnet_s/predict", {"x": 1})
         assert err.value.code == 400
+
+
+# ---------------------------------------------------------------------------
+# Overload and failure status-code contract
+# ---------------------------------------------------------------------------
+class TestHttpOverloadContract:
+    """429/503/504 + Retry-After mapping under injected faults and overload."""
+
+    @staticmethod
+    def _error_response(fn):
+        """Run ``fn``, return the HTTPError it must raise (code/headers/body)."""
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fn()
+        body = json.loads(err.value.read())
+        return err.value.code, err.value.headers, body
+
+    def test_worker_crash_is_503_with_retry_after(self, repo, served):
+        from repro.serve import FaultPlan, serve_http
+
+        server = InferenceServer(
+            repo, retry=None, breaker=None,
+            fault_plan=FaultPlan.crash_on_batch(1, worker=0),
+        )
+        front = serve_http(server, port=0)
+        try:
+            code, headers, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist()},
+                )
+            )
+            assert code == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert body["reason"] == "worker_failure"
+        finally:
+            front.close()
+            server.close()
+
+    def test_priority_shed_is_429_and_hard_shed_503(self, repo, served):
+        from repro.serve import AdmissionPolicy, FaultPlan, serve_http
+
+        # A slow worker holds the backlog at 2 while the probes arrive:
+        # the "bulk" class (bound 2 of 4) is shed with 429, and once the
+        # backlog reaches the hard bound a default request sheds with 503.
+        server = InferenceServer(
+            repo,
+            policy=BatchPolicy(max_batch_size=1, max_delay_ms=0.0),
+            admission=AdmissionPolicy(
+                max_queue_depth=4, priority_thresholds={"bulk": 0.5}
+            ),
+            fault_plan=FaultPlan.slow_worker(1500.0, times=None),
+        )
+        front = serve_http(server, port=0)
+        try:
+            backlog = [
+                server.predict_async("resnet_s", served.batch[i]) for i in range(2)
+            ]
+            code, headers, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[2].tolist(), "priority": "bulk"},
+                )
+            )
+            assert code == 429
+            assert body["reason"] == "priority"
+            assert int(headers["Retry-After"]) >= 1
+            backlog += [
+                server.predict_async("resnet_s", served.batch[i]) for i in range(2, 4)
+            ]
+            code, _, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[4].tolist()},
+                )
+            )
+            assert code == 503
+            assert body["reason"] == "queue_depth"
+            stats = _get(front.url, "/v1/models/resnet_s/stats")["resilience"]
+            assert stats["shed"] == {"priority": 1, "queue_depth": 1}
+            for future in backlog:  # the admitted requests still resolve
+                future.result(timeout=120.0)
+        finally:
+            front.close()
+            server.close()
+
+    def test_deadline_expiry_is_504(self, repo, served):
+        from repro.serve import FaultPlan, serve_http
+
+        server = InferenceServer(
+            repo, fault_plan=FaultPlan.slow_worker(1000.0, times=None)
+        )
+        front = serve_http(server, port=0)
+        try:
+            code, _, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist(), "timeout_ms": 100},
+                )
+            )
+            assert code == 504
+            assert body["reason"] == "deadline_exceeded"
+        finally:
+            front.close()
+            server.close()
+
+    def test_timeout_ms_header_variant_and_validation(self, repo, served):
+        from repro.serve import serve_http
+
+        server = InferenceServer(repo)
+        front = serve_http(server, port=0)
+        try:
+            request = urllib.request.Request(
+                front.url + "/v1/models/resnet_s/predict",
+                data=json.dumps({"inputs": served.batch[0].tolist()}).encode(),
+                headers={"X-Timeout-Ms": "60000"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=120.0) as response:
+                assert json.loads(response.read())["version"] == 1
+            code, _, _ = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist(), "timeout_ms": -5},
+                )
+            )
+            assert code == 400
+        finally:
+            front.close()
+            server.close()
+
+    def test_closed_server_is_503_with_retry_after(self, repo, served):
+        from repro.serve import serve_http
+
+        server = InferenceServer(repo)
+        front = serve_http(server, port=0)
+        try:
+            server.close()
+            code, headers, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist()},
+                )
+            )
+            assert code == 503
+            assert body["reason"] == "server_closed"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            front.close()
+            server.close()
+
+    def test_open_breaker_degrades_healthz_to_503(self, repo, served):
+        from repro.serve import BreakerPolicy, FaultPlan, FaultSpec, serve_http
+        from repro.serve import RetryPolicy
+
+        server = InferenceServer(
+            repo,
+            retry=RetryPolicy(max_retries=0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout_s=60.0),
+            fault_plan=FaultPlan((FaultSpec("crash", times=None),)),
+        )
+        front = serve_http(server, port=0)
+        try:
+            code, _, _ = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist()},
+                )
+            )
+            assert code == 503  # the crash opened the breaker
+            code, headers, body = self._error_response(
+                lambda: _get(front.url, "/healthz")
+            )
+            assert code == 503
+            assert body["status"] == "degraded"
+            assert body["models"]["resnet_s/1"]["breaker"] == "open"
+            assert int(headers["Retry-After"]) >= 1
+            # The next predict is shed at admission, before queueing.
+            code, _, body = self._error_response(
+                lambda: _post(
+                    front.url, "/v1/models/resnet_s/predict",
+                    {"inputs": served.batch[0].tolist()},
+                )
+            )
+            assert code == 503
+            assert body["reason"] == "circuit_open"
+        finally:
+            front.close()
+            server.close()
+
+    def test_server_wide_stats_route(self, http_server, served):
+        _post(
+            http_server.url, "/v1/models/resnet_s/predict",
+            {"inputs": served.batch[0].tolist()},
+        )
+        snapshot = _get(http_server.url, "/stats")
+        assert "resnet_s/1" in snapshot
+        model = snapshot["resnet_s/1"]
+        assert model["requests"]["completed"] >= 1
+        assert model["resilience"]["breaker"]["state"] == "closed"
+        assert model["queue"]["capacity"] >= 1
