@@ -1,0 +1,123 @@
+"""ctypes runtime for emitted native segments.
+
+Loads the cached shared library and executes :class:`SegmentSpec` entries
+against the executor's :class:`~repro.core.memory_plan.ShardRuntime`: the
+segment function receives the consts blob, the shard's arena, a per-shard
+scratch region, an ``ext`` pointer table (program input / heap buffers) and
+the ragged sample count ``n``.  ctypes releases the GIL for the duration of
+the call, so sharded execution parallelises exactly like the plan backend.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.codegen.build import CFLAGS, NATIVE_ABI
+from repro.core.codegen.emitter import EmittedProgram, SegmentSpec
+from repro.core.kernel_plan import scratch_buf
+from repro.core.memory_plan import PlanStep
+
+
+class NativeModule:
+    """A loaded native library with typed segment entry points."""
+
+    def __init__(self, lib_path: Path, segment_names: Sequence[str]):
+        self.path = Path(lib_path)
+        self._cdll = ctypes.CDLL(str(lib_path))
+        self.fns: Dict[str, ctypes._CFuncPtr] = {}
+        for name in segment_names:
+            fn = getattr(self._cdll, name)
+            fn.argtypes = [
+                ctypes.c_void_p,  # consts
+                ctypes.c_void_p,  # arena
+                ctypes.c_void_p,  # scratch
+                ctypes.POINTER(ctypes.c_void_p),  # ext
+                ctypes.c_long,  # n
+            ]
+            fn.restype = None
+            self.fns[name] = fn
+
+
+class NativeExecution:
+    """One executor's bound native code: module + merged execution schedule.
+
+    ``schedule`` interleaves plain :class:`PlanStep` entries (still run by
+    the NumPy plan path) with :class:`SegmentSpec` entries (dispatched to the
+    library); the executor walks it in place of ``exec_plan.steps``.
+    """
+
+    def __init__(
+        self,
+        emitted: EmittedProgram,
+        exec_plan,
+        lib_path: Path,
+        compiler: Optional[str],
+        cache_hit: bool,
+    ):
+        self.emitted = emitted
+        self.module = NativeModule(lib_path, [s.name for s in emitted.segments])
+        self.compiler = compiler
+        self.cache_hit = cache_hit
+        # Copy the blob into a NumPy-owned (malloc-aligned) buffer; offsets
+        # inside are 64-byte aligned relative to this base.
+        self.consts = np.frombuffer(bytearray(emitted.consts or b"\x00"), dtype=np.uint8)
+        self.scratch_bytes = max(int(emitted.scratch_bytes), 1)
+        self.schedule: List[Union[PlanStep, SegmentSpec]] = []
+        index = 0
+        for seg in emitted.segments:
+            while index < seg.start:
+                self.schedule.append(exec_plan.steps[index])
+                index += 1
+            self.schedule.append(seg)
+            index = seg.stop
+        while index < len(exec_plan.steps):
+            self.schedule.append(exec_plan.steps[index])
+            index += 1
+
+    def run_segment(self, seg: SegmentSpec, buffers: dict, runtime, n: int) -> None:
+        """Execute one native segment for an ``n``-sample tile."""
+        scratch = scratch_buf(
+            runtime.plan_scratch(None),
+            "__native_scratch__",
+            (self.scratch_bytes,),
+            np.uint8,
+        )
+        ext = (ctypes.c_void_p * max(len(seg.ext), 1))()
+        for j, buf in enumerate(seg.ext):
+            array = buffers[buf]
+            if not array.flags.c_contiguous:
+                array = np.ascontiguousarray(array)
+                buffers[buf] = array
+            ext[j] = array.ctypes.data
+        self.module.fns[seg.name](
+            self.consts.ctypes.data,
+            runtime.arena.ctypes.data,
+            scratch.ctypes.data,
+            ext,
+            n,
+        )
+        for buf in seg.outputs:
+            buffers[buf] = runtime.view(buf, n)
+
+    def counters(self) -> Dict[str, int]:
+        counters = dict(self.emitted.counters)
+        counters["cache_hit"] = int(self.cache_hit)
+        return counters
+
+    def build_meta(self) -> dict:
+        """JSON-able build metadata persisted into program artifacts."""
+        return {
+            "abi": NATIVE_ABI,
+            "source_sha256": self.emitted.source_sha256,
+            "consts_sha256": self.emitted.consts_sha256,
+            "cflags": list(CFLAGS),
+            "compiler": self.compiler,
+            "cache_hit": bool(self.cache_hit),
+            "segments": len(self.emitted.segments),
+            "native_steps": int(self.emitted.counters.get("native_steps", 0)),
+            "scratch_bytes": int(self.emitted.scratch_bytes),
+        }

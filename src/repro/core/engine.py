@@ -441,7 +441,15 @@ class BitSerialInferenceEngine:
         if not self._calibrated:
             raise RuntimeError("calibrate() must be called before compiling the network")
         level = self._resolve_level(optimize, level)
-        backend = backend or ("plan" if self.config.use_kernel_plans else "reference")
+        if backend is None:
+            # Defaulted backends route O4 programs to the native codegen
+            # backend; the executor degrades back to ``plan`` (surfacing a
+            # ``fallback_reason``) on hosts that cannot build it.  An explicit
+            # ``backend="plan"`` stays the pure plan oracle.
+            if self.config.use_kernel_plans:
+                backend = "native" if level == "O4" else "plan"
+            else:
+                backend = "reference"
         input_shape = tuple(input_shape or self.input_shape or ())
         if len(input_shape) != 3:
             raise RuntimeError(

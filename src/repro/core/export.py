@@ -446,6 +446,18 @@ def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
         },
         "ops": ops_meta,
     }
+    if program.native_build is not None:
+        # Native (O4) build metadata: the JSON header keeps the hashes/flags
+        # (visible to read_program_metadata without array loads); the emitted
+        # C source itself ships as a byte array member, so a serving host
+        # rebuilds the exact same library deterministically.
+        native = dict(program.native_build)
+        source = native.pop("source", None)
+        meta["native"] = native
+        if source is not None:
+            arrays["__native_source__"] = np.frombuffer(
+                source.encode("utf-8"), dtype=np.uint8
+            )
     arrays["__program__"] = np.array(json.dumps(meta))
     np.savez_compressed(Path(path), **arrays)
 
@@ -484,6 +496,11 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
         )
         for i, op_meta in enumerate(meta["ops"])
     ]
+    native_build = None
+    if meta.get("native") is not None:
+        native_build = dict(meta["native"])
+        if "__native_source__" in data:
+            native_build["source"] = bytes(data["__native_source__"]).decode("utf-8")
     return NetworkProgram(
         ops=ops,
         input_id=meta["input_id"],
@@ -495,6 +512,7 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
         optimized=meta["optimized"],
         opt_level=meta.get("opt_level"),
         pipeline_report=meta.get("pipeline"),
+        native_build=native_build,
     )
 
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 import os
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -66,13 +67,15 @@ from repro.quantization.quantizer import QuantParams
 #: Ordered optimization levels.  Each level enables every pass of the levels
 #: below it; the docs table in ``docs/ARCHITECTURE.md`` §3 names what each
 #: adds (a docs test keeps the two in sync).
-OPT_LEVELS: Tuple[str, ...] = ("O0", "O1", "O2", "O3")
+OPT_LEVELS: Tuple[str, ...] = ("O0", "O1", "O2", "O3", "O4")
 
 #: Pipeline stages, in execution order.  ``graph`` passes rewrite the IR
 #: (run by :meth:`PassManager.run`), ``schedule`` passes compile the bound
-#: step schedule, and ``tune`` passes pick kernel variants empirically (both
-#: run when the :class:`~repro.core.program.Executor` binds the program).
-PASS_STAGES: Tuple[str, ...] = ("graph", "schedule", "tune")
+#: step schedule, ``tune`` passes pick kernel variants empirically, and
+#: ``codegen`` passes lower the planned schedule to native code (all three
+#: non-graph stages run when the :class:`~repro.core.program.Executor` binds
+#: the program).
+PASS_STAGES: Tuple[str, ...] = ("graph", "schedule", "tune", "codegen")
 
 
 def _level_index(level: str) -> int:
@@ -376,6 +379,11 @@ register_pass(Pass(
     rewrites="micro-benchmarks kernel specializations (tap gather, address encoder) and tile/shard choices, picks winners per layer",
     counters=("layers_tuned", "trials", "tile", "n_shards"),
 ))
+register_pass(Pass(
+    name="codegen", stage="codegen", level="O4",
+    rewrites="lowers the planned schedule's native-eligible steps to C99, compiles them into a cached shared library, and executes them via ctypes",
+    counters=("segments", "native_steps", "steps", "cache_hit", "source_bytes"),
+))
 
 
 # ---------------------------------------------------------------------------
@@ -599,10 +607,19 @@ class PipelineReport:
     ops_before: int = 0
     ops_after: int = 0
     debug: bool = False
+    # Effective-level surfacing (no silent downgrades): when a level cannot
+    # fully engage on this host — O4 without a C compiler — ``fallback_reason``
+    # names why and ``effective_level`` the level that actually ran.  The
+    # executor updates the attached dict in place when it binds (a host
+    # *with* a compiler re-binding a fallen-back artifact restores O4).
+    fallback_reason: Optional[str] = None
+    effective_level: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "level": self.level,
+            "effective_level": self.effective_level or self.level,
+            "fallback_reason": self.fallback_reason,
             "passes": [p.to_dict() for p in self.passes],
             "verifier_runs": int(self.verifier_runs),
             "verifier_counters": dict(self.verifier_counters),
@@ -778,6 +795,24 @@ class PassManager:
         report = PipelineReport(
             level=self.level, ops_before=len(program.ops), debug=self.debug
         )
+        if self.level == "O4":
+            # Compiler probe at compile time: O4 needs a host C compiler to
+            # build the native backend.  Record the fallback here (and warn
+            # once) so ``compile_network(level="O4")`` reports the effective
+            # level immediately — the executor still retries at bind time,
+            # where a populated build cache can satisfy O4 without one.
+            from repro.core.codegen.build import find_compiler
+
+            if find_compiler() is None:
+                report.fallback_reason = "no_compiler"
+                report.effective_level = "O3"
+                warnings.warn(
+                    "O4 requested but no C compiler found; compiling at the "
+                    "effective level O3 (plan backend). Install gcc/cc to "
+                    "enable the native backend.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         graph_passes = self.enabled("graph") if program.bound else []
         for pass_ in graph_passes:
             ops_before = len(program.ops)
@@ -1007,6 +1042,15 @@ def autotune_schedule(
                 best_tile = (per_image, tile)
         chosen_tile = best_tile[1]
     decisions["tile"] = {"chosen": int(chosen_tile), "candidate_ms_per_image": tile_sweep}
+    if int(chosen_tile) != int(default_tile) and any(
+        step.op is not None and step.op.kind in ("conv", "linear") for step in steps
+    ):
+        # Honest numerics surfacing: kernel-variant and shard winners are
+        # bitwise-invariant, but a retuned *tile* re-chunks the float
+        # conv/linear steps and therefore reorders their BLAS reductions.
+        # Flag it in the decisions (and thus plan_info["autotune"]) instead
+        # of leaving the caveat to a docs footnote.
+        decisions["numerics"] = "tile_reorder"
 
     # -- shard decision: thread-scaling of the most expensive step -----------
     cpus = os.cpu_count() or 1

@@ -52,6 +52,7 @@ import copy
 import os
 import queue
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -151,6 +152,12 @@ class NetworkProgram:
     # attached; ``None`` only for artifacts predating the pass manager.
     opt_level: Optional[str] = None
     pipeline_report: Optional[Dict[str, Any]] = None
+    # Native (O4) build metadata of the most recent successful
+    # :func:`repro.core.codegen.bind_native`: the emitted C source plus the
+    # JSON-able build record (ABI, content hashes, cflags).  Persisted into
+    # saved artifacts so servers rebuild the exact same library
+    # deterministically; ``None`` when the program never bound natively.
+    native_build: Optional[Dict[str, Any]] = None
 
     @property
     def bound(self) -> bool:
@@ -158,10 +165,23 @@ class NetworkProgram:
 
     @property
     def effective_opt_level(self) -> str:
-        """The program's optimization level, inferring pre-pass-manager
-        artifacts from their ``optimized`` flag (optimized meant the graph
-        passes *and* the ahead-of-time planner, i.e. today's ``O2``)."""
+        """The level the program actually *runs* at.
+
+        Infers pre-pass-manager artifacts from their ``optimized`` flag
+        (optimized meant the graph passes *and* the ahead-of-time planner,
+        i.e. today's ``O2``).  When the pipeline report records a fallback
+        (e.g. ``O4`` requested but no C compiler on this host) the effective
+        level is the report's downgraded one — callers never see a silent
+        downgrade."""
         if self.opt_level is not None:
+            report = self.pipeline_report
+            if (
+                isinstance(report, dict)
+                and report.get("fallback_reason")
+                and report.get("level") == self.opt_level
+                and report.get("effective_level")
+            ):
+                return str(report["effective_level"])
             return self.opt_level
         return "O2" if self.optimized else "O0"
 
@@ -211,6 +231,11 @@ class NetworkProgram:
             }
         if self.plan_counters is not None:
             meta["execution_plan"] = dict(self.plan_counters)
+        if self.native_build is not None:
+            # Header-only view of the native build (hashes/flags, no source).
+            meta["native"] = {
+                k: v for k, v in self.native_build.items() if k != "source"
+            }
         return meta
 
     # -- geometry ---------------------------------------------------------------
@@ -893,6 +918,29 @@ def register_backend(name: str, bind: Callable) -> None:
 
 register_backend("plan", _bind_plan)
 register_backend("reference", _bind_reference)
+# The native (O4) backend shares the plan backend's schedule bind; the
+# executor additionally emits/compiles the planned schedule's eligible steps
+# to a shared library after planning (and falls back to plan when it cannot).
+register_backend("native", _bind_plan)
+
+
+def auto_backend(backend: str, program: Optional[NetworkProgram]) -> str:
+    """Upgrade a defaulted ``plan`` backend to ``native`` for O4 programs.
+
+    Consumers that pick a backend on the caller's behalf (the engine's
+    executor cache, the serve worker pools) route O4-compiled programs to the
+    native backend; :class:`Executor` degrades back to ``plan`` gracefully —
+    with a surfaced ``fallback_reason`` — when the host cannot build it.
+    Tests and callers that want the pure plan oracle pass ``backend="plan"``
+    to :class:`Executor` directly, which never upgrades.
+    """
+    if (
+        backend == "plan"
+        and program is not None
+        and getattr(program, "opt_level", None) == "O4"
+    ):
+        return "native"
+    return backend
 
 
 def _chunk_bounds(n: int, k: int, tile: int) -> List[Tuple[int, int]]:
@@ -1006,12 +1054,13 @@ class Executor:
         explicit_plan = memory_plan is True
         if memory_plan is None:
             memory_plan = (
-                backend == "plan"
+                backend in ("plan", "native")
                 and program.bound
                 and program.optimized
                 and level_enables(level, "O2")
             )
         self.exec_plan = None
+        self._native = None  # NativeExecution after a successful O4 bind
         self.plan_info: Optional[Dict[str, Any]] = None
         self.autotune: Optional[Dict[str, Any]] = None
         self._runtime_q: Optional[queue.LifoQueue] = None
@@ -1025,7 +1074,7 @@ class Executor:
             requested_shards = n_shards
             bound_tile = self.tile  # the backend's heuristic (or caller) tile
             if (
-                backend == "plan"
+                backend in ("plan", "native")
                 and program.bound
                 and program.optimized
                 and level_enables(level, "O3")
@@ -1102,6 +1151,14 @@ class Executor:
                         "counters": dict(self.exec_plan.counters),
                     },
                 )
+        # -- native (O4) codegen bind ----------------------------------------
+        # The ``codegen`` pipeline stage runs here, after planning: the
+        # native backend lowers the planned schedule's eligible steps to C,
+        # compiles (or cache-loads) them, and replaces those steps with
+        # library calls.  Expected failures downgrade to the plan backend
+        # with a surfaced ``fallback_reason`` — never silently.
+        if self.backend == "native":
+            self._bind_native(options.get("active_bits"))
         if self.exec_plan is not None:
             from repro.core.memory_plan import ShardRuntime
 
@@ -1113,12 +1170,71 @@ class Executor:
                 self._runtime_q.put(ShardRuntime(self.exec_plan))
             self.plan_info = dict(self.exec_plan.counters)
             self.plan_info["n_shards"] = self.n_shards
-            self.plan_info["backend"] = backend
+            # ``self.backend`` (not the requested one): a failed native bind
+            # has already downgraded it, and /stats reports what actually runs.
+            self.plan_info["backend"] = self.backend
+            if self._native is not None:
+                self.plan_info["native"] = self._native.counters()
             if self.autotune is not None:
                 self.plan_info["autotune"] = self.autotune
             program.plan_counters = dict(self.plan_info)
         else:
             self.n_shards = max(1, n_shards or 1)
+
+    def _bind_native(self, active_bits: Optional[int]) -> None:
+        """Attempt the native (O4) codegen bind; fall back to ``plan``.
+
+        Every *expected* obstacle — the program could not be planned, no
+        schedule step is native-eligible, or the host has no C compiler and
+        the build cache is cold — reverts this executor to the plan backend
+        and records the reason in the program's pipeline report (surfaced by
+        ``effective_opt_level``, artifact headers and serve ``/stats``).  A
+        compiler *rejecting* the emitted source is a codegen bug and
+        propagates as :class:`~repro.core.codegen.NativeBuildError`.
+        """
+        from repro.core.codegen import CodegenUnsupported, NoCompilerError, bind_native
+
+        reason = None
+        if self.exec_plan is None:
+            reason = "no_execution_plan"
+        else:
+            try:
+                self._native = bind_native(
+                    self.program, self._steps, self.exec_plan, active_bits=active_bits
+                )
+            except NoCompilerError:
+                reason = "no_compiler"
+            except CodegenUnsupported:
+                reason = "no_native_steps"
+        report = self.program.pipeline_report
+        if self._native is not None:
+            build = dict(self._native.build_meta())
+            build["source"] = self._native.emitted.source
+            self.program.native_build = build
+            record_stage_report(
+                self.program,
+                {
+                    "name": "codegen",
+                    "stage": "codegen",
+                    "counters": dict(self._native.counters()),
+                },
+            )
+            if isinstance(report, dict) and report.get("level") == "O4":
+                # A successful bind clears a compile-time probe's fallback —
+                # the build cache can satisfy O4 without a live compiler.
+                report["fallback_reason"] = None
+                report["effective_level"] = "O4"
+            return
+        self.backend = "plan"
+        if isinstance(report, dict) and report.get("level") == "O4":
+            report["fallback_reason"] = reason
+            report["effective_level"] = "O3"
+        warnings.warn(
+            f"native (O4) backend unavailable ({reason}); falling back to "
+            "the plan backend (effective level O3)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     @property
     def thread_safe(self) -> bool:
@@ -1172,10 +1288,10 @@ class Executor:
     # -- planned execution ---------------------------------------------------
     def _run_planned(self, x: np.ndarray) -> np.ndarray:
         plan = self.exec_plan
-        if x.dtype != np.float64:
-            # The plan's buffer specs are typed for float64 inputs (what the
-            # data loaders produce); convert other inputs up front.
-            x = np.ascontiguousarray(x, dtype=np.float64)
+        # The plan's buffer specs are typed for float64 inputs (what the data
+        # loaders produce); the native segments additionally require a
+        # C-contiguous input.  No-op (no copy) for contiguous float64 input.
+        x = np.ascontiguousarray(x, dtype=np.float64)
         n = x.shape[0]
         out = np.empty((n,) + plan.out_shape, dtype=plan.out_dtype)
         if n == 0:
@@ -1243,7 +1359,13 @@ class Executor:
         n = x.shape[0]
         buffers: List[Optional[np.ndarray]] = [None] * self.program.num_buffers
         buffers[plan.input_id] = x
-        for step in plan.steps:
+        native = self._native
+        schedule = plan.steps if native is None else native.schedule
+        for step in schedule:
+            if native is not None and not hasattr(step, "fn"):
+                # A compiled segment covering a contiguous run of plan steps.
+                native.run_segment(step, buffers, runtime, n)
+                continue
             args = [buffers[buf] for buf in step.inputs]
             placement = step.placement
             if placement == "arena":

@@ -29,8 +29,12 @@ from repro.mcu.executor import (
     estimate_cmsis_network,
     estimate_weight_pool_network,
 )
+from repro.mcu.bundle import SourceBundle, build_source_bundle, write_source_bundle
 
 __all__ = [
+    "SourceBundle",
+    "build_source_bundle",
+    "write_source_bundle",
     "MCUDevice",
     "CycleCosts",
     "MC_LARGE",

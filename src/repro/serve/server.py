@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.program import Executor, NetworkProgram
+from repro.core.program import Executor, NetworkProgram, auto_backend
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -118,7 +118,11 @@ class _Pipeline:
             # shard arenas out of the executor's pool); otherwise each worker
             # thread builds its own executor — buffer-pooled executors are
             # single-threaded objects (plan caches, buffer pools).
-            backend = server.backend
+            # O4 artifacts route to the native backend (rebuilt — or
+            # cache-loaded — deterministically from the artifact's persisted
+            # source); the executor downgrades to ``plan`` with a surfaced
+            # fallback_reason when the host cannot build it.
+            backend = auto_backend(server.backend, program)
             probe = Executor(program, backend=backend)
             if probe.thread_safe:
                 self.pool = ThreadWorkerPool(
@@ -614,9 +618,16 @@ class InferenceServer:
         plan_info = pipeline.plan_info()
         if plan_info:
             snap["executor"] = plan_info
-        report = pipeline.pipeline_report
-        if report is None and pipeline.program is not None:
+        # Prefer the live program's report over the stored artifact header:
+        # the executor's native (O4) bind updates it in place — recording a
+        # ``fallback_reason``/``effective_level`` downgrade on hosts that
+        # cannot build, or clearing a compile-time fallback when the build
+        # cache satisfied O4 — and /stats must report what actually runs.
+        report = None
+        if pipeline.program is not None:
             report = pipeline.program.pipeline_report
+        if report is None:
+            report = pipeline.pipeline_report
         if report:
             snap["pipeline"] = report
         return snap

@@ -280,10 +280,12 @@ def _process_worker_main(
         if backend == "cost":
             import repro.mcu  # noqa: F401  (registers the cost backend)
         from repro.core.export import load_program
-        from repro.core.program import Executor
+        from repro.core.program import Executor, auto_backend
 
         program = load_program(artifact_path)
-        executor = Executor(program, backend=backend, active_bits=active_bits)
+        executor = Executor(
+            program, backend=auto_backend(backend, program), active_bits=active_bits
+        )
         if rings is not None:
             in_name, out_name, slots, slot_bytes = rings
             in_ring = _ShmRing.attach(in_name, slots, slot_bytes)

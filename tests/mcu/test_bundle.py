@@ -1,0 +1,115 @@
+"""Tests for the standalone C source bundle (MCU deployment path).
+
+The bundle reuses the O4 emitter in standalone mode to lower *every* step
+of a planned program — including the float convolutions the host backend
+keeps on NumPy — into self-contained C99.  Structure and counters are
+checked everywhere; on hosts with a C compiler the bundle is additionally
+compiled and run against the plan backend (float tolerance end to end,
+exact argmax — the float conv loop nests sum in a different order than
+BLAS, which is the documented numerics contract of standalone mode).
+"""
+
+import struct
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitSerialInferenceEngine,
+    CompressionPolicy,
+    EngineConfig,
+    Executor,
+    compile_network,
+    compress_model,
+)
+from repro.core.codegen.build import CFLAGS, find_compiler
+from repro.mcu import build_source_bundle, write_source_bundle
+from repro.models import create_model
+from repro.nn import DataLoader
+from repro.nn.data.dataset import ArrayDataset
+
+needs_cc = pytest.mark.skipif(
+    find_compiler() is None, reason="no host C compiler available"
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    model = create_model("resnet14_tiny", num_classes=10, in_channels=3, rng=0)
+    result = compress_model(
+        model, (3, 32, 32), pool_size=16,
+        policy=CompressionPolicy(group_size=8), seed=0,
+    )
+    engine = BitSerialInferenceEngine(
+        result.model, result.pool, EngineConfig(lut_bitwidth=8, calibration_batches=2)
+    )
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(32, 3, 32, 32))
+    targets = rng.integers(0, 10, size=32)
+    engine.calibrate(DataLoader(ArrayDataset(inputs, targets), batch_size=16))
+    return compile_network(
+        engine.model, (3, 32, 32),
+        lut=engine.lut,
+        activation_params=engine.activation_params,
+        level="O2",
+    )
+
+
+def test_bundle_structure_and_counters(program):
+    bundle = build_source_bundle(program)
+    assert set(bundle.files) == {"model.c", "weights.c", "model.h", "main.c"}
+    assert bundle.entry == "repro_net_run"
+    assert bundle.input_elems == 3 * 32 * 32
+    assert bundle.output_elems == 10
+    assert bundle.arena_bytes > 0
+    assert bundle.consts_bytes > 0
+    # Standalone mode lowers the whole schedule into a single segment — no
+    # step is left on the host.
+    assert bundle.counters["segments"] == 1
+    assert bundle.counters["native_steps"] == bundle.counters["steps"]
+    assert "void repro_net_run(const double* input, double* output)" in (
+        bundle.files["model.c"]
+    )
+    assert f"repro_consts[{bundle.consts_bytes}]" in bundle.files["weights.c"]
+    assert f"#define REPRO_INPUT_ELEMS {bundle.input_elems}" in bundle.files["model.h"]
+
+
+def test_bundle_emission_is_deterministic(program):
+    first = build_source_bundle(program)
+    second = build_source_bundle(program)
+    assert first.files == second.files
+
+
+def test_write_source_bundle(program, tmp_path):
+    bundle = write_source_bundle(program, tmp_path / "bundle")
+    for name in bundle.files:
+        assert (tmp_path / "bundle" / name).read_text() == bundle.files[name]
+
+
+@needs_cc
+def test_bundle_compiles_and_matches_plan_backend(program, tmp_path):
+    bundle = write_source_bundle(program, tmp_path)
+    exe = tmp_path / "net"
+    sources = [str(tmp_path / name) for name in ("model.c", "weights.c", "main.c")]
+    flags = [f for f in CFLAGS if f not in ("-fPIC", "-shared")]
+    subprocess.run(
+        [find_compiler(), *flags, "-o", str(exe), *sources, "-lm"],
+        check=True, capture_output=True, text=True,
+    )
+
+    # Oracle: the plan backend at the bundle's own configuration (tile 1).
+    oracle = Executor(program, backend="plan", tile=1, n_shards=1)
+    rng = np.random.default_rng(3)
+    for trial in range(3):
+        sample = np.ascontiguousarray(rng.normal(size=(3, 32, 32)))
+        proc = subprocess.run(
+            [str(exe)], input=sample.tobytes(), capture_output=True, check=True
+        )
+        got = np.frombuffer(proc.stdout, dtype=np.float64)
+        assert got.shape == (bundle.output_elems,)
+        expected = oracle.run(sample[None])[0]
+        # Float conv loop nests reorder the BLAS reductions: tolerance for
+        # the logits, exact agreement on the prediction.
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-12)
+        assert int(got.argmax()) == int(expected.argmax()), f"trial {trial}"
