@@ -23,7 +23,19 @@ system — the deployment story of ``docs/SERVING.md``:
   bounded crash retries with exponential backoff.
 * :class:`FaultPlan` (:mod:`repro.serve.faults`) — deterministic seeded
   fault injection (worker crashes, slowdowns, queue stalls, corrupt
-  artifacts) for chaos testing; a no-op unless explicitly enabled.
+  artifacts, crashes mid-resize) for chaos testing; a no-op unless
+  explicitly enabled.
+* :class:`Autoscaler` / :class:`AutoscalePolicy`
+  (:mod:`repro.serve.autoscaler`) — the control plane: a tick-driven
+  scaler growing/shrinking worker pools with load (hysteresis + cooldown),
+  parking idle pipelines (scale-to-zero with warm program-cache revival),
+  all through an injectable :class:`Clock` (:mod:`repro.serve.clock`).
+* :class:`RolloutController` / :class:`RolloutPolicy`
+  (:mod:`repro.serve.rollout`) — staged canary rollout of new artifact
+  versions with deterministic weighted routing and automatic rollback on
+  error/latency regression; :class:`ConcurrencyBudget`
+  (:mod:`repro.serve.admission`) isolates models from each other under
+  load.
 * :func:`serve_http` (:mod:`repro.serve.http`) — a stdlib JSON-over-HTTP
   front end with an overload-aware status-code contract (429/503/504 +
   ``Retry-After``).
@@ -48,8 +60,15 @@ from repro.serve.admission import (
     BreakerPolicy,
     CircuitBreaker,
     CircuitOpen,
+    ConcurrencyBudget,
     ResilientDispatcher,
     RetryPolicy,
+)
+from repro.serve.autoscaler import (
+    AutoscalePolicy,
+    Autoscaler,
+    ScaleMetrics,
+    ScalerDecision,
 )
 from repro.serve.batcher import (
     BatcherClosed,
@@ -58,9 +77,17 @@ from repro.serve.batcher import (
     DynamicBatcher,
     QueueFull,
 )
-from repro.serve.faults import FaultPlan, FaultSession, FaultSpec, InjectedFault
+from repro.serve.clock import SYSTEM_CLOCK, Clock, Ticker, TimerHandle
+from repro.serve.faults import (
+    FaultPlan,
+    FaultSession,
+    FaultSpec,
+    InjectedFault,
+    ScaleFaultSession,
+)
 from repro.serve.http import HttpFrontEnd, serve_http
 from repro.serve.repository import LoadedModel, ModelNotFound, ModelRepository
+from repro.serve.rollout import RolloutController, RolloutPolicy
 from repro.serve.server import InferenceServer, ServerClosed
 from repro.serve.stats import LatencyWindow, ModelStats, ServerStats
 from repro.serve.workers import (
@@ -78,19 +105,31 @@ __all__ = [
     "BreakerPolicy",
     "CircuitBreaker",
     "CircuitOpen",
+    "ConcurrencyBudget",
     "ResilientDispatcher",
     "RetryPolicy",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ScaleMetrics",
+    "ScalerDecision",
     "BatchPolicy",
     "BatcherClosed",
     "DeadlineExceeded",
     "DynamicBatcher",
     "QueueFull",
+    "Clock",
+    "SYSTEM_CLOCK",
+    "Ticker",
+    "TimerHandle",
     "FaultPlan",
     "FaultSession",
     "FaultSpec",
     "InjectedFault",
+    "ScaleFaultSession",
     "HttpFrontEnd",
     "serve_http",
+    "RolloutController",
+    "RolloutPolicy",
     "LoadedModel",
     "ModelNotFound",
     "ModelRepository",

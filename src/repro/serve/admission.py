@@ -26,6 +26,7 @@ flow into :class:`~repro.serve.stats.ModelStats`.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import threading
 import time
@@ -47,7 +48,8 @@ class AdmissionRejected(RuntimeError):
     ----------
     reason:
         ``"queue_depth"`` / ``"concurrency"`` / ``"priority"`` /
-        ``"circuit_open"`` — the shed counter it increments.
+        ``"circuit_open"`` / ``"model_budget"`` — the shed counter it
+        increments.
     retry_after_s:
         Client backoff hint (the HTTP front end renders it as a
         ``Retry-After`` header).
@@ -198,12 +200,98 @@ class AdmissionController:
         with self._lock:
             self.inflight = max(0, self.inflight - count)
 
+    def set_queue_bound(self, max_queue_depth: Optional[int]) -> None:
+        """Retarget the queue-depth shed bound (autoscaler resizes call this
+        so admission depth tracks the pool's current capacity, and
+        ``/healthz`` judges saturation against the *post-scale* bound)."""
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        with self._lock:
+            self.policy = dataclasses.replace(
+                self.policy, max_queue_depth=max_queue_depth
+            )
+
     def snapshot(self) -> Dict:
         with self._lock:
             return {
                 "inflight": self.inflight,
                 "max_concurrency": self.policy.max_concurrency,
                 "max_queue_depth": self.policy.max_queue_depth,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Per-model concurrency budgets (server-wide)
+# ---------------------------------------------------------------------------
+class ConcurrencyBudget:
+    """Server-wide per-model in-flight budgets: isolation between models.
+
+    One instance sits in front of *every* pipeline of a server, where the
+    per-pipeline :class:`AdmissionController` cannot see cross-model
+    pressure: a hot model that saturates its own pipeline still consumes
+    HTTP handler threads, batcher slots, and CPU that starve its neighbours.
+    Capping each model's admitted-but-unfinished requests bounds that
+    spillover — one hot model sheds (HTTP 429, reason ``"model_budget"``)
+    while the others keep serving.
+
+    ``budgets`` maps model name → cap; ``default`` caps models not listed
+    (``None`` = unlimited).  Budgets are keyed by model *name*, not
+    (name, version): a canary rollout's two live versions share one budget,
+    so shifting traffic cannot double a model's footprint.
+    """
+
+    def __init__(
+        self,
+        budgets: Optional[Mapping[str, int]] = None,
+        default: Optional[int] = None,
+        retry_after_s: float = 0.5,
+    ):
+        self.budgets = dict(budgets or {})
+        for name, cap in self.budgets.items():
+            if cap < 1:
+                raise ValueError(f"budget for {name!r} must be >= 1, got {cap}")
+        if default is not None and default < 1:
+            raise ValueError(f"default budget must be >= 1, got {default}")
+        self.default = default
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, int] = {}
+
+    def limit(self, model: str) -> Optional[int]:
+        return self.budgets.get(model, self.default)
+
+    def acquire(self, model: str, count: int = 1, stats=None) -> None:
+        """Reserve ``count`` slots of ``model``'s budget or raise
+        :class:`AdmissionRejected` (reason ``"model_budget"``, HTTP 429)."""
+        limit = self.limit(model)
+        with self._lock:
+            used = self._inflight.get(model, 0)
+            if limit is not None and used + count > limit:
+                if stats is not None:
+                    stats.record_shed("model_budget")
+                raise AdmissionRejected(
+                    f"model {model!r} concurrency budget exhausted "
+                    f"({used} in flight, budget {limit})",
+                    reason="model_budget",
+                    retry_after_s=self.retry_after_s,
+                    http_status=429,
+                )
+            self._inflight[model] = used + count
+
+    def release(self, model: str, count: int = 1) -> None:
+        with self._lock:
+            left = self._inflight.get(model, 0) - count
+            if left > 0:
+                self._inflight[model] = left
+            else:
+                self._inflight.pop(model, None)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "budgets": dict(self.budgets),
+                "default": self.default,
+                "inflight": dict(self._inflight),
             }
 
 

@@ -1,0 +1,397 @@
+"""Autoscaling control loop: grow, shrink, and park worker pools.
+
+The :class:`Autoscaler` is a tick-driven controller over *scalable targets*
+(the server wraps each live pipeline in one; the simulation harness feeds it
+synthetic queues).  Every ``tick_interval_s`` it samples each target's
+:class:`ScaleMetrics` — pipeline backlog, queue-wait p95, current worker
+count — and applies an :class:`AutoscalePolicy`:
+
+* **scale up** when the per-worker backlog exceeds ``backlog_high_per_worker``
+  or the queue-wait p95 breaches ``queue_wait_slo_ms``, by ``scale_up_step``
+  workers, at most once per ``up_cooldown_ticks`` — bursts grow the pool
+  quickly but never faster than the cooldown;
+* **scale down** only after ``down_hysteresis_ticks`` *consecutive* low-load
+  ticks (backlog under ``backlog_low_per_worker`` per worker and the SLO
+  comfortably met), and at most once per ``down_cooldown_ticks`` — the
+  asymmetry (fast up, deliberate down) is what keeps the scaler from
+  flapping on noisy load;
+* **scale to zero**: a target idle (no new submissions, empty backlog) for
+  ``idle_ticks_to_zero`` consecutive ticks is *parked* — the server retires
+  the pipeline entirely (worker pool, batcher, everything) while the
+  compiled program stays warm in the repository's LRU cache, so the next
+  request revives it with a cache hit and bitwise-identical predictions.
+
+All thresholds are counted in **ticks**, not seconds: the controller itself
+is clock-free and fully deterministic given a metric sequence.  Real time
+enters only through the :class:`~repro.serve.clock.Ticker` that calls
+:meth:`Autoscaler.tick`, which is exactly the seam the deterministic
+simulation tests (``tests/serve/simclock.py``) drive by hand.
+
+Every action (and every *refusal* to act, when load asked for one) is
+recorded as a :class:`ScalerDecision` in a bounded log surfaced through
+``/stats`` — scaling that cannot be audited cannot be trusted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.serve.clock import SYSTEM_CLOCK, Clock, Ticker
+
+
+@dataclass(frozen=True)
+class ScaleMetrics:
+    """One tick's sample of a scalable target.
+
+    ``backlog`` is the pipeline-wide accepted-but-unsettled request count
+    (:meth:`repro.serve.stats.ModelStats.backlog`); ``queue_wait_p95_ms`` is
+    the 95th percentile of time requests spent waiting for dispatch;
+    ``submitted`` is the monotonically-increasing total used for idleness
+    detection; ``workers`` is the pool's current size.
+    """
+
+    backlog: int
+    workers: int
+    submitted: int = 0
+    queue_wait_p95_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """When to grow, shrink, and park a pipeline's worker pool.
+
+    Attributes
+    ----------
+    min_workers / max_workers:
+        Hard bounds on the pool size; the scaler never resizes outside them.
+    tick_interval_s:
+        Control-loop period (real time; everything else counts ticks).
+    backlog_high_per_worker:
+        Scale up once ``backlog > high * workers``.
+    backlog_low_per_worker:
+        A tick is "low" when ``backlog <= low * workers`` (and the SLO is
+        comfortably met); only consecutive low ticks shrink the pool.
+    queue_wait_slo_ms:
+        Optional latency SLO: queue-wait p95 above it scales up even with a
+        small backlog; scale-down additionally requires p95 under half of it.
+    scale_up_step / scale_down_step:
+        Workers added/removed per action.
+    up_cooldown_ticks / down_cooldown_ticks:
+        Minimum ticks between two scale-ups / two scale-downs (a scale-up
+        also resets the down cooldown: never shrink right after growing).
+    down_hysteresis_ticks:
+        Consecutive low ticks required before any scale-down.
+    idle_ticks_to_zero:
+        Park the target (scale-to-zero) after this many consecutive ticks
+        with zero backlog and no new submissions; ``None`` disables parking.
+    scale_queue_bound:
+        Grow/shrink the pipeline's admission queue bound proportionally with
+        the worker count (the server's target adapter applies it), so a
+        scaled-up pool also accepts a proportionally deeper backlog — and
+        readiness is judged against the *current* bound, not the startup one.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    tick_interval_s: float = 0.25
+    backlog_high_per_worker: float = 8.0
+    backlog_low_per_worker: float = 1.0
+    queue_wait_slo_ms: Optional[float] = None
+    scale_up_step: int = 1
+    scale_down_step: int = 1
+    up_cooldown_ticks: int = 2
+    down_cooldown_ticks: int = 4
+    down_hysteresis_ticks: int = 4
+    idle_ticks_to_zero: Optional[int] = None
+    scale_queue_bound: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})"
+            )
+        if self.tick_interval_s <= 0:
+            raise ValueError(f"tick_interval_s must be > 0, got {self.tick_interval_s}")
+        if self.backlog_high_per_worker <= self.backlog_low_per_worker:
+            raise ValueError(
+                "backlog_high_per_worker must exceed backlog_low_per_worker "
+                f"(got high={self.backlog_high_per_worker}, "
+                f"low={self.backlog_low_per_worker}); equal thresholds flap"
+            )
+        if self.scale_up_step < 1 or self.scale_down_step < 1:
+            raise ValueError("scale steps must be >= 1")
+        if self.up_cooldown_ticks < 1 or self.down_cooldown_ticks < 1:
+            raise ValueError("cooldowns must be >= 1 tick")
+        if self.down_hysteresis_ticks < 1:
+            raise ValueError(
+                f"down_hysteresis_ticks must be >= 1, got {self.down_hysteresis_ticks}"
+            )
+        if self.idle_ticks_to_zero is not None and self.idle_ticks_to_zero < 1:
+            raise ValueError(
+                f"idle_ticks_to_zero must be >= 1 (or None), got {self.idle_ticks_to_zero}"
+            )
+
+
+@dataclass(frozen=True)
+class ScalerDecision:
+    """One audited control action (or blocked intent) for one target."""
+
+    tick: int
+    model: str
+    action: str  # "scale_up" / "scale_down" / "park" / "revive" / "blocked_cooldown"
+    from_workers: int
+    to_workers: int
+    reason: str
+    backlog: int = 0
+    queue_wait_p95_ms: float = 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "tick": self.tick,
+            "model": self.model,
+            "action": self.action,
+            "from_workers": self.from_workers,
+            "to_workers": self.to_workers,
+            "reason": self.reason,
+            "backlog": self.backlog,
+            "queue_wait_p95_ms": round(self.queue_wait_p95_ms, 3),
+        }
+
+
+class ScalableTarget:
+    """What the autoscaler needs from a pipeline (duck-typed; this class
+    documents the contract and serves as a base for test fakes).
+
+    ``metrics()`` samples the current :class:`ScaleMetrics`; ``resize(n)``
+    applies a new worker count and returns the count actually in effect;
+    ``park()`` retires the target entirely (scale-to-zero) — after it the
+    scaler drops the target from its watch table.
+    """
+
+    def metrics(self) -> ScaleMetrics:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def resize(self, workers: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def park(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class _TargetState:
+    target: ScalableTarget
+    low_ticks: int = 0
+    idle_ticks: int = 0
+    last_submitted: Optional[int] = None
+    ticks_since_up: int = 10**9  # "long ago": the first tick is never blocked
+    ticks_since_down: int = 10**9
+
+
+class Autoscaler:
+    """Periodic controller applying one :class:`AutoscalePolicy` to many targets.
+
+    ``watch(key, target)`` registers a pipeline; ``unwatch(key)`` removes it
+    (the server calls both as pipelines build and retire).  ``tick()``
+    evaluates every watched target once — it is called by the internal
+    :class:`~repro.serve.clock.Ticker` in production and directly (or via a
+    simulated clock) in tests.  ``on_park(key)`` is the server callback that
+    actually retires a pipeline; the scaler only ever *asks* for a park.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AutoscalePolicy] = None,
+        clock: Clock = SYSTEM_CLOCK,
+        on_park: Optional[Callable[[str], None]] = None,
+        decision_log: int = 256,
+    ):
+        self.policy = policy or AutoscalePolicy()
+        self.clock = clock
+        self.on_park = on_park
+        self._lock = threading.Lock()
+        self._targets: Dict[str, _TargetState] = {}
+        self._decisions: Deque[ScalerDecision] = deque(maxlen=decision_log)
+        self.tick_count = 0
+        self.parks = 0
+        self.revivals = 0
+        self._ticker = Ticker(
+            self.policy.tick_interval_s, self.tick, clock=clock, name="autoscaler"
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        self._ticker.start()
+        return self
+
+    def close(self) -> None:
+        self._ticker.stop()
+
+    # -- watch table -------------------------------------------------------------
+    def watch(self, key: str, target: ScalableTarget, revived: bool = False) -> None:
+        with self._lock:
+            self._targets[key] = _TargetState(target)
+            if revived:
+                self.revivals += 1
+                workers = self.policy.min_workers
+                self._decisions.append(
+                    ScalerDecision(
+                        self.tick_count, key, "revive", 0, workers,
+                        "request arrived for a parked model",
+                    )
+                )
+
+    def unwatch(self, key: str) -> None:
+        with self._lock:
+            self._targets.pop(key, None)
+
+    def watched(self) -> List[str]:
+        with self._lock:
+            return sorted(self._targets)
+
+    # -- the control loop --------------------------------------------------------
+    def tick(self) -> List[ScalerDecision]:
+        """Evaluate every watched target once; returns this tick's decisions."""
+        with self._lock:
+            self.tick_count += 1
+            tick = self.tick_count
+            items = list(self._targets.items())
+        decisions: List[ScalerDecision] = []
+        parked: List[str] = []
+        for key, state in items:
+            decision = self._evaluate(tick, key, state)
+            if decision is not None:
+                decisions.append(decision)
+                if decision.action == "park":
+                    parked.append(key)
+        if decisions:
+            with self._lock:
+                self._decisions.extend(decisions)
+                self.parks += len(parked)
+                for key in parked:
+                    self._targets.pop(key, None)
+        # The park callback tears down a pipeline (drains its batcher) —
+        # run it outside the scaler lock.
+        if self.on_park is not None:
+            for key in parked:
+                self.on_park(key)
+        return decisions
+
+    def _evaluate(
+        self, tick: int, key: str, state: _TargetState
+    ) -> Optional[ScalerDecision]:
+        policy = self.policy
+        try:
+            metrics = state.target.metrics()
+        except Exception:
+            return None  # target mid-teardown; it will be unwatched shortly
+        state.ticks_since_up += 1
+        state.ticks_since_down += 1
+        workers = max(1, metrics.workers)
+        backlog = metrics.backlog
+        p95 = metrics.queue_wait_p95_ms
+
+        # -- idleness (scale to zero) -------------------------------------------
+        idle_now = (
+            backlog == 0
+            and state.last_submitted is not None
+            and metrics.submitted == state.last_submitted
+        )
+        state.idle_ticks = state.idle_ticks + 1 if idle_now else 0
+        state.last_submitted = metrics.submitted
+        if (
+            policy.idle_ticks_to_zero is not None
+            and state.idle_ticks >= policy.idle_ticks_to_zero
+        ):
+            return ScalerDecision(
+                tick, key, "park", metrics.workers, 0,
+                f"idle for {state.idle_ticks} ticks",
+                backlog=backlog, queue_wait_p95_ms=p95,
+            )
+
+        # -- scale up -------------------------------------------------------------
+        slo_breached = (
+            policy.queue_wait_slo_ms is not None and p95 > policy.queue_wait_slo_ms
+        )
+        wants_up = backlog > policy.backlog_high_per_worker * workers or slo_breached
+        if wants_up:
+            state.low_ticks = 0
+            reason = (
+                f"queue-wait p95 {p95:.1f}ms over SLO {policy.queue_wait_slo_ms}ms"
+                if slo_breached
+                else f"backlog {backlog} over {policy.backlog_high_per_worker}/worker"
+            )
+            if metrics.workers >= policy.max_workers:
+                return None  # pinned at the ceiling; nothing to audit every tick
+            if state.ticks_since_up < policy.up_cooldown_ticks:
+                return ScalerDecision(
+                    tick, key, "blocked_cooldown", metrics.workers, metrics.workers,
+                    f"{reason} (cooldown: {state.ticks_since_up}/"
+                    f"{policy.up_cooldown_ticks} ticks since last scale-up)",
+                    backlog=backlog, queue_wait_p95_ms=p95,
+                )
+            goal = min(policy.max_workers, metrics.workers + policy.scale_up_step)
+            actual = state.target.resize(goal)
+            state.ticks_since_up = 0
+            state.ticks_since_down = 0  # growing resets the shrink clock too
+            state.low_ticks = 0
+            return ScalerDecision(
+                tick, key, "scale_up", metrics.workers, actual, reason,
+                backlog=backlog, queue_wait_p95_ms=p95,
+            )
+
+        # -- scale down -----------------------------------------------------------
+        slo_comfortable = (
+            policy.queue_wait_slo_ms is None or p95 <= 0.5 * policy.queue_wait_slo_ms
+        )
+        is_low = backlog <= policy.backlog_low_per_worker * workers and slo_comfortable
+        state.low_ticks = state.low_ticks + 1 if is_low else 0
+        if (
+            is_low
+            and metrics.workers > policy.min_workers
+            and state.low_ticks >= policy.down_hysteresis_ticks
+            and state.ticks_since_down >= policy.down_cooldown_ticks
+        ):
+            goal = max(policy.min_workers, metrics.workers - policy.scale_down_step)
+            actual = state.target.resize(goal)
+            state.ticks_since_down = 0
+            state.low_ticks = 0
+            return ScalerDecision(
+                tick, key, "scale_down", metrics.workers, actual,
+                f"low load for {policy.down_hysteresis_ticks} ticks "
+                f"(backlog {backlog} <= {policy.backlog_low_per_worker}/worker)",
+                backlog=backlog, queue_wait_p95_ms=p95,
+            )
+        return None
+
+    # -- reporting ---------------------------------------------------------------
+    def decisions(self, limit: Optional[int] = None) -> List[ScalerDecision]:
+        with self._lock:
+            log = list(self._decisions)
+        return log[-limit:] if limit else log
+
+    def snapshot(self) -> Dict:
+        """JSON-able controller state for ``/stats``."""
+        with self._lock:
+            return {
+                "policy": {
+                    "min_workers": self.policy.min_workers,
+                    "max_workers": self.policy.max_workers,
+                    "tick_interval_s": self.policy.tick_interval_s,
+                    "backlog_high_per_worker": self.policy.backlog_high_per_worker,
+                    "backlog_low_per_worker": self.policy.backlog_low_per_worker,
+                    "queue_wait_slo_ms": self.policy.queue_wait_slo_ms,
+                    "idle_ticks_to_zero": self.policy.idle_ticks_to_zero,
+                },
+                "ticks": self.tick_count,
+                "watched": sorted(self._targets),
+                "parks": self.parks,
+                "revivals": self.revivals,
+                "decisions": [d.as_dict() for d in list(self._decisions)[-32:]],
+            }

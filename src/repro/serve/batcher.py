@@ -253,6 +253,10 @@ class DynamicBatcher:
                 return
         if self.stats is not None:
             self.stats.record_batch(len(pending))
+            # Queue wait = arrival → dispatch: the early saturation signal
+            # the autoscaler scales on (end-to-end latency lags behind it).
+            for p in pending:
+                self.stats.record_queue_wait(now - p.arrival)
         try:
             # stack() is inside the guard: mismatched sample shapes must fail
             # the batch's requests, not kill the collector thread.

@@ -1,0 +1,123 @@
+"""Injectable time for the serving control plane.
+
+Every control-plane component (autoscaler, rollout controller, circuit
+breaker, retry timers) reads time and schedules callbacks through a
+:class:`Clock` instead of touching :mod:`time`/:mod:`threading` directly.
+Production uses :data:`SYSTEM_CLOCK` (monotonic time + daemon
+``threading.Timer``); the deterministic test harness substitutes a virtual
+clock (``tests/serve/simclock.py``) whose ``advance()`` runs due callbacks
+on the calling thread — the same control-plane code, zero wall-clock sleeps,
+identical decisions on every run.
+
+The contract is deliberately tiny:
+
+``now()``
+    Monotonic seconds.  Only differences are meaningful.
+``timer(delay_s, fn)``
+    Schedule ``fn()`` after ``delay_s``; returns a :class:`TimerHandle`
+    whose ``cancel()`` is idempotent and safe after firing.
+``sleep(seconds)``
+    Block the calling thread.  Control-plane code never calls it (tickers
+    are timer-driven); it exists so *test* clocks can forbid it outright.
+
+:class:`Ticker` builds the one recurring shape on top: a fixed-interval
+callback that re-arms itself after each run and never overlaps executions
+(the next timer is armed only when the previous callback returns).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class TimerHandle:
+    """Cancellation handle for a scheduled callback."""
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+
+    def cancel(self) -> None:
+        self._cancel()
+
+
+class Clock:
+    """Wall-clock implementation of the clock contract (the default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def timer(self, delay_s: float, fn: Callable[[], None]) -> TimerHandle:
+        if delay_s <= 0:
+            fn()
+            return TimerHandle(lambda: None)
+        timer = threading.Timer(delay_s, fn)
+        timer.daemon = True
+        timer.start()
+        return TimerHandle(timer.cancel)
+
+
+SYSTEM_CLOCK = Clock()
+
+
+class Ticker:
+    """A fixed-interval callback driven entirely through a :class:`Clock`.
+
+    ``fn`` runs once per ``interval_s``; the next firing is armed only after
+    ``fn`` returns, so a slow tick delays (never overlaps) the next one.  An
+    exception in ``fn`` is swallowed after re-arming — a control loop must
+    keep ticking through a bad sample, not die on it.  ``stop()`` cancels
+    the pending timer and prevents any further re-arm; it is safe to call
+    from inside ``fn``.
+    """
+
+    def __init__(
+        self,
+        interval_s: float,
+        fn: Callable[[], None],
+        clock: Clock = SYSTEM_CLOCK,
+        name: str = "ticker",
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        self.fn = fn
+        self.clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._handle: Optional[TimerHandle] = None
+        self._stopped = False
+        self.ticks = 0
+
+    def start(self) -> "Ticker":
+        with self._lock:
+            if self._stopped or self._handle is not None:
+                return self
+            self._handle = self.clock.timer(self.interval_s, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._handle = None
+            self.ticks += 1
+        try:
+            self.fn()
+        except Exception:
+            pass  # the loop outlives one bad tick; state shows up in snapshots
+        finally:
+            with self._lock:
+                if not self._stopped and self._handle is None:
+                    self._handle = self.clock.timer(self.interval_s, self._fire)
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.cancel()

@@ -29,6 +29,16 @@ Supported fault kinds (:data:`FAULT_KINDS`):
     thread workers receive an already-deserialized program).  Drives the
     start-failure accounting and the respawn cap.
 
+A ``crash`` spec may additionally set ``during_scale=True``: instead of
+firing on a batch ordinal inside a worker, it fires when the pool's
+``resize()`` runs — the parent evaluates it through a
+:class:`ScaleFaultSession` and kills a live worker mid-scale (process
+pools terminate the target's OS process; thread pools fail the next
+batch), which is exactly the window where respawn bookkeeping and slot
+accounting are easiest to get wrong.  ``nth_batch`` then counts *resizes*
+(the Nth ``resize()`` call on the pool) and ``worker`` selects the victim
+slot (``None`` = the lowest live slot).
+
 Every knob is deterministic: ``worker`` selects a pool slot, ``spawn``
 selects an incarnation of that slot (``0`` — the default — targets only the
 first process spawned into the slot, so a respawned replacement is healthy
@@ -75,6 +85,11 @@ class FaultSpec:
     probability:
         Chance a candidate trigger actually fires, drawn from the
         session's seeded RNG (1.0 = always; still deterministic).
+    during_scale:
+        Fire at pool ``resize()`` time instead of on a worker's batch
+        (``crash`` only).  ``worker`` then selects the victim slot,
+        ``nth_batch`` the resize ordinal, and ``spawn`` is ignored — the
+        parent evaluates the spec, not a worker incarnation.
     """
 
     kind: str
@@ -84,11 +99,16 @@ class FaultSpec:
     times: Optional[int] = 1
     delay_ms: float = 0.0
     probability: float = 1.0
+    during_scale: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.during_scale and self.kind != "crash":
+            raise ValueError(
+                f"during_scale only supports kind='crash', got {self.kind!r}"
             )
         if self.delay_ms < 0:
             raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
@@ -150,6 +170,19 @@ class FaultPlan:
         )
 
     @staticmethod
+    def crash_during_scale(worker: Optional[int] = None, *,
+                           nth_resize: Optional[int] = None,
+                           times: Optional[int] = 1,
+                           seed: int = 0) -> "FaultPlan":
+        """Kill a live worker while the pool is resizing (the ``nth_resize``-th
+        ``resize()`` call, or every one)."""
+        return FaultPlan(
+            (FaultSpec("crash", worker=worker, spawn=None,
+                       nth_batch=nth_resize, times=times, during_scale=True),),
+            seed=seed,
+        )
+
+    @staticmethod
     def queue_stall(delay_ms: float, worker: Optional[int] = None, *,
                     spawn: Optional[int] = 0, times: Optional[int] = 1,
                     seed: int = 0) -> "FaultPlan":
@@ -206,7 +239,11 @@ class FaultSession:
         fired = [
             spec
             for index, spec in enumerate(self.plan.specs)
-            if spec.kind in kinds and self._matches(index, spec, batch=batch)
+            # during_scale specs belong to the parent's ScaleFaultSession,
+            # never to a worker's batch/load hooks.
+            if spec.kind in kinds
+            and not spec.during_scale
+            and self._matches(index, spec, batch=batch)
         ]
         # Sleeps before the crash: a slow death is still observably slow.
         order = {"stall": 0, "slow": 1, "crash": 2}
@@ -222,6 +259,43 @@ class FaultSession:
         """The ``corrupt_artifact`` spec to apply at load time, if any."""
         fired = self._fire(("corrupt_artifact",), batch=None)
         return fired[0] if fired else None
+
+
+class ScaleFaultSession:
+    """Parent-side evaluation of ``during_scale`` specs — one per pool.
+
+    Worker pools call :meth:`on_resize` once per ``resize()``; the returned
+    specs name the victims to kill mid-scale.  Evaluation state (a resize
+    counter, per-spec budgets, a seeded RNG stream distinct from every
+    worker's) lives here in the parent, because the crash targets a worker
+    *from outside* — terminating its process, or failing its next batch —
+    exactly as an external killer would.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.resizes = 0
+        self._budgets: List[Optional[int]] = [spec.times for spec in plan.specs]
+        self._rng = random.Random(f"{plan.seed}:scale")
+
+    def on_resize(self) -> List[FaultSpec]:
+        """Advance the resize counter; crash specs to apply to this resize."""
+        self.resizes += 1
+        fired: List[FaultSpec] = []
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.during_scale:
+                continue
+            if spec.nth_batch is not None and spec.nth_batch != self.resizes:
+                continue
+            budget = self._budgets[index]
+            if budget is not None and budget <= 0:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            if budget is not None:
+                self._budgets[index] = budget - 1
+            fired.append(spec)
+        return fired
 
 
 class InjectedFault(RuntimeError):

@@ -22,10 +22,11 @@ Batch rows are submitted to the dynamic batcher individually, so concurrent
 HTTP clients coalesce into shared executor batches exactly like programmatic
 ones.
 
-Overload and failure status codes: 429 = priority-class load shed (slow
-down), 503 = hard saturation / open circuit breaker / worker crash /
-shutdown (retriable; carries ``Retry-After``), 504 = deadline exceeded.
-See ``docs/SERVING.md`` for the full contract and a curl-able quickstart.
+Overload and failure status codes: 429 = priority-class load shed or a
+per-model concurrency budget exceeded (slow down), 503 = hard saturation /
+open circuit breaker / worker crash / shutdown (retriable; carries
+``Retry-After``), 504 = deadline exceeded.  See ``docs/SERVING.md`` for the
+full contract and a curl-able quickstart.
 """
 
 from __future__ import annotations
@@ -115,8 +116,14 @@ class _Handler(BaseHTTPRequestHandler):
                     health, status=503, retry_after_s=DEFAULT_RETRY_AFTER_S
                 )
             if parts == ["stats"]:
-                # Server-wide stats: every live pipeline's snapshot.
-                return self._send_json(self.inference.snapshot())
+                # Server-wide stats: every live pipeline's snapshot, plus
+                # the control plane (autoscaler decisions, rollout stages,
+                # budgets) under the reserved "control_plane" key.
+                snapshot = self.inference.snapshot()
+                control = self.inference.control_plane()
+                if control:
+                    snapshot["control_plane"] = control
+                return self._send_json(snapshot)
             if parts == ["v1", "models"]:
                 return self._send_json({"models": self.inference.models()})
             if len(parts) == 3 and parts[:2] == ["v1", "models"]:

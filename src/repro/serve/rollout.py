@@ -1,0 +1,294 @@
+"""Canary / A-B rollout of artifact versions with automatic rollback.
+
+A rollout shifts traffic for one model from a *stable* version to a
+*canary* version through staged weights (5% → 25% → 50% → 100% by
+default), advancing a stage only after the canary has served enough
+requests at the current weight **and** its observed error rate and latency
+stay within the guardrails relative to the stable arm.  A canary that
+regresses is rolled back automatically — a terminal trip, exactly like the
+circuit breaker in :mod:`repro.serve.admission`: once a version rolled
+back, the controller never routes to it again (publish a new version to
+try again).
+
+Routing is a **deterministic credit accumulator**, not a random draw: each
+``route()`` call adds the current canary weight to a credit counter and
+routes to the canary whenever the counter reaches 1 (subtracting 1).  Over
+any window of N requests the canary receives ``round(N * weight)`` ± 1
+requests, on every run, with no RNG to seed — which is what lets the
+simulation suite assert exact routing counts.
+
+The controller is pure bookkeeping: the server calls ``route()`` to pick a
+version for each request, ``record(version, error=..., latency_ms=...)``
+as each settles, and ``evaluate()`` from its control-loop tick (or the
+tests call it directly).  No threads, no clocks — stage dwell is counted
+in requests served, so the whole lifecycle is deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Guardrails and schedule for one canary rollout.
+
+    Attributes
+    ----------
+    stages:
+        Increasing canary traffic weights; the final stage should be 1.0
+        (completing it promotes the canary).
+    min_requests_per_stage:
+        Canary requests that must settle at a stage before it can advance —
+        a stage is judged on evidence, not elapsed time.
+    max_error_rate:
+        Absolute ceiling on the canary's error rate; crossing it (after
+        ``min_failures`` errors) rolls back regardless of the stable arm.
+    error_rate_margin:
+        Relative guardrail: roll back when the canary's error rate exceeds
+        ``stable_rate + margin`` (a canary may not be *meaningfully* worse
+        even if both are erroring).
+    latency_factor:
+        Roll back when canary mean latency exceeds ``factor ×`` stable mean
+        latency (only once both arms have latency samples).
+    min_failures:
+        Minimum canary errors before any error-based rollback — one unlucky
+        request must not kill a rollout.
+    """
+
+    stages: Tuple[float, ...] = (0.05, 0.25, 0.5, 1.0)
+    min_requests_per_stage: int = 20
+    max_error_rate: float = 0.1
+    error_rate_margin: float = 0.05
+    latency_factor: float = 2.0
+    min_failures: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("stages must be non-empty")
+        if any(not (0.0 < w <= 1.0) for w in self.stages):
+            raise ValueError(f"stage weights must be in (0, 1], got {self.stages}")
+        if list(self.stages) != sorted(self.stages):
+            raise ValueError(f"stage weights must be increasing, got {self.stages}")
+        if self.min_requests_per_stage < 1:
+            raise ValueError("min_requests_per_stage must be >= 1")
+        if not (0.0 < self.max_error_rate <= 1.0):
+            raise ValueError(f"max_error_rate must be in (0, 1], got {self.max_error_rate}")
+        if self.min_failures < 1:
+            raise ValueError("min_failures must be >= 1")
+
+
+@dataclass
+class _ArmStats:
+    """Per-version request accounting for one rollout (monotonic counters)."""
+
+    requests: int = 0
+    errors: int = 0
+    latency_total_ms: float = 0.0
+    latency_samples: int = 0
+
+    def record(self, error: bool, latency_ms: Optional[float]) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if latency_ms is not None:
+            self.latency_total_ms += latency_ms
+            self.latency_samples += 1
+
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    def mean_latency_ms(self) -> Optional[float]:
+        if not self.latency_samples:
+            return None
+        return self.latency_total_ms / self.latency_samples
+
+    def as_dict(self) -> Dict:
+        mean = self.mean_latency_ms()
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate(), 4),
+            "mean_latency_ms": round(mean, 3) if mean is not None else None,
+        }
+
+
+class RolloutController:
+    """Weighted stable/canary version router with staged promotion.
+
+    One controller manages one model's rollout from ``stable`` to
+    ``canary`` (both are version ints resolvable through the repository).
+    States: ``"canary"`` (staged traffic shifting) → ``"promoted"`` or
+    ``"rolled_back"`` (both terminal).  ``route()`` keeps answering in the
+    terminal states — all-stable after a rollback, all-canary after
+    promotion — so the server can leave the controller installed until it
+    refreshes its pin.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        stable: int,
+        canary: int,
+        policy: Optional[RolloutPolicy] = None,
+    ):
+        if stable == canary:
+            raise ValueError(
+                f"canary version must differ from stable (both {stable})"
+            )
+        self.model = model
+        self.stable = stable
+        self.canary = canary
+        self.policy = policy or RolloutPolicy()
+        self._lock = threading.Lock()
+        self.state = "canary"
+        self.stage_index = 0
+        self.reason: Optional[str] = None
+        self._credit = 0.0
+        # Canary requests settled at the *current* stage (stage dwell).
+        self._stage_canary_settled = 0
+        self._arms: Dict[int, _ArmStats] = {
+            stable: _ArmStats(),
+            canary: _ArmStats(),
+        }
+        self._history: List[Dict] = [
+            {"event": "start", "stage": 0, "weight": self.weight()}
+        ]
+
+    # -- routing -----------------------------------------------------------------
+    def weight(self) -> float:
+        """Current canary traffic weight (0 after rollback, 1 after promote)."""
+        if self.state == "rolled_back":
+            return 0.0
+        if self.state == "promoted":
+            return 1.0
+        return self.policy.stages[self.stage_index]
+
+    def route(self) -> int:
+        """Pick the version for one request (deterministic credit router)."""
+        with self._lock:
+            if self.state == "rolled_back":
+                return self.stable
+            if self.state == "promoted":
+                return self.canary
+            self._credit += self.policy.stages[self.stage_index]
+            if self._credit >= 1.0 - 1e-9:
+                self._credit -= 1.0
+                return self.canary
+            return self.stable
+
+    # -- accounting --------------------------------------------------------------
+    def record(
+        self,
+        version: int,
+        error: bool = False,
+        latency_ms: Optional[float] = None,
+    ) -> None:
+        """Account one settled request routed by this controller."""
+        with self._lock:
+            arm = self._arms.get(version)
+            if arm is None:
+                return  # a pinned request outside the rollout; not our arm
+            arm.record(error, latency_ms)
+            if version == self.canary and self.state == "canary":
+                self._stage_canary_settled += 1
+
+    # -- the gate ----------------------------------------------------------------
+    def evaluate(self) -> str:
+        """Advance, promote, or roll back based on the evidence so far.
+
+        Returns the (possibly new) state.  Idempotent between records; the
+        server calls it after each settled canary request and from its
+        control tick.
+        """
+        with self._lock:
+            if self.state != "canary":
+                return self.state
+            policy = self.policy
+            canary = self._arms[self.canary]
+            stable = self._arms[self.stable]
+
+            # Rollback checks run on every settle — a regression must trip
+            # immediately, not at the next stage boundary.
+            if canary.errors >= policy.min_failures:
+                rate = canary.error_rate()
+                if rate > policy.max_error_rate:
+                    return self._roll_back(
+                        f"canary error rate {rate:.1%} over ceiling "
+                        f"{policy.max_error_rate:.1%}"
+                    )
+                if rate > stable.error_rate() + policy.error_rate_margin:
+                    return self._roll_back(
+                        f"canary error rate {rate:.1%} exceeds stable "
+                        f"{stable.error_rate():.1%} by more than "
+                        f"{policy.error_rate_margin:.1%}"
+                    )
+            canary_lat = canary.mean_latency_ms()
+            stable_lat = stable.mean_latency_ms()
+            if (
+                canary_lat is not None
+                and stable_lat is not None
+                and stable_lat > 0
+                and canary.latency_samples >= policy.min_requests_per_stage
+                and canary_lat > policy.latency_factor * stable_lat
+            ):
+                return self._roll_back(
+                    f"canary mean latency {canary_lat:.1f}ms over "
+                    f"{policy.latency_factor}x stable {stable_lat:.1f}ms"
+                )
+
+            # Advance only on sufficient evidence at this stage.
+            if self._stage_canary_settled < policy.min_requests_per_stage:
+                return self.state
+            if self.stage_index + 1 < len(policy.stages):
+                self.stage_index += 1
+                self._stage_canary_settled = 0
+                self._history.append(
+                    {
+                        "event": "advance",
+                        "stage": self.stage_index,
+                        "weight": policy.stages[self.stage_index],
+                    }
+                )
+                return self.state
+            self.state = "promoted"
+            self.reason = (
+                f"canary healthy through all {len(policy.stages)} stages"
+            )
+            self._history.append({"event": "promoted", "reason": self.reason})
+            return self.state
+
+    def _roll_back(self, reason: str) -> str:
+        self.state = "rolled_back"
+        self.reason = reason
+        self._history.append({"event": "rolled_back", "reason": reason})
+        return self.state
+
+    def abort(self, reason: str = "aborted by operator") -> str:
+        """Manual rollback (idempotent; no-op after promotion)."""
+        with self._lock:
+            if self.state != "canary":
+                return self.state
+            return self._roll_back(reason)
+
+    # -- reporting ---------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """JSON-able rollout state for ``/stats`` and ``/healthz``."""
+        with self._lock:
+            return {
+                "model": self.model,
+                "stable": self.stable,
+                "canary": self.canary,
+                "state": self.state,
+                "stage": self.stage_index,
+                "weight": self.weight(),
+                "reason": self.reason,
+                "stages": list(self.policy.stages),
+                "arms": {
+                    str(version): arm.as_dict()
+                    for version, arm in sorted(self._arms.items())
+                },
+                "history": list(self._history),
+            }

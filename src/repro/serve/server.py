@@ -20,12 +20,13 @@ The programmatic API is thread-safe; the stdlib HTTP front end
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,19 +34,24 @@ from repro.core.program import Executor, NetworkProgram, auto_backend
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
+    AdmissionRejected,
     BreakerPolicy,
     CircuitBreaker,
+    ConcurrencyBudget,
     ResilientDispatcher,
     RetryPolicy,
 )
+from repro.serve.autoscaler import Autoscaler, AutoscalePolicy, ScaleMetrics
 from repro.serve.batcher import (
     BatcherClosed,
     BatchPolicy,
     DeadlineExceeded,
     DynamicBatcher,
 )
+from repro.serve.clock import SYSTEM_CLOCK, Clock
 from repro.serve.faults import FaultPlan
 from repro.serve.repository import ModelRepository
+from repro.serve.rollout import RolloutController, RolloutPolicy
 from repro.serve.stats import ModelStats, ServerStats
 from repro.serve.workers import ProcessWorkerPool, ThreadWorkerPool
 
@@ -83,6 +89,7 @@ class _Pipeline:
         program: Optional[NetworkProgram],
         pipeline_report: Optional[Dict] = None,
     ):
+        self.server = server
         self.name = name
         self.version = version
         self.path = path
@@ -181,6 +188,35 @@ class _Pipeline:
         self.stats.queue_capacity = (
             self.admission.policy.max_queue_depth or server.policy.max_queue
         )
+        self.stats.workers_fn = lambda: int(self.pool.num_workers)
+        # Baseline for proportional queue-bound scaling: the startup bound
+        # was calibrated for this many workers.
+        self._base_capacity = self.stats.queue_capacity
+        self._base_workers = max(1, server.workers)
+
+    # -- autoscaler target adapter ----------------------------------------------
+    def metrics(self) -> ScaleMetrics:
+        """One control-loop sample (the autoscaler's view of this pipeline)."""
+        return ScaleMetrics(
+            backlog=self.stats.backlog(),
+            workers=int(self.pool.num_workers),
+            submitted=self.stats.submitted,
+            queue_wait_p95_ms=self.stats.queue_wait_p95_ms(),
+        )
+
+    def resize(self, workers: int) -> int:
+        """Resize the worker pool; the admission queue bound (and the
+        capacity ``/healthz`` judges saturation against) scales with it."""
+        actual = int(self.pool.resize(workers))
+        policy = self.server.autoscale_policy
+        if policy is not None and policy.scale_queue_bound and self._base_capacity:
+            bound = max(
+                1, math.ceil(self._base_capacity * actual / self._base_workers)
+            )
+            if self.admission.policy.max_queue_depth is not None:
+                self.admission.set_queue_bound(bound)
+            self.stats.queue_capacity = bound
+        return actual
 
     def plan_info(self) -> Optional[Dict]:
         """Planner/runtime counters of this pipeline's executor(s), if any.
@@ -251,6 +287,22 @@ class InferenceServer:
         Optional :class:`~repro.serve.faults.FaultPlan` injected into every
         worker pool — deterministic chaos for tests; ``None`` (the
         default) injects nothing.
+    autoscale:
+        Optional :class:`~repro.serve.autoscaler.AutoscalePolicy`.  When
+        set, every pipeline is watched by an :class:`Autoscaler` that
+        grows/shrinks its worker pool with load (``workers`` is the
+        *initial* size) and parks idle pipelines entirely (scale-to-zero:
+        the compiled program stays warm in the repository cache, so the
+        next request revives it with identical predictions).
+    budget:
+        Optional per-model concurrency budgets: a
+        :class:`~repro.serve.admission.ConcurrencyBudget`, or a mapping of
+        model name → cap (converted to one).  Enforced at admission across
+        all pipelines, so one hot model cannot starve the rest.
+    clock:
+        Injectable :class:`~repro.serve.clock.Clock` driving the
+        autoscaler's ticker (wall-clock by default; the deterministic test
+        harness substitutes a virtual clock).
     """
 
     def __init__(
@@ -266,6 +318,9 @@ class InferenceServer:
         breaker=_DEFAULT,
         default_deadline_ms: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
+        budget: Optional[Union[ConcurrencyBudget, Mapping[str, int]]] = None,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         if worker_mode not in ("thread", "process"):
             raise ValueError(f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
@@ -287,9 +342,23 @@ class InferenceServer:
         self.default_deadline_ms = default_deadline_ms
         self.fault_plan = fault_plan
         self.server_stats = ServerStats()
+        self.clock = clock
+        self.autoscale_policy = autoscale
+        if budget is not None and not isinstance(budget, ConcurrencyBudget):
+            budget = ConcurrencyBudget(budget)
+        self.budget: Optional[ConcurrencyBudget] = budget
         self._lock = threading.Lock()
         self._pipelines: Dict[Tuple[str, int], _Pipeline] = {}
+        self._rollouts: Dict[str, RolloutController] = {}
+        # Keys ("name/version") the autoscaler parked (scale-to-zero); a
+        # rebuild of such a key counts as a warm revival.
+        self._parked: set = set()
         self._closed = False
+        self.autoscaler: Optional[Autoscaler] = None
+        if autoscale is not None:
+            self.autoscaler = Autoscaler(
+                autoscale, clock=clock, on_park=self._park
+            ).start()
 
     # -- pipelines ---------------------------------------------------------------
     def _pipeline(self, name: str, version: Optional[int] = None) -> _Pipeline:
@@ -340,6 +409,9 @@ class InferenceServer:
             )
         retired: List[_Pipeline] = []
         loser: Optional[_Pipeline] = None
+        installed = False
+        revived = False
+        key_str = f"{name}/{version}"
         with self._lock:
             if self._closed:
                 loser = candidate
@@ -349,6 +421,9 @@ class InferenceServer:
                 if pipeline is None:
                     pipeline = candidate
                     self._pipelines[key] = pipeline
+                    installed = True
+                    revived = key_str in self._parked
+                    self._parked.discard(key_str)
                 else:
                     loser = candidate
                 if pinned:
@@ -359,11 +434,15 @@ class InferenceServer:
                         retired.append(self._pipelines.pop(k))
         if loser is not None:
             loser.close()
+        if installed and self.autoscaler is not None:
+            self.autoscaler.watch(key_str, pipeline, revived=revived)
         # Retire superseded versions on a background thread: close() drains
         # the old queue (accepted requests still resolve), which can take as
         # long as the backlog — the request that happened to trigger the
         # hot-swap must not stall for it.
         for old in retired:
+            if self.autoscaler is not None:
+                self.autoscaler.unwatch(f"{old.name}/{old.version}")
             threading.Thread(
                 target=old.close, name=f"retire-{old.name}-v{old.version}", daemon=True
             ).start()
@@ -375,6 +454,117 @@ class InferenceServer:
         """(name, version) pairs with a live pipeline."""
         with self._lock:
             return sorted(self._pipelines)
+
+    def _park(self, key: str) -> None:
+        """Autoscaler scale-to-zero callback: retire the idle pipeline.
+
+        The pipeline (pool, batcher, breaker) is torn down completely; the
+        compiled program stays warm in the repository's LRU cache, so the
+        next request rebuilds the pipeline from a cache hit — the *same*
+        program object, hence bitwise-identical predictions after revival.
+        """
+        name, _, version_s = key.rpartition("/")
+        try:
+            version = int(version_s)
+        except ValueError:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            pipeline = self._pipelines.pop((name, version), None)
+            if pipeline is not None:
+                self._parked.add(key)
+        if pipeline is not None:
+            # Idle by definition (that is why it parked), so the drain is
+            # instant; drain=True still covers a last-instant straggler.
+            pipeline.close(drain=True)
+
+    # -- canary rollout ----------------------------------------------------------
+    def start_rollout(
+        self,
+        name: str,
+        canary: Optional[int] = None,
+        stable: Optional[int] = None,
+        policy: Optional[RolloutPolicy] = None,
+    ) -> RolloutController:
+        """Begin a staged canary rollout for ``name``.
+
+        ``canary`` defaults to the latest published version, ``stable`` to
+        the highest version below it.  Both pipelines are built (and pinned
+        against hot-swap retirement) up front, then unversioned requests are
+        routed through the controller's weighted router until it promotes
+        or rolls back.  One rollout per model at a time.
+        """
+        with self._lock:
+            existing = self._rollouts.get(name)
+        if existing is not None and existing.state == "canary":
+            raise ValueError(
+                f"a rollout for {name!r} is already in progress "
+                f"(stage {existing.stage_index}); abort or finish it first"
+            )
+        name, canary_version, _ = self.repository.resolve(name, canary)
+        if stable is None:
+            versions = self.repository.versions(name)
+            below = [v for v in versions if v < canary_version]
+            if not below:
+                raise ValueError(
+                    f"no stable version below canary v{canary_version} for {name!r}"
+                )
+            stable = below[-1]
+        else:
+            self.repository.resolve(name, stable)  # existence check
+        controller = RolloutController(
+            name, stable=stable, canary=canary_version, policy=policy
+        )
+        # Pin both arms before any routed traffic: a canary build must
+        # never hot-swap-retire the stable pipeline mid-rollout.
+        self._pipeline(name, stable)
+        self._pipeline(name, canary_version)
+        with self._lock:
+            self._rollouts[name] = controller
+        return controller
+
+    def rollout_status(self, name: str) -> Optional[Dict]:
+        """The model's rollout snapshot, or ``None`` when none is installed."""
+        with self._lock:
+            controller = self._rollouts.get(name)
+        return controller.snapshot() if controller is not None else None
+
+    def abort_rollout(self, name: str, reason: str = "aborted by operator") -> None:
+        """Manually roll the model's canary back (no-op after promotion)."""
+        with self._lock:
+            controller = self._rollouts.get(name)
+        if controller is not None:
+            controller.abort(reason)
+
+    def end_rollout(self, name: str) -> None:
+        """Remove the model's rollout controller and return to normal
+        latest-version resolution.  After a rollback, supersede or delete
+        the bad version first — otherwise "latest" routes to it again."""
+        with self._lock:
+            self._rollouts.pop(name, None)
+
+    def _route_version(
+        self, name: str, version: Optional[int]
+    ) -> Tuple[Optional[int], Optional[RolloutController]]:
+        """Apply the model's rollout router to unversioned requests."""
+        if version is not None:
+            return version, None  # explicit pins bypass the rollout
+        with self._lock:
+            controller = self._rollouts.get(name)
+        if controller is None:
+            return None, None
+        return controller.route(), controller
+
+    def _settle_rollout(
+        self,
+        controller: RolloutController,
+        version: int,
+        error: bool,
+        latency_ms: Optional[float],
+    ) -> None:
+        controller.record(version, error=error, latency_ms=latency_ms)
+        controller.evaluate()
 
     # -- inference ---------------------------------------------------------------
     def _resolve_deadline(
@@ -434,31 +624,67 @@ class InferenceServer:
         """
         sample = np.asarray(sample)
         deadline = self._resolve_deadline(timeout_ms, deadline)
-        for attempt in (0, 1):
-            pipeline = self._pipeline(name, version)
-            if sample.shape != pipeline.input_shape:
-                raise ValueError(
-                    f"sample shape {sample.shape} does not match model "
-                    f"'{name}' input shape {pipeline.input_shape}"
-                )
-            admission = pipeline.admission
-            admission.admit(priority)
-            try:
-                future = pipeline.batcher.submit(sample, deadline=deadline)
-            except BatcherClosed:
-                # Lost the race against a concurrent hot-swap retirement;
-                # the retired pipeline is already out of the table, so the
-                # retry resolves to the replacement.
-                admission.release()
-                if attempt:
+        version, rollout = self._route_version(name, version)
+        start = time.perf_counter()
+        budget = self.budget
+        try:
+            for attempt in (0, 1):
+                pipeline = self._pipeline(name, version)
+                if sample.shape != pipeline.input_shape:
+                    raise ValueError(
+                        f"sample shape {sample.shape} does not match model "
+                        f"'{name}' input shape {pipeline.input_shape}"
+                    )
+                admission = pipeline.admission
+                if budget is not None:
+                    budget.acquire(name, stats=pipeline.stats)
+                try:
+                    admission.admit(priority)
+                except BaseException:
+                    if budget is not None:
+                        budget.release(name)
                     raise
-                continue
-            except BaseException:
-                admission.release()
-                raise
-            future.add_done_callback(lambda _, a=admission: a.release())
-            return future
-        raise AssertionError("unreachable")  # pragma: no cover
+                try:
+                    future = pipeline.batcher.submit(sample, deadline=deadline)
+                except BatcherClosed:
+                    # Lost the race against a concurrent hot-swap retirement;
+                    # the retired pipeline is already out of the table, so the
+                    # retry resolves to the replacement.
+                    admission.release()
+                    if budget is not None:
+                        budget.release(name)
+                    if attempt:
+                        raise
+                    continue
+                except BaseException:
+                    admission.release()
+                    if budget is not None:
+                        budget.release(name)
+                    raise
+
+                def _done(f, a=admission, served=pipeline.version):
+                    a.release()
+                    if budget is not None:
+                        budget.release(name)
+                    if rollout is not None and not f.cancelled():
+                        self._settle_rollout(
+                            rollout, served,
+                            error=f.exception() is not None,
+                            latency_ms=(time.perf_counter() - start) * 1e3,
+                        )
+
+                future.add_done_callback(_done)
+                return future
+            raise AssertionError("unreachable")  # pragma: no cover
+        except AdmissionRejected:
+            raise  # overload is never evidence against a rollout arm
+        except BaseException:
+            # Synchronous failures (shape mismatch, expired deadline) count
+            # against the routed arm: a canary that rejects every request
+            # must still trip the rollback gate.
+            if rollout is not None and version is not None:
+                self._settle_rollout(rollout, version, error=True, latency_ms=None)
+            raise
 
     def predict(
         self,
@@ -499,22 +725,40 @@ class InferenceServer:
         """
         batch = np.asarray(batch)
         deadline = self._resolve_deadline(timeout_ms, deadline)
+        version, rollout = self._route_version(name, version)
         pipeline = self._pipeline(name, version)
         admission = pipeline.admission
-        admission.admit(priority, count=len(batch))
+        budget = self.budget
+        if budget is not None:
+            budget.acquire(name, count=len(batch), stats=pipeline.stats)
+        try:
+            admission.admit(priority, count=len(batch))
+        except BaseException:
+            if budget is not None:
+                budget.release(name, count=len(batch))
+            raise
         stats = pipeline.stats
         stats.record_submit(count=len(batch))
         stats.record_batch(len(batch))
         start = time.perf_counter()
+        ok = False
         try:
             outputs = self._await(
                 pipeline.dispatch(batch), timeout, deadline
             )
+            ok = True
         except BaseException:
             stats.record_done(time.perf_counter() - start, ok=False, count=len(batch))
             raise
         finally:
             admission.release(count=len(batch))
+            if budget is not None:
+                budget.release(name, count=len(batch))
+            if rollout is not None:
+                self._settle_rollout(
+                    rollout, pipeline.version, error=not ok,
+                    latency_ms=(time.perf_counter() - start) * 1e3 if ok else None,
+                )
         stats.record_done(time.perf_counter() - start, ok=True, count=len(batch))
         return outputs
 
@@ -555,44 +799,74 @@ class InferenceServer:
         """
         inputs = np.asarray(inputs)
         deadline = self._resolve_deadline(timeout_ms, deadline)
+        version, rollout = self._route_version(name, version)
+        start = time.perf_counter()
+        budget = self.budget
         futures: List[Future] = []
-        for attempt in (0, 1):
-            pipeline = self._pipeline(name, version)
-            expected = pipeline.input_shape
-            if inputs.shape == expected:
-                rows, batched = inputs[None], False
-            elif inputs.ndim == len(expected) + 1 and inputs.shape[1:] == expected:
-                rows, batched = inputs, True
-            else:
-                raise ValueError(
-                    f"inputs shape {inputs.shape} matches neither the model's "
-                    f"input shape {expected} nor a batch of it"
-                )
-            admission = pipeline.admission
-            try:
-                while len(futures) < len(rows):
-                    # Row-wise admission: a shed mid-request fails the
-                    # request; rows already accepted still resolve (and
-                    # release their budget) through their own futures.
-                    admission.admit(priority)
-                    try:
-                        future = pipeline.batcher.submit(
-                            rows[len(futures)], deadline=deadline
-                        )
-                    except BaseException:
-                        admission.release()
+        try:
+            for attempt in (0, 1):
+                pipeline = self._pipeline(name, version)
+                expected = pipeline.input_shape
+                if inputs.shape == expected:
+                    rows, batched = inputs[None], False
+                elif inputs.ndim == len(expected) + 1 and inputs.shape[1:] == expected:
+                    rows, batched = inputs, True
+                else:
+                    raise ValueError(
+                        f"inputs shape {inputs.shape} matches neither the model's "
+                        f"input shape {expected} nor a batch of it"
+                    )
+                admission = pipeline.admission
+                try:
+                    while len(futures) < len(rows):
+                        # Row-wise admission: a shed mid-request fails the
+                        # request; rows already accepted still resolve (and
+                        # release their budget) through their own futures.
+                        if budget is not None:
+                            budget.acquire(name, stats=pipeline.stats)
+                        try:
+                            admission.admit(priority)
+                        except BaseException:
+                            if budget is not None:
+                                budget.release(name)
+                            raise
+                        try:
+                            future = pipeline.batcher.submit(
+                                rows[len(futures)], deadline=deadline
+                            )
+                        except BaseException:
+                            admission.release()
+                            if budget is not None:
+                                budget.release(name)
+                            raise
+
+                        def _release(_, a=admission):
+                            a.release()
+                            if budget is not None:
+                                budget.release(name)
+
+                        future.add_done_callback(_release)
+                        futures.append(future)
+                except BatcherClosed:
+                    if attempt:  # see predict_async: hot-swap retirement race
                         raise
-                    future.add_done_callback(lambda _, a=admission: a.release())
-                    futures.append(future)
-            except BatcherClosed:
-                if attempt:  # see predict_async: hot-swap retirement race
-                    raise
-                continue
-            outputs = np.stack(
-                [self._await(future, timeout, deadline) for future in futures]
-            )
-            return pipeline.version, outputs if batched else outputs[0], batched
-        raise AssertionError("unreachable")  # pragma: no cover
+                    continue
+                outputs = np.stack(
+                    [self._await(future, timeout, deadline) for future in futures]
+                )
+                if rollout is not None:
+                    self._settle_rollout(
+                        rollout, pipeline.version, error=False,
+                        latency_ms=(time.perf_counter() - start) * 1e3,
+                    )
+                return pipeline.version, outputs if batched else outputs[0], batched
+            raise AssertionError("unreachable")  # pragma: no cover
+        except AdmissionRejected:
+            raise  # overload is never evidence against a rollout arm
+        except BaseException:
+            if rollout is not None and version is not None:
+                self._settle_rollout(rollout, version, error=True, latency_ms=None)
+            raise
 
     def stats(self, name: str, version: Optional[int] = None) -> Dict:
         """Stats snapshot for (name, version-or-latest).
@@ -641,16 +915,42 @@ class InferenceServer:
             for (name, version), pipeline in sorted(pipelines.items())
         }
 
+    def control_plane(self) -> Dict:
+        """Autoscaler, rollout, and budget state (empty without any of them).
+
+        Surfaced as the ``control_plane`` key of ``/stats`` and ``/healthz``
+        so scaler decisions and rollout stages are auditable from outside.
+        """
+        payload: Dict = {}
+        if self.autoscaler is not None:
+            payload["autoscaler"] = self.autoscaler.snapshot()
+        with self._lock:
+            rollouts = dict(self._rollouts)
+        if rollouts:
+            payload["rollouts"] = {
+                name: controller.snapshot()
+                for name, controller in sorted(rollouts.items())
+            }
+        if self.budget is not None:
+            payload["budget"] = self.budget.snapshot()
+        return payload
+
     def health(self) -> Dict:
         """Readiness rollup for ``/healthz``: ``ok`` / ``degraded`` / ``closed``.
 
         Degraded when any live pipeline's circuit breaker is open or its
-        queue is saturated past the admission bound — traffic to that model
-        would be shed, so load balancers should prefer other replicas.
+        queue is saturated past the admission bound (the *current* bound:
+        autoscaler resizes retarget it, so a scaled-up server is judged on
+        its scaled capacity) — traffic to that model would be shed, so load
+        balancers should prefer other replicas.
         """
         if self._closed:
             return {"status": "closed", "degraded": [], "models": {}, "totals": {}}
-        return self.server_stats.rollup(self.snapshot())
+        rollup = self.server_stats.rollup(self.snapshot())
+        control = self.control_plane()
+        if control:
+            rollup["control_plane"] = control
+        return rollup
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self, drain: bool = False) -> None:
@@ -669,6 +969,10 @@ class InferenceServer:
             self._closed = True
             pipelines = list(self._pipelines.values())
             self._pipelines.clear()
+            self._rollouts.clear()
+        if self.autoscaler is not None:
+            # Stop the control loop before tearing down its targets.
+            self.autoscaler.close()
         error = None if drain else ServerClosed("server is closed")
         for pipeline in pipelines:
             pipeline.close(drain=drain, error=error)

@@ -72,7 +72,14 @@ class ModelStats:
                  breaker_fn: Optional[Callable[[], Dict]] = None):
         self._lock = threading.Lock()
         self._latency = LatencyWindow(window)
+        # Queue wait (arrival → batch dispatch): the autoscaler's SLO
+        # signal — it rises as soon as the pool falls behind offered load,
+        # well before end-to-end latency fully reflects the backlog.
+        self._queue_wait = LatencyWindow(window)
         self.queue_depth_fn = queue_depth_fn
+        # Gauge for the pipeline's current worker count (the pool's
+        # num_workers), sampled at snapshot time; None = no pool attached.
+        self.workers_fn: Optional[Callable[[], int]] = None
         # Gauge for the pipeline's circuit-breaker state (CircuitBreaker
         # .snapshot), sampled at snapshot time like the queue depth.
         self.breaker_fn = breaker_fn
@@ -121,6 +128,16 @@ class ModelStats:
             else:
                 self.failed += count
             self._last_done = time.perf_counter()
+
+    def record_queue_wait(self, seconds: float, count: int = 1) -> None:
+        """Time a request spent waiting between arrival and batch dispatch."""
+        with self._lock:
+            self._queue_wait.record(seconds, count)
+
+    def queue_wait_p95_ms(self) -> float:
+        """95th-percentile queue wait (ms) over the sliding window."""
+        with self._lock:
+            return self._queue_wait.percentile(95) * 1e3
 
     def backlog(self) -> int:
         """Requests accepted but not yet settled (queued, batching, or in a
@@ -186,7 +203,9 @@ class ModelStats:
                     "backlog": max(0, self.submitted - self.completed - self.failed),
                     "max_depth": self.max_queue_depth,
                     "capacity": self.queue_capacity,
+                    "wait_p95_ms": round(self._queue_wait.percentile(95) * 1e3, 3),
                 },
+                "workers": None,
                 "latency": self._latency.summary_ms(),
                 "throughput_rps": round(self.completed / elapsed, 2) if elapsed > 0 else 0.0,
                 "resilience": {
@@ -199,10 +218,14 @@ class ModelStats:
                 },
             }
             breaker_fn = self.breaker_fn
+            workers_fn = self.workers_fn
         if breaker_fn is not None:
             # Sampled outside the stats lock: the breaker has its own lock
             # and may call back into stats on a transition.
             snap["resilience"]["breaker"] = breaker_fn()
+        if workers_fn is not None:
+            # Same reasoning: the pool's worker count sits behind its own lock.
+            snap["workers"] = int(workers_fn())
         return snap
 
 

@@ -67,6 +67,11 @@ class _RemoteError(RuntimeError):
     """An exception raised inside a worker process, with its traceback."""
 
 
+# One-shot stop sentinel for ThreadWorkerPool.resize() shrinks: whichever
+# worker thread dequeues it exits (close() keeps using None per thread).
+_STOP_ONE = object()
+
+
 class ThreadWorkerPool:
     """N worker threads running batches on per-worker or one shared executor.
 
@@ -85,6 +90,17 @@ class ThreadWorkerPool:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.fault_plan = fault_plan
+        self._scale_faults = None
+        if fault_plan is not None:
+            from repro.serve.faults import ScaleFaultSession
+
+            self._scale_faults = ScaleFaultSession(fault_plan)
+        # Crashes injected by during_scale faults: any worker thread failing
+        # a batch decrements this (threads pull from one shared queue, so a
+        # specific victim thread cannot be targeted the way a process can).
+        self._scale_crash_pending = 0
+        self._factory = executor_factory
+        self._name = name
         self._tasks: "queue.Queue" = queue.Queue()
         self._closed = False
         # Orders submit() against close(): nothing can land behind the stop
@@ -96,6 +112,8 @@ class ThreadWorkerPool:
             self.shared_executor = executor_factory()
             if not getattr(self.shared_executor, "thread_safe", False):
                 self._shared_run_lock = threading.Lock()
+        self._target_workers = num_workers
+        self._next_index = num_workers
         self._threads = [
             threading.Thread(
                 target=self._run, args=(executor_factory, i),
@@ -105,6 +123,46 @@ class ThreadWorkerPool:
         ]
         for thread in self._threads:
             thread.start()
+
+    @property
+    def num_workers(self) -> int:
+        """The pool's target size (shrinks settle as queued work drains)."""
+        return self._target_workers
+
+    def resize(self, num_workers: int) -> int:
+        """Grow or shrink the pool to ``num_workers`` threads.
+
+        Growth starts new threads immediately.  Shrinking enqueues one-shot
+        stop sentinels behind whatever work is already queued, so accepted
+        batches drain before a thread retires — the target is reflected in
+        :attr:`num_workers` at once, the thread count follows.  Returns the
+        new target.
+        """
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        with self._submit_lock:
+            if self._closed:
+                raise WorkerError("worker pool is closed")
+            current = self._target_workers
+            if num_workers > current:
+                for _ in range(num_workers - current):
+                    index = self._next_index
+                    self._next_index += 1
+                    thread = threading.Thread(
+                        target=self._run, args=(self._factory, index),
+                        name=f"{self._name}-{index}", daemon=True,
+                    )
+                    self._threads.append(thread)
+                    thread.start()
+            elif num_workers < current:
+                for _ in range(current - num_workers):
+                    self._tasks.put(_STOP_ONE)
+            self._target_workers = num_workers
+            if self._scale_faults is not None:
+                # Injected mid-scale crashes: each fired spec fails one
+                # subsequent batch with WorkerCrashed (see _run).
+                self._scale_crash_pending += len(self._scale_faults.on_resize())
+        return num_workers
 
     def submit(self, batch: np.ndarray) -> Future:
         """Run one batch on some worker; resolves to the stacked outputs."""
@@ -151,6 +209,15 @@ class ThreadWorkerPool:
             task = self._tasks.get()
             if task is None:
                 return
+            if task is _STOP_ONE:
+                # resize() shrink: this thread retires after the queue
+                # drained up to the sentinel.
+                with self._submit_lock:
+                    try:
+                        self._threads.remove(threading.current_thread())
+                    except ValueError:
+                        pass
+                return
             batch, future = task
             if executor is None:
                 future.set_exception(
@@ -158,6 +225,15 @@ class ThreadWorkerPool:
                 )
                 continue
             try:
+                if self._scale_crash_pending > 0:
+                    with self._submit_lock:
+                        fire = self._scale_crash_pending > 0
+                        if fire:
+                            self._scale_crash_pending -= 1
+                    if fire:
+                        raise WorkerCrashed(
+                            f"injected crash during resize (worker {index})"
+                        )
                 if faults is not None:
                     for fault in faults.on_batch():
                         if fault.kind in ("slow", "stall"):
@@ -347,6 +423,9 @@ class _ProcessWorker:
         self.inflight: Dict[int, Future] = {}
         self.dead = False
         self.ready = False  # saw the worker's "ready" handshake
+        # Set by resize() before a graceful tail-shrink stop: the death
+        # handler must not respawn a worker the pool retired on purpose.
+        self.retiring = False
         # Shared-memory rings: parent copies batches into in_ring slots the
         # worker reads zero-copy; results come back through out_ring.  The
         # parent owns in_free (under the pool lock); freed result slots are
@@ -525,6 +604,11 @@ class ProcessWorkerPool:
         # Optional deterministic fault injection (repro.serve.faults); the
         # picklable plan ships to each worker with its (slot, spawn) identity.
         self.fault_plan = fault_plan
+        self._scale_faults = None
+        if fault_plan is not None:
+            from repro.serve.faults import ScaleFaultSession
+
+            self._scale_faults = ScaleFaultSession(fault_plan)
         # Planner counters reported by a worker's ready handshake (all
         # workers load the same artifact, so any worker's answer serves).
         self.plan_info: Optional[Dict] = None
@@ -621,6 +705,8 @@ class ProcessWorkerPool:
         return future
 
     def _on_worker_death(self, worker: _ProcessWorker, reason: str) -> None:
+        if worker.retiring:
+            return  # a resize() shrink, not a death: no respawn, no alarm
         with self._lock:
             self._last_death = reason
             if self._closed or not self.respawn:
@@ -672,7 +758,9 @@ class ProcessWorkerPool:
                     backoff = 0.2 * self._start_failures
                 continue
             with self._lock:
-                if self._closed:
+                # The slot may have been shrunk away by a concurrent
+                # resize(); a replacement for a retired slot is abandoned.
+                if self._closed or index >= len(self._workers):
                     doomed = replacement
                 else:
                     self._workers[index] = replacement
@@ -691,6 +779,85 @@ class ProcessWorkerPool:
                 if self._start_failures >= self._MAX_START_FAILURES or self._closed:
                     return
                 backoff = 0.2 * max(self._start_failures, 1)
+
+    @property
+    def num_workers(self) -> int:
+        """Current worker-slot count (the pool's size after any resize)."""
+        with self._lock:
+            return len(self._workers)
+
+    def resize(self, num_workers: int) -> int:
+        """Grow or shrink the pool to ``num_workers`` processes.
+
+        Growth spawns fresh workers into new tail slots (each loads the
+        artifact itself, exactly like startup).  Shrinking retires workers
+        **from the tail** so surviving slot indices stay aligned with their
+        fault-plan and spawn-count identities; a retiring worker drains its
+        queued batches, exits gracefully, and is never respawned.  Returns
+        the new slot count.
+        """
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        victims: List[_ProcessWorker] = []
+        to_stop: List[_ProcessWorker] = []
+        grow_indices: List[Tuple[int, int]] = []
+        with self._lock:
+            if self._closed:
+                raise WorkerError("worker pool is closed")
+            if self._scale_faults is not None:
+                # Injected mid-scale crashes: hard-terminate the victim's
+                # process (a real death — the crash detector, in-flight
+                # failure, and respawn paths all run), chosen before the
+                # resize applies so the crash lands in the transition window.
+                for spec in self._scale_faults.on_resize():
+                    live = [
+                        w for w in self._workers
+                        if not w.dead and not w.retiring and w not in victims
+                    ]
+                    target = next(
+                        (w for w in live
+                         if spec.worker is None or w.index == spec.worker),
+                        None,
+                    )
+                    if target is not None:
+                        victims.append(target)
+            current = len(self._workers)
+            if num_workers < current:
+                for worker in self._workers[num_workers:]:
+                    worker.retiring = True
+                    to_stop.append(worker)
+                del self._workers[num_workers:]
+            for index in range(current, num_workers):
+                # Re-grown slots get a fresh incarnation number, exactly as
+                # a respawn would — fault plans with spawn=0 keep targeting
+                # only the original startup workers.
+                if index in self._spawn_counts:
+                    self._spawn_counts[index] += 1
+                else:
+                    self._spawn_counts[index] = 0
+                grow_indices.append((index, self._spawn_counts[index]))
+        for worker in victims:
+            try:
+                worker.process.terminate()
+            except Exception:
+                pass
+        # Spawns and graceful stops happen outside the lock: both are slow
+        # (process start / queue drain) and must not stall submit().
+        grown: List[_ProcessWorker] = [
+            _ProcessWorker(self, index, spawn=spawn) for index, spawn in grow_indices
+        ]
+        stranded: List[_ProcessWorker] = []
+        with self._lock:
+            if self._closed:
+                stranded = grown
+            else:
+                self._workers.extend(grown)
+        for worker in stranded:
+            worker.stop()
+        for worker in to_stop:
+            worker.stop()
+        with self._lock:
+            return len(self._workers)
 
     def worker_pids(self) -> List[int]:
         """PIDs of the current worker processes (dead ones excluded)."""

@@ -80,3 +80,32 @@ def repo(tmp_path, served) -> ModelRepository:
     repository = ModelRepository(tmp_path / "repo", capacity=4)
     repository.publish_artifact(served.artifact, "resnet_s")
     return repository
+
+
+# ---------------------------------------------------------------------------
+# Sleep lint: the simulation suites must stay wall-clock free
+# ---------------------------------------------------------------------------
+# Files written before the sim-clock harness existed; they poll real worker
+# processes / breaker reset windows and may keep their sleeps.  Everything
+# newer drives time through tests/serve/simclock.py — a ``time.sleep`` there
+# silently re-couples virtual and wall time, so this lint fails the suite
+# the moment one appears.  Do NOT add files to this list; port them.
+_SLEEP_ALLOWED = {"test_faults.py", "test_server.py", "test_batcher.py"}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_wall_clock_sleeps_in_sim_tests():
+    """Fail the serve suite if a sim-clock test file grows a real sleep."""
+    here = Path(__file__).parent
+    offenders = []
+    for path in sorted(here.glob("test_*.py")) + [here / "simclock.py"]:
+        if path.name in _SLEEP_ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("#", 1)[0]
+            if "time.sleep" in code or "from time import sleep" in code:
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock sleeps in simulation-clock test files (drive time with "
+        "SimClock.advance() instead):\n" + "\n".join(offenders)
+    )

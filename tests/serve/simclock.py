@@ -1,0 +1,111 @@
+"""Deterministic virtual clock for the serving control-plane tests.
+
+:class:`SimClock` implements the :class:`repro.serve.clock.Clock` contract
+with *simulated* time: ``timer()`` schedules callbacks on a heap keyed by
+virtual fire time, and :meth:`SimClock.advance` moves time forward, running
+every due callback **on the calling thread** in fire-time order.  The same
+control-plane code (autoscaler ticker, scaler decisions) that runs against
+wall-clock timers in production runs here with zero real sleeps and
+identical results on every run — the harness the ISSUE's simulation suite
+drives ramp/spike/diurnal/idle traces through.
+
+``sleep()`` raises: nothing driven by this clock is allowed to block on
+real time, and a test that would have slept fails loudly instead of
+silently serializing virtual and wall time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, List, Tuple
+
+from repro.serve.clock import Clock, TimerHandle
+
+
+class SleepForbidden(AssertionError):
+    """Control-plane code tried to block on real time under the sim clock."""
+
+
+class _Entry:
+    """One scheduled callback; ``cancel()`` tombstones it on the heap."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimClock(Clock):
+    """Virtual time: ``now()`` is a counter, ``advance()`` is the scheduler."""
+
+    def __init__(self, start: float = 0.0):
+        self._lock = threading.Lock()
+        self._now = float(start)
+        self._seq = itertools.count()  # FIFO tiebreak for same-time timers
+        self._heap: List[Tuple[float, int, _Entry]] = []
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        raise SleepForbidden(
+            f"sleep({seconds}) under SimClock — drive time with advance() instead"
+        )
+
+    def timer(self, delay_s: float, fn: Callable[[], None]) -> TimerHandle:
+        # Matches the system clock's contract: a non-positive delay fires
+        # synchronously (Ticker never schedules one, but the contract holds).
+        if delay_s <= 0:
+            fn()
+            return TimerHandle(lambda: None)
+        entry = _Entry(fn)
+        with self._lock:
+            heapq.heappush(self._heap, (self._now + delay_s, next(self._seq), entry))
+        return TimerHandle(entry.cancel)
+
+    def pending(self) -> int:
+        """Scheduled (uncancelled) callbacks still waiting to fire."""
+        with self._lock:
+            return sum(1 for _, _, entry in self._heap if not entry.cancelled)
+
+    def advance(self, seconds: float) -> int:
+        """Move virtual time forward, firing due callbacks in order.
+
+        Callbacks run on the calling thread, each observing ``now()`` equal
+        to its own fire time — so a re-arming :class:`~repro.serve.clock.Ticker`
+        fires once per interval crossed, exactly as it would in real time.
+        Returns the number of callbacks fired.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            target = self._now + seconds
+        fired = 0
+        while True:
+            with self._lock:
+                if not self._heap or self._heap[0][0] > target:
+                    self._now = target
+                    break
+                when, _, entry = heapq.heappop(self._heap)
+                self._now = when
+            if entry.cancelled:
+                continue
+            # Outside the lock: the callback may (and the Ticker does)
+            # schedule its successor through timer().
+            entry.fn()
+            fired += 1
+        return fired
+
+    def run_for_ticks(self, interval_s: float, ticks: int) -> int:
+        """Advance ``ticks`` whole intervals (convenience for ticker tests)."""
+        fired = 0
+        for _ in range(ticks):
+            fired += self.advance(interval_s)
+        return fired

@@ -4,12 +4,14 @@ No model needed: fake queues, clocks, timers, and submit functions drive
 every state machine deterministically.
 """
 
+import random
 import threading
 from concurrent.futures import Future
 
 import numpy as np
 import pytest
 
+from repro.serve import BatchPolicy, InferenceServer
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -17,6 +19,7 @@ from repro.serve.admission import (
     BreakerPolicy,
     CircuitBreaker,
     CircuitOpen,
+    ConcurrencyBudget,
     ResilientDispatcher,
     RetryPolicy,
 )
@@ -368,3 +371,173 @@ class TestResilientDispatcher:
         for f in futures:
             f.result(timeout=5.0)
         assert submit.calls == 8
+
+
+# ---------------------------------------------------------------------------
+# Per-model concurrency budgets
+# ---------------------------------------------------------------------------
+class TestConcurrencyBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyBudget({"m": 0})
+        with pytest.raises(ValueError):
+            ConcurrencyBudget(default=0)
+
+    def test_limit_resolution(self):
+        budget = ConcurrencyBudget({"hot": 2}, default=8)
+        assert budget.limit("hot") == 2
+        assert budget.limit("other") == 8
+        assert ConcurrencyBudget({"hot": 2}).limit("other") is None
+
+    def test_sheds_with_model_budget_reason_and_429(self):
+        budget = ConcurrencyBudget({"m": 2})
+        stats = ModelStats()
+        budget.acquire("m")
+        budget.acquire("m")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            budget.acquire("m", stats=stats)
+        assert excinfo.value.reason == "model_budget"
+        assert excinfo.value.http_status == 429
+        assert excinfo.value.retry_after_s == 0.5
+        assert stats.snapshot()["resilience"]["shed"]["model_budget"] == 1
+        # The failed acquire reserved nothing: one release frees a slot.
+        budget.release("m")
+        budget.acquire("m")
+
+    def test_batch_acquire_is_all_or_nothing(self):
+        budget = ConcurrencyBudget({"m": 4})
+        budget.acquire("m", count=3)
+        with pytest.raises(AdmissionRejected):
+            budget.acquire("m", count=2)
+        assert budget.snapshot()["inflight"] == {"m": 3}
+        budget.acquire("m", count=1)
+
+    def test_unlisted_models_are_unlimited_without_a_default(self):
+        budget = ConcurrencyBudget({"hot": 1})
+        for _ in range(100):
+            budget.acquire("cold")
+        assert budget.snapshot()["inflight"]["cold"] == 100
+
+    def test_release_drops_empty_models_from_the_snapshot(self):
+        budget = ConcurrencyBudget({"m": 2})
+        budget.acquire("m", count=2)
+        budget.release("m", count=2)
+        assert budget.snapshot()["inflight"] == {}
+
+
+class TestAdmissionAccountingProperty:
+    """Satellite (a): seeded-random interleaving property test.
+
+    Plain ``random`` (the chaos CI job installs only numpy+pytest, so no
+    hypothesis): a scripted sequence of submit/settle/shed operations drawn
+    from a seeded RNG, checked after every step against an independently
+    tracked reference count.  The invariants the control plane depends on:
+    in-flight counts never go negative, never exceed the budget, and drain
+    to exactly zero once every admitted request settles (no leak at close).
+    """
+
+    MODELS = ("alpha", "beta", "gamma")
+
+    def _run_script(self, seed: int, steps: int = 2_000):
+        rng = random.Random(seed)
+        caps = {"alpha": 3, "beta": 17}  # gamma rides the default
+        budget = ConcurrencyBudget(caps, default=9)
+        open_slots = []  # (model,) per admitted-but-unsettled request
+        expected = {name: 0 for name in self.MODELS}
+        sheds = 0
+        for _ in range(steps):
+            model = rng.choice(self.MODELS)
+            if open_slots and rng.random() < 0.45:
+                victim = open_slots.pop(rng.randrange(len(open_slots)))
+                budget.release(victim)
+                expected[victim] -= 1
+            else:
+                count = rng.randint(1, 3)
+                try:
+                    budget.acquire(model, count=count)
+                except AdmissionRejected:
+                    sheds += 1
+                else:
+                    open_slots.extend([model] * count)
+                    expected[model] += count
+            inflight = budget.snapshot()["inflight"]
+            for name in self.MODELS:
+                used = inflight.get(name, 0)
+                assert used == expected[name] >= 0
+                assert used <= budget.limit(name)
+        # Drain: everything admitted settles; the ledger must be empty.
+        for model in open_slots:
+            budget.release(model)
+        assert budget.snapshot()["inflight"] == {}
+        return sheds
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234, 99991])
+    def test_inflight_never_negative_never_leaks(self, seed):
+        sheds = self._run_script(seed)
+        assert sheds > 0  # the script actually exercised the shed path
+
+    def test_script_is_deterministic_per_seed(self):
+        assert self._run_script(42, steps=500) == self._run_script(42, steps=500)
+
+    def test_threaded_acquire_release_drains_clean(self):
+        budget = ConcurrencyBudget({"m": 8})
+        sheds = [0] * 4
+
+        def worker(slot: int) -> None:
+            rng = random.Random(slot)
+            for _ in range(300):
+                count = rng.randint(1, 2)
+                try:
+                    budget.acquire("m", count=count)
+                except AdmissionRejected:
+                    sheds[slot] += 1
+                else:
+                    budget.release("m", count=count)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert budget.snapshot()["inflight"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Integration: one hot model cannot starve its neighbours
+# ---------------------------------------------------------------------------
+class TestBudgetIsolation:
+    def test_hot_model_sheds_while_neighbour_keeps_serving(self, repo, served):
+        repo.publish_artifact(served.artifact, "neighbor")
+        server = InferenceServer(
+            repo,
+            policy=BatchPolicy(max_batch_size=8, max_delay_ms=60_000),
+            budget={"resnet_s": 2},
+        )
+        with server:
+            # Two admitted requests parked in the hot model's batch window
+            # exhaust its budget; the third is shed with 429/model_budget
+            # before it ever reaches the queue.
+            held = [
+                server.predict_async("resnet_s", served.batch[i]) for i in range(2)
+            ]
+            with pytest.raises(AdmissionRejected) as excinfo:
+                server.predict("resnet_s", served.batch[2], timeout=5.0)
+            assert excinfo.value.reason == "model_budget"
+            assert excinfo.value.http_status == 429
+            assert (
+                server.stats("resnet_s")["resilience"]["shed"]["model_budget"]
+                == 1
+            )
+            # The neighbour is untouched by the hot model's exhausted budget.
+            out = server.predict_batch("neighbor", served.batch[:4], timeout=120.0)
+            np.testing.assert_allclose(
+                out, served.expected[:4], rtol=1e-9, atol=1e-12
+            )
+            # A draining close flushes the forming batch: the held requests
+            # settle with real answers and give their budget back — no leak.
+            server.close(drain=True)
+        outs = np.stack([f.result(timeout=120.0) for f in held])
+        np.testing.assert_allclose(
+            outs, served.expected[:2], rtol=1e-9, atol=1e-12
+        )
+        assert server.budget.snapshot()["inflight"] == {}

@@ -1,0 +1,575 @@
+"""Deterministic simulation tests for the autoscaling control plane.
+
+Two layers, zero real sleeps in either:
+
+* **Trace tests** drive :meth:`Autoscaler.tick` directly with synthetic
+  offered-load traces (ramp, spike, diurnal, idle) against fake targets —
+  every threshold is counted in ticks, so the decision sequence is a pure
+  function of the trace and asserts exactly.
+* **SimClock tests** run the same controller behind its production
+  :class:`~repro.serve.clock.Ticker`, with virtual time advanced by hand
+  (``tests/serve/simclock.py``) — proving the wall-clock seam is the only
+  nondeterminism in the loop.
+
+The server-integration tests at the bottom use the real compiled model:
+scale-up under a real backlog, scale-to-zero with bitwise-identical warm
+revival, and ``/healthz`` judged against the post-scale admission bound.
+"""
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionPolicy,
+    AutoscalePolicy,
+    Autoscaler,
+    BatchPolicy,
+    InferenceServer,
+    ScaleMetrics,
+    Ticker,
+)
+from repro.serve.autoscaler import ScalableTarget, ScalerDecision
+
+from simclock import SimClock, SleepForbidden
+
+
+class FakeTarget(ScalableTarget):
+    """A scalable target whose metrics the trace scripts mutate directly."""
+
+    def __init__(self, workers: int = 1, backlog: int = 0,
+                 submitted: int = 0, p95_ms: float = 0.0):
+        self.workers = workers
+        self.backlog = backlog
+        self.submitted = submitted
+        self.p95_ms = p95_ms
+        self.resizes: List[int] = []
+
+    def metrics(self) -> ScaleMetrics:
+        return ScaleMetrics(
+            backlog=self.backlog,
+            workers=self.workers,
+            submitted=self.submitted,
+            queue_wait_p95_ms=self.p95_ms,
+        )
+
+    def resize(self, workers: int) -> int:
+        self.workers = workers
+        self.resizes.append(workers)
+        return workers
+
+
+def run_trace(scaler: Autoscaler, target: FakeTarget, trace) -> List[ScalerDecision]:
+    """One tick per trace step; each step optionally overrides the target's
+    backlog/p95 and adds ``new`` submissions.  Returns all decisions."""
+    decisions: List[ScalerDecision] = []
+    for step in trace:
+        target.backlog = step.get("backlog", target.backlog)
+        target.p95_ms = step.get("p95", target.p95_ms)
+        target.submitted += step.get("new", 0)
+        decisions.extend(scaler.tick())
+    return decisions
+
+
+# ---------------------------------------------------------------------------
+# Policy validation
+# ---------------------------------------------------------------------------
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(tick_interval_s=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(backlog_high_per_worker=1.0, backlog_low_per_worker=1.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(scale_up_step=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(up_cooldown_ticks=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(down_hysteresis_ticks=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(idle_ticks_to_zero=0)
+
+
+# ---------------------------------------------------------------------------
+# Scale-up traces
+# ---------------------------------------------------------------------------
+def up_policy(**overrides) -> AutoscalePolicy:
+    defaults = dict(
+        min_workers=1, max_workers=4,
+        backlog_high_per_worker=4.0, backlog_low_per_worker=1.0,
+        up_cooldown_ticks=2, down_cooldown_ticks=4, down_hysteresis_ticks=4,
+    )
+    defaults.update(overrides)
+    return AutoscalePolicy(**defaults)
+
+
+class TestScaleUp:
+    def test_ramp_reaches_max_within_the_reaction_window(self):
+        """A sustained backlog grows the pool min → max in exactly
+        (max - min) * up_cooldown_ticks + 1 ticks — the reaction window."""
+        scaler = Autoscaler(up_policy())
+        target = FakeTarget(workers=1, backlog=100)
+        scaler.watch("m/1", target)
+        window = (4 - 1) * 2 + 1
+        decisions = run_trace(scaler, target, [{"new": 10}] * window)
+        assert target.workers == 4
+        ups = [d for d in decisions if d.action == "scale_up"]
+        assert [(d.from_workers, d.to_workers) for d in ups] == [(1, 2), (2, 3), (3, 4)]
+        assert [d.tick for d in ups] == [1, 3, 5]  # one per cooldown window
+
+    def test_cooldown_blocks_are_audited(self):
+        scaler = Autoscaler(up_policy())
+        target = FakeTarget(workers=1, backlog=100)
+        scaler.watch("m/1", target)
+        decisions = run_trace(scaler, target, [{"new": 10}] * 2)
+        assert [d.action for d in decisions] == ["scale_up", "blocked_cooldown"]
+        blocked = decisions[1]
+        assert blocked.from_workers == blocked.to_workers == 2
+        assert "cooldown" in blocked.reason
+        assert target.resizes == [2]  # the block really did not resize
+
+    def test_queue_wait_slo_breach_scales_up_without_backlog(self):
+        scaler = Autoscaler(up_policy(queue_wait_slo_ms=50.0))
+        target = FakeTarget(workers=1, backlog=0, p95_ms=120.0)
+        scaler.watch("m/1", target)
+        (decision,) = run_trace(scaler, target, [{"new": 1}])
+        assert decision.action == "scale_up"
+        assert "SLO" in decision.reason
+        assert target.workers == 2
+
+    def test_pinned_at_max_emits_no_noise(self):
+        scaler = Autoscaler(up_policy())
+        target = FakeTarget(workers=4, backlog=100)
+        scaler.watch("m/1", target)
+        assert run_trace(scaler, target, [{"new": 10}] * 5) == []
+        assert target.resizes == []
+
+    def test_scale_up_step_is_capped_at_max_workers(self):
+        scaler = Autoscaler(up_policy(scale_up_step=8))
+        target = FakeTarget(workers=1, backlog=100)
+        scaler.watch("m/1", target)
+        (decision,) = run_trace(scaler, target, [{"new": 10}])
+        assert decision.to_workers == 4  # 1 + 8 clamped to max
+
+
+# ---------------------------------------------------------------------------
+# Scale-down traces: hysteresis and cooldown
+# ---------------------------------------------------------------------------
+class TestScaleDown:
+    def test_shrinks_only_after_consecutive_low_ticks(self):
+        scaler = Autoscaler(up_policy(down_hysteresis_ticks=3, down_cooldown_ticks=2))
+        target = FakeTarget(workers=4, backlog=0)
+        scaler.watch("m/1", target)
+        decisions = run_trace(scaler, target, [{"new": 1}] * 9)
+        downs = [d for d in decisions if d.action == "scale_down"]
+        # low_ticks reaches 3 at tick 3 (4→3), resets, reaches 3 again at
+        # tick 6 (3→2) and tick 9 (2→1); then pinned at min.
+        assert [(d.tick, d.from_workers, d.to_workers) for d in downs] == [
+            (3, 4, 3), (6, 3, 2), (9, 2, 1),
+        ]
+        assert target.workers == 1
+        assert run_trace(scaler, target, [{"new": 1}] * 4) == []  # at min: silent
+
+    def test_oscillating_load_never_flaps(self):
+        """Load alternating high/low every tick: hysteresis means the pool
+        only ever grows (each low tick is immediately invalidated)."""
+        scaler = Autoscaler(up_policy(down_hysteresis_ticks=2, down_cooldown_ticks=2))
+        target = FakeTarget(workers=1)
+        trace = [
+            {"backlog": 100 if i % 2 == 0 else 0, "new": 5} for i in range(20)
+        ]
+        decisions = run_trace(scaler, target, trace)
+        assert [d for d in decisions if d.action == "scale_down"] == []
+        ups = [d.tick for d in decisions if d.action == "scale_up"]
+        assert all(b - a >= 2 for a, b in zip(ups, ups[1:]))  # cooldown held
+
+    def test_scale_up_resets_the_down_cooldown(self):
+        """A burst right after a quiet spell: the grow must push the next
+        shrink out by the full down cooldown, not shrink on its heels."""
+        policy = up_policy(
+            up_cooldown_ticks=1, down_hysteresis_ticks=1, down_cooldown_ticks=3
+        )
+        scaler = Autoscaler(policy)
+        target = FakeTarget(workers=2, backlog=0)
+        scaler.watch("m/1", target)
+        # Tick 1: moderate load — neither low (no shrink) nor high (no grow).
+        run_trace(scaler, target, [{"backlog": 5, "new": 1}])
+        (up,) = run_trace(scaler, target, [{"backlog": 100, "new": 9}])
+        assert up.action == "scale_up"                     # tick 2: burst, 2→3
+        decisions = run_trace(scaler, target, [{"backlog": 0, "new": 1}] * 3)
+        downs = [d for d in decisions if d.action == "scale_down"]
+        # Low from tick 3 on; hysteresis is satisfied immediately but the
+        # shrink waits for down_cooldown_ticks *since the scale-up* → tick 5.
+        assert [(d.tick, d.from_workers, d.to_workers) for d in downs] == [(5, 3, 2)]
+
+    def test_slo_must_be_comfortable_before_shrinking(self):
+        scaler = Autoscaler(up_policy(
+            queue_wait_slo_ms=100.0, down_hysteresis_ticks=2, down_cooldown_ticks=1
+        ))
+        target = FakeTarget(workers=2, backlog=0, p95_ms=80.0)  # under SLO, over half
+        scaler.watch("m/1", target)
+        assert run_trace(scaler, target, [{"new": 1}] * 5) == []
+        target.p95_ms = 20.0  # now comfortably under half the SLO
+        decisions = run_trace(scaler, target, [{"new": 1}] * 2)
+        assert [d.action for d in decisions] == ["scale_down"]
+
+
+# ---------------------------------------------------------------------------
+# Scale to zero
+# ---------------------------------------------------------------------------
+class TestScaleToZero:
+    def make(self, idle_ticks: int = 2):
+        parked: List[str] = []
+        scaler = Autoscaler(
+            up_policy(idle_ticks_to_zero=idle_ticks), on_park=parked.append
+        )
+        return scaler, parked
+
+    def test_parks_after_consecutive_idle_ticks(self):
+        scaler, parked = self.make(idle_ticks=2)
+        target = FakeTarget(workers=1, backlog=0, submitted=7)
+        scaler.watch("m/1", target)
+        # Tick 1 only baselines the submitted counter; ticks 2-3 observe it
+        # unchanged with an empty backlog → idle streak reaches 2 → park.
+        assert run_trace(scaler, target, [{}] * 2) == []
+        (park,) = scaler.tick()
+        assert park.action == "park" and park.to_workers == 0
+        assert parked == ["m/1"]
+        assert scaler.watched() == []  # dropped from the table
+        assert scaler.snapshot()["parks"] == 1
+
+    def test_new_submissions_reset_the_idle_streak(self):
+        scaler, parked = self.make(idle_ticks=2)
+        target = FakeTarget(workers=1, backlog=0, submitted=0)
+        scaler.watch("m/1", target)
+        # Without the tick-3 activity the park would land on tick 3; the new
+        # submission re-baselines the counter and buys two more idle ticks.
+        decisions = run_trace(scaler, target, [{}, {}, {"new": 1}, {}])
+        assert [d.action for d in decisions] == []
+        assert parked == []
+        scaler.tick()  # tick 5: the idle streak finally completes
+        assert parked == ["m/1"]
+
+    def test_backlog_blocks_parking_even_without_new_submissions(self):
+        scaler, parked = self.make(idle_ticks=1)
+        target = FakeTarget(workers=1, backlog=3, submitted=5)
+        scaler.watch("m/1", target)
+        run_trace(scaler, target, [{}] * 4)
+        assert parked == []  # requests in flight are never parked away
+
+    def test_revived_watch_is_audited(self):
+        scaler, _ = self.make()
+        scaler.watch("m/1", FakeTarget(), revived=True)
+        snap = scaler.snapshot()
+        assert snap["revivals"] == 1
+        assert snap["decisions"][-1]["action"] == "revive"
+
+
+# ---------------------------------------------------------------------------
+# Determinism, watch table, bookkeeping
+# ---------------------------------------------------------------------------
+def diurnal_trace():
+    """A compressed day: quiet → morning ramp → peak → evening fall → night."""
+    return (
+        [{"backlog": 0, "new": 1}] * 4
+        + [{"backlog": 30, "new": 10}] * 6
+        + [{"backlog": 120, "new": 40}] * 8
+        + [{"backlog": 2, "new": 2}] * 10
+        + [{"backlog": 0, "new": 0}] * 6
+    )
+
+
+class TestDeterminism:
+    def run_diurnal(self):
+        parked: List[str] = []
+        scaler = Autoscaler(
+            up_policy(
+                up_cooldown_ticks=1, down_hysteresis_ticks=3,
+                down_cooldown_ticks=2, idle_ticks_to_zero=3,
+            ),
+            on_park=parked.append,
+        )
+        target = FakeTarget(workers=1)
+        scaler.watch("m/1", target)
+        decisions = run_trace(scaler, target, diurnal_trace())
+        return decisions, target.resizes, parked
+
+    def test_diurnal_day_scales_up_down_and_parks(self):
+        decisions, resizes, parked = self.run_diurnal()
+        actions = [d.action for d in decisions]
+        assert "scale_up" in actions and "scale_down" in actions
+        assert max(resizes) == 4          # peak hits the ceiling
+        assert parked == ["m/1"]          # the quiet night parks the model
+        # The profile is monotone up then monotone down — no flapping.
+        peak = resizes.index(max(resizes))
+        assert resizes[: peak + 1] == sorted(resizes[: peak + 1])
+        assert resizes[peak:] == sorted(resizes[peak:], reverse=True)
+
+    def test_identical_traces_make_identical_decisions(self):
+        first, first_resizes, _ = self.run_diurnal()
+        second, second_resizes, _ = self.run_diurnal()
+        assert first == second            # ScalerDecision is a frozen dataclass
+        assert first_resizes == second_resizes
+
+
+class TestWatchTable:
+    def test_watch_unwatch(self):
+        scaler = Autoscaler(up_policy())
+        scaler.watch("a/1", FakeTarget())
+        scaler.watch("b/2", FakeTarget())
+        assert scaler.watched() == ["a/1", "b/2"]
+        scaler.unwatch("a/1")
+        assert scaler.watched() == ["b/2"]
+        scaler.unwatch("missing")  # idempotent
+
+    def test_target_raising_in_metrics_is_skipped(self):
+        class Exploding(ScalableTarget):
+            def metrics(self):
+                raise RuntimeError("mid-teardown")
+
+        scaler = Autoscaler(up_policy())
+        scaler.watch("dying/1", Exploding())
+        healthy = FakeTarget(workers=1, backlog=100)
+        scaler.watch("healthy/1", healthy)
+        decisions = scaler.tick()  # must not die on the bad sample
+        assert [d.model for d in decisions] == ["healthy/1"]
+
+    def test_decision_log_is_bounded(self):
+        scaler = Autoscaler(up_policy(up_cooldown_ticks=1), decision_log=4)
+        target = FakeTarget(workers=1)
+        scaler.watch("m/1", target)
+        trace = [{"backlog": 100 if i % 2 else 0, "new": 1} for i in range(40)]
+        run_trace(scaler, target, trace)
+        assert len(scaler.decisions()) <= 4
+
+    def test_snapshot_shape(self):
+        scaler = Autoscaler(up_policy())
+        scaler.watch("m/1", FakeTarget())
+        snap = scaler.snapshot()
+        assert set(snap) == {
+            "policy", "ticks", "watched", "parks", "revivals", "decisions",
+        }
+        assert snap["watched"] == ["m/1"]
+        assert snap["policy"]["max_workers"] == 4
+
+
+# ---------------------------------------------------------------------------
+# SimClock: the production ticker under virtual time
+# ---------------------------------------------------------------------------
+class TestSimClock:
+    def test_sleep_is_forbidden(self):
+        with pytest.raises(SleepForbidden):
+            SimClock().sleep(0.1)
+
+    def test_timers_fire_in_order_and_cancel(self):
+        clock = SimClock()
+        fired: List[str] = []
+        clock.timer(2.0, lambda: fired.append("b"))
+        clock.timer(1.0, lambda: fired.append("a"))
+        doomed = clock.timer(3.0, lambda: fired.append("never"))
+        doomed.cancel()
+        assert clock.advance(5.0) == 2
+        assert fired == ["a", "b"]
+        assert clock.now() == 5.0
+        assert clock.pending() == 0
+
+    def test_ticker_fires_once_per_interval(self):
+        clock = SimClock()
+        ticks: List[float] = []
+        ticker = Ticker(1.0, lambda: ticks.append(clock.now()), clock=clock).start()
+        assert clock.advance(0.5) == 0
+        clock.advance(0.5)
+        assert ticks == [1.0]
+        clock.advance(3.0)  # three whole intervals in one jump
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+        ticker.stop()
+        clock.advance(10.0)
+        assert len(ticks) == 4  # stopped: no further firings
+
+    def test_ticker_outlives_a_raising_callback(self):
+        clock = SimClock()
+        calls: List[int] = []
+
+        def flaky():
+            calls.append(len(calls))
+            if len(calls) == 1:
+                raise RuntimeError("one bad tick")
+
+        Ticker(1.0, flaky, clock=clock).start()
+        clock.advance(3.0)
+        assert calls == [0, 1, 2]  # kept ticking through the exception
+
+    def test_autoscaler_runs_on_virtual_time(self):
+        clock = SimClock()
+        scaler = Autoscaler(
+            up_policy(tick_interval_s=0.5, up_cooldown_ticks=1), clock=clock
+        ).start()
+        target = FakeTarget(workers=1, backlog=100)
+        scaler.watch("m/1", target)
+        clock.advance(0.5)
+        assert target.workers == 2
+        clock.advance(1.0)  # two more ticks, one scale-up each
+        assert target.workers == 4
+        assert [d.action for d in scaler.decisions()] == ["scale_up"] * 3
+        scaler.close()
+        clock.advance(10.0)
+        assert scaler.tick_count == 3  # closed: virtual time no longer ticks it
+
+
+# ---------------------------------------------------------------------------
+# Server integration: real pipelines, virtual control-plane time
+# ---------------------------------------------------------------------------
+def sim_server(repo, *, autoscale: AutoscalePolicy, policy: BatchPolicy,
+               admission: Optional[AdmissionPolicy] = None, **kwargs):
+    clock = SimClock()
+    server = InferenceServer(
+        repo, policy=policy, workers=1, autoscale=autoscale,
+        admission=admission, clock=clock, **kwargs
+    )
+    return server, clock
+
+
+class TestServerAutoscaling:
+    def test_scales_up_under_a_real_backlog(self, repo, served):
+        server, clock = sim_server(
+            repo,
+            autoscale=AutoscalePolicy(
+                min_workers=1, max_workers=4, tick_interval_s=1.0,
+                backlog_high_per_worker=4.0, up_cooldown_ticks=1,
+            ),
+            # A wide window holds submissions in the forming batch, so the
+            # backlog is fully test-controlled; the 8th submission flushes it.
+            policy=BatchPolicy(max_batch_size=8, max_delay_ms=60_000),
+        )
+        with server:
+            futures = [
+                server.predict_async("resnet_s", served.batch[i]) for i in range(7)
+            ]
+            assert server.snapshot()["resnet_s/1"]["queue"]["backlog"] == 7
+            clock.advance(1.0)  # one control tick: 7 > 4.0/worker → grow
+            snap = server.snapshot()["resnet_s/1"]
+            assert snap["workers"] == 2
+            decisions = server.autoscaler.decisions()
+            assert decisions[0].action == "scale_up"
+            assert (decisions[0].from_workers, decisions[0].to_workers) == (1, 2)
+            futures.append(server.predict_async("resnet_s", served.batch[7]))
+            outs = np.stack([f.result(timeout=120.0) for f in futures])
+            np.testing.assert_allclose(
+                outs, served.expected[:8], rtol=1e-9, atol=1e-12
+            )
+            control = server.control_plane()
+            assert control["autoscaler"]["decisions"][0]["action"] == "scale_up"
+
+    def test_scale_to_zero_revives_with_identical_predictions(self, repo, served):
+        server, clock = sim_server(
+            repo,
+            autoscale=AutoscalePolicy(
+                min_workers=1, max_workers=2, tick_interval_s=1.0,
+                idle_ticks_to_zero=2,
+            ),
+            policy=BatchPolicy(max_batch_size=1, max_delay_ms=0.0),
+        )
+        with server:
+            before = server.predict("resnet_s", served.batch[0], timeout=120.0)
+            assert server.serving() == [("resnet_s", 1)]
+            loads_before_park = repo.loads
+            clock.advance(3.0)  # baseline tick + two idle ticks → park
+            assert server.serving() == []
+            scaler_snap = server.autoscaler.snapshot()
+            assert scaler_snap["parks"] == 1
+            assert scaler_snap["watched"] == []
+            # Revival: the next request rebuilds the pipeline from the
+            # repository's still-warm cache — no artifact re-read, the same
+            # program object, bitwise-identical predictions.
+            after = server.predict("resnet_s", served.batch[0], timeout=120.0)
+            np.testing.assert_array_equal(before, after)
+            assert repo.loads == loads_before_park  # cache hit, not a reload
+            assert server.serving() == [("resnet_s", 1)]
+            snap = server.autoscaler.snapshot()
+            assert snap["revivals"] == 1
+            assert snap["decisions"][-1]["action"] == "revive"
+
+    def test_park_and_revive_cycles_are_stable(self, repo, served):
+        server, clock = sim_server(
+            repo,
+            autoscale=AutoscalePolicy(
+                min_workers=1, max_workers=2, tick_interval_s=1.0,
+                idle_ticks_to_zero=2,
+            ),
+            policy=BatchPolicy(max_batch_size=1, max_delay_ms=0.0),
+        )
+        with server:
+            outputs = []
+            for cycle in range(3):
+                outputs.append(server.predict("resnet_s", served.batch[1], timeout=120.0))
+                clock.advance(3.0)
+                assert server.serving() == [] , f"cycle {cycle} did not park"
+            assert server.autoscaler.snapshot()["parks"] == 3
+            for out in outputs[1:]:
+                np.testing.assert_array_equal(outputs[0], out)
+
+    def test_healthz_is_judged_on_the_post_scale_bound(self, repo, served):
+        """Satellite (f): after a scale-up the admission bound grows with the
+        pool, and /healthz saturation is judged against the *current* bound —
+        a backlog that would have saturated the startup bound reports ok."""
+        server, clock = sim_server(
+            repo,
+            autoscale=AutoscalePolicy(
+                min_workers=1, max_workers=4, tick_interval_s=1.0,
+                backlog_high_per_worker=4.0, up_cooldown_ticks=1,
+            ),
+            policy=BatchPolicy(max_batch_size=64, max_delay_ms=60_000),
+            admission=AdmissionPolicy(max_queue_depth=10),
+        )
+        with server:
+            for i in range(8):
+                server.predict_async("resnet_s", served.batch[i % len(served.batch)])
+            clock.advance(1.0)  # backlog 8 > 4/worker → 1 → 2 workers
+            snap = server.snapshot()["resnet_s/1"]
+            assert snap["workers"] == 2
+            assert snap["queue"]["capacity"] == 20  # 10 × (2 workers / 1 base)
+            # Push the backlog past the *old* bound (10) but well under the
+            # scaled one; admission must accept and health must stay ok.
+            for i in range(4):
+                server.predict_async("resnet_s", served.batch[i % len(served.batch)])
+            health = server.health()
+            assert health["status"] == "ok"
+            model = health["models"]["resnet_s/1"]
+            assert model["queue_depth"] == 12   # would saturate the old bound
+            assert model["queue_capacity"] == 20
+            assert server.snapshot()["resnet_s/1"]["resilience"]["shed_total"] == 0
+        # close(drain=False) settles the parked-in-window futures.
+
+
+class TestTickerReentrancy:
+    def test_stop_from_inside_the_callback_is_safe(self):
+        clock = SimClock()
+        fired: List[int] = []
+        holder: List[Ticker] = []
+
+        def fn():
+            fired.append(1)
+            holder[0].stop()
+
+        holder.append(Ticker(1.0, fn, clock=clock).start())
+        clock.advance(5.0)
+        assert fired == [1]  # stopped itself after the first tick
+
+    def test_concurrent_start_is_idempotent(self):
+        clock = SimClock()
+        count = [0]
+        ticker = Ticker(1.0, lambda: count.__setitem__(0, count[0] + 1), clock=clock)
+        threads = [threading.Thread(target=ticker.start) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        clock.advance(1.0)
+        assert count[0] == 1  # one armed timer, not four
+        ticker.stop()

@@ -381,3 +381,141 @@ class TestServerStatsRollup:
         assert totals["deadline_expired"] == 2
         assert totals["breaker_transitions"] == 1
         assert totals["submitted"] == 20
+
+
+# ---------------------------------------------------------------------------
+# Crashes injected mid-resize (the autoscaler's transition window)
+# ---------------------------------------------------------------------------
+class _PlusOne:
+    def run(self, batch):
+        return batch + 1.0
+
+
+class TestScaleChaos:
+    """``FaultPlan.crash_during_scale``: a worker dies exactly while the
+    pool is resizing — the window the autoscaler opens on every decision.
+    Thread pools simulate the death as a failed batch; process pools
+    hard-terminate the victim and must respawn it."""
+
+    def test_thread_pool_crash_during_grow_fails_one_batch_then_recovers(self):
+        pool = ThreadWorkerPool(
+            _PlusOne, num_workers=1,
+            fault_plan=FaultPlan.crash_during_scale(nth_resize=1),
+        )
+        try:
+            np.testing.assert_array_equal(
+                pool.submit(np.zeros(2)).result(timeout=30.0), np.ones(2)
+            )
+            assert pool.resize(2) == 2  # arms exactly one mid-scale crash
+            with pytest.raises(WorkerCrashed, match="during resize"):
+                pool.submit(np.zeros(2)).result(timeout=30.0)
+            # The times=1 budget is spent: the grown pool is healthy.
+            np.testing.assert_array_equal(
+                pool.submit(np.zeros(2)).result(timeout=30.0), np.ones(2)
+            )
+            # A later shrink is not the nth_resize=1 transition: no crash.
+            assert pool.resize(1) == 1
+            np.testing.assert_array_equal(
+                pool.submit(np.zeros(2)).result(timeout=30.0), np.ones(2)
+            )
+        finally:
+            pool.close()
+
+    def test_thread_pool_resize_crash_is_absorbed_by_the_retry_layer(self):
+        from repro.serve import ResilientDispatcher
+
+        pool = ThreadWorkerPool(
+            _PlusOne, num_workers=1,
+            fault_plan=FaultPlan.crash_during_scale(nth_resize=1),
+        )
+        dispatch = ResilientDispatcher(pool.submit, FAST_RETRY)
+        try:
+            pool.resize(2)
+            # The injected mid-scale crash fails the first attempt; the
+            # dispatcher re-submits and the caller sees only the answer —
+            # what a server-side autoscale decision looks like to clients.
+            np.testing.assert_array_equal(
+                dispatch(np.zeros(2)).result(timeout=30.0), np.ones(2)
+            )
+        finally:
+            pool.close()
+
+    def test_process_pool_victim_terminated_mid_grow_is_respawned(self, served):
+        pool = ProcessWorkerPool(
+            served.artifact, num_workers=2,
+            fault_plan=FaultPlan.crash_during_scale(worker=0, nth_resize=1),
+        )
+        try:
+            old_pids = pool.worker_pids()
+            assert len(old_pids) == 2
+            # Growing 2 → 3 terminates worker 0's process mid-transition (a
+            # real SIGTERM, not a simulated error).  The grow itself must
+            # still complete, and the crash detector respawns slot 0.
+            pool.resize(3)
+            # The victim's death is detected asynchronously (its reader
+            # thread sees the pipe close), so wait for the replacement —
+            # not just the grown slot — before judging the roster.
+            deadline = time.perf_counter() + 120.0
+            while time.perf_counter() < deadline:
+                pids = pool.worker_pids()
+                if len(pids) == 3 and old_pids[0] not in pids:
+                    break
+                time.sleep(0.1)
+            new_pids = pool.worker_pids()
+            assert len(new_pids) == 3, f"pool never re-filled: {new_pids}"
+            assert old_pids[0] not in new_pids  # the victim really died
+            assert old_pids[1] in new_pids      # the survivor was untouched
+            out = None
+            deadline = time.perf_counter() + 120.0
+            while time.perf_counter() < deadline:
+                try:
+                    out = pool.submit(served.batch[:2]).result(timeout=120.0)
+                    break
+                except (WorkerCrashed, NoLiveWorkers):
+                    time.sleep(0.1)
+            assert out is not None, "pool never served after the respawn"
+            np.testing.assert_allclose(
+                out, served.expected[:2], rtol=1e-9, atol=1e-12
+            )
+        finally:
+            pool.close()
+
+    def test_process_pool_crash_during_shrink_never_respawns_the_retiree(
+        self, served
+    ):
+        pool = ProcessWorkerPool(
+            served.artifact, num_workers=3,
+            fault_plan=FaultPlan.crash_during_scale(worker=1, nth_resize=1),
+        )
+        try:
+            old_pids = pool.worker_pids()
+            assert len(old_pids) == 3
+            # Shrinking 3 → 2 retires the tail slot gracefully *and* kills
+            # worker 1 mid-transition.  Slot 2 must stay retired (resize's
+            # shrink, not a death) while slot 1 respawns.
+            pool.resize(2)
+            deadline = time.perf_counter() + 120.0
+            while time.perf_counter() < deadline:
+                pids = pool.worker_pids()
+                if len(pids) == 2 and old_pids[1] not in pids:
+                    break
+                time.sleep(0.1)
+            pids = pool.worker_pids()
+            assert len(pids) == 2, f"expected 2 live workers, got {pids}"
+            assert old_pids[0] in pids       # untouched survivor
+            assert old_pids[1] not in pids   # the victim was replaced
+            assert old_pids[2] not in pids   # the retiree stayed retired
+            out = None
+            deadline = time.perf_counter() + 120.0
+            while time.perf_counter() < deadline:
+                try:
+                    out = pool.submit(served.batch[:1]).result(timeout=120.0)
+                    break
+                except (WorkerCrashed, NoLiveWorkers):
+                    time.sleep(0.1)
+            assert out is not None, "pool never served after the shrink"
+            np.testing.assert_allclose(
+                out, served.expected[:1], rtol=1e-9, atol=1e-12
+            )
+        finally:
+            pool.close()
