@@ -107,6 +107,8 @@ from repro.core.engine import BitSerialInferenceEngine, EngineConfig
 from repro.core.storage import (
     StorageReport,
     analyze_model_storage,
+    content_digest,
+    file_sha256,
     lut_storage_bits,
     theoretical_compression_ratio,
 )
@@ -119,6 +121,7 @@ from repro.core.export import (
     package_from_program,
     read_program_metadata,
     save_program,
+    verify_program_digest,
 )
 from repro.core.tracing import LayerTrace, trace_model
 
@@ -187,6 +190,8 @@ __all__ = [
     "verify_program",
     "StorageReport",
     "analyze_model_storage",
+    "content_digest",
+    "file_sha256",
     "lut_storage_bits",
     "theoretical_compression_ratio",
     "DeploymentPackage",
@@ -195,6 +200,7 @@ __all__ = [
     "save_program",
     "load_program",
     "read_program_metadata",
+    "verify_program_digest",
     "ProgramFormatError",
     "package_from_program",
     "LayerTrace",

@@ -47,6 +47,15 @@ instead of failing deep inside deserialization.  The supported set is
 :data:`SUPPORTED_PROGRAM_SCHEMAS` — v1 (the pre-versioning format) still
 loads because v2 is purely additive.
 
+Every archive header also embeds a ``sha256`` content digest
+(:func:`repro.core.storage.content_digest` over all array members) written
+at save time and re-verified on every :func:`load_program` — a corrupted
+artifact raises :class:`ProgramFormatError` naming the path instead of
+silently mispredicting.  Repository replication diffs artifacts by this
+digest (header-only via :func:`read_program_metadata`) and
+:func:`verify_program_digest` checks a file in place without constructing
+the program.
+
 The package size reported here is what the MCU cost model's flash-fit check
 uses conceptually (indices + LUT + uncompressed layers), so the two agree.
 """
@@ -64,6 +73,7 @@ from repro.core.engine import BitSerialInferenceEngine
 from repro.core.layers import WeightPoolConv2d, WeightPoolLinear
 from repro.core.lut import LookupTable, build_lut
 from repro.core.program import NetworkProgram, ProgramOp
+from repro.core.storage import content_digest
 from repro.core.tracing import trace_model
 from repro.core.weight_pool import WeightPool
 from repro.nn import Module
@@ -458,6 +468,10 @@ def save_program(program: NetworkProgram, path: Union[str, Path]) -> None:
             arrays["__native_source__"] = np.frombuffer(
                 source.encode("utf-8"), dtype=np.uint8
             )
+    # Content digest over every array member (the header itself excluded —
+    # it carries the digest).  load_program re-verifies this; replica sync
+    # diffs repositories by it without loading arrays.
+    meta["sha256"] = content_digest(arrays)
     arrays["__program__"] = np.array(json.dumps(meta))
     np.savez_compressed(Path(path), **arrays)
 
@@ -468,11 +482,13 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
     The loaded program carries no module references — it executes purely from
     the serialized op attributes (indices, LUT, epilogue terms, weights).
     Raises :class:`ProgramFormatError` (naming ``path``) when the file is not
-    a program artifact or was written by an unsupported schema version.
+    a program artifact, was written by an unsupported schema version, or its
+    array contents no longer match the embedded sha256 digest.
     """
     path = Path(path)
     data = np.load(path, allow_pickle=False)
     meta = _program_header(path, data)
+    _verify_header_digest(path, data, meta)
     lut_meta = meta["lut"]
     lut = LookupTable(
         values=data["__lut_values__"],
@@ -516,6 +532,43 @@ def load_program(path: Union[str, Path]) -> NetworkProgram:
     )
 
 
+def _verify_header_digest(path: Path, data, meta: Dict) -> None:
+    """Re-hash every array member and compare to the header's ``sha256``.
+
+    Artifacts written before the digest landed (no ``sha256`` key) pass —
+    the field is additive within schema v2 — but a *present* digest must
+    match bit-for-bit.
+    """
+    expected = meta.get("sha256")
+    if expected is None:
+        return
+    actual = content_digest(
+        {name: data[name] for name in data.files if name != "__program__"}
+    )
+    if actual != expected:
+        raise ProgramFormatError(
+            f"'{path}' failed content verification: artifact sha256 is "
+            f"{actual}, header says {expected} — the file was corrupted or "
+            "truncated after export; re-sync or re-export it"
+        )
+
+
+def verify_program_digest(path: Union[str, Path]) -> Optional[str]:
+    """Verify an artifact's embedded sha256 in place; return the digest.
+
+    Reads the header, re-hashes the array members, and raises
+    :class:`ProgramFormatError` (naming ``path``) on any mismatch — without
+    constructing the program.  Returns the verified digest, or ``None`` for
+    pre-digest artifacts that carry no ``sha256`` field.  Replica nodes run
+    this on every synced pull before publishing the artifact.
+    """
+    path = Path(path)
+    data = np.load(path, allow_pickle=False)
+    meta = _program_header(path, data)
+    _verify_header_digest(path, data, meta)
+    return meta.get("sha256")
+
+
 def read_program_metadata(path: Union[str, Path]) -> Dict:
     """Read a program artifact's metadata summary without loading arrays.
 
@@ -532,6 +585,9 @@ def read_program_metadata(path: Union[str, Path]) -> Dict:
     summary = dict(meta.get("metadata") or _metadata_from_header(meta))
     summary["schema"] = meta.get("schema", 1)
     summary["file_bytes"] = path.stat().st_size
+    # Content digest (None for pre-digest artifacts): replica sync diffs
+    # repositories on this field without touching the arrays.
+    summary["sha256"] = meta.get("sha256")
     return summary
 
 

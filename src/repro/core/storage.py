@@ -11,12 +11,19 @@ The overall storage of a deployed weight-pool network consists of:
 
 The compression ratio compares against storing *all* weights at the baseline
 bitwidth (8-bit in the paper).
+
+This module also owns the artifact integrity helpers (:func:`content_digest`,
+:func:`file_sha256`): program archives embed a sha256 over their array
+contents so loads detect corruption and replica sync can diff repositories
+by header metadata alone.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +33,41 @@ from repro.core.tracing import LayerTrace, trace_model
 from repro.core.weight_pool import WeightPool
 from repro.nn import Module
 from repro.utils.bits import required_bits
+
+
+def content_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """Order-independent sha256 over named arrays (name, dtype, shape, bytes).
+
+    This is the digest :func:`repro.core.export.save_program` embeds in the
+    artifact header and :func:`~repro.core.export.load_program` re-checks:
+    it covers every array member's identity and raw contents, so any
+    bit-flip in the payload (or a renamed/missing member) changes the
+    digest.  Arrays are visited in sorted-name order and each contribution
+    is length-prefixed, so the encoding is unambiguous.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        for token in (name, str(array.dtype), repr(tuple(array.shape))):
+            raw = token.encode("utf-8")
+            digest.update(len(raw).to_bytes(8, "big"))
+            digest.update(raw)
+        payload = array.tobytes()
+        digest.update(len(payload).to_bytes(8, "big"))
+        digest.update(payload)
+    return digest.hexdigest()
+
+
+def file_sha256(path: Union[str, Path], chunk_bytes: int = 1 << 20) -> str:
+    """sha256 of a file's raw bytes (streamed; used to verify synced pulls)."""
+    digest = hashlib.sha256()
+    with open(Path(path), "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def lut_storage_bits(group_size: int, pool_size: int, lut_bitwidth: int) -> int:

@@ -39,6 +39,11 @@ system — the deployment story of ``docs/SERVING.md``:
 * :func:`serve_http` (:mod:`repro.serve.http`) — a stdlib JSON-over-HTTP
   front end with an overload-aware status-code contract (429/503/504 +
   ``Retry-After``).
+* :mod:`repro.serve.cluster` — fault-tolerant multi-node serving:
+  :class:`ReplicaNode` daemons behind a socket transport,
+  :class:`ClusterRouter` sharding batches across health-checked replicas
+  with retry-on-replica-failure, and digest-verified repository sync
+  (``docs/CLUSTER.md``).
 
 Quickstart::
 
@@ -78,11 +83,21 @@ from repro.serve.batcher import (
     QueueFull,
 )
 from repro.serve.clock import SYSTEM_CLOCK, Clock, Ticker, TimerHandle
+from repro.serve.cluster import (
+    ClusterRouter,
+    MembershipPolicy,
+    NoReplicas,
+    ReplicaNode,
+    TcpReplica,
+    pull_from_node,
+    sync_to_node,
+)
 from repro.serve.faults import (
     FaultPlan,
     FaultSession,
     FaultSpec,
     InjectedFault,
+    NetFaultSession,
     ScaleFaultSession,
 )
 from repro.serve.http import HttpFrontEnd, serve_http
@@ -121,10 +136,18 @@ __all__ = [
     "SYSTEM_CLOCK",
     "Ticker",
     "TimerHandle",
+    "ClusterRouter",
+    "MembershipPolicy",
+    "NoReplicas",
+    "ReplicaNode",
+    "TcpReplica",
+    "pull_from_node",
+    "sync_to_node",
     "FaultPlan",
     "FaultSession",
     "FaultSpec",
     "InjectedFault",
+    "NetFaultSession",
     "ScaleFaultSession",
     "HttpFrontEnd",
     "serve_http",

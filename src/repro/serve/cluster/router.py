@@ -1,0 +1,629 @@
+"""Front-end router: shard batches across health-checked replica nodes.
+
+The :class:`ClusterRouter` is the cluster's worker pool.  It holds a set of
+:class:`ReplicaHandle` s (TCP replicas by default, fakes in the simulation
+suites), shards every submitted batch row-wise across the replicas its
+failure detector currently believes in, and re-dispatches a failed shard to
+a surviving replica — so one replica dying mid-load costs a retry, not a
+failed request.
+
+**Membership** is heartbeat-driven: a :class:`~repro.serve.clock.Ticker`
+(on the injectable clock — every transition is testable in virtual time on
+the SimClock harness) probes each replica under a probe deadline.  States::
+
+    alive ──(probe/predict failure)──> suspect ──(dead_after fails)──> dead
+      ^                                   │ success                      │
+      └───────────────────────────────────┴──────(probe success)─────────┘
+
+``suspect`` replicas stop receiving new shards but keep being probed;
+``dead`` replicas likewise rejoin on their first successful probe (a
+restarted node heals the membership with no operator action).  Every
+transition is appended to a bounded event log surfaced in ``/healthz``.
+
+**Failure handling** reuses the worker-pool contract: a shard that fails on
+every candidate raises :class:`~repro.serve.workers.WorkerCrashed` (the
+retriable error PR 6's :class:`~repro.serve.admission.ResilientDispatcher`
+backs off and retries), and an empty membership raises :class:`NoReplicas`
+— a :class:`~repro.serve.workers.NoLiveWorkers` subclass, so admission
+control, the circuit breaker, and the HTTP 503 mapping all apply unchanged
+(surfaced as reason ``no_replicas``).  Per-request deadlines flow through:
+shard requests run under ``MembershipPolicy.request_timeout_s`` or the
+caller's tighter per-submit timeout.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serve.clock import Clock, SYSTEM_CLOCK, Ticker
+from repro.serve.cluster.transport import (
+    Connection,
+    TransportError,
+    connect,
+)
+from repro.serve.workers import NoLiveWorkers, WorkerCrashed
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class NoReplicas(NoLiveWorkers):
+    """Every registered replica is currently dead (probes keep running).
+
+    Subclassing :class:`NoLiveWorkers` keeps the whole resilience stack
+    applicable: the dispatcher retries it, the breaker counts it, and the
+    HTTP layer sheds with 503 (reason ``no_replicas``).
+    """
+
+
+class ReplicaError(RuntimeError):
+    """The replica answered with an application error (not a transport
+    failure): wrong model, oversized batch, executor bug.  Not retriable —
+    every replica serves the same artifacts, so re-dispatching would fail
+    identically."""
+
+
+@dataclass(frozen=True)
+class MembershipPolicy:
+    """Failure-detection and retry knobs (see docs/CLUSTER.md).
+
+    Attributes
+    ----------
+    probe_interval_s:
+        Heartbeat period: how often the router probes every replica.
+    probe_timeout_s:
+        Per-probe deadline; a probe that answers slower is a failure.
+    suspect_after:
+        Consecutive failures that demote ``alive`` → ``suspect`` (stop
+        routing new shards there).
+    dead_after:
+        Consecutive failures that demote to ``dead``.  Probing continues —
+        one success at any state resurrects the replica to ``alive``.
+    max_shard_retries:
+        Re-dispatch attempts per shard before the batch fails with
+        :class:`~repro.serve.workers.WorkerCrashed`.
+    request_timeout_s:
+        Deadline for one shard's predict round-trip.
+    connect_timeout_s:
+        Deadline for dialing a replica.
+    history:
+        Membership transition events retained for ``/healthz``.
+    """
+
+    probe_interval_s: float = 0.5
+    probe_timeout_s: float = 0.5
+    suspect_after: int = 1
+    dead_after: int = 3
+    max_shard_retries: int = 3
+    request_timeout_s: float = 30.0
+    connect_timeout_s: float = 2.0
+    history: int = 64
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0:
+            raise ValueError(f"probe_interval_s must be > 0, got {self.probe_interval_s}")
+        if self.suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {self.suspect_after}")
+        if self.dead_after < self.suspect_after:
+            raise ValueError(
+                f"dead_after ({self.dead_after}) must be >= suspect_after "
+                f"({self.suspect_after})"
+            )
+        if self.max_shard_retries < 0:
+            raise ValueError(f"max_shard_retries must be >= 0, got {self.max_shard_retries}")
+
+
+class ReplicaHandle:
+    """What the router needs from a replica; subclass for real or fake ones."""
+
+    name: str = "replica"
+
+    def predict(
+        self, model: str, version: Optional[int], batch: np.ndarray,
+        timeout_s: Optional[float] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def probe(self, timeout_s: Optional[float] = None) -> Dict:
+        """Health-check; returns the replica's health metadata or raises."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class TcpReplica(ReplicaHandle):
+    """A replica node reached over the cluster transport.
+
+    Keeps a small pool of framed connections (predicts from concurrent
+    shards each check one out; broken ones are discarded, fresh ones are
+    dialed on demand).  A shared per-peer
+    :class:`~repro.serve.faults.NetFaultSession` rides on every connection,
+    so injected network faults count frames across the replica's whole
+    conversation — deterministic chaos regardless of pooling.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        name: Optional[str] = None,
+        index: int = 0,
+        request_timeout_s: float = 30.0,
+        connect_timeout_s: float = 2.0,
+        max_frame_bytes: Optional[int] = None,
+        fault_plan=None,
+        max_pooled: int = 4,
+    ):
+        from repro.serve.cluster.transport import DEFAULT_MAX_FRAME_BYTES
+
+        self.address = (str(address[0]), int(address[1]))
+        self.name = name or f"{self.address[0]}:{self.address[1]}"
+        self.index = index
+        self.request_timeout_s = request_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.max_frame_bytes = max_frame_bytes or DEFAULT_MAX_FRAME_BYTES
+        self.faults = fault_plan.net_session(peer=index) if fault_plan is not None else None
+        self._pool: List[Connection] = []
+        self._pool_lock = threading.Lock()
+        self._max_pooled = max_pooled
+        self._closed = False
+
+    def _checkout(self) -> Connection:
+        with self._pool_lock:
+            if self._closed:
+                raise TransportError(f"replica handle {self.name} is closed")
+            if self._pool:
+                return self._pool.pop()
+        return connect(
+            self.address,
+            timeout_s=self.request_timeout_s,
+            connect_timeout_s=self.connect_timeout_s,
+            max_frame_bytes=self.max_frame_bytes,
+            faults=self.faults,
+        )
+
+    def _checkin(self, conn: Connection) -> None:
+        with self._pool_lock:
+            if not self._closed and not conn.closed and len(self._pool) < self._max_pooled:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def _request(self, kind: str, meta=None, arrays=None, timeout_s=None):
+        conn = self._checkout()
+        try:
+            reply = conn.request(
+                kind, meta, arrays,
+                timeout_s=self.request_timeout_s if timeout_s is None else timeout_s,
+            )
+        except BaseException:
+            conn.close()
+            raise
+        self._checkin(conn)
+        return reply
+
+    def predict(self, model, version, batch, timeout_s=None) -> np.ndarray:
+        meta = {"model": model}
+        if version is not None:
+            meta["version"] = int(version)
+        reply = self._request(
+            "predict", meta, {"batch": np.ascontiguousarray(batch)},
+            timeout_s=timeout_s,
+        )
+        if reply.kind == "result":
+            return reply.arrays["outputs"]
+        message = reply.meta.get("error", f"unexpected reply kind {reply.kind!r}")
+        if reply.meta.get("retriable"):
+            raise TransportError(f"replica {self.name}: {message}")
+        raise ReplicaError(f"replica {self.name}: {message}")
+
+    def probe(self, timeout_s=None) -> Dict:
+        reply = self._request("health", timeout_s=timeout_s)
+        if reply.kind != "health_ok":
+            raise TransportError(
+                f"replica {self.name} health probe answered {reply.kind!r}"
+            )
+        return reply.meta
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+
+class _Member:
+    """Router-side view of one replica: state machine + counters."""
+
+    def __init__(self, handle: ReplicaHandle, index: int):
+        self.handle = handle
+        self.index = index
+        self.state = ALIVE
+        self.consecutive_failures = 0
+        self.shards_served = 0
+        self.shards_failed = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+        self.transitions = 0
+        self.last_probe_at: Optional[float] = None
+        self.last_error: Optional[str] = None
+
+    def snapshot(self) -> Dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "shards_served": self.shards_served,
+            "shards_failed": self.shards_failed,
+            "probes_ok": self.probes_ok,
+            "probes_failed": self.probes_failed,
+            "transitions": self.transitions,
+            "last_probe_at": self.last_probe_at,
+            "last_error": self.last_error,
+        }
+
+
+class ClusterRouter:
+    """Shard batches across replicas; detect failures; retry around them.
+
+    Parameters
+    ----------
+    replicas:
+        ``(host, port)`` tuples (dialed as :class:`TcpReplica`) and/or
+        ready-made :class:`ReplicaHandle` objects (the simulation suites
+        pass fakes).
+    policy:
+        :class:`MembershipPolicy` knobs.
+    clock:
+        Heartbeat scheduling; inject a SimClock to drive membership in
+        virtual time.
+    fault_plan:
+        Optional :class:`~repro.serve.faults.FaultPlan` whose network specs
+        are evaluated inside each TCP replica's transport.
+    start:
+        Start the heartbeat ticker immediately (default).  Pass ``False``
+        in tests that want to drive probes by hand via :meth:`probe_all`.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Union[Tuple[str, int], ReplicaHandle]],
+        policy: Optional[MembershipPolicy] = None,
+        clock: Clock = SYSTEM_CLOCK,
+        fault_plan=None,
+        start: bool = True,
+    ):
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        self.policy = policy or MembershipPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._members: List[_Member] = []
+        for index, replica in enumerate(replicas):
+            if isinstance(replica, ReplicaHandle):
+                handle = replica
+            else:
+                handle = TcpReplica(
+                    tuple(replica),
+                    index=index,
+                    request_timeout_s=self.policy.request_timeout_s,
+                    connect_timeout_s=self.policy.connect_timeout_s,
+                    fault_plan=fault_plan,
+                )
+            self._members.append(_Member(handle, index))
+        # Router-wide counters (mirrored into /stats and /healthz).
+        self.batches = 0
+        self.shards = 0
+        self.shard_retries = 0
+        self.rerouted_shards = 0
+        self.no_replica_failures = 0
+        self.events: List[Dict] = []
+        self._closed = False
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self._members)),
+            thread_name_prefix="cluster-router",
+        )
+        self._ticker = Ticker(
+            self.policy.probe_interval_s, self.probe_all, clock=clock,
+            name="cluster-heartbeat",
+        )
+        if start:
+            self._ticker.start()
+
+    # -- membership ------------------------------------------------------------
+    def _record_event(self, member: _Member, old: str, new: str, reason: str) -> None:
+        """Append a membership transition (lock held by caller)."""
+        member.transitions += 1
+        self.events.append(
+            {
+                "at": self.clock.now(),
+                "replica": member.handle.name,
+                "from": old,
+                "to": new,
+                "reason": reason,
+            }
+        )
+        del self.events[: -self.policy.history]
+
+    def _note_success(self, member: _Member, probe: bool) -> None:
+        with self._lock:
+            member.consecutive_failures = 0
+            if probe:
+                member.probes_ok += 1
+                member.last_probe_at = self.clock.now()
+            if member.state != ALIVE:
+                self._record_event(member, member.state, ALIVE, "probe succeeded")
+                member.state = ALIVE
+
+    def _note_failure(self, member: _Member, reason: str, probe: bool) -> None:
+        with self._lock:
+            member.consecutive_failures += 1
+            member.last_error = reason
+            if probe:
+                member.probes_failed += 1
+                member.last_probe_at = self.clock.now()
+            else:
+                member.shards_failed += 1
+            failures = member.consecutive_failures
+            if member.state == ALIVE and failures >= self.policy.suspect_after:
+                self._record_event(member, ALIVE, SUSPECT, reason)
+                member.state = SUSPECT
+            if member.state == SUSPECT and failures >= self.policy.dead_after:
+                self._record_event(member, SUSPECT, DEAD, reason)
+                member.state = DEAD
+
+    def probe_all(self) -> None:
+        """One heartbeat round: probe every replica under the probe deadline.
+
+        Dead replicas are probed too — that is how they rejoin.  Runs on
+        the ticker (or directly from tests driving virtual time).
+        """
+        with self._lock:
+            members = list(self._members)
+        for member in members:
+            try:
+                member.handle.probe(timeout_s=self.policy.probe_timeout_s)
+            except Exception as exc:
+                self._note_failure(
+                    member, f"probe failed: {type(exc).__name__}: {exc}", probe=True
+                )
+            else:
+                self._note_success(member, probe=True)
+
+    def _routable(self) -> List[_Member]:
+        """Members eligible for new shards: alive ones, else suspects.
+
+        Falling back to suspects keeps serving through a detector
+        false-positive window; truly-dead suspects fail fast and are
+        re-dispatched anyway.
+        """
+        with self._lock:
+            alive = [m for m in self._members if m.state == ALIVE]
+            if alive:
+                return alive
+            return [m for m in self._members if m.state == SUSPECT]
+
+    # -- dispatch --------------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        version: Optional[int],
+        batch: np.ndarray,
+        stats=None,
+        timeout_s: Optional[float] = None,
+    ) -> Future:
+        """Shard ``batch`` across live replicas; resolves to stacked outputs.
+
+        The returned future fails with :class:`NoReplicas` (membership
+        empty), :class:`~repro.serve.workers.WorkerCrashed` (a shard failed
+        on every candidate — retriable upstream), or :class:`ReplicaError`
+        (application error — not retriable).  ``stats`` is an optional
+        per-model :class:`~repro.serve.stats.ModelStats` whose
+        ``record_retry`` observes every shard re-dispatch.
+        """
+        batch = np.asarray(batch)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                future.set_exception(WorkerCrashed("cluster router is closed"))
+                return future
+            self.batches += 1
+        self._dispatch.submit(self._run_batch, model, version, batch, stats, timeout_s, future)
+        return future
+
+    def _run_batch(self, model, version, batch, stats, timeout_s, future: Future) -> None:
+        try:
+            members = self._routable()
+            if not members:
+                with self._lock:
+                    self.no_replica_failures += 1
+                raise NoReplicas(
+                    "no live replicas (all "
+                    f"{len(self._members)} are dead; probes continue)"
+                )
+            rows = max(1, len(batch))
+            shards = np.array_split(batch, min(len(members), rows))
+            with self._lock:
+                self.shards += len(shards)
+            if len(shards) == 1:
+                outputs = [self._run_shard(shards[0], members, 0, model, version, stats, timeout_s)]
+            else:
+                outputs = [None] * len(shards)
+                errors: List[BaseException] = []
+
+                def worker(slot: int) -> None:
+                    try:
+                        outputs[slot] = self._run_shard(
+                            shards[slot], members, slot, model, version, stats, timeout_s
+                        )
+                    except BaseException as exc:
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(
+                        target=worker, args=(slot,),
+                        name=f"cluster-shard-{slot}", daemon=True,
+                    )
+                    for slot in range(len(shards))
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors:
+                    raise errors[0]
+            result = outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+            future.set_result(result)
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+
+    def _run_shard(
+        self, shard, members: List[_Member], slot: int,
+        model, version, stats, timeout_s,
+    ) -> np.ndarray:
+        """Run one shard, re-dispatching to survivors on transport failure."""
+        attempts = 0
+        tried: set = set()
+        last_error: Optional[str] = None
+        member = members[slot % len(members)]
+        while True:
+            tried.add(member.index)
+            try:
+                outputs = member.handle.predict(
+                    model, version, shard,
+                    timeout_s=self.policy.request_timeout_s if timeout_s is None else timeout_s,
+                )
+            except ReplicaError:
+                # Application error: identical on every replica; surface it.
+                with self._lock:
+                    member.shards_failed += 1
+                raise
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._note_failure(member, last_error, probe=False)
+                attempts += 1
+                if attempts > self.policy.max_shard_retries:
+                    break
+                with self._lock:
+                    self.shard_retries += 1
+                if stats is not None:
+                    stats.record_retry()
+                # Prefer a live replica we have not tried this shard yet;
+                # fall back to any routable one (maybe the same, recovered).
+                candidates = self._routable()
+                fresh = [m for m in candidates if m.index not in tried]
+                if fresh:
+                    with self._lock:
+                        self.rerouted_shards += 1
+                    member = fresh[0]
+                elif candidates:
+                    member = candidates[0]
+                else:
+                    break
+            else:
+                self._note_success(member, probe=False)
+                with self._lock:
+                    member.shards_served += 1
+                return outputs
+        if not self._routable():
+            with self._lock:
+                self.no_replica_failures += 1
+            raise NoReplicas(
+                f"shard failed and no replicas remain (last error: {last_error})"
+            )
+        raise WorkerCrashed(
+            f"shard failed on {len(tried)} replica(s) after {attempts} "
+            f"attempt(s) (last error: {last_error})"
+        )
+
+    # -- introspection ---------------------------------------------------------
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(1 for m in self._members if m.state == ALIVE)
+
+    def member_states(self) -> Dict[str, str]:
+        with self._lock:
+            return {m.handle.name: m.state for m in self._members}
+
+    def snapshot(self) -> Dict:
+        """Membership + counters for ``/stats`` and ``/healthz``."""
+        with self._lock:
+            replicas = {m.handle.name: m.snapshot() for m in self._members}
+            return {
+                "replicas": replicas,
+                "live": sum(1 for m in self._members if m.state == ALIVE),
+                "suspect": sum(1 for m in self._members if m.state == SUSPECT),
+                "dead": sum(1 for m in self._members if m.state == DEAD),
+                "counters": {
+                    "batches": self.batches,
+                    "shards": self.shards,
+                    "shard_retries": self.shard_retries,
+                    "rerouted_shards": self.rerouted_shards,
+                    "no_replica_failures": self.no_replica_failures,
+                },
+                "heartbeat": {
+                    "interval_s": self.policy.probe_interval_s,
+                    "probe_timeout_s": self.policy.probe_timeout_s,
+                    "ticks": self._ticker.ticks,
+                },
+                "events": list(self.events),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            members = list(self._members)
+        self._ticker.stop()
+        self._dispatch.shutdown(wait=True)
+        for member in members:
+            try:
+                member.handle.close()
+            except Exception:
+                pass
+
+
+class RouterPool:
+    """Adapter: one (model, version)'s worker-pool view of the router.
+
+    The server's pipelines talk to worker pools (``submit(batch) ->
+    Future``, ``num_workers``, ``resize``, ``close``); this wraps the
+    shared :class:`ClusterRouter` in that shape so the batcher, dispatcher,
+    admission controller, and stats all work over the cluster unchanged.
+    ``close()`` does *not* close the router — it is shared across pipelines
+    and owned by whoever built it.
+    """
+
+    def __init__(self, router: ClusterRouter, name: str, version: Optional[int],
+                 stats=None, timeout_s: Optional[float] = None):
+        self.router = router
+        self.name = name
+        self.version = version
+        self.stats = stats
+        self.timeout_s = timeout_s
+        self.plan_info = None
+
+    def submit(self, batch: np.ndarray) -> Future:
+        return self.router.submit(
+            self.name, self.version, batch,
+            stats=self.stats, timeout_s=self.timeout_s,
+        )
+
+    @property
+    def num_workers(self) -> int:
+        return max(1, self.router.live_count())
+
+    def resize(self, num_workers: int) -> int:
+        """Remote membership is not resizable from here; report reality."""
+        return self.num_workers
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        pass

@@ -1,0 +1,227 @@
+"""Repository replication: digest-diffed, sha256-verified artifact sync.
+
+A replica node serves from its *own* :class:`~repro.serve.repository.
+ModelRepository`; this module keeps replica repositories converged with the
+front end's, using three guarantees already built elsewhere:
+
+* **Header-only diff** — what a peer has is described by its manifest:
+  ``{model: {version: sha256}}``, built from
+  :func:`~repro.core.export.read_program_metadata` (publish sidecars cache
+  it), so diffing never opens an archive.  Only (model, version) pairs the
+  replica lacks — or holds with a *different* digest — transfer.
+* **Verified transfer** — the artifact file ships as one frame whose
+  metadata carries the file's sha256; the replica re-hashes the received
+  bytes, then re-checks the *embedded content digest*
+  (:func:`~repro.core.export.verify_program_digest`) before installing —
+  corruption at either layer is rejected, and the push answer says so.
+* **Atomic install** — the replica publishes through the repository's
+  staged-rename path, so a reader on the replica sees either the old
+  version set or the complete new version, never a half-written archive.
+
+The front end *pushes* (``sync_to_node``: it knows when it published), and
+a replica can equally *pull* (``pull_from_node``: a cold replica catching
+up from a serving peer).  Both directions are the same three frames —
+``manifest`` / ``push`` / ``fetch`` — handled by
+:class:`~repro.serve.cluster.node.ReplicaNode`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.cluster.transport import Connection, connect
+from repro.serve.repository import ModelRepository
+
+
+class SyncError(RuntimeError):
+    """A sync step failed (transfer rejected, digest mismatch, peer error)."""
+
+
+def repository_manifest(repository: ModelRepository) -> Dict[str, Dict[str, Dict]]:
+    """``{model: {version: {"sha256", "file_bytes"}}}`` — header-only.
+
+    Versions are string keys (the manifest crosses JSON frame headers,
+    where integer dict keys do not survive).
+    """
+    manifest: Dict[str, Dict[str, Dict]] = {}
+    for name, versions in repository.list_models().items():
+        manifest[name] = {}
+        for version in versions:
+            meta = repository.metadata(name, version)
+            manifest[name][str(version)] = {
+                "sha256": meta.get("sha256"),
+                "file_bytes": meta.get("file_bytes"),
+            }
+    return manifest
+
+
+def diff_manifests(
+    source: Dict[str, Dict[str, Dict]],
+    target: Dict[str, Dict[str, Dict]],
+) -> List[Tuple[str, int]]:
+    """(model, version) pairs present in ``source`` that ``target`` lacks.
+
+    A version the target holds with a *different* digest also diffs —
+    versions are immutable, so that is corruption (or a partial install)
+    the caller should surface rather than silently skip.
+    """
+    missing: List[Tuple[str, int]] = []
+    for name, versions in source.items():
+        have = target.get(name, {})
+        for version, desc in versions.items():
+            mine = have.get(version)
+            if mine is None or (
+                desc.get("sha256") is not None
+                and mine.get("sha256") != desc.get("sha256")
+            ):
+                missing.append((name, int(version)))
+    return sorted(missing)
+
+
+def sync_to_node(
+    conn_or_address,
+    repository: ModelRepository,
+    models: Optional[Sequence[str]] = None,
+    timeout_s: float = 60.0,
+) -> Dict:
+    """Push every artifact the peer lacks; return a transfer report.
+
+    ``conn_or_address`` is an open :class:`Connection` or a ``(host, port)``
+    tuple (dialed and closed here).  ``models`` restricts the sync to named
+    models (``None`` = everything published locally).
+
+    Returns ``{"pushed": [(model, version), ...], "skipped": [...],
+    "bytes": total_transferred}``; raises :class:`SyncError` when the peer
+    rejects a transfer (digest mismatch survives retries — that artifact is
+    corrupt at the source and needs re-export, not re-send).
+    """
+    own_conn = not isinstance(conn_or_address, Connection)
+    conn = (
+        connect(tuple(conn_or_address), timeout_s=timeout_s)
+        if own_conn
+        else conn_or_address
+    )
+    try:
+        reply = conn.request("manifest", timeout_s=timeout_s)
+        if reply.kind != "manifest_ok":
+            raise SyncError(f"peer manifest failed: {reply.meta.get('error')}")
+        local = repository_manifest(repository)
+        if models is not None:
+            wanted = set(models)
+            local = {name: v for name, v in local.items() if name in wanted}
+        plan = diff_manifests(local, reply.meta.get("models") or {})
+        pushed: List[Tuple[str, int]] = []
+        skipped: List[Tuple[str, int]] = []
+        transferred = 0
+        for name, version in plan:
+            raw = repository.artifact_path(name, version).read_bytes()
+            answer = conn.request(
+                "push",
+                {
+                    "model": name,
+                    "version": version,
+                    "sha256": hashlib.sha256(raw).hexdigest(),
+                },
+                {"artifact": np.frombuffer(raw, dtype=np.uint8)},
+                timeout_s=timeout_s,
+            )
+            if answer.kind != "push_ok":
+                raise SyncError(
+                    f"peer rejected {name} v{version}: {answer.meta.get('error')}"
+                )
+            transferred += len(raw)
+            if answer.meta.get("installed"):
+                pushed.append((name, version))
+            else:
+                skipped.append((name, version))
+        already = [
+            (name, int(version))
+            for name, versions in local.items()
+            for version in versions
+            if (name, int(version)) not in set(plan)
+        ]
+        return {
+            "pushed": pushed,
+            "skipped": sorted(skipped + already),
+            "bytes": transferred,
+        }
+    finally:
+        if own_conn:
+            conn.close()
+
+
+def pull_from_node(
+    conn_or_address,
+    repository: ModelRepository,
+    models: Optional[Sequence[str]] = None,
+    timeout_s: float = 60.0,
+) -> Dict:
+    """Fetch every artifact the peer has that ``repository`` lacks.
+
+    The mirror image of :func:`sync_to_node` for a cold replica catching up
+    from a serving peer: diff the peer's manifest against the local one,
+    ``fetch`` each missing artifact, verify the transfer sha256 *and* the
+    embedded content digest, and install through the repository's atomic
+    staged publish.  Returns the same report shape as :func:`sync_to_node`.
+    """
+    import os
+    import tempfile
+
+    from repro.core.export import verify_program_digest
+
+    own_conn = not isinstance(conn_or_address, Connection)
+    conn = (
+        connect(tuple(conn_or_address), timeout_s=timeout_s)
+        if own_conn
+        else conn_or_address
+    )
+    try:
+        reply = conn.request("manifest", timeout_s=timeout_s)
+        if reply.kind != "manifest_ok":
+            raise SyncError(f"peer manifest failed: {reply.meta.get('error')}")
+        remote = reply.meta.get("models") or {}
+        if models is not None:
+            wanted = set(models)
+            remote = {name: v for name, v in remote.items() if name in wanted}
+        plan = diff_manifests(remote, repository_manifest(repository))
+        pulled: List[Tuple[str, int]] = []
+        transferred = 0
+        for name, version in plan:
+            answer = conn.request(
+                "fetch", {"model": name, "version": version}, timeout_s=timeout_s
+            )
+            if answer.kind != "artifact":
+                raise SyncError(
+                    f"peer fetch of {name} v{version} failed: "
+                    f"{answer.meta.get('error')}"
+                )
+            raw = answer.arrays["artifact"].astype(np.uint8, copy=False).tobytes()
+            actual = hashlib.sha256(raw).hexdigest()
+            if actual != answer.meta.get("sha256"):
+                raise SyncError(
+                    f"fetched artifact {name} v{version} failed sha256 "
+                    f"verification (got {actual}, "
+                    f"expected {answer.meta.get('sha256')})"
+                )
+            tmp = tempfile.NamedTemporaryFile(
+                suffix=".npz", prefix="sync-", delete=False
+            )
+            try:
+                tmp.write(raw)
+                tmp.close()
+                verify_program_digest(tmp.name)
+                repository.publish_artifact(tmp.name, name, version)
+            finally:
+                try:
+                    os.unlink(tmp.name)
+                except OSError:
+                    pass
+            pulled.append((name, version))
+            transferred += len(raw)
+        return {"pushed": pulled, "skipped": [], "bytes": transferred}
+    finally:
+        if own_conn:
+            conn.close()

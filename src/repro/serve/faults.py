@@ -29,6 +29,27 @@ Supported fault kinds (:data:`FAULT_KINDS`):
     thread workers receive an already-deserialized program).  Drives the
     start-failure accounting and the respawn cap.
 
+Network fault kinds (:data:`NET_FAULT_KINDS`) are evaluated inside the
+cluster transport (:mod:`repro.serve.cluster.transport`) through a
+:class:`NetFaultSession` — one per peer, counting *frames* instead of
+batches, so chaos runs against a router replay identically:
+
+``drop_conn``
+    The connection is severed (socket closed, the operation fails) on the
+    matching frame — a replica crash or an RST seen from the wire.
+``slow_link``
+    The frame is delayed ``delay_ms`` before transmission — a congested or
+    degraded link that makes probe deadlines and request timeouts testable.
+``partition``
+    The peer becomes unreachable *from the matching frame onward*: every
+    subsequent operation fails without touching the socket.  ``nth_batch``
+    marks the first affected frame (>=, unlike the exact-match batch kinds)
+    and ``times`` bounds how many frames fail before the partition heals
+    (``None`` = never heals).
+
+For network kinds ``worker`` selects the *peer* (replica index) and
+``spawn`` is ignored — connections have no incarnation identity.
+
 A ``crash`` spec may additionally set ``during_scale=True``: instead of
 firing on a batch ordinal inside a worker, it fires when the pool's
 ``resize()`` runs — the parent evaluates it through a
@@ -57,7 +78,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-FAULT_KINDS = ("crash", "slow", "stall", "corrupt_artifact")
+FAULT_KINDS = (
+    "crash", "slow", "stall", "corrupt_artifact",
+    "drop_conn", "slow_link", "partition",
+)
+
+#: The subset evaluated by the cluster transport's :class:`NetFaultSession`
+#: (worker sessions never fire these, and vice versa).
+NET_FAULT_KINDS = ("drop_conn", "slow_link", "partition")
 
 
 @dataclass(frozen=True)
@@ -193,6 +221,42 @@ class FaultPlan:
             seed=seed,
         )
 
+    @staticmethod
+    def drop_connection(nth_frame: Optional[int] = None,
+                        peer: Optional[int] = None, *,
+                        times: Optional[int] = 1, seed: int = 0) -> "FaultPlan":
+        """Sever the connection to ``peer`` on its ``nth_frame``-th frame."""
+        return FaultPlan(
+            (FaultSpec("drop_conn", worker=peer, spawn=None,
+                       nth_batch=nth_frame, times=times),),
+            seed=seed,
+        )
+
+    @staticmethod
+    def slow_link(delay_ms: float, peer: Optional[int] = None, *,
+                  times: Optional[int] = None, seed: int = 0) -> "FaultPlan":
+        """Delay every (or the first ``times``) frames to ``peer``."""
+        return FaultPlan(
+            (FaultSpec("slow_link", worker=peer, spawn=None,
+                       times=times, delay_ms=delay_ms),),
+            seed=seed,
+        )
+
+    @staticmethod
+    def partition(peer: Optional[int] = None, *,
+                  after_frame: int = 1, heal_after: Optional[int] = None,
+                  seed: int = 0) -> "FaultPlan":
+        """Make ``peer`` unreachable from its ``after_frame``-th frame on.
+
+        ``heal_after`` bounds the partition: that many frames fail, then
+        traffic flows again (``None`` = the partition never heals).
+        """
+        return FaultPlan(
+            (FaultSpec("partition", worker=peer, spawn=None,
+                       nth_batch=after_frame, times=heal_after),),
+            seed=seed,
+        )
+
     def __add__(self, other: "FaultPlan") -> "FaultPlan":
         """Compose plans (left seed wins: one RNG stream per session)."""
         return FaultPlan(self.specs + tuple(other.specs), seed=self.seed)
@@ -200,6 +264,10 @@ class FaultPlan:
     def session(self, worker: int = 0, spawn: int = 0) -> "FaultSession":
         """Evaluation state for one worker incarnation."""
         return FaultSession(self, worker=worker, spawn=spawn)
+
+    def net_session(self, peer: int = 0) -> "NetFaultSession":
+        """Evaluation state for one transport peer (replica index)."""
+        return NetFaultSession(self, peer=peer)
 
 
 class FaultSession:
@@ -295,6 +363,61 @@ class ScaleFaultSession:
             if budget is not None:
                 self._budgets[index] = budget - 1
             fired.append(spec)
+        return fired
+
+
+class NetFaultSession:
+    """Per-peer evaluation of a plan's network specs — one per replica.
+
+    The cluster transport calls :meth:`on_frame` once per frame it is about
+    to move (sends and receives both advance the counter), and applies the
+    returned specs in order: ``partition`` first (the frame never reaches
+    the wire), then ``slow_link`` (delay), then ``drop_conn`` (sever after
+    any delay).  Frame ordinals are per-peer, so a plan targeting "the 3rd
+    frame to replica 1" replays identically however the router interleaves
+    its other peers.
+
+    Matching semantics differ from batch faults in two deliberate ways:
+    ``spawn`` never filters (connections have no incarnation), and a
+    ``partition`` spec's ``nth_batch`` is a *lower bound* — the partition
+    holds from that frame until its ``times`` budget heals it.
+    """
+
+    def __init__(self, plan: FaultPlan, peer: int = 0):
+        self.plan = plan
+        self.peer = peer
+        self.frames = 0
+        self._budgets: List[Optional[int]] = [spec.times for spec in plan.specs]
+        self._rng = random.Random(f"{plan.seed}:net:{peer}")
+
+    def _matches(self, index: int, spec: FaultSpec) -> bool:
+        if spec.worker is not None and spec.worker != self.peer:
+            return False
+        if spec.nth_batch is not None:
+            if spec.kind == "partition":
+                if self.frames < spec.nth_batch:
+                    return False
+            elif spec.nth_batch != self.frames:
+                return False
+        budget = self._budgets[index]
+        if budget is not None and budget <= 0:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        if budget is not None:
+            self._budgets[index] = budget - 1
+        return True
+
+    def on_frame(self) -> List[FaultSpec]:
+        """Advance the frame counter; actions to apply to this frame."""
+        self.frames += 1
+        fired = [
+            spec
+            for index, spec in enumerate(self.plan.specs)
+            if spec.kind in NET_FAULT_KINDS and self._matches(index, spec)
+        ]
+        order = {"partition": 0, "slow_link": 1, "drop_conn": 2}
+        fired.sort(key=lambda spec: order[spec.kind])
         return fired
 
 

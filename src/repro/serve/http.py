@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.serve.admission import AdmissionRejected
 from repro.serve.batcher import DeadlineExceeded, QueueFull
+from repro.serve.cluster.router import NoReplicas
 from repro.serve.repository import ModelNotFound
 from repro.serve.server import InferenceServer, ServerClosed
 from repro.serve.workers import WorkerError
@@ -202,6 +203,15 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(
                 503, str(exc),
                 retry_after_s=DEFAULT_RETRY_AFTER_S, reason="server_closed",
+            )
+        except NoReplicas as exc:
+            # Cluster mode: every replica is currently dead.  Retriable —
+            # heartbeats keep probing and a restarted replica rejoins, so
+            # clients should back off and try again (NoReplicas subclasses
+            # NoLiveWorkers, so this arm must come before WorkerError).
+            return self._error(
+                503, str(exc),
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="no_replicas",
             )
         except WorkerError as exc:
             # Worker crashes and pool exhaustion are retriable server-side

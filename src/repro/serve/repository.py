@@ -191,6 +191,13 @@ class ModelRepository:
                 meta["version"] = version
                 meta.setdefault("schema", PROGRAM_SCHEMA_VERSION)
                 meta["file_bytes"] = (staging / ARTIFACT_NAME).stat().st_size
+                if "sha256" not in meta:
+                    # Header-only read: the sidecar mirrors the artifact's
+                    # content digest so replica sync can diff repositories
+                    # without opening archives.
+                    meta["sha256"] = read_program_metadata(
+                        staging / ARTIFACT_NAME
+                    ).get("sha256")
                 (staging / METADATA_NAME).write_text(json.dumps(meta, indent=2) + "\n")
                 staging.rename(model_dir / str(version))
         except BaseException:

@@ -49,6 +49,7 @@ from repro.serve.batcher import (
     DynamicBatcher,
 )
 from repro.serve.clock import SYSTEM_CLOCK, Clock
+from repro.serve.cluster.router import ClusterRouter, RouterPool
 from repro.serve.faults import FaultPlan
 from repro.serve.repository import ModelRepository
 from repro.serve.rollout import RolloutController, RolloutPolicy
@@ -111,7 +112,17 @@ class _Pipeline:
                 on_transition=self.stats.record_breaker_transition,
             )
             self.stats.breaker_fn = self.breaker.snapshot
-        if server.worker_mode == "process":
+        if server.worker_mode == "cluster":
+            # The "pool" is a per-model view of the shared cluster router:
+            # batches shard across remote replica nodes, failed shards
+            # re-dispatch to survivors, and an empty membership raises
+            # NoReplicas (a NoLiveWorkers) — so the resilient dispatcher,
+            # breaker, and admission control below apply to the cluster
+            # exactly as they do to local pools.
+            self.pool = RouterPool(
+                server.cluster, name, version, stats=self.stats
+            )
+        elif server.worker_mode == "process":
             self.pool = ProcessWorkerPool(
                 path,
                 backend=server.backend,
@@ -260,8 +271,11 @@ class InferenceServer:
     workers:
         Worker count per served model version.
     worker_mode:
-        ``"thread"`` (default; in-process executors) or ``"process"``
-        (each worker is an OS process loading the artifact itself).
+        ``"thread"`` (default; in-process executors), ``"process"`` (each
+        worker is an OS process loading the artifact itself), or
+        ``"cluster"`` (batches shard across remote replica nodes through
+        the :class:`~repro.serve.cluster.router.ClusterRouter` passed as
+        ``cluster=``; see docs/CLUSTER.md).
     backend:
         Executor backend for every pipeline (``plan`` / ``reference`` /
         ``cost`` — any registered name).
@@ -303,6 +317,11 @@ class InferenceServer:
         Injectable :class:`~repro.serve.clock.Clock` driving the
         autoscaler's ticker (wall-clock by default; the deterministic test
         harness substitutes a virtual clock).
+    cluster:
+        The :class:`~repro.serve.cluster.router.ClusterRouter` serving
+        ``worker_mode="cluster"``.  Owned by the caller: the server's
+        ``close()`` leaves it (and its replica membership/heartbeats)
+        running, so it can be shared or torn down independently.
     """
 
     def __init__(
@@ -321,9 +340,15 @@ class InferenceServer:
         autoscale: Optional[AutoscalePolicy] = None,
         budget: Optional[Union[ConcurrencyBudget, Mapping[str, int]]] = None,
         clock: Clock = SYSTEM_CLOCK,
+        cluster: Optional[ClusterRouter] = None,
     ):
-        if worker_mode not in ("thread", "process"):
-            raise ValueError(f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
+        if worker_mode not in ("thread", "process", "cluster"):
+            raise ValueError(
+                f"worker_mode must be 'thread', 'process' or 'cluster', "
+                f"got {worker_mode!r}"
+            )
+        if worker_mode == "cluster" and cluster is None:
+            raise ValueError("worker_mode='cluster' needs a ClusterRouter (cluster=...)")
         self.repository = (
             repository if isinstance(repository, ModelRepository) else ModelRepository(repository)
         )
@@ -341,6 +366,10 @@ class InferenceServer:
         )
         self.default_deadline_ms = default_deadline_ms
         self.fault_plan = fault_plan
+        # Cluster mode: the shared router every pipeline shards through.
+        # The router's lifecycle belongs to whoever built it (tests reuse
+        # one across servers), so close() leaves it running.
+        self.cluster = cluster
         self.server_stats = ServerStats()
         self.clock = clock
         self.autoscale_policy = autoscale
@@ -392,9 +421,11 @@ class InferenceServer:
         # are slow and must not stall traffic to already-built pipelines.  A
         # concurrent build of the same key is resolved by re-checking on
         # insert (the loser is closed before it ever saw a request).
-        if self.worker_mode == "process":
-            # Workers load the artifact themselves; the parent only needs
-            # the path and the input shape (header-only read).
+        if self.worker_mode in ("process", "cluster"):
+            # Workers (or replica nodes) load the artifact themselves; the
+            # parent only needs the path and the input shape (header-only
+            # read).  Cluster replicas hold their own synced repositories —
+            # the digest in the header guarantees they serve the same bytes.
             meta = self.repository.metadata(name, version)
             candidate = _Pipeline(
                 self, name, version, path, tuple(meta["input_shape"]), None,
@@ -924,6 +955,11 @@ class InferenceServer:
         payload: Dict = {}
         if self.autoscaler is not None:
             payload["autoscaler"] = self.autoscaler.snapshot()
+        if self.cluster is not None:
+            # Membership (alive/suspect/dead per replica), shard retry
+            # counters, and the bounded transition log — the cluster's
+            # whole failure-detection state is auditable from /healthz.
+            payload["cluster"] = self.cluster.snapshot()
         with self._lock:
             rollouts = dict(self._rollouts)
         if rollouts:

@@ -72,6 +72,33 @@ class _RemoteError(RuntimeError):
 _STOP_ONE = object()
 
 
+def artifact_slot_bytes(
+    artifact_path: Union[str, Path], rows: int = 64,
+    floor: int = 1 << 20, ceiling: int = 32 << 20,
+) -> int:
+    """Slot size for a program artifact: room for a ``rows``-row batch of
+    the larger of the program's input/output (8 bytes per element), clamped
+    to ``[floor, ceiling]``.
+
+    This is the geometry both transports share: the shared-memory rings size
+    their slots with it, and the cluster transport derives its per-frame
+    payload bound from it — so a batch that fits a replica's ring also fits
+    the wire frame that carries it there.  Falls back to ``floor`` when the
+    header cannot be read (the caller's fallback path still works).
+    """
+    try:
+        from repro.core.export import read_program_metadata
+
+        meta = read_program_metadata(artifact_path)
+        sample = max(
+            int(np.prod(meta["input_shape"], dtype=np.int64)),
+            int(np.prod(meta["output_shape"], dtype=np.int64)),
+        )
+        return int(np.clip(rows * sample * 8, floor, ceiling))
+    except Exception:
+        return floor
+
+
 class ThreadWorkerPool:
     """N worker threads running batches on per-worker or one shared executor.
 
@@ -265,7 +292,16 @@ class _ShmRing:
     the pool's existing task/result queues (the parent owns the free lists
     of its input rings; each worker owns the free list of its output ring),
     so no extra synchronisation primitives cross the process boundary.
+
+    Every segment this process creates is tracked in :attr:`_live` until its
+    ``unlink()`` runs — the faults suite asserts the set drains to empty
+    after pool teardown, so a leaked ``/dev/shm`` segment (a worker dying
+    between recycle and respawn used to strand one) fails a test instead of
+    accumulating on the host.
     """
+
+    _live: set = set()  # names of segments created (not yet unlinked) here
+    _live_lock = threading.Lock()
 
     def __init__(self, shm: shared_memory.SharedMemory, slots: int, slot_bytes: int):
         self.shm = shm
@@ -275,7 +311,15 @@ class _ShmRing:
     @classmethod
     def create(cls, slots: int, slot_bytes: int) -> "_ShmRing":
         shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        with cls._live_lock:
+            cls._live.add(shm.name)
         return cls(shm, slots, slot_bytes)
+
+    @classmethod
+    def live_segments(cls) -> set:
+        """Names of segments created by this process and not yet unlinked."""
+        with cls._live_lock:
+            return set(cls._live)
 
     @classmethod
     def attach(cls, name: str, slots: int, slot_bytes: int) -> "_ShmRing":
@@ -309,6 +353,9 @@ class _ShmRing:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+        finally:
+            with _ShmRing._live_lock:
+                _ShmRing._live.discard(self.shm.name)
 
 
 def _ring_payload(ring: Optional[_ShmRing], free: List[int], array: np.ndarray):
@@ -434,49 +481,60 @@ class _ProcessWorker:
         self.out_ring: Optional[_ShmRing] = None
         self.in_free: List[int] = []
         rings_desc = None
-        if pool.shm_slot_bytes:
-            try:
-                self.in_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
-                self.out_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
-                self.in_free = list(range(pool.shm_slots))
-                rings_desc = (
-                    self.in_ring.shm.name,
-                    self.out_ring.shm.name,
-                    pool.shm_slots,
-                    pool.shm_slot_bytes,
-                )
-            except OSError:
-                # No usable /dev/shm: run on pickled queue payloads alone.
-                self._destroy_rings()
-        fault_state = (
-            (pool.fault_plan, index, spawn) if pool.fault_plan is not None else None
-        )
-        self.process = ctx.Process(
-            target=_process_worker_main,
-            args=(
-                str(pool.artifact_path),
-                pool.backend,
-                pool.active_bits,
-                self.task_q,
-                self.result_q,
-                rings_desc,
-                fault_state,
-            ),
-            daemon=True,
-        )
-        self.process.start()
-        self.reader = threading.Thread(
-            target=self._read_results, name=f"serve-worker-{index}-reader", daemon=True
-        )
-        self.reader.start()
+        try:
+            if pool.shm_slot_bytes:
+                try:
+                    self.in_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
+                    self.out_ring = _ShmRing.create(pool.shm_slots, pool.shm_slot_bytes)
+                    self.in_free = list(range(pool.shm_slots))
+                    rings_desc = (
+                        self.in_ring.shm.name,
+                        self.out_ring.shm.name,
+                        pool.shm_slots,
+                        pool.shm_slot_bytes,
+                    )
+                    pool._register_rings(self.in_ring, self.out_ring)
+                except OSError:
+                    # No usable /dev/shm: run on pickled queue payloads alone.
+                    self._destroy_rings()
+            fault_state = (
+                (pool.fault_plan, index, spawn) if pool.fault_plan is not None else None
+            )
+            self.process = ctx.Process(
+                target=_process_worker_main,
+                args=(
+                    str(pool.artifact_path),
+                    pool.backend,
+                    pool.active_bits,
+                    self.task_q,
+                    self.result_q,
+                    rings_desc,
+                    fault_state,
+                ),
+                daemon=True,
+            )
+            self.process.start()
+            self.reader = threading.Thread(
+                target=self._read_results, name=f"serve-worker-{index}-reader", daemon=True
+            )
+            self.reader.start()
+        except BaseException:
+            # Failed mid-construction (process start / fd limits): without
+            # this, the freshly created rings have no owner to tear them
+            # down and the segments outlive the interpreter.
+            self._destroy_rings()
+            raise
 
     def _destroy_rings(self) -> None:
-        for ring in (self.in_ring, self.out_ring):
-            if ring is not None:
-                ring.close()
-                ring.unlink()
-        self.in_ring = self.out_ring = None
+        rings, self.in_ring, self.out_ring = (self.in_ring, self.out_ring), None, None
         self.in_free = []
+        for ring in rings:
+            if ring is not None:
+                try:
+                    ring.close()
+                finally:
+                    ring.unlink()
+                self.pool._forget_ring(ring)
 
     def _decode_result(self, payload) -> np.ndarray:
         if payload[0] == "shm":
@@ -541,14 +599,18 @@ class _ProcessWorker:
 
     def stop(self) -> None:
         try:
-            self.task_q.put(None)
-        except (ValueError, OSError):
-            pass
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=2.0)
-        self._destroy_rings()
+            try:
+                self.task_q.put(None)
+            except (ValueError, OSError):
+                pass
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2.0)
+        finally:
+            # Unlink even when the join/terminate path blows up — a stop
+            # that fails must not strand the segments.
+            self._destroy_rings()
 
 
 class ProcessWorkerPool:
@@ -637,24 +699,29 @@ class ProcessWorkerPool:
         # plans target (slot, spawn) pairs so "crash once, then recover" is
         # expressible deterministically.
         self._spawn_counts: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        # Every ring any of this pool's workers ever created, until its
+        # owner destroys it: close() sweeps the leftovers, so a worker that
+        # died between recycle and respawn (its replacement's rings exist
+        # but the replacement was never installed) cannot leak segments
+        # past pool teardown.
+        self._all_rings: Dict[str, _ShmRing] = {}
         self._workers: List[_ProcessWorker] = [
             _ProcessWorker(self, i) for i in range(num_workers)
         ]
 
-    def _default_slot_bytes(self) -> int:
-        """Ring slot size from the artifact header: room for a 64-row batch
-        of the larger of the program's input/output, clamped to [1, 32] MiB."""
-        try:
-            from repro.core.export import read_program_metadata
+    def _register_rings(self, *rings: _ShmRing) -> None:
+        with self._lock:
+            for ring in rings:
+                self._all_rings[ring.shm.name] = ring
 
-            meta = read_program_metadata(self.artifact_path)
-            sample = max(
-                int(np.prod(meta["input_shape"], dtype=np.int64)),
-                int(np.prod(meta["output_shape"], dtype=np.int64)),
-            )
-            return int(np.clip(64 * sample * 8, 1 << 20, 32 << 20))
-        except Exception:
-            return 1 << 20
+    def _forget_ring(self, ring: _ShmRing) -> None:
+        with self._lock:
+            self._all_rings.pop(ring.shm.name, None)
+
+    def _default_slot_bytes(self) -> int:
+        """Ring slot size from the artifact header (see
+        :func:`artifact_slot_bytes` — shared with the cluster transport)."""
+        return artifact_slot_bytes(self.artifact_path)
 
     def submit(self, batch: np.ndarray) -> Future:
         """Run one batch on the least-loaded live worker.
@@ -871,5 +938,18 @@ class ProcessWorkerPool:
                 return
             self._closed = True
             workers = list(self._workers)
-        for worker in workers:
-            worker.stop()
+        try:
+            for worker in workers:
+                worker.stop()
+        finally:
+            # Defensive sweep: rings belonging to workers that were never
+            # installed (died between recycle and respawn) or whose stop()
+            # failed still get unlinked before the pool goes away.
+            with self._lock:
+                leftovers = list(self._all_rings.values())
+                self._all_rings.clear()
+            for ring in leftovers:
+                try:
+                    ring.close()
+                finally:
+                    ring.unlink()

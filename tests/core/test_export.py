@@ -235,3 +235,74 @@ class TestCHeader:
         header.encode("ascii")
         assert header.count("{") == header.count("}")
         assert header.rstrip().endswith("#endif /* WEIGHT_POOL_NETWORK_H */")
+
+
+class TestContentDigest:
+    """The sha256 content digest embedded in artifact headers (and verified
+    on every load) — the integrity layer cluster sync diffs against."""
+
+    def test_saved_artifact_carries_digest(self, bound_program, tmp_path):
+        path = tmp_path / "digested.npz"
+        save_program(bound_program, path)
+        meta = read_program_metadata(path)
+        assert isinstance(meta["sha256"], str) and len(meta["sha256"]) == 64
+
+    def test_verify_matches_recomputation(self, bound_program, tmp_path):
+        from repro.core import verify_program_digest
+
+        path = tmp_path / "digested.npz"
+        save_program(bound_program, path)
+        assert verify_program_digest(path) == read_program_metadata(path)["sha256"]
+
+    def test_digest_is_deterministic(self, bound_program, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_program(bound_program, a)
+        save_program(bound_program, b)
+        assert read_program_metadata(a)["sha256"] == read_program_metadata(b)["sha256"]
+
+    def test_corrupted_member_fails_load_naming_path(self, bound_program, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        save_program(bound_program, path)
+        # Rewrite one non-header member with flipped bytes, keeping the
+        # (now stale) digest in the header.
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        victim = next(
+            name for name in arrays
+            if name != "__program__" and arrays[name].size
+        )
+        flipped = arrays[victim].copy()
+        flipped_view = flipped.reshape(-1).view(np.uint8)
+        flipped_view[0] ^= 0xFF
+        arrays[victim] = flipped
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ProgramFormatError) as excinfo:
+            load_program(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "sha256" in message or "content" in message
+
+    def test_pre_digest_artifact_still_loads(self, bound_program, tmp_path):
+        path = tmp_path / "legacy.npz"
+        save_program(bound_program, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        header = json.loads(str(arrays["__program__"]))
+        header.pop("sha256")
+        arrays["__program__"] = np.array(json.dumps(header))
+        np.savez_compressed(path, **arrays)
+        assert read_program_metadata(path)["sha256"] is None
+        load_program(path)  # digest check is skipped, not failed
+
+    def test_content_digest_ignores_dict_order(self):
+        from repro.core import content_digest
+
+        rng = np.random.default_rng(0)
+        arrays = {"b": rng.normal(size=(3, 4)), "a": rng.integers(0, 9, size=7)}
+        reordered = {"a": arrays["a"], "b": arrays["b"]}
+        assert content_digest(arrays) == content_digest(reordered)
+        # ...but any byte, dtype, or shape change moves it.
+        assert content_digest({"a": arrays["a"], "b": arrays["b"] + 1}) != content_digest(arrays)
+        assert content_digest({"a": arrays["a"].astype(np.float32)}) != content_digest(
+            {"a": arrays["a"]}
+        )

@@ -1,0 +1,295 @@
+"""Cluster router: membership, retry-on-replica-failure, server integration.
+
+Pure simulation — replicas are in-memory fakes and the heartbeat runs on
+:class:`tests.serve.simclock.SimClock`, so failure detection (alive →
+suspect → dead → rejoin) is driven in virtual time with zero waiting and
+zero flakes.  The real-socket path is covered by ``test_cluster_live.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceServer, serve_http
+from repro.serve.cluster.router import (
+    ClusterRouter,
+    MembershipPolicy,
+    NoReplicas,
+    ReplicaError,
+    ReplicaHandle,
+)
+from repro.serve.cluster.transport import TransportError
+from repro.serve.stats import ModelStats
+from repro.serve.workers import WorkerCrashed
+
+from simclock import SimClock
+
+
+class FakeReplica(ReplicaHandle):
+    """Scripted in-memory replica: flip ``up`` to crash/restart it."""
+
+    def __init__(self, name: str, up: bool = True):
+        self.name = name
+        self.up = up
+        self.predicts = 0
+        self.probes = 0
+
+    def predict(self, model, version, batch, timeout_s=None):
+        self.predicts += 1
+        if not self.up:
+            raise TransportError(f"{self.name} is down")
+        return np.asarray(batch) * 2.0
+
+    def probe(self, timeout_s=None):
+        self.probes += 1
+        if not self.up:
+            raise TransportError(f"{self.name} is down")
+        return {"name": self.name}
+
+
+def _router(replicas, clock=None, start=False, **policy_kw):
+    policy = MembershipPolicy(
+        probe_interval_s=policy_kw.pop("probe_interval_s", 0.5),
+        suspect_after=policy_kw.pop("suspect_after", 1),
+        dead_after=policy_kw.pop("dead_after", 3),
+        **policy_kw,
+    )
+    return ClusterRouter(
+        replicas, policy=policy, clock=clock or SimClock(), start=start
+    )
+
+
+class TestMembership:
+    def test_probe_failures_walk_alive_suspect_dead(self):
+        replica = FakeReplica("r0")
+        router = _router([replica, FakeReplica("r1")])
+        try:
+            replica.up = False
+            router.probe_all()
+            assert router.member_states()["r0"] == "suspect"
+            router.probe_all()
+            assert router.member_states()["r0"] == "suspect"
+            router.probe_all()
+            assert router.member_states()["r0"] == "dead"
+            assert router.member_states()["r1"] == "alive"
+        finally:
+            router.close()
+
+    def test_dead_replica_rejoins_on_probe_success(self):
+        replica = FakeReplica("r0", up=False)
+        router = _router([replica])
+        try:
+            for _ in range(3):
+                router.probe_all()
+            assert router.member_states()["r0"] == "dead"
+            replica.up = True
+            router.probe_all()
+            assert router.member_states()["r0"] == "alive"
+            transitions = [(e["from"], e["to"]) for e in router.snapshot()["events"]]
+            assert transitions == [
+                ("alive", "suspect"), ("suspect", "dead"), ("dead", "alive"),
+            ]
+        finally:
+            router.close()
+
+    def test_heartbeat_runs_on_the_injected_clock(self):
+        clock = SimClock()
+        replica = FakeReplica("r0")
+        router = _router([replica], clock=clock, start=True)
+        try:
+            assert replica.probes == 0
+            clock.advance(0.5)
+            assert replica.probes == 1
+            clock.advance(2.0)
+            assert replica.probes == 5
+            # Detection in virtual time: kill it, advance past dead_after.
+            replica.up = False
+            clock.advance(1.5)
+            assert router.member_states()["r0"] == "dead"
+        finally:
+            router.close()
+
+    def test_events_are_stamped_with_clock_time_and_bounded(self):
+        clock = SimClock()
+        replica = FakeReplica("r0")
+        router = _router([replica], clock=clock, history=4, dead_after=1)
+        try:
+            for round_ in range(6):
+                clock.advance(1.0)
+                replica.up = False
+                router.probe_all()  # alive -> dead (dead_after=1 via suspect)
+                replica.up = True
+                router.probe_all()  # dead -> alive
+            events = router.snapshot()["events"]
+            assert len(events) == 4  # bounded by policy.history
+            assert all(e["at"] == pytest.approx(6.0) for e in events[-2:])
+        finally:
+            router.close()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="dead_after"):
+            MembershipPolicy(suspect_after=3, dead_after=2)
+        with pytest.raises(ValueError, match="probe_interval_s"):
+            MembershipPolicy(probe_interval_s=0)
+        with pytest.raises(ValueError, match="at least one replica"):
+            ClusterRouter([], clock=SimClock(), start=False)
+
+
+class TestDispatch:
+    def test_batch_shards_across_replicas_and_reassembles(self):
+        replicas = [FakeReplica("r0"), FakeReplica("r1"), FakeReplica("r2")]
+        router = _router(replicas)
+        try:
+            batch = np.arange(12.0).reshape(6, 2)
+            out = router.submit("m", None, batch).result(timeout=10)
+            np.testing.assert_array_equal(out, batch * 2.0)
+            assert all(r.predicts == 1 for r in replicas)  # 6 rows / 3 shards
+        finally:
+            router.close()
+
+    def test_failed_shard_redispatches_to_survivor(self):
+        sick = FakeReplica("sick", up=False)
+        healthy = FakeReplica("healthy")
+        router = _router([sick, healthy])
+        try:
+            stats = ModelStats()
+            batch = np.ones((4, 2))
+            out = router.submit("m", None, batch, stats=stats).result(timeout=10)
+            np.testing.assert_array_equal(out, batch * 2.0)
+            snap = router.snapshot()
+            assert snap["counters"]["shard_retries"] >= 1
+            assert snap["counters"]["rerouted_shards"] >= 1
+            assert stats.retries >= 1
+            # The predict failure counted toward detection too.
+            assert router.member_states()["sick"] == "suspect"
+        finally:
+            router.close()
+
+    def test_all_replicas_failing_raises_worker_crashed(self):
+        router = _router(
+            [FakeReplica("r0", up=False), FakeReplica("r1", up=False)],
+            dead_after=10,  # keep them suspect: routable, but failing
+        )
+        try:
+            future = router.submit("m", None, np.ones((2, 2)))
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=10)
+        finally:
+            router.close()
+
+    def test_empty_membership_raises_no_replicas(self):
+        replica = FakeReplica("r0", up=False)
+        router = _router([replica], dead_after=1)
+        try:
+            router.probe_all()  # -> dead
+            future = router.submit("m", None, np.ones((2, 2)))
+            with pytest.raises(NoReplicas):
+                future.result(timeout=10)
+            assert router.snapshot()["counters"]["no_replica_failures"] == 1
+        finally:
+            router.close()
+
+    def test_replica_error_is_not_retried(self):
+        class Broken(FakeReplica):
+            def predict(self, model, version, batch, timeout_s=None):
+                self.predicts += 1
+                raise ReplicaError("no such model anywhere")
+
+        broken, spare = Broken("b0"), FakeReplica("r1")
+        router = _router([broken, spare])
+        try:
+            future = router.submit("m", None, np.ones((1, 2)))
+            with pytest.raises(ReplicaError):
+                future.result(timeout=10)
+            # Application errors are identical cluster-wide: no re-dispatch.
+            assert spare.predicts == 0
+            assert router.snapshot()["counters"]["shard_retries"] == 0
+        finally:
+            router.close()
+
+    def test_single_row_batch_takes_one_replica(self):
+        replicas = [FakeReplica("r0"), FakeReplica("r1")]
+        router = _router(replicas)
+        try:
+            out = router.submit("m", None, np.ones((1, 3))).result(timeout=10)
+            assert out.shape == (1, 3)
+            assert sum(r.predicts for r in replicas) == 1
+        finally:
+            router.close()
+
+
+class TestServerIntegration:
+    @pytest.fixture()
+    def cluster_server(self, repo):
+        replicas = [FakeReplica("r0"), FakeReplica("r1")]
+        router = _router(replicas)
+        server = InferenceServer(repo, worker_mode="cluster", cluster=router)
+        yield server, router, replicas
+        server.close()
+        router.close()
+
+    def test_predict_batch_serves_through_the_cluster(self, cluster_server, served):
+        server, router, replicas = cluster_server
+        batch = served.batch[:4]
+        out = server.predict_batch("resnet_s", batch)
+        np.testing.assert_array_equal(out, np.asarray(batch) * 2.0)
+        assert router.snapshot()["counters"]["batches"] == 1
+
+    def test_healthz_surfaces_membership_and_retry_counters(
+        self, cluster_server, served
+    ):
+        server, router, replicas = cluster_server
+        replicas[0].up = False
+        server.predict_batch("resnet_s", served.batch[:4])
+        health = server.health()
+        cluster = health["control_plane"]["cluster"]
+        assert cluster["replicas"]["r0"]["state"] == "suspect"
+        assert cluster["replicas"]["r1"]["state"] == "alive"
+        assert cluster["counters"]["shard_retries"] >= 1
+        assert [e["to"] for e in cluster["events"]] == ["suspect"]
+
+    def test_http_predict_and_healthz_through_cluster(self, cluster_server, served):
+        server, router, replicas = cluster_server
+        with serve_http(server, port=0) as front:
+            body = json.dumps(
+                {"inputs": np.asarray(served.batch[:2]).tolist()}
+            ).encode()
+            request = urllib.request.Request(
+                f"{front.url}/v1/models/resnet_s/predict",
+                data=body, headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                payload = json.loads(response.read())
+            np.testing.assert_allclose(
+                payload["outputs"], np.asarray(served.batch[:2]) * 2.0
+            )
+            with urllib.request.urlopen(f"{front.url}/healthz") as response:
+                health = json.loads(response.read())
+            assert "cluster" in health["control_plane"]
+
+    def test_http_returns_503_no_replicas_when_cluster_is_down(
+        self, cluster_server, served
+    ):
+        server, router, replicas = cluster_server
+        for replica in replicas:
+            replica.up = False
+        for _ in range(3):
+            router.probe_all()
+        assert router.live_count() == 0
+        with serve_http(server, port=0) as front:
+            body = json.dumps(
+                {"inputs": np.asarray(served.batch[0]).tolist()}
+            ).encode()
+            request = urllib.request.Request(
+                f"{front.url}/v1/models/resnet_s/predict", data=body
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["reason"] == "no_replicas"
+            assert excinfo.value.headers["Retry-After"] is not None

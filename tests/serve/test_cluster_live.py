@@ -1,0 +1,231 @@
+"""Cluster serving over real sockets: sync, identical predictions, kill-one.
+
+Two tiers of realism:
+
+* **In-process nodes** — real :class:`ReplicaNode` listeners on loopback
+  ports, killed by hard-closing them (indistinguishable from a crash at the
+  transport layer).  Fast enough for the default suite.
+* **Subprocess nodes** — ``python -m repro.serve.cluster.node`` daemons
+  SIGKILLed mid-load (the CI chaos tier's smoke): the acceptance scenario
+  of docs/CLUSTER.md's failure table, end to end.
+
+No wall-clock sleeps: readiness is the node's READY line / a completed
+sync, and failure detection is driven by explicit ``probe_all()`` calls —
+the membership interval itself is sim-tested in ``test_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceServer, ModelRepository
+from repro.serve.cluster import (
+    ClusterRouter,
+    MembershipPolicy,
+    ReplicaNode,
+    pull_from_node,
+    repository_manifest,
+    sync_to_node,
+)
+
+
+@pytest.fixture()
+def nodes(tmp_path, repo):
+    """Three live in-process replicas, synced from the front-end repo."""
+    started = [
+        ReplicaNode(tmp_path / f"replica{i}", name=f"replica{i}").start()
+        for i in range(3)
+    ]
+    for node in started:
+        sync_to_node(node.address, repo)
+    yield started
+    for node in started:
+        node.close()
+
+
+def _router(nodes, **kw):
+    kw.setdefault("request_timeout_s", 30.0)
+    kw.setdefault("connect_timeout_s", 2.0)
+    return ClusterRouter(
+        [n.address for n in nodes],
+        policy=MembershipPolicy(probe_interval_s=0.2, **kw),
+        start=False,
+    )
+
+
+class TestSync:
+    def test_push_transfers_only_missing_artifacts(self, tmp_path, repo):
+        node = ReplicaNode(tmp_path / "cold").start()
+        try:
+            first = sync_to_node(node.address, repo)
+            assert first["pushed"] == [("resnet_s", 1)]
+            assert first["bytes"] > 0
+            again = sync_to_node(node.address, repo)
+            assert again["pushed"] == []
+            assert again["skipped"] == [("resnet_s", 1)]
+            assert again["bytes"] == 0
+        finally:
+            node.close()
+
+    def test_synced_replica_manifest_matches_source(self, nodes, repo):
+        replica_repo = ModelRepository(nodes[0].repository.root)
+        assert repository_manifest(replica_repo) == repository_manifest(repo)
+
+    def test_pull_direction_converges_a_cold_repo(self, tmp_path, nodes, repo):
+        cold = ModelRepository(tmp_path / "cold-puller")
+        report = pull_from_node(nodes[0].address, cold)
+        assert report["pushed"] == [("resnet_s", 1)]
+        assert repository_manifest(cold) == repository_manifest(repo)
+
+
+class TestLiveCluster:
+    def test_cluster_predictions_match_local_engine(self, nodes, repo, served):
+        router = _router(nodes)
+        server = InferenceServer(repo, worker_mode="cluster", cluster=router)
+        try:
+            out = server.predict_batch("resnet_s", served.batch)
+            np.testing.assert_allclose(out, served.expected, rtol=1e-9, atol=1e-12)
+            # At fixed membership the whole path is deterministic: the same
+            # request twice is bitwise identical (same shards, same replica
+            # executors, same artifact bytes — the header digest guarantees
+            # the last one).
+            again = server.predict_batch("resnet_s", served.batch)
+            np.testing.assert_array_equal(out, again)
+        finally:
+            server.close()
+            router.close()
+
+    def test_kill_one_replica_mid_load_zero_client_errors(
+        self, nodes, repo, served
+    ):
+        router = _router(nodes)
+        server = InferenceServer(repo, worker_mode="cluster", cluster=router)
+        try:
+            router.probe_all()
+            assert router.live_count() == 3
+            batch = served.batch
+            # Warm all three replicas, then kill one and keep serving: every
+            # request must keep succeeding with correct outputs.
+            for _ in range(2):
+                np.testing.assert_allclose(
+                    server.predict_batch("resnet_s", batch), served.expected,
+                    rtol=1e-9, atol=1e-12,
+                )
+            nodes[1].close()  # crash, as seen from the wire
+            survivors = [
+                server.predict_batch("resnet_s", batch) for _ in range(4)
+            ]
+            for out in survivors:
+                np.testing.assert_allclose(
+                    out, served.expected, rtol=1e-9, atol=1e-12
+                )
+            # Post-kill membership is stable, so the rerouted path is again
+            # deterministic: repeats are bitwise identical.
+            np.testing.assert_array_equal(survivors[-2], survivors[-1])
+            snapshot = router.snapshot()
+            assert snapshot["counters"]["shard_retries"] >= 1
+            # Health probes converge on the crash.
+            for _ in range(3):
+                router.probe_all()
+            health = server.health()
+            cluster = health["control_plane"]["cluster"]
+            assert cluster["replicas"]["127.0.0.1:%d" % nodes[1].address[1]][
+                "state"
+            ] == "dead"
+            assert cluster["live"] == 2
+            assert [e["to"] for e in cluster["events"]][-1] == "dead"
+        finally:
+            server.close()
+            router.close()
+
+    def test_oversized_batch_is_rejected_cleanly(self, nodes, repo, served):
+        router = _router(nodes)
+        try:
+            rows = np.zeros((4096,) + served.input_shape)
+            future = router.submit("resnet_s", None, rows)
+            with pytest.raises(Exception) as excinfo:
+                future.result(timeout=60)
+            assert "bound" in str(excinfo.value) or "slot geometry" in str(
+                excinfo.value
+            )
+        finally:
+            router.close()
+
+
+class TestSubprocessKill:
+    """The acceptance scenario: SIGKILL a replica *process* mid-load."""
+
+    def _spawn_node(self, repo_root: Path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.cluster.node",
+             "--repo", str(repo_root)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True,
+        )
+        ready = process.stdout.readline().strip()
+        assert ready.startswith("READY "), f"node never came up: {ready!r}"
+        host_port = ready.split()[1]
+        host, port = host_port.rsplit(":", 1)
+        return process, (host, int(port))
+
+    def test_sigkill_one_of_three_replicas_zero_failed_requests(
+        self, tmp_path, repo, served
+    ):
+        processes, addresses = [], []
+        try:
+            for i in range(3):
+                process, address = self._spawn_node(tmp_path / f"proc{i}")
+                processes.append(process)
+                addresses.append(address)
+            for address in addresses:
+                sync_to_node(address, repo)
+            router = ClusterRouter(
+                addresses,
+                policy=MembershipPolicy(
+                    probe_interval_s=0.2, request_timeout_s=120.0
+                ),
+                start=False,
+            )
+            server = InferenceServer(repo, worker_mode="cluster", cluster=router)
+            try:
+                batch = served.batch
+                failures = 0
+                for round_ in range(6):
+                    if round_ == 2:
+                        # Mid-load, no drain, no goodbye.
+                        processes[0].send_signal(signal.SIGKILL)
+                        processes[0].wait(timeout=30)
+                    try:
+                        out = server.predict_batch("resnet_s", batch)
+                        np.testing.assert_allclose(
+                            out, served.expected, rtol=1e-9, atol=1e-12
+                        )
+                    except Exception:
+                        failures += 1
+                assert failures == 0
+                snapshot = router.snapshot()
+                assert snapshot["counters"]["shard_retries"] >= 1
+                for _ in range(3):
+                    router.probe_all()
+                states = router.member_states()
+                dead_name = "%s:%d" % addresses[0]
+                assert states[dead_name] == "dead"
+                assert sum(1 for s in states.values() if s == "alive") == 2
+            finally:
+                server.close()
+                router.close()
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=30)

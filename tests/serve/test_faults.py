@@ -519,3 +519,53 @@ class TestScaleChaos:
             )
         finally:
             pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory hygiene: crash/respawn churn must never leak ring segments
+# ---------------------------------------------------------------------------
+class TestShmRingHygiene:
+    """Every ring a pool ever created must be unlinked by pool.close().
+
+    The regression this guards: a worker dying *between* ring teardown and
+    respawn used to leave its segments registered in /dev/shm forever.  The
+    rings now register in a process-wide set (`_ShmRing.live_segments()`),
+    `stop()` unlinks in a `finally`, and `close()` sweeps stragglers — so
+    after any amount of chaos the live set returns to its baseline.
+    """
+
+    def test_clean_lifecycle_leaves_no_segments(self, served):
+        from repro.serve.workers import _ShmRing
+
+        baseline = _ShmRing.live_segments()
+        pool = ProcessWorkerPool(served.artifact, num_workers=2)
+        try:
+            assert len(_ShmRing.live_segments()) == len(baseline) + 4  # 2 rings/worker
+            out = pool.submit(served.batch[:2]).result(timeout=120.0)
+            np.testing.assert_allclose(out, served.expected[:2], rtol=1e-9, atol=1e-12)
+        finally:
+            pool.close()
+        assert _ShmRing.live_segments() == baseline
+
+    def test_crash_respawn_churn_leaves_no_segments(self, served):
+        from repro.serve.workers import _ShmRing
+
+        baseline = _ShmRing.live_segments()
+        # Worker 0 crashes its first batch on every incarnation: each respawn
+        # creates fresh rings and must unlink the dead incarnation's.
+        plan = FaultPlan.crash_on_batch(1, worker=0, spawn=None)
+        pool = ProcessWorkerPool(served.artifact, num_workers=2, fault_plan=plan)
+        try:
+            crashes = 0
+            deadline = time.perf_counter() + 120.0
+            while crashes < 2 and time.perf_counter() < deadline:
+                try:
+                    pool.submit(served.batch[:1]).result(timeout=120.0)
+                except WorkerCrashed:
+                    crashes += 1
+                except NoLiveWorkers:
+                    time.sleep(0.05)
+            assert crashes >= 2, "fault plan never fired"
+        finally:
+            pool.close()
+        assert _ShmRing.live_segments() == baseline
