@@ -37,3 +37,48 @@ def run_experiment(benchmark, runner, **kwargs):
     print()
     print(result.to_table())
     return result
+
+
+# The streaming benchmarks' shared model: tinyconv at 64x64 (a shallow,
+# bitserial-dominated graph on a frame large enough that receptive-field
+# dilation leaves most tiles clean), compiled once per pytest session.
+_STREAM_PREPARED = {}
+
+
+def stream_prepared(image_size: int = 64):
+    """(optimized program, engine) of tinyconv at ``image_size``, cached."""
+    if image_size not in _STREAM_PREPARED:
+        import numpy as np
+
+        from repro.core import (
+            BitSerialInferenceEngine,
+            CompressionPolicy,
+            EngineConfig,
+            compress_model,
+        )
+        from repro.models import create_model
+        from repro.nn import DataLoader
+        from repro.nn.data.dataset import ArrayDataset
+
+        model = create_model(
+            "tinyconv", num_classes=10, in_channels=3, rng=0, image_size=image_size
+        )
+        result = compress_model(
+            model, (3, image_size, image_size), pool_size=16,
+            policy=CompressionPolicy(group_size=8), seed=0,
+        )
+        rng = np.random.default_rng(0)
+        loader = DataLoader(
+            ArrayDataset(
+                rng.normal(size=(32, 3, image_size, image_size)),
+                rng.integers(0, 10, size=32),
+            ),
+            batch_size=16,
+        )
+        engine = BitSerialInferenceEngine(
+            result.model, result.pool,
+            EngineConfig(activation_bitwidth=8, lut_bitwidth=8, calibration_batches=2),
+        )
+        engine.calibrate(loader)
+        _STREAM_PREPARED[image_size] = (engine.compile(optimize=True), engine)
+    return _STREAM_PREPARED[image_size]

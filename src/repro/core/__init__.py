@@ -103,6 +103,14 @@ from repro.core.program import (
     compile_network,
     register_backend,
 )
+from repro.core.stream_plan import (
+    StreamPlan,
+    StreamRule,
+    StreamSession,
+    StreamUnsupported,
+    compile_stream_plan,
+    stream_support,
+)
 from repro.core.engine import BitSerialInferenceEngine, EngineConfig
 from repro.core.storage import (
     StorageReport,
@@ -185,6 +193,12 @@ __all__ = [
     "fuse_requantize",
     "register_backend",
     "register_pass",
+    "StreamPlan",
+    "StreamRule",
+    "StreamSession",
+    "StreamUnsupported",
+    "compile_stream_plan",
+    "stream_support",
     "registered_passes",
     "validate_arena_plan",
     "verify_program",

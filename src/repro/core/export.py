@@ -311,14 +311,17 @@ def build_deployment_package(
 #: Schema version written into every program artifact.  Version 1 is the
 #: original (implicitly unversioned) format of the first compiled-program
 #: release; version 2 adds the explicit ``schema`` field and the embedded
-#: metadata summary.  Bump this whenever the archive layout changes
-#: incompatibly.
-PROGRAM_SCHEMA_VERSION = 2
+#: metadata summary; version 3 adds the ``stream`` capability block to the
+#: metadata summary (per-op dirty-region propagation rules), which serving
+#: uses to gate streaming requests.  Bump this whenever the archive layout
+#: changes incompatibly.
+PROGRAM_SCHEMA_VERSION = 3
 
-#: Schema versions :func:`load_program` can read.  v2 is purely additive
-#: over v1, so v1 artifacts (no ``schema`` field) still load; unknown
-#: versions raise :class:`ProgramFormatError`.
-SUPPORTED_PROGRAM_SCHEMAS = (1, PROGRAM_SCHEMA_VERSION)
+#: Schema versions :func:`load_program` can read.  v2 and v3 are purely
+#: additive over v1, so older artifacts still load (a v1/v2 artifact simply
+#: has no ``stream`` capability block and cannot serve streaming requests);
+#: unknown versions raise :class:`ProgramFormatError`.
+SUPPORTED_PROGRAM_SCHEMAS = (1, 2, PROGRAM_SCHEMA_VERSION)
 
 
 class ProgramFormatError(ValueError):

@@ -231,6 +231,14 @@ class NetworkProgram:
             }
         if self.plan_counters is not None:
             meta["execution_plan"] = dict(self.plan_counters)
+        # Streaming capability (schema ≥ 3 artifacts): per-op propagation
+        # rules and whether the whole program can execute incrementally.
+        # Serving gates `/stream` requests on this key — its absence marks a
+        # pre-streaming artifact, which servers reject with a clear
+        # `stream_unsupported` reason instead of a KeyError.
+        from repro.core.stream_plan import stream_support
+
+        meta["stream"] = stream_support(self)
         if self.native_build is not None:
             # Header-only view of the native build (hashes/flags, no source).
             meta["native"] = {

@@ -14,7 +14,7 @@ from compression/quantization are measurable) while remaining fully
 reproducible from a seed.  See DESIGN.md §2 for the substitution rationale.
 """
 
-from repro.datasets.patterns import PatternLibrary
+from repro.datasets.patterns import PatternLibrary, PatternStream
 from repro.datasets.synthetic import (
     SyntheticCIFAR10,
     SyntheticQuickDraw,
@@ -24,6 +24,7 @@ from repro.datasets.synthetic import (
 
 __all__ = [
     "PatternLibrary",
+    "PatternStream",
     "SyntheticImageClassification",
     "SyntheticCIFAR10",
     "SyntheticQuickDraw",

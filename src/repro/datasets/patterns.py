@@ -119,3 +119,97 @@ class PatternLibrary:
         labels = np.asarray(labels, dtype=np.int64)
         images = np.stack([self.sample(int(label), rng) for label in labels])
         return images, labels
+
+    def stream(
+        self,
+        class_index: int,
+        change_fraction: float = 0.1,
+        drift: float = 0.25,
+        rng: SeedLike = None,
+    ) -> "PatternStream":
+        """A temporal frame stream of this class (see :class:`PatternStream`)."""
+        return PatternStream(
+            self, class_index,
+            change_fraction=change_fraction, drift=drift, rng=rng,
+        )
+
+
+class PatternStream:
+    """A smoothly drifting temporal stream of one class's pattern.
+
+    Models a video-like workload for the streaming executor: each frame is
+    the previous frame with **one localized patch** re-rendered — the patch
+    covers ``change_fraction`` of the image area, blends toward a slowly
+    drifting target field, and performs a random walk across the image, so
+    consecutive frames differ only inside a compact moving region (the
+    temporal redundancy the dirty-tile executor exploits).
+
+    ``change_fraction=0`` produces a perfectly static stream (every frame
+    identical — the cached fast path); ``change_fraction=1`` re-renders the
+    whole frame (no redundancy — the crossover fallback regime).  Frames are
+    deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        library: PatternLibrary,
+        class_index: int,
+        change_fraction: float = 0.1,
+        drift: float = 0.25,
+        rng: SeedLike = None,
+    ):
+        if not 0.0 <= change_fraction <= 1.0:
+            raise ValueError(
+                f"change_fraction must be in [0, 1], got {change_fraction}"
+            )
+        if not 0.0 <= drift <= 1.0:
+            raise ValueError(f"drift must be in [0, 1], got {drift}")
+        self.library = library
+        self.class_index = class_index
+        self.change_fraction = float(change_fraction)
+        self.drift = float(drift)
+        self._rng = new_rng(rng)
+        size = library.image_size
+        # Patch geometry: a square region of ~change_fraction of the area.
+        self.patch = int(np.clip(round(size * np.sqrt(change_fraction)), 0, size))
+        self._frame = library.sample(class_index, self._rng)
+        # The slowly drifting target the patch blends toward.
+        self._target = library.sample(class_index, self._rng)
+        self._pos = (
+            int(self._rng.integers(0, max(1, size - self.patch + 1))),
+            int(self._rng.integers(0, max(1, size - self.patch + 1))),
+        )
+        self.frames = 0
+
+    @property
+    def frame(self) -> np.ndarray:
+        """The current ``(channels, H, W)`` frame (a copy)."""
+        return self._frame.copy()
+
+    def next(self) -> np.ndarray:
+        """Advance the stream one step and return the new frame (a copy)."""
+        self.frames += 1
+        if self.patch == 0:
+            return self._frame.copy()
+        rng = self._rng
+        size = self.library.image_size
+        p = self.patch
+        # Random-walk the patch position (stays in bounds).
+        y, x = self._pos
+        span = max(1, p // 2)
+        y = int(np.clip(y + rng.integers(-span, span + 1), 0, size - p))
+        x = int(np.clip(x + rng.integers(-span, span + 1), 0, size - p))
+        self._pos = (y, x)
+        # Occasionally refresh the drift target so the stream never settles.
+        if rng.random() < 0.05:
+            self._target = self.library.sample(self.class_index, rng)
+        region = (slice(None), slice(y, y + p), slice(x, x + p))
+        patch = self._frame[region]
+        target = self._target[region]
+        noise = rng.normal(0.0, 0.05, size=patch.shape)
+        self._frame[region] = (1.0 - self.drift) * patch + self.drift * target + noise
+        return self._frame.copy()
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` frames, stacked ``(n, channels, H, W)``."""
+        return np.stack([self.next() for _ in range(n)])

@@ -39,6 +39,11 @@ system — the deployment story of ``docs/SERVING.md``:
 * :func:`serve_http` (:mod:`repro.serve.http`) — a stdlib JSON-over-HTTP
   front end with an overload-aware status-code contract (429/503/504 +
   ``Retry-After``).
+* :class:`StreamManager` / :class:`StreamPolicy` (:mod:`repro.serve.streaming`)
+  — stateful streaming inference: per-client sessions running the core's
+  dirty-tile incremental executor (:mod:`repro.core.stream_plan`) with
+  session affinity, TTL/LRU eviction, and reset-and-retry fault semantics;
+  served over chunked HTTP at ``POST /v1/models/<name>/stream``.
 * :mod:`repro.serve.cluster` — fault-tolerant multi-node serving:
   :class:`ReplicaNode` daemons behind a socket transport,
   :class:`ClusterRouter` sharding batches across health-checked replicas
@@ -105,6 +110,7 @@ from repro.serve.repository import LoadedModel, ModelNotFound, ModelRepository
 from repro.serve.rollout import RolloutController, RolloutPolicy
 from repro.serve.server import InferenceServer, ServerClosed
 from repro.serve.stats import LatencyWindow, ModelStats, ServerStats
+from repro.serve.streaming import StreamManager, StreamPolicy, UnknownSession
 from repro.serve.workers import (
     NoLiveWorkers,
     ProcessWorkerPool,
@@ -161,6 +167,9 @@ __all__ = [
     "LatencyWindow",
     "ModelStats",
     "ServerStats",
+    "StreamManager",
+    "StreamPolicy",
+    "UnknownSession",
     "NoLiveWorkers",
     "ProcessWorkerPool",
     "ThreadWorkerPool",

@@ -12,6 +12,7 @@ GET       ``/v1/models``                  published models and versions
 GET       ``/v1/models/<name>``           program metadata (``?version=N``)
 GET       ``/v1/models/<name>/stats``     latency/throughput/queue stats
 POST      ``/v1/models/<name>/predict``   run inference (``?version=N``)
+POST      ``/v1/models/<name>/stream``    stateful streaming inference (chunked)
 ========  ==============================  =========================================
 
 ``predict`` accepts ``{"inputs": <nested list>}`` holding either one sample
@@ -21,6 +22,18 @@ optional ``"timeout_ms"`` (request deadline; expiry → 504) and ``"priority"``
 Batch rows are submitted to the dynamic batcher individually, so concurrent
 HTTP clients coalesce into shared executor batches exactly like programmatic
 ones.
+
+``stream`` accepts ``{"frames": <one frame or a stack>}`` plus an optional
+``"session"`` id (the affinity token a previous response returned in its
+``X-Stream-Session`` header — omit it to open a fresh session),
+``"threshold"`` (per-session diff threshold; 0 = bit-exact) and
+``"close_session"`` (drop the session after the last frame).  The response
+is a *chunked* ``application/x-ndjson`` body: one JSON line per frame,
+written as soon as that frame's outputs exist, each carrying the execution
+mode (``full``/``incremental``/``cached``) and dirty-tile accounting.
+Artifacts published before the streaming metadata schema (program schema
+v3), or with non-streamable graphs, are rejected with a 400 and reason
+``stream_unsupported``.
 
 Overload and failure status codes: 429 = priority-class load shed or a
 per-model concurrency budget exceeded (slow down), 503 = hard saturation /
@@ -40,11 +53,13 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.core.stream_plan import StreamUnsupported
 from repro.serve.admission import AdmissionRejected
 from repro.serve.batcher import DeadlineExceeded, QueueFull
 from repro.serve.cluster.router import NoReplicas
 from repro.serve.repository import ModelNotFound
 from repro.serve.server import InferenceServer, ServerClosed
+from repro.serve.streaming import UnknownSession
 from repro.serve.workers import WorkerError
 
 # Backoff hint attached to 503s that do not carry their own (QueueFull,
@@ -151,9 +166,15 @@ class _Handler(BaseHTTPRequestHandler):
             parts, version = self._route()
         except ValueError as exc:
             return self._error(400, str(exc))
-        if not (len(parts) == 4 and parts[:2] == ["v1", "models"] and parts[3] == "predict"):
+        if not (
+            len(parts) == 4
+            and parts[:2] == ["v1", "models"]
+            and parts[3] in ("predict", "stream")
+        ):
             return self._error(404, f"no route for POST {self.path}")
         name = parts[2]
+        if parts[3] == "stream":
+            return self._post_stream(name, version, body)
         try:
             payload = json.loads(body or b"{}")
             if not isinstance(payload, dict):
@@ -233,6 +254,96 @@ class _Handler(BaseHTTPRequestHandler):
                 "outputs": outputs.tolist(),
             }
         )
+
+    # -- streaming ---------------------------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunk (hand-framed: BaseHTTPRequestHandler offers no
+        chunked writer).  An empty payload writes the terminal chunk."""
+        if data:
+            self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+        else:
+            self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def _post_stream(self, name: str, version: Optional[int], body: bytes) -> None:
+        """POST /v1/models/<name>/stream — chunked newline-delimited JSON.
+
+        Each frame's result is written as its own chunk the moment it
+        computes, so a client sees frame 1's outputs while frame 2 still
+        executes.  Session errors *before* the first chunk map to status
+        codes (400 ``stream_unsupported``, 404 ``unknown_session``, …); a
+        failure mid-stream can only be reported in-band — a final JSON line
+        with an ``"error"`` key — because the 200 header is already gone.
+        """
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError(f"expected a JSON object, got {type(payload).__name__}")
+            frames = np.asarray(payload["frames"], dtype=np.float64)
+            if "version" in payload and version is None:
+                version = int(payload["version"])
+            session = payload.get("session")
+            if session is not None and not isinstance(session, str):
+                raise ValueError(f"session must be a string, got {session!r}")
+            threshold = payload.get("threshold")
+            if threshold is not None:
+                threshold = float(threshold)
+            close_session = bool(payload.get("close_session", False))
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return self._error(
+                400, f"body must be a JSON object with a 'frames' array: {exc}"
+            )
+        try:
+            served_version, sid, results = self.inference.stream_request(
+                name, frames, version, session=session,
+                threshold=threshold, close_session=close_session,
+            )
+        except ModelNotFound as exc:
+            return self._error(404, str(exc))
+        except StreamUnsupported as exc:
+            # The capability gate: pre-schema artifacts and non-streamable
+            # graphs are a client-fixable condition, not a server fault.
+            return self._error(400, str(exc), reason=exc.reason)
+        except UnknownSession as exc:
+            return self._error(404, str(exc), reason="unknown_session")
+        except ServerClosed as exc:
+            return self._error(
+                503, str(exc),
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="server_closed",
+            )
+        except WorkerError as exc:
+            return self._error(
+                503, f"{type(exc).__name__}: {exc}",
+                retry_after_s=DEFAULT_RETRY_AFTER_S, reason="worker_failure",
+            )
+        except ValueError as exc:
+            return self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Stream-Session", sid)
+        self.send_header("X-Model-Version", str(served_version))
+        self.end_headers()
+        try:
+            for index, result in enumerate(results):
+                line = dict(result, frame=index, outputs=result["outputs"].tolist())
+                self._write_chunk((json.dumps(line) + "\n").encode())
+        except Exception as exc:
+            # Mid-stream failure: the fault path already reset/evicted the
+            # session; report in-band and drop the (now ambiguous) connection.
+            self.close_connection = True
+            try:
+                line = {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "reason": "stream_failed",
+                    "session": sid,
+                }
+                self._write_chunk((json.dumps(line) + "\n").encode())
+            except OSError:  # pragma: no cover - client already gone
+                return
+        self._write_chunk(b"")
 
 
 class HttpFrontEnd:

@@ -31,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.program import Executor, NetworkProgram, auto_backend
+from repro.core.stream_plan import StreamUnsupported
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -54,6 +55,7 @@ from repro.serve.faults import FaultPlan
 from repro.serve.repository import ModelRepository
 from repro.serve.rollout import RolloutController, RolloutPolicy
 from repro.serve.stats import ModelStats, ServerStats
+from repro.serve.streaming import StreamManager, StreamPolicy
 from repro.serve.workers import ProcessWorkerPool, ThreadWorkerPool
 
 
@@ -204,6 +206,50 @@ class _Pipeline:
         # was calibrated for this many workers.
         self._base_capacity = self.stats.queue_capacity
         self._base_workers = max(1, server.workers)
+        # Streaming sessions (built lazily by the first stream request —
+        # compiling a stream plan costs a few full-frame runs, which batch
+        # traffic must not pay).
+        self.stream_manager: Optional[StreamManager] = None
+        self._stream_lock = threading.Lock()
+
+    # -- streaming ---------------------------------------------------------------
+    def streaming(self) -> StreamManager:
+        """The pipeline's stream manager, building it on first use.
+
+        Capability-gated on the *artifact metadata* before anything is
+        built: the ``stream`` block only exists in schema ≥ 3 headers, so a
+        pre-schema artifact — or one whose graph has no streaming rules —
+        is rejected with :class:`StreamUnsupported` (HTTP 400,
+        ``stream_unsupported``) instead of a KeyError deep in the stack.
+        """
+        with self._stream_lock:
+            if self.stream_manager is not None:
+                return self.stream_manager
+            meta = self.server.repository.metadata(self.name, self.version)
+            stream_meta = meta.get("stream")
+            if stream_meta is None:
+                raise StreamUnsupported(
+                    f"artifact {self.name!r} v{self.version} predates the "
+                    f"streaming metadata schema (program schema >= 3); "
+                    f"re-export and republish it to stream"
+                )
+            if not stream_meta.get("supported"):
+                raise StreamUnsupported(
+                    f"model {self.name!r} v{self.version} cannot stream: "
+                    f"its program has ops without streaming rules"
+                )
+            program = self.program
+            if program is None:
+                # Process/cluster pipelines hold only the artifact path; the
+                # stream plan runs in this process, so load (LRU-cached).
+                program = self.server.repository.get(self.name, self.version).program
+            self.stream_manager = StreamManager(
+                program,
+                policy=self.server.stream_policy,
+                clock=self.server.clock,
+                name=f"{self.name}-v{self.version}",
+            )
+            return self.stream_manager
 
     # -- autoscaler target adapter ----------------------------------------------
     def metrics(self) -> ScaleMetrics:
@@ -257,6 +303,9 @@ class _Pipeline:
         them immediately with ``error`` (server shutdown)."""
         self.batcher.close(drain=drain, error=error)
         self.pool.close()
+        with self._stream_lock:
+            if self.stream_manager is not None:
+                self.stream_manager.close()
 
 
 class InferenceServer:
@@ -322,6 +371,11 @@ class InferenceServer:
         ``worker_mode="cluster"``.  Owned by the caller: the server's
         ``close()`` leaves it (and its replica membership/heartbeats)
         running, so it can be shared or torn down independently.
+    stream:
+        :class:`~repro.serve.streaming.StreamPolicy` governing stateful
+        stream sessions (TTL, capacity, tile size, diff threshold); the
+        default policy applies when omitted.  Sessions are built lazily by
+        the first ``stream_request`` against each pipeline.
     """
 
     def __init__(
@@ -341,6 +395,7 @@ class InferenceServer:
         budget: Optional[Union[ConcurrencyBudget, Mapping[str, int]]] = None,
         clock: Clock = SYSTEM_CLOCK,
         cluster: Optional[ClusterRouter] = None,
+        stream: Optional[StreamPolicy] = None,
     ):
         if worker_mode not in ("thread", "process", "cluster"):
             raise ValueError(
@@ -376,6 +431,9 @@ class InferenceServer:
         if budget is not None and not isinstance(budget, ConcurrencyBudget):
             budget = ConcurrencyBudget(budget)
         self.budget: Optional[ConcurrencyBudget] = budget
+        # Streaming sessions: one policy shared by every pipeline's
+        # StreamManager (built lazily on the first stream request).
+        self.stream_policy: StreamPolicy = stream or StreamPolicy()
         self._lock = threading.Lock()
         self._pipelines: Dict[Tuple[str, int], _Pipeline] = {}
         self._rollouts: Dict[str, RolloutController] = {}
@@ -899,6 +957,66 @@ class InferenceServer:
                 self._settle_rollout(rollout, version, error=True, latency_ms=None)
             raise
 
+    # -- streaming ---------------------------------------------------------------
+    def stream_request(
+        self,
+        name: str,
+        frames: np.ndarray,
+        version: Optional[int] = None,
+        session: Optional[str] = None,
+        threshold: Optional[float] = None,
+        close_session: bool = False,
+    ):
+        """Serve a chunk of one client's frame stream through its session.
+
+        ``frames`` is one frame (the model's input shape) or a stack of
+        them (one extra leading axis), processed **in order** through the
+        session named by ``session`` — or a fresh session when ``None``
+        (its id is returned; the client sends it back with the next chunk:
+        that is the affinity token).  Returns ``(version, session_id,
+        results)`` where ``results`` lazily yields one payload per frame
+        (``outputs`` plus the execution mode and dirty-tile accounting), so
+        the HTTP front end can stream each result as soon as it computes.
+        ``close_session=True`` drops the session after the last frame.
+
+        Streaming is capability-gated on the artifact metadata: programs
+        without the schema-v3 ``stream`` block (or with non-streamable
+        graphs) raise :class:`StreamUnsupported` before any state is built.
+        Stream frames bypass the dynamic batcher — temporal state makes
+        cross-client coalescing meaningless — but live in the same
+        pipeline, so hot-swap retirement and ``close()`` drop sessions with
+        the pipeline (clients re-open and the first frame recomputes in
+        full: correct, just slower once).
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        pipeline = self._pipeline(name, version)
+        manager = pipeline.streaming()
+        expected = pipeline.input_shape
+        if frames.shape == expected:
+            rows = frames[None]
+        elif frames.ndim == len(expected) + 1 and frames.shape[1:] == expected:
+            rows = frames
+        else:
+            raise ValueError(
+                f"frames shape {frames.shape} matches neither the model's "
+                f"input shape {expected} nor a stack of it"
+            )
+        if session is not None:
+            manager._get(session)  # unknown ids fail before any work
+            sid = session
+        else:
+            sid = manager.open(threshold=threshold)
+
+        def results():
+            try:
+                for row in rows:
+                    yield manager.process(sid, row)
+            finally:
+                if close_session:
+                    manager.close_session(sid)
+
+        return pipeline.version, sid, results()
+
     def stats(self, name: str, version: Optional[int] = None) -> Dict:
         """Stats snapshot for (name, version-or-latest).
 
@@ -923,6 +1041,8 @@ class InferenceServer:
         plan_info = pipeline.plan_info()
         if plan_info:
             snap["executor"] = plan_info
+        if pipeline.stream_manager is not None:
+            snap["streaming"] = pipeline.stream_manager.snapshot()
         # Prefer the live program's report over the stored artifact header:
         # the executor's native (O4) bind updates it in place — recording a
         # ``fallback_reason``/``effective_level`` downgrade on hosts that

@@ -1,0 +1,65 @@
+"""Tests for the temporal pattern-stream generator (streaming workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PatternLibrary, PatternStream
+
+
+@pytest.fixture(scope="module")
+def library():
+    return PatternLibrary(num_classes=4, channels=3, image_size=32, seed=0)
+
+
+def _changed_fraction(prev, cur):
+    changed = np.any(prev != cur, axis=0)
+    return changed.mean()
+
+
+def test_frame_shape_and_determinism(library):
+    a = library.stream(1, change_fraction=0.1, rng=7)
+    b = library.stream(1, change_fraction=0.1, rng=7)
+    for _ in range(5):
+        fa, fb = a.next(), b.next()
+        assert fa.shape == (3, 32, 32)
+        np.testing.assert_array_equal(fa, fb)
+
+
+def test_change_fraction_is_localized(library):
+    stream = library.stream(0, change_fraction=0.1, rng=3)
+    prev = stream.frame
+    fractions = []
+    for _ in range(20):
+        cur = stream.next()
+        fractions.append(_changed_fraction(prev, cur))
+        prev = cur
+    # Each frame changes a compact patch of roughly the requested area.
+    assert 0.0 < np.mean(fractions) <= 0.2
+
+
+def test_zero_change_fraction_is_static(library):
+    stream = library.stream(2, change_fraction=0.0, rng=1)
+    first = stream.frame
+    for _ in range(3):
+        np.testing.assert_array_equal(stream.next(), first)
+
+
+def test_full_change_fraction_touches_whole_frame(library):
+    stream = library.stream(2, change_fraction=1.0, rng=5)
+    prev = stream.frame
+    cur = stream.next()
+    assert _changed_fraction(prev, cur) == 1.0
+
+
+def test_take_stacks_frames(library):
+    stream = library.stream(3, change_fraction=0.25, rng=0)
+    frames = stream.take(4)
+    assert frames.shape == (4, 3, 32, 32)
+    assert stream.frames == 4
+
+
+def test_invalid_parameters(library):
+    with pytest.raises(ValueError):
+        PatternStream(library, 0, change_fraction=1.5)
+    with pytest.raises(ValueError):
+        PatternStream(library, 0, drift=-0.1)

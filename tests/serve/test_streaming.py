@@ -1,0 +1,355 @@
+"""Tests for stateful streaming serving: sessions, TTL, faults, HTTP.
+
+No wall-clock sleeping anywhere (the serve sleep-lint forbids it): TTL
+eviction is driven through the deterministic :class:`SimClock`, and
+everything else is request/response.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.stream_plan import StreamUnsupported
+from repro.serve import (
+    InferenceServer,
+    StreamPolicy,
+    UnknownSession,
+    WorkerError,
+    serve_http,
+)
+
+from simclock import SimClock
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+@pytest.fixture()
+def stream_server(repo, clock):
+    server = InferenceServer(
+        repo,
+        clock=clock,
+        stream=StreamPolicy(
+            session_ttl_s=60.0, sweep_interval_s=10.0, max_sessions=4,
+            crossover=0.9, verify=True,
+        ),
+    )
+    yield server
+    server.close()
+
+
+def _frames(served, n=3, patch=1.0):
+    """A base frame plus ``n - 1`` frames differing in one 6x6 patch."""
+    frames = [np.array(served.batch[0], copy=True)]
+    for i in range(1, n):
+        nxt = frames[-1].copy()
+        nxt[:, :6, :6] += patch * (i + 1)
+        frames.append(nxt)
+    return np.stack(frames)
+
+
+class TestStreamRequests:
+    def test_session_lifecycle_and_bit_exactness(self, stream_server, served):
+        frames = _frames(served, n=3)
+        version, sid, results = stream_server.stream_request("resnet_s", frames)
+        results = list(results)
+        assert version == 1 and sid
+        assert [r["mode"] for r in results] == ["full", "incremental", "incremental"]
+        # Threshold 0: streamed outputs identical to stateless predicts.
+        for frame, result in zip(frames, results):
+            np.testing.assert_array_equal(
+                result["outputs"], stream_server.predict("resnet_s", frame)
+            )
+
+    def test_affinity_token_continues_the_session(self, stream_server, served):
+        frames = _frames(served, n=2)
+        _, sid, results = stream_server.stream_request("resnet_s", frames)
+        list(results)
+        # Same frame through the same session: the memoized fast path.
+        _, sid2, results = stream_server.stream_request(
+            "resnet_s", frames[-1], session=sid
+        )
+        (result,) = list(results)
+        assert sid2 == sid
+        assert result["mode"] == "cached"
+
+    def test_unknown_session_rejected_before_any_work(self, stream_server, served):
+        with pytest.raises(UnknownSession):
+            stream_server.stream_request(
+                "resnet_s", served.batch[0], session="never-opened"
+            )
+
+    def test_close_session_drops_state(self, stream_server, served):
+        _, sid, results = stream_server.stream_request(
+            "resnet_s", served.batch[0], close_session=True
+        )
+        list(results)
+        with pytest.raises(UnknownSession):
+            stream_server.stream_request("resnet_s", served.batch[0], session=sid)
+
+    def test_bad_frame_shape_is_a_value_error(self, stream_server, served):
+        _, sid, results = stream_server.stream_request("resnet_s", served.batch[0])
+        list(results)
+        with pytest.raises(ValueError):
+            stream_server.stream_request(
+                "resnet_s", np.zeros((3, 16, 16)), session=sid
+            )
+
+    def test_lossy_threshold_serves_cached_answers(self, stream_server, served):
+        base = served.batch[0]
+        _, sid, results = stream_server.stream_request(
+            "resnet_s", base, threshold=0.5
+        )
+        first = list(results)[0]
+        _, _, results = stream_server.stream_request(
+            "resnet_s", base + 0.01, session=sid  # sub-threshold everywhere
+        )
+        (second,) = list(results)
+        assert second["mode"] == "cached"
+        np.testing.assert_array_equal(second["outputs"], first["outputs"])
+
+
+class TestSessionTable:
+    def test_ttl_eviction_via_sweep_ticker(self, stream_server, served, clock):
+        _, sid, results = stream_server.stream_request("resnet_s", served.batch[0])
+        list(results)
+        manager = stream_server._pipeline("resnet_s").stream_manager
+        assert manager.snapshot()["sessions"] == 1
+        clock.advance(61.0)  # past the TTL; the sweep ticker fires on the way
+        snap = manager.snapshot()
+        assert snap["sessions"] == 0
+        assert snap["expired"] == 1
+        with pytest.raises(UnknownSession):
+            stream_server.stream_request("resnet_s", served.batch[0], session=sid)
+
+    def test_touching_a_session_defers_its_eviction(self, stream_server, served, clock):
+        _, sid, results = stream_server.stream_request("resnet_s", served.batch[0])
+        list(results)
+        clock.advance(40.0)
+        _, _, results = stream_server.stream_request(
+            "resnet_s", served.batch[0], session=sid
+        )
+        list(results)  # refreshes last_used at t=40
+        clock.advance(40.0)  # t=80: idle 40s < TTL 60s
+        manager = stream_server._pipeline("resnet_s").stream_manager
+        assert manager.snapshot()["sessions"] == 1
+
+    def test_capacity_evicts_least_recently_used(self, stream_server, served, clock):
+        sids = []
+        for _ in range(5):  # policy caps at 4
+            _, sid, results = stream_server.stream_request("resnet_s", served.batch[0])
+            list(results)
+            sids.append(sid)
+            clock.advance(1.0)  # distinct last_used stamps
+        manager = stream_server._pipeline("resnet_s").stream_manager
+        snap = manager.snapshot()
+        assert snap["sessions"] == 4
+        assert snap["evicted"] == 1
+        with pytest.raises(UnknownSession):
+            stream_server.stream_request("resnet_s", served.batch[0], session=sids[0])
+
+    def test_streaming_stats_attached_to_snapshot(self, stream_server, served):
+        _, _, results = stream_server.stream_request("resnet_s", _frames(served, n=2))
+        list(results)
+        snap = stream_server.stats("resnet_s")
+        assert snap["streaming"]["frames"] == 2
+        assert snap["streaming"]["full"] == 1
+        assert snap["streaming"]["incremental"] == 1
+        assert snap["streaming"]["state_bytes"] > 0
+
+
+class TestFaultSemantics:
+    def test_poisoned_session_resets_and_recovers(self, stream_server, served):
+        frames = _frames(served, n=2)
+        _, sid, results = stream_server.stream_request("resnet_s", frames[0])
+        list(results)
+        manager = stream_server._pipeline("resnet_s").stream_manager
+        # Corrupt the session's persistent state so the next incremental
+        # step explodes mid-frame (a stand-in for any runtime fault).
+        manager._sessions[sid].buffers.clear()
+        _, _, results = stream_server.stream_request(
+            "resnet_s", frames[1], session=sid
+        )
+        (result,) = list(results)
+        # Reset + full recompute: a delayed answer, never a wrong one.
+        assert result["mode"] == "full"
+        assert result["recovered"] is True
+        np.testing.assert_array_equal(
+            result["outputs"], stream_server.predict("resnet_s", frames[1])
+        )
+        assert manager.snapshot()["faults"] == 1
+
+    def test_unrecoverable_session_is_evicted_with_worker_error(
+        self, stream_server, served
+    ):
+        _, sid, results = stream_server.stream_request("resnet_s", served.batch[0])
+        list(results)
+        manager = stream_server._pipeline("resnet_s").stream_manager
+        session = manager._sessions[sid]
+        session.buffers.clear()
+        session.plan = None  # even the reset-retry cannot run
+        try:
+            _, _, results = stream_server.stream_request(
+                "resnet_s", served.batch[0], session=sid
+            )
+            with pytest.raises(WorkerError):
+                list(results)
+        finally:
+            session.plan = manager.plan  # un-poison the shared object graph
+        assert sid not in manager._sessions
+
+    def test_server_close_drops_sessions(self, repo, served, clock):
+        server = InferenceServer(
+            repo, clock=clock, stream=StreamPolicy(crossover=0.9)
+        )
+        _, sid, results = server.stream_request("resnet_s", served.batch[0])
+        list(results)
+        manager = server._pipeline("resnet_s").stream_manager
+        server.close()
+        assert manager.snapshot()["sessions"] == 0
+
+
+class TestCapabilityGate:
+    @pytest.fixture()
+    def legacy_repo(self, repo, served, tmp_path):
+        """Publish a schema-2 artifact (no ``stream`` capability block)."""
+        data = np.load(served.artifact, allow_pickle=False)
+        arrays = {k: data[k] for k in data.files}
+        meta = json.loads(str(arrays.pop("__program__")))
+        meta["schema"] = 2
+        meta["metadata"].pop("stream", None)
+        arrays["__program__"] = np.array(json.dumps(meta))
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        repo.publish_artifact(legacy, "legacy")
+        return repo
+
+    def test_pre_schema_artifact_raises_stream_unsupported(
+        self, legacy_repo, served, clock
+    ):
+        server = InferenceServer(legacy_repo, clock=clock)
+        try:
+            # Plain predicts still work: the gate is streaming-only.
+            server.predict("legacy", served.batch[0])
+            with pytest.raises(StreamUnsupported) as exc:
+                server.stream_request("legacy", served.batch[0])
+            assert exc.value.reason == "stream_unsupported"
+            assert "schema" in str(exc.value)
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# Chunked HTTP endpoint
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def stream_front(stream_server):
+    front = serve_http(stream_server, port=0)
+    yield front
+    front.close()
+
+
+def _post_stream(url, name, payload):
+    request = urllib.request.Request(
+        url + f"/v1/models/{name}/stream",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120.0) as response:
+        sid = response.headers["X-Stream-Session"]
+        lines = [
+            json.loads(line)
+            for line in response.read().decode().splitlines() if line
+        ]
+        return sid, response.headers, lines
+
+
+class TestHttpStreaming:
+    def test_chunked_ndjson_stream(self, stream_front, stream_server, served):
+        frames = _frames(served, n=3)
+        sid, headers, lines = _post_stream(
+            stream_front.url, "resnet_s", {"frames": frames.tolist()}
+        )
+        assert headers["Content-Type"] == "application/x-ndjson"
+        assert headers["Transfer-Encoding"] == "chunked"
+        assert headers["X-Model-Version"] == "1"
+        assert [line["mode"] for line in lines] == [
+            "full", "incremental", "incremental",
+        ]
+        assert [line["frame"] for line in lines] == [0, 1, 2]
+        for frame, line in zip(frames, lines):
+            np.testing.assert_array_equal(
+                np.asarray(line["outputs"]),
+                stream_server.predict("resnet_s", frame),
+            )
+
+    def test_session_header_continues_across_requests(self, stream_front, served):
+        base = served.batch[0]
+        sid, _, _ = _post_stream(
+            stream_front.url, "resnet_s", {"frames": base.tolist()}
+        )
+        sid2, _, lines = _post_stream(
+            stream_front.url, "resnet_s",
+            {"frames": base.tolist(), "session": sid, "close_session": True},
+        )
+        assert sid2 == sid
+        assert lines[0]["mode"] == "cached"
+        # close_session dropped it: the token is now unknown.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_stream(
+                stream_front.url, "resnet_s",
+                {"frames": base.tolist(), "session": sid},
+            )
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["reason"] == "unknown_session"
+
+    def test_missing_frames_is_400(self, stream_front):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_stream(stream_front.url, "resnet_s", {"inputs": [1.0]})
+        assert err.value.code == 400
+
+    def test_unknown_model_is_404(self, stream_front):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_stream(stream_front.url, "ghost", {"frames": [1.0]})
+        assert err.value.code == 404
+
+    def test_pre_schema_artifact_streams_400_stream_unsupported(
+        self, repo, served, tmp_path, clock
+    ):
+        data = np.load(served.artifact, allow_pickle=False)
+        arrays = {k: data[k] for k in data.files}
+        meta = json.loads(str(arrays.pop("__program__")))
+        meta["schema"] = 2
+        meta["metadata"].pop("stream", None)
+        arrays["__program__"] = np.array(json.dumps(meta))
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        repo.publish_artifact(legacy, "legacy")
+        server = InferenceServer(repo, clock=clock)
+        front = serve_http(server, port=0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_stream(
+                    front.url, "legacy", {"frames": served.batch[0].tolist()}
+                )
+            assert err.value.code == 400
+            body = json.loads(err.value.read())
+            assert body["reason"] == "stream_unsupported"
+            # And the same artifact still predicts normally.
+            request = urllib.request.Request(
+                front.url + "/v1/models/legacy/predict",
+                data=json.dumps({"inputs": served.batch[0].tolist()}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=120.0) as response:
+                assert response.status == 200
+        finally:
+            front.close()
+            server.close()
